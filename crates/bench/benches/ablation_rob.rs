@@ -1,0 +1,45 @@
+//! Key Takeaway #6 ablation: ROB sizing.
+//!
+//! The paper proposes adaptive ROB sizing "based on workload
+//! characteristics": workloads with long dependence chains benefit from a
+//! larger window while others pay power for nothing. This bench sweeps
+//! the ROB size on LargeBOOM for a window-hungry workload (Matmult: the window
+//! feeds memory-level parallelism) and a window-insensitive one (Sha:
+//! high ILP, front-end-bound).
+
+use boom_uarch::BoomConfig;
+use boomflow::report::render_table;
+use boomflow::{run_simpoint_flow, FlowConfig};
+use boomflow_bench::{banner, BENCH_SCALE};
+use rtl_power::Component;
+use rv_workloads::by_name;
+
+fn main() {
+    banner("Ablation: ROB sizing (Key Takeaway #6)");
+    let flow = FlowConfig::default();
+    let header: Vec<String> =
+        ["ROB entries", "Matmult IPC", "Matmult ROB mW", "Sha IPC", "Sha ROB mW"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let matmult = by_name("matmult", BENCH_SCALE).unwrap();
+    let sha = by_name("sha", BENCH_SCALE).unwrap();
+    let mut rows = Vec::new();
+    for rob in [32usize, 64, 96, 128, 192] {
+        let mut cfg = BoomConfig::large();
+        cfg.rob_entries = rob;
+        let t = run_simpoint_flow(&cfg, &matmult, &flow).expect("matmult flow");
+        let s = run_simpoint_flow(&cfg, &sha, &flow).expect("sha flow");
+        rows.push(vec![
+            rob.to_string(),
+            format!("{:.2}", t.ipc),
+            format!("{:.2}", t.power.component(Component::Rob).total_mw()),
+            format!("{:.2}", s.ipc),
+            format!("{:.2}", s.power.component(Component::Rob).total_mw()),
+        ]);
+    }
+    print!("{}", render_table(&header, &rows));
+    println!();
+    println!("ROB power grows with size regardless of benefit; IPC saturates at a");
+    println!("workload-dependent window — the motivation for adaptive sizing.");
+}

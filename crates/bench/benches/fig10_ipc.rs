@@ -1,0 +1,38 @@
+//! Fig. 10: IPC for every benchmark and all three BOOM configurations.
+
+use boomflow::report::render_metric;
+use boomflow_bench::{banner, run_all, BENCH_SCALE, WORKLOAD_NAMES};
+
+fn main() {
+    banner("Fig. 10: instructions per cycle (IPC)");
+    let all = run_all(BENCH_SCALE);
+    let configs: Vec<(&str, Vec<f64>)> = all
+        .iter()
+        .map(|(cfg, results)| {
+            let vals: Vec<f64> = results.iter().map(|r| r.ipc).collect();
+            (cfg.name.as_str(), vals)
+        })
+        .collect();
+    print!("{}", render_metric("IPC", &WORKLOAD_NAMES, &configs));
+    println!();
+
+    // Headline checks from the paper's text.
+    let by_name = |cfg_i: usize, name: &str| -> f64 {
+        let (_, results) = &all[cfg_i];
+        results.iter().find(|r| r.name == name).map(|r| r.ipc).expect("workload present")
+    };
+    println!("Sha IPC:     measured {:.2} / {:.2} / {:.2}  (paper: 1.83 / 2.6 / 3.5)",
+        by_name(0, "Sha"), by_name(1, "Sha"), by_name(2, "Sha"));
+    for (i, name) in ["MediumBOOM", "LargeBOOM", "MegaBOOM"].iter().enumerate() {
+        let (_, results) = &all[i];
+        let max = results.iter().max_by(|a, b| a.ipc.partial_cmp(&b.ipc).unwrap()).unwrap();
+        let min = results.iter().min_by(|a, b| a.ipc.partial_cmp(&b.ipc).unwrap()).unwrap();
+        println!("{name}: highest IPC = {} ({:.2}), lowest = {} ({:.2})  (paper: Sha highest, Tarfind lowest)",
+            max.name, max.ipc, min.name, min.ipc);
+    }
+    let mean = |i: usize| -> f64 {
+        let (_, results) = &all[i];
+        results.iter().map(|r| r.ipc).sum::<f64>() / results.len() as f64
+    };
+    println!("Mean IPC ratio MegaBOOM/MediumBOOM: {:.2}x  (paper: 1.6x)", mean(2) / mean(0));
+}

@@ -1,0 +1,50 @@
+//! Fig. 11: performance per watt (IPC/W) for every benchmark and
+//! configuration, plus the paper's headline efficiency claims.
+
+use boomflow::report::render_metric;
+use boomflow_bench::{banner, run_all, BENCH_SCALE, WORKLOAD_NAMES};
+
+fn main() {
+    banner("Fig. 11: performance per watt (IPC/W)");
+    let all = run_all(BENCH_SCALE);
+    let configs: Vec<(&str, Vec<f64>)> = all
+        .iter()
+        .map(|(cfg, results)| {
+            let vals: Vec<f64> = results.iter().map(|r| r.perf_per_watt()).collect();
+            (cfg.name.as_str(), vals)
+        })
+        .collect();
+    print!("{}", render_metric("IPC/W", &WORKLOAD_NAMES, &configs));
+    println!();
+
+    // Per-workload winner (paper: MediumBOOM in 8/11; LargeBOOM takes
+    // Matmult, Stringsearch, Tarfind).
+    let mut medium_wins = 0;
+    for name in WORKLOAD_NAMES {
+        let per_cfg: Vec<(String, f64)> = all
+            .iter()
+            .map(|(cfg, results)| {
+                let v = results.iter().find(|r| r.name == name).unwrap().perf_per_watt();
+                (cfg.name.clone(), v)
+            })
+            .collect();
+        let winner = per_cfg
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        if winner.0 == "MediumBOOM" {
+            medium_wins += 1;
+        }
+        println!("  {name:14} best: {} ({:.1} IPC/W)", winner.0, winner.1);
+    }
+    println!();
+    println!("MediumBOOM wins {medium_wins}/11 workloads (paper: 8/11).");
+    let mean_ppw = |i: usize| -> f64 {
+        let (_, results) = &all[i];
+        results.iter().map(|r| r.perf_per_watt()).sum::<f64>() / results.len() as f64
+    };
+    println!(
+        "Mean efficiency advantage of MediumBOOM over MegaBOOM: {:+.0}%  (paper: +52%)",
+        100.0 * (mean_ppw(0) / mean_ppw(2) - 1.0)
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 6: per-component power of LargeBOOM across all eleven workloads.
+
+use boom_uarch::BoomConfig;
+use boomflow::report::render_component_power;
+use boomflow::FlowConfig;
+use boomflow_bench::{banner, paper_mean_mw, run_config, BENCH_SCALE};
+use rtl_power::Component;
+use rv_workloads::all;
+
+const CFG_INDEX: usize = 6 - 5;
+
+fn main() {
+    banner("Fig. 6: per-component power (mW), LargeBOOM, all workloads");
+    let cfg = BoomConfig::large();
+    let results = run_config(&cfg, &all(BENCH_SCALE), &FlowConfig::default());
+    print!("{}", render_component_power(&results));
+    println!();
+    println!("Measured vs paper per-component means (LargeBOOM):");
+    for c in Component::ANALYZED {
+        let mean: f64 = results.iter().map(|r| r.power.component(c).total_mw()).sum::<f64>()
+            / results.len() as f64;
+        let paper = paper_mean_mw(c)[CFG_INDEX];
+        println!(
+            "  {:18} measured {:6.2} mW   paper {:6.2} mW   ({:+.0}%)",
+            c.name(),
+            mean,
+            paper,
+            100.0 * (mean - paper) / paper
+        );
+    }
+}

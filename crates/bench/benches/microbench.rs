@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the simulation substrates: functional
+//! simulator throughput, cycle-level core throughput, SimPoint
+//! clustering, and predictor lookup rates.
+
+use boom_uarch::{BoomConfig, Core};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rv_isa::asm::Assembler;
+use rv_isa::bbv::BbvCollector;
+use rv_isa::cpu::Cpu;
+use rv_isa::reg::Reg::*;
+use rv_isa::Program;
+use simpoint::{analyze, SimPointConfig};
+
+fn mix_program(iters: i64) -> Program {
+    let mut a = Assembler::new();
+    a.la(S0, "buf");
+    a.li(S1, iters);
+    a.label("loop");
+    a.ld(T0, S0, 0);
+    a.addi(T0, T0, 3);
+    a.mul(T1, T0, T0);
+    a.xor(T1, T1, S1);
+    a.sd(T1, S0, 8);
+    a.andi(T2, T1, 7);
+    a.beqz(T2, "skip");
+    a.addi(A0, A0, 1);
+    a.label("skip");
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "loop");
+    a.exit();
+    a.data_label("buf");
+    a.zeros(64);
+    a.assemble().unwrap()
+}
+
+fn functional_sim(c: &mut Criterion) {
+    let p = mix_program(10_000);
+    let mut g = c.benchmark_group("functional_sim");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mixed_10k_loop", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(&p);
+            cpu.run(u64::MAX).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn detailed_sim(c: &mut Criterion) {
+    let p = mix_program(2_000);
+    let mut g = c.benchmark_group("detailed_sim");
+    g.throughput(Throughput::Elements(20_000));
+    for cfg in BoomConfig::all_three() {
+        g.bench_function(cfg.name.clone(), |b| {
+            b.iter(|| {
+                let mut core = Core::new(cfg.clone(), &p);
+                core.run(u64::MAX)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn simpoint_clustering(c: &mut Criterion) {
+    let p = mix_program(200_000);
+    let mut cpu = Cpu::new(&p);
+    let mut collector = BbvCollector::new(1_000);
+    cpu.run_with(u64::MAX, |r| collector.observe(r)).unwrap();
+    let profile = collector.finish();
+    c.bench_function("simpoint_analysis", |b| {
+        b.iter(|| analyze(&profile, &SimPointConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = functional_sim, detailed_sim, simpoint_clustering
+}
+criterion_main!(benches);

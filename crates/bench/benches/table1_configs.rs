@@ -1,0 +1,41 @@
+//! Table I: the three BOOM configurations used throughout the study.
+
+use boom_uarch::BoomConfig;
+use boomflow::report::render_table;
+use boomflow_bench::banner;
+
+fn main() {
+    banner("Table I: BOOM configurations (Chipyard Medium/Large/MegaBoomConfig)");
+    let cfgs = BoomConfig::all_three();
+    let header: Vec<String> = std::iter::once("Parameter".to_string())
+        .chain(cfgs.iter().map(|c| c.name.clone()))
+        .collect();
+    let row = |name: &str, f: &dyn Fn(&BoomConfig) -> String| -> Vec<String> {
+        std::iter::once(name.to_string()).chain(cfgs.iter().map(|c| f(c))).collect()
+    };
+    let rows = vec![
+        row("Fetch width", &|c| c.fetch_width.to_string()),
+        row("Decode width", &|c| c.decode_width.to_string()),
+        row("ROB entries", &|c| c.rob_entries.to_string()),
+        row("Int phys regs", &|c| c.int_phys_regs.to_string()),
+        row("FP phys regs", &|c| c.fp_phys_regs.to_string()),
+        row("IRF ports (R/W)", &|c| format!("{}/{}", c.irf_read_ports, c.irf_write_ports)),
+        row("FP RF ports (R/W)", &|c| format!("{}/{}", c.frf_read_ports, c.frf_write_ports)),
+        row("Issue slots (int/mem/fp)", &|c| {
+            format!("{}/{}/{}", c.int_issue_slots, c.mem_issue_slots, c.fp_issue_slots)
+        }),
+        row("Mem exec units", &|c| c.mem_issue_width.to_string()),
+        row("LDQ/STQ", &|c| format!("{}/{}", c.ldq_entries, c.stq_entries)),
+        row("Fetch buffer", &|c| c.fetch_buffer_entries.to_string()),
+        row("Branch snapshots", &|c| c.max_br_count.to_string()),
+        row("L1I (KiB/ways)", &|c| {
+            format!("{}/{}", c.icache.capacity_bytes() / 1024, c.icache.ways)
+        }),
+        row("L1D (KiB/ways)", &|c| {
+            format!("{}/{}", c.dcache.capacity_bytes() / 1024, c.dcache.ways)
+        }),
+        row("D-cache MSHRs", &|c| c.dcache.mshrs.to_string()),
+        row("Clock (MHz)", &|c| format!("{:.0}", c.clock_hz / 1e6)),
+    ];
+    print!("{}", render_table(&header, &rows));
+}

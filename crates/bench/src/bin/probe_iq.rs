@@ -1,0 +1,26 @@
+//! Debug probe: integer issue-queue activity for Dijkstra vs Sha (Mega).
+use boom_uarch::{BoomConfig, Core};
+use rv_workloads::{by_name, Scale};
+
+fn main() {
+    for name in ["dijkstra", "sha", "stringsearch", "tarfind", "matmult"] {
+        let w = by_name(name, Scale::Full).unwrap();
+        let mut core = Core::new(BoomConfig::mega(), &w.program);
+        core.run(300_000);
+        let s = core.stats();
+        let iq = &s.int_iq;
+        let c = s.cycles as f64;
+        println!(
+            "{:13} IPC {:.2} | occ/cyc {:5.1} writes/cyc {:.2} collapse/cyc {:5.2} issued/cyc {:.2} wakeupCAM/cyc {:5.1} | mshr_occ/cyc {:.2} dmiss% {:.1}",
+            name,
+            s.ipc(),
+            iq.occupancy_sum as f64 / c,
+            iq.writes as f64 / c,
+            iq.collapse_writes as f64 / c,
+            iq.issued as f64 / c,
+            iq.wakeup_cam_matches as f64 / c,
+            s.dcache.mshr_occupancy_sum as f64 / c,
+            100.0 * s.dcache.miss_rate(),
+        );
+    }
+}

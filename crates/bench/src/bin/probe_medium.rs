@@ -1,0 +1,11 @@
+//! Quick probe: Medium-config IPC for the critical fig10 orderings.
+use boom_uarch::{BoomConfig, Core};
+use rv_workloads::{by_name, Scale};
+fn main() {
+    for name in ["matmult", "tarfind", "qsort", "basicmath", "sha"] {
+        let w = by_name(name, Scale::Full).unwrap();
+        let mut core = Core::new(BoomConfig::medium(), &w.program);
+        core.run(400_000);
+        println!("{:12} Medium IPC {:.2}", name, core.stats().ipc());
+    }
+}

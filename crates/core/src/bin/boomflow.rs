@@ -1,0 +1,182 @@
+//! `boomflow` — command-line front end for the SimPoint power/performance
+//! analysis flow.
+//!
+//! ```text
+//! boomflow [--workload NAME|all] [--config medium|large|mega|all]
+//!          [--scale test|small|full] [--predictor tage|gshare]
+//!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --release -p boomflow --bin boomflow -- --workload sha --config mega
+//! cargo run --release -p boomflow --bin boomflow -- --workload all --config all --scale full
+//! cargo run --release -p boomflow --bin boomflow -- --workload dijkstra --full
+//! ```
+
+use boom_uarch::{BoomConfig, IssueQueueKind, PredictorKind};
+use boomflow::report::render_table;
+use boomflow::{run_full, run_simpoint_flow, FlowConfig, WorkloadResult};
+use rtl_power::Component;
+use rv_workloads::{all, by_name, Scale, Workload};
+use std::process::exit;
+
+struct Args {
+    workload: String,
+    config: String,
+    scale: Scale,
+    predictor: PredictorKind,
+    iq: IssueQueueKind,
+    full: bool,
+    warmup: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: boomflow [--workload NAME|all] [--config medium|large|mega|all]\n\
+         \x20               [--scale test|small|full] [--predictor tage|gshare]\n\
+         \x20               [--iq collapsing|noncollapsing] [--full] [--warmup N]\n\
+         workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
+         \x20          patricia matmult sha tarfind"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "all".to_string(),
+        config: "all".to_string(),
+        scale: Scale::Small,
+        predictor: PredictorKind::Tage,
+        iq: IssueQueueKind::Collapsing,
+        full: false,
+        warmup: 5_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = value().to_lowercase(),
+            "--config" | "-c" => args.config = value().to_lowercase(),
+            "--scale" | "-s" => {
+                args.scale = match value().to_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                }
+            }
+            "--predictor" | "-p" => {
+                args.predictor = match value().to_lowercase().as_str() {
+                    "tage" => PredictorKind::Tage,
+                    "gshare" => PredictorKind::Gshare,
+                    _ => usage(),
+                }
+            }
+            "--iq" => {
+                args.iq = match value().to_lowercase().as_str() {
+                    "collapsing" => IssueQueueKind::Collapsing,
+                    "noncollapsing" | "non-collapsing" => IssueQueueKind::NonCollapsing,
+                    _ => usage(),
+                }
+            }
+            "--full" => args.full = true,
+            "--warmup" => args.warmup = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn configs(sel: &str, predictor: PredictorKind, iq: IssueQueueKind) -> Vec<BoomConfig> {
+    let base = match sel {
+        "all" => BoomConfig::all_three(),
+        "medium" => vec![BoomConfig::medium()],
+        "large" => vec![BoomConfig::large()],
+        "mega" => vec![BoomConfig::mega()],
+        _ => usage(),
+    };
+    base.into_iter()
+        .map(|c| c.with_predictor(predictor).with_issue_queue(iq))
+        .collect()
+}
+
+fn workloads(sel: &str, scale: Scale) -> Vec<Workload> {
+    if sel == "all" {
+        all(scale)
+    } else {
+        match by_name(sel, scale) {
+            Some(w) => vec![w],
+            None => usage(),
+        }
+    }
+}
+
+fn print_result(r: &WorkloadResult) {
+    println!(
+        "\n### {} on {} — IPC {:.2}, tile {:.2} mW, {:.1} IPC/W, {} SimPoints ({:.0}% coverage, {:.0}x reduction)",
+        r.name,
+        r.config,
+        r.ipc,
+        r.tile_power_mw(),
+        r.perf_per_watt(),
+        r.points.len(),
+        100.0 * r.coverage,
+        r.speedup,
+    );
+    let header: Vec<String> = ["Component", "Leakage mW", "Internal mW", "Switching mW", "Total mW", "Share"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let tile = r.tile_power_mw();
+    let rows: Vec<Vec<String>> = Component::ALL
+        .iter()
+        .map(|c| {
+            let p = r.power.component(*c);
+            vec![
+                c.name().to_string(),
+                format!("{:.3}", p.leakage_mw),
+                format!("{:.3}", p.internal_mw),
+                format!("{:.3}", p.switching_mw),
+                format!("{:.3}", p.total_mw()),
+                format!("{:.1}%", 100.0 * p.total_mw() / tile),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}
+
+fn main() {
+    let args = parse_args();
+    let flow = FlowConfig { warmup_insts: args.warmup, ..FlowConfig::default() };
+    let cfgs = configs(&args.config, args.predictor, args.iq);
+    let ws = workloads(&args.workload, args.scale);
+
+    for cfg in &cfgs {
+        for w in &ws {
+            if args.full {
+                match run_full(cfg, w) {
+                    Ok(full) => println!(
+                        "{} on {} (full detailed simulation): IPC {:.3} over {} insts / {} cycles, tile {:.2} mW",
+                        w.name, cfg.name, full.ipc, full.retired, full.cycles,
+                        full.power.tile_total_mw()
+                    ),
+                    Err(e) => {
+                        eprintln!("{} on {}: {e}", w.name, cfg.name);
+                        exit(1);
+                    }
+                }
+            } else {
+                match run_simpoint_flow(cfg, w, &flow) {
+                    Ok(r) => print_result(&r),
+                    Err(e) => {
+                        eprintln!("{} on {}: {e}", w.name, cfg.name);
+                        exit(1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The SimPoint → checkpoint → detailed-simulation → power flow.
+
+use boom_uarch::{BoomConfig, Core, Stats};
+use rtl_power::{estimate_core, PowerReport};
+use rv_isa::bbv::{BbvCollector, BbvProfile};
+use rv_isa::checkpoint::{checkpoints_at, Checkpoint};
+use rv_isa::cpu::{Cpu, SimError, StopReason};
+use rv_workloads::Workload;
+use simpoint::{analyze, SimPointAnalysis, SimPointConfig};
+use std::fmt;
+
+/// Flow parameters (SimPoint settings and warm-up length).
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// SimPoint clustering parameters.
+    pub simpoint: SimPointConfig,
+    /// Microarchitectural warm-up before each measured interval, in
+    /// dynamic instructions (the paper warms caches and branch
+    /// predictors before executing each SimPoint).
+    pub warmup_insts: u64,
+    /// Hard cap on functional profiling length (safety net).
+    pub max_profile_insts: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            simpoint: SimPointConfig::default(),
+            warmup_insts: 5_000,
+            max_profile_insts: 2_000_000_000,
+        }
+    }
+}
+
+/// Error from the flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The functional simulator faulted.
+    Sim(SimError),
+    /// The workload did not exit within the profiling budget.
+    NoExit,
+    /// The workload exited non-zero (failed its self-verification).
+    SelfCheckFailed(u64),
+    /// The detailed core hung (model bug or invalid checkpoint).
+    CoreHung {
+        /// Which simulation point hung.
+        simpoint: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sim(e) => write!(f, "functional simulation failed: {e}"),
+            FlowError::NoExit => write!(f, "workload did not exit within the profiling budget"),
+            FlowError::SelfCheckFailed(code) => {
+                write!(f, "workload failed self-verification (exit code {code})")
+            }
+            FlowError::CoreHung { simpoint } => {
+                write!(f, "detailed core hung while simulating point {simpoint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> FlowError {
+        FlowError::Sim(e)
+    }
+}
+
+/// Per-simulation-point measurement.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Index of the represented interval in the BBV profile.
+    pub interval: usize,
+    /// Cluster weight (fraction of execution).
+    pub weight: f64,
+    /// Measured IPC of the interval.
+    pub ipc: f64,
+    /// Power report of the interval.
+    pub power: PowerReport,
+    /// Detailed-simulation activity (measurement window only).
+    pub stats: Stats,
+}
+
+/// Everything the paper reports for one (configuration, workload) pair.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Configuration name.
+    pub config: String,
+    /// SimPoint-weighted IPC (paper Fig. 10).
+    pub ipc: f64,
+    /// SimPoint-weighted per-component power (paper Figs. 5–8).
+    pub power: PowerReport,
+    /// Per-point measurements.
+    pub points: Vec<PointResult>,
+    /// Total dynamic instructions of the full workload.
+    pub total_insts: u64,
+    /// Interval size used (dynamic instructions).
+    pub interval_size: u64,
+    /// Execution coverage of the selected points.
+    pub coverage: f64,
+    /// Detailed-simulation reduction factor (paper: 45×).
+    pub speedup: f64,
+}
+
+impl WorkloadResult {
+    /// Total BOOM-tile power in mW.
+    pub fn tile_power_mw(&self) -> f64 {
+        self.power.tile_total_mw()
+    }
+
+    /// Performance per watt in IPC/W (paper Fig. 11).
+    pub fn perf_per_watt(&self) -> f64 {
+        self.ipc / (self.tile_power_mw() / 1000.0)
+    }
+}
+
+/// Functionally profiles a workload, returning its BBV profile.
+///
+/// # Errors
+///
+/// Fails if the program faults, never exits, or fails self-verification.
+pub fn profile(workload: &Workload, max_insts: u64) -> Result<BbvProfile, FlowError> {
+    let mut cpu = Cpu::new(&workload.program);
+    let mut collector = BbvCollector::new(workload.interval_size);
+    let stop = cpu.run_with(max_insts, |r| collector.observe(r))?;
+    match stop {
+        StopReason::Exited(0) => Ok(collector.finish()),
+        StopReason::Exited(code) => Err(FlowError::SelfCheckFailed(code)),
+        _ => Err(FlowError::NoExit),
+    }
+}
+
+/// Runs the complete SimPoint flow for one configuration and workload.
+///
+/// # Errors
+///
+/// Propagates profiling failures and detailed-simulation hangs.
+pub fn run_simpoint_flow(
+    cfg: &BoomConfig,
+    workload: &Workload,
+    flow: &FlowConfig,
+) -> Result<WorkloadResult, FlowError> {
+    // 1. Profile + 2. phase analysis.
+    let bbv = profile(workload, flow.max_profile_insts)?;
+    let analysis: SimPointAnalysis = analyze(&bbv, &flow.simpoint);
+
+    // 3. Checkpoints at (interval start − warm-up), batched in one pass.
+    let starts = analysis.selected_starts(&bbv);
+    let mut targets: Vec<(usize, u64, u64)> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let warm = flow.warmup_insts.min(s);
+            (i, s - warm, warm)
+        })
+        .collect();
+    targets.sort_by_key(|&(_, at, _)| at);
+    let sorted_points: Vec<u64> = targets.iter().map(|&(_, at, _)| at).collect();
+    let checkpoints = checkpoints_at(&workload.program, &sorted_points)?;
+
+    // 4 + 5. Detailed simulation and power per point — the points are
+    // independent (the paper runs them as separate RTL-simulator jobs),
+    // so simulate them in parallel.
+    let results: Vec<(usize, Option<PointResult>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = targets
+            .iter()
+            .zip(&checkpoints)
+            .map(|((sel_idx, _, warm), ck)| {
+                let sp = analysis.selected[*sel_idx];
+                let interval_len = bbv.intervals[sp.interval].len;
+                let sel_idx = *sel_idx;
+                let warm = *warm;
+                s.spawn(move || {
+                    (sel_idx, simulate_point(cfg, ck, warm, interval_len, sp.interval, sp.weight))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("point worker panicked")).collect()
+    });
+    let mut points: Vec<PointResult> = Vec::with_capacity(results.len());
+    for (sel_idx, point) in results {
+        points.push(point.ok_or(FlowError::CoreHung { simpoint: sel_idx })?);
+    }
+
+    // Weighted aggregation.
+    let ipc = points.iter().map(|p| p.weight * p.ipc).sum();
+    let weighted: Vec<(f64, &PowerReport)> =
+        points.iter().map(|p| (p.weight, &p.power)).collect();
+    let power = PowerReport::weighted_average(&weighted);
+
+    Ok(WorkloadResult {
+        name: workload.name,
+        config: cfg.name.clone(),
+        ipc,
+        power,
+        points,
+        total_insts: bbv.total_insts,
+        interval_size: workload.interval_size,
+        coverage: analysis.selected_coverage(),
+        speedup: analysis.speedup(),
+    })
+}
+
+/// Restores a checkpoint into the detailed core, warms it up, measures one
+/// interval, and estimates power. Returns `None` if the core hangs.
+fn simulate_point(
+    cfg: &BoomConfig,
+    ck: &Checkpoint,
+    warmup: u64,
+    interval_len: u64,
+    interval: usize,
+    weight: f64,
+) -> Option<PointResult> {
+    let mut core = Core::from_checkpoint(cfg.clone(), ck);
+    if warmup > 0 {
+        let r = core.run(warmup);
+        if r.hung {
+            return None;
+        }
+    }
+    core.reset_stats();
+    let r = core.run(interval_len);
+    if r.hung {
+        return None;
+    }
+    let power = estimate_core(&core);
+    Some(PointResult {
+        interval,
+        weight,
+        ipc: core.stats().ipc(),
+        power,
+        stats: core.stats().clone(),
+    })
+}
+
+/// Result of a full (non-SimPoint) detailed simulation, used to validate
+/// the methodology and measure the speedup (paper §IV-A).
+#[derive(Clone, Debug)]
+pub struct FullRunResult {
+    /// IPC over the entire execution.
+    pub ipc: f64,
+    /// Power over the entire execution.
+    pub power: PowerReport,
+    /// Instructions committed.
+    pub retired: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Runs the entire workload on the detailed core (no SimPoint).
+///
+/// # Errors
+///
+/// Fails if the workload does not exit cleanly.
+pub fn run_full(cfg: &BoomConfig, workload: &Workload) -> Result<FullRunResult, FlowError> {
+    let mut core = Core::new(cfg.clone(), &workload.program);
+    let r = core.run(u64::MAX);
+    if r.hung {
+        return Err(FlowError::CoreHung { simpoint: usize::MAX });
+    }
+    match r.exit_code {
+        Some(0) => {}
+        Some(code) => return Err(FlowError::SelfCheckFailed(code)),
+        None => return Err(FlowError::NoExit),
+    }
+    Ok(FullRunResult {
+        ipc: core.stats().ipc(),
+        power: estimate_core(&core),
+        retired: core.stats().retired,
+        cycles: core.stats().cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_workloads::{by_name, Scale};
+
+    fn quick_flow() -> FlowConfig {
+        FlowConfig {
+            simpoint: SimPointConfig { max_k: 6, restarts: 2, ..SimPointConfig::default() },
+            warmup_insts: 1_000,
+            max_profile_insts: 500_000_000,
+        }
+    }
+
+    #[test]
+    fn flow_produces_weighted_result_for_bitcount() {
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let r = run_simpoint_flow(&BoomConfig::medium(), &w, &quick_flow()).unwrap();
+        assert!(r.ipc > 0.2 && r.ipc < 3.0, "ipc {}", r.ipc);
+        assert!(r.coverage >= 0.9);
+        assert!(r.speedup > 1.0);
+        assert!(!r.points.is_empty());
+        let wsum: f64 = r.points.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        assert!(r.tile_power_mw() > 0.0);
+        assert!(r.perf_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn simpoint_ipc_tracks_full_simulation() {
+        // The methodology's validity claim: weighted SimPoint IPC must be
+        // close to the IPC of simulating everything.
+        let w = by_name("dijkstra", Scale::Test).unwrap();
+        let cfg = BoomConfig::medium();
+        let flow = run_simpoint_flow(&cfg, &w, &quick_flow()).unwrap();
+        let full = run_full(&cfg, &w).unwrap();
+        let err = (flow.ipc - full.ipc).abs() / full.ipc;
+        assert!(err < 0.25, "simpoint {:.3} vs full {:.3} ({:.0}% error)", flow.ipc, full.ipc, 100.0 * err);
+    }
+
+    #[test]
+    fn failing_workload_is_reported() {
+        // A workload that exits non-zero must be flagged, not silently used.
+        use rv_isa::asm::Assembler;
+        use rv_isa::reg::Reg::*;
+        let mut a = Assembler::new();
+        a.li(A0, 7);
+        a.exit();
+        let program = a.assemble().unwrap();
+        let w = Workload {
+            name: "broken",
+            suite: rv_workloads::Suite::MiBench,
+            program,
+            interval_size: 100,
+        };
+        match run_simpoint_flow(&BoomConfig::medium(), &w, &quick_flow()) {
+            Err(FlowError::SelfCheckFailed(7)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Text-table rendering for the paper's figures and tables.
+//!
+//! The bench harness regenerates every evaluation artifact as an aligned
+//! text table; these helpers keep the formatting consistent.
+
+use crate::flow::WorkloadResult;
+use rtl_power::Component;
+
+/// Renders an aligned table: a header row plus data rows.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Left-align the first column, right-align the rest.
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders the per-component power table of one configuration across
+/// workloads (the data behind paper Figs. 5/6/7): one row per component,
+/// one column per workload, plus the mean.
+pub fn render_component_power(results: &[WorkloadResult]) -> String {
+    let mut header = vec!["Component (mW)".to_string()];
+    header.extend(results.iter().map(|r| r.name.to_string()));
+    header.push("Mean".to_string());
+
+    let mut rows = Vec::new();
+    for c in Component::ANALYZED {
+        let mut row = vec![c.name().to_string()];
+        let mut sum = 0.0;
+        for r in results {
+            let mw = r.power.component(c).total_mw();
+            sum += mw;
+            row.push(format!("{mw:.2}"));
+        }
+        row.push(format!("{:.2}", sum / results.len().max(1) as f64));
+        rows.push(row);
+    }
+    // Tile totals.
+    let mut row = vec!["BOOM tile total".to_string()];
+    let mut sum = 0.0;
+    for r in results {
+        let mw = r.tile_power_mw();
+        sum += mw;
+        row.push(format!("{mw:.2}"));
+    }
+    row.push(format!("{:.2}", sum / results.len().max(1) as f64));
+    rows.push(row);
+    render_table(&header, &rows)
+}
+
+/// Renders one metric (IPC or perf/W) across workloads × configurations
+/// (the data behind paper Figs. 10/11).
+pub fn render_metric(
+    title: &str,
+    workload_names: &[&str],
+    configs: &[(&str, Vec<f64>)],
+) -> String {
+    let mut header = vec![title.to_string()];
+    header.extend(workload_names.iter().map(|n| n.to_string()));
+    header.push("Mean".to_string());
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(cfg, vals)| {
+            let mut row = vec![cfg.to_string()];
+            row.extend(vals.iter().map(|v| format!("{v:.2}")));
+            let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            row.push(format!("{mean:.2}"));
+            row
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["A".into(), "Bee".into()],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["long-name".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["A".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn metric_table_contains_means() {
+        let t = render_metric("IPC", &["w1", "w2"], &[("Cfg", vec![1.0, 3.0])]);
+        assert!(t.contains("2.00"), "{t}");
+    }
+}

@@ -1,0 +1,876 @@
+//! A label-resolving macro-assembler DSL for RV64IMFD.
+//!
+//! The eleven MiBench/Embench-style workloads in `rv-workloads` are written
+//! against this builder. It supports forward references, a data section with
+//! typed emitters, and the usual pseudo-instructions (`li`, `la`, `mv`,
+//! `call`, `ret`, `beqz`, …).
+//!
+//! ```
+//! use rv_isa::asm::Assembler;
+//! use rv_isa::reg::Reg::*;
+//!
+//! let mut a = Assembler::new();
+//! a.la(A1, "table");
+//! a.ld(A0, A1, 8);
+//! a.exit();
+//! a.data_label("table");
+//! a.dwords(&[10, 20, 30]);
+//! let program = a.assemble().unwrap();
+//! assert_eq!(program.symbol("table").unwrap() % 8, 0);
+//! ```
+
+use crate::inst::{AluOp, BrCond, CvtInt, FmaOp, FpCmp, FpFmt, FpOp, Inst, LoadKind, MulOp, Rm, StoreKind};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use crate::DEFAULT_BASE;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default initial stack pointer: 16 MiB above the load base.
+pub const DEFAULT_STACK_TOP: u64 = DEFAULT_BASE + 16 * 1024 * 1024;
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A conditional branch target is beyond ±4 KiB.
+    BranchOutOfRange {
+        /// The target label.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// A jump target is beyond ±1 MiB.
+    JumpOutOfRange {
+        /// The target label.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range ({offset} bytes)")
+            }
+            AsmError::JumpOutOfRange { label, offset } => {
+                write!(f, "jump to `{label}` out of range ({offset} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Inst(Inst),
+    Branch { cond: BrCond, rs1: Reg, rs2: Reg, label: String },
+    Jal { rd: Reg, label: String },
+    /// `auipc rd, %hi` + `addi rd, rd, %lo` — always two words.
+    La { rd: Reg, label: String },
+}
+
+impl Item {
+    fn words(&self) -> u64 {
+        match self {
+            Item::La { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// An incremental RV64IMFD program builder with label resolution.
+///
+/// Create with [`Assembler::new`], emit instructions and data, then call
+/// [`Assembler::assemble`].
+#[derive(Clone, Debug)]
+pub struct Assembler {
+    base: u64,
+    stack_top: u64,
+    items: Vec<Item>,
+    text_words: u64,
+    data: Vec<u8>,
+    /// Label -> resolved address-space location.
+    labels: HashMap<String, Loc>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    /// Word index into the text section.
+    Text(u64),
+    /// Byte offset into the data section.
+    Data(u64),
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Assembler {
+    /// Creates an assembler targeting [`DEFAULT_BASE`].
+    pub fn new() -> Assembler {
+        Assembler {
+            base: DEFAULT_BASE,
+            stack_top: DEFAULT_STACK_TOP,
+            items: Vec::new(),
+            text_words: 0,
+            data: Vec::new(),
+            labels: HashMap::new(),
+        }
+    }
+
+    /// Current text position in words (useful for size assertions in tests).
+    pub fn text_words(&self) -> u64 {
+        self.text_words
+    }
+
+    fn push(&mut self, item: Item) {
+        self.text_words += item.words();
+        self.items.push(item);
+    }
+
+    /// Emits an already-constructed instruction.
+    pub fn inst(&mut self, inst: Inst) {
+        self.push(Item::Inst(inst));
+    }
+
+    /// Defines a code label at the current text position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already defined (a programming error in the
+    /// workload source).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), Loc::Text(self.text_words));
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Defines a data label at the current (8-byte aligned) data position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already defined.
+    pub fn data_label(&mut self, name: &str) {
+        self.align_data(8);
+        let prev = self.labels.insert(name.to_string(), Loc::Data(self.data.len() as u64));
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Pads the data section to `align` bytes.
+    pub fn align_data(&mut self, align: usize) {
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Emits raw bytes into the data section.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Emits 32-bit little-endian words into the data section.
+    pub fn words(&mut self, words: &[u32]) {
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Emits 64-bit little-endian double-words into the data section.
+    pub fn dwords(&mut self, dwords: &[u64]) {
+        for w in dwords {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Emits IEEE-754 doubles into the data section.
+    pub fn doubles(&mut self, vals: &[f64]) {
+        for v in vals {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Reserves `n` zero bytes in the data section.
+    pub fn zeros(&mut self, n: usize) {
+        self.data.resize(self.data.len() + n, 0);
+    }
+
+    // ---- base integer instructions -------------------------------------
+
+    /// `lui rd, imm20` (imm is the already-shifted value; low 12 bits zero).
+    pub fn lui(&mut self, rd: Reg, imm: i64) {
+        self.inst(Inst::Lui { rd, imm });
+    }
+
+    /// `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.inst(Inst::Jalr { rd, rs1, offset });
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, label: &str) {
+        self.push(Item::Branch { cond, rs1, rs2, label: label.to_string() });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        self.push(Item::Jal { rd, label: label.to_string() });
+    }
+
+    /// Loads the address of `label` into `rd` (`auipc` + `addi`).
+    pub fn la(&mut self, rd: Reg, label: &str) {
+        self.push(Item::La { rd, label: label.to_string() });
+    }
+
+    /// Loads an arbitrary 64-bit constant with the standard `li` expansion
+    /// (`addi`, `lui`+`addiw`, or a recursive shift-and-add sequence).
+    pub fn li(&mut self, rd: Reg, value: i64) {
+        if (-2048..=2047).contains(&value) {
+            self.addi(rd, Reg::Zero, value as i32);
+        } else if (i32::MIN as i64..=i32::MAX as i64).contains(&value) {
+            // lui + addiw; `hi` may wrap to -2^31 for values near i32::MAX,
+            // which lui sign-extends and addiw then corrects in 32-bit space.
+            let lo = (value << 52) >> 52; // sign-extended low 12 bits
+            let hi = (value - lo) as i64 as i32 as i64;
+            self.inst(Inst::Lui { rd, imm: hi });
+            if lo != 0 || hi == 0 {
+                self.inst(Inst::OpImm { op: AluOp::Addw, rd, rs1: rd, imm: lo as i32 });
+            }
+        } else {
+            // General case: materialize the upper bits, then shift in the
+            // sign-extended low 12 bits (GNU as `li` expansion).
+            let lo = (value << 52) >> 52;
+            let hi = (value - lo) >> 12;
+            self.li(rd, hi);
+            self.slli(rd, rd, 12);
+            if lo != 0 {
+                self.addi(rd, rd, lo as i32);
+            }
+        }
+    }
+
+    // ---- pseudo-instructions -------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(Reg::Zero, Reg::Zero, 0);
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `neg rd, rs`.
+    pub fn neg(&mut self, rd: Reg, rs: Reg) {
+        self.sub(rd, Reg::Zero, rs);
+    }
+
+    /// `not rd, rs`.
+    pub fn not(&mut self, rd: Reg, rs: Reg) {
+        self.xori(rd, rs, -1);
+    }
+
+    /// `seqz rd, rs` (`rd = rs == 0`).
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) {
+        self.sltiu(rd, rs, 1);
+    }
+
+    /// `snez rd, rs` (`rd = rs != 0`).
+    pub fn snez(&mut self, rd: Reg, rs: Reg) {
+        self.sltu(rd, Reg::Zero, rs);
+    }
+
+    /// Unconditional jump to label.
+    pub fn j(&mut self, label: &str) {
+        self.jal(Reg::Zero, label);
+    }
+
+    /// Call a function label (link in `ra`).
+    pub fn call(&mut self, label: &str) {
+        self.jal(Reg::Ra, label);
+    }
+
+    /// Return (`jalr zero, 0(ra)`).
+    pub fn ret(&mut self) {
+        self.jalr(Reg::Zero, Reg::Ra, 0);
+    }
+
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Eq, rs, Reg::Zero, label);
+    }
+
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Ne, rs, Reg::Zero, label);
+    }
+
+    /// `bltz rs, label`.
+    pub fn bltz(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Lt, rs, Reg::Zero, label);
+    }
+
+    /// `bgez rs, label`.
+    pub fn bgez(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Ge, rs, Reg::Zero, label);
+    }
+
+    /// `bgtz rs, label` (`zero < rs`).
+    pub fn bgtz(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Lt, Reg::Zero, rs, label);
+    }
+
+    /// `blez rs, label` (`rs <= zero`, i.e. `zero >= rs`).
+    pub fn blez(&mut self, rs: Reg, label: &str) {
+        self.branch(BrCond::Ge, Reg::Zero, rs, label);
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Eq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Ne, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Lt, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Ge, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Ltu, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Geu, rs1, rs2, label);
+    }
+
+    /// `bgt rs1, rs2, label` (swapped `blt`).
+    pub fn bgt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Lt, rs2, rs1, label);
+    }
+
+    /// `ble rs1, rs2, label` (swapped `bge`).
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BrCond::Ge, rs2, rs1, label);
+    }
+
+    /// `ecall` with the exit convention (`a7 = 93`); exit code read from `a0`.
+    pub fn exit(&mut self) {
+        self.li(Reg::A7, 93);
+        self.inst(Inst::Ecall);
+    }
+
+    /// `fence`.
+    pub fn fence(&mut self) {
+        self.inst(Inst::Fence);
+    }
+
+    /// `fmv.d fd, fs` (sign-inject pseudo-move).
+    pub fn fmv_d(&mut self, rd: FReg, rs: FReg) {
+        self.inst(Inst::FpOp { op: FpOp::SgnJ, fmt: FpFmt::D, rd, rs1: rs, rs2: rs });
+    }
+
+    /// `fneg.d fd, fs`.
+    pub fn fneg_d(&mut self, rd: FReg, rs: FReg) {
+        self.inst(Inst::FpOp { op: FpOp::SgnJn, fmt: FpFmt::D, rd, rs1: rs, rs2: rs });
+    }
+
+    /// `fabs.d fd, fs`.
+    pub fn fabs_d(&mut self, rd: FReg, rs: FReg) {
+        self.inst(Inst::FpOp { op: FpOp::SgnJx, fmt: FpFmt::D, rd, rs1: rs, rs2: rs });
+    }
+
+    /// Assembles the program, resolving all labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for undefined labels or out-of-range targets.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        let text_len = (self.text_words * 4) as usize;
+        let data_base_off = (text_len + 15) & !15; // 16-byte align the data section
+
+        let addr_of = |loc: Loc| -> u64 {
+            match loc {
+                Loc::Text(w) => self.base + w * 4,
+                Loc::Data(off) => self.base + data_base_off as u64 + off,
+            }
+        };
+        let resolve = |label: &str| -> Result<u64, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .map(addr_of)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        };
+
+        let mut image = vec![0u8; data_base_off + self.data.len()];
+        image[data_base_off..].copy_from_slice(&self.data);
+
+        let mut pc = self.base;
+        let emit = |image: &mut Vec<u8>, pc: &mut u64, inst: Inst| {
+            let off = (*pc - self.base) as usize;
+            image[off..off + 4].copy_from_slice(&crate::inst::encode(inst).to_le_bytes());
+            *pc += 4;
+        };
+
+        for item in &self.items {
+            match item {
+                Item::Inst(inst) => emit(&mut image, &mut pc, *inst),
+                Item::Branch { cond, rs1, rs2, label } => {
+                    let target = resolve(label)?;
+                    let offset = target as i64 - pc as i64;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+                    }
+                    emit(
+                        &mut image,
+                        &mut pc,
+                        Inst::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: offset as i32 },
+                    );
+                }
+                Item::Jal { rd, label } => {
+                    let target = resolve(label)?;
+                    let offset = target as i64 - pc as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset });
+                    }
+                    emit(&mut image, &mut pc, Inst::Jal { rd: *rd, offset: offset as i32 });
+                }
+                Item::La { rd, label } => {
+                    let target = resolve(label)?;
+                    let delta = target.wrapping_sub(pc) as i64;
+                    let hi = (delta + 0x800) >> 12 << 12;
+                    let lo = (delta - hi) as i32;
+                    emit(&mut image, &mut pc, Inst::Auipc { rd: *rd, imm: hi });
+                    emit(
+                        &mut image,
+                        &mut pc,
+                        Inst::OpImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: lo },
+                    );
+                }
+            }
+        }
+        debug_assert_eq!(pc - self.base, text_len as u64);
+
+        let symbols = self
+            .labels
+            .iter()
+            .map(|(name, loc)| (name.clone(), addr_of(*loc)))
+            .collect();
+        Ok(Program::new(self.base, text_len, image, symbols, self.stack_top))
+    }
+}
+
+macro_rules! r_type {
+    ($($(#[$doc:meta])* $name:ident => $op:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+                    self.inst(Inst::Op { op: $op, rd, rs1, rs2 });
+                }
+            )*
+        }
+    };
+}
+
+r_type! {
+    /// `add rd, rs1, rs2`.
+    add => AluOp::Add;
+    /// `sub rd, rs1, rs2`.
+    sub => AluOp::Sub;
+    /// `sll rd, rs1, rs2`.
+    sll => AluOp::Sll;
+    /// `slt rd, rs1, rs2`.
+    slt => AluOp::Slt;
+    /// `sltu rd, rs1, rs2`.
+    sltu => AluOp::Sltu;
+    /// `xor rd, rs1, rs2`.
+    xor => AluOp::Xor;
+    /// `srl rd, rs1, rs2`.
+    srl => AluOp::Srl;
+    /// `sra rd, rs1, rs2`.
+    sra => AluOp::Sra;
+    /// `or rd, rs1, rs2`.
+    or => AluOp::Or;
+    /// `and rd, rs1, rs2`.
+    and => AluOp::And;
+    /// `addw rd, rs1, rs2`.
+    addw => AluOp::Addw;
+    /// `subw rd, rs1, rs2`.
+    subw => AluOp::Subw;
+    /// `sllw rd, rs1, rs2`.
+    sllw => AluOp::Sllw;
+    /// `srlw rd, rs1, rs2`.
+    srlw => AluOp::Srlw;
+    /// `sraw rd, rs1, rs2`.
+    sraw => AluOp::Sraw;
+}
+
+macro_rules! m_type {
+    ($($(#[$doc:meta])* $name:ident => $op:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+                    self.inst(Inst::MulDiv { op: $op, rd, rs1, rs2 });
+                }
+            )*
+        }
+    };
+}
+
+m_type! {
+    /// `mul rd, rs1, rs2`.
+    mul => MulOp::Mul;
+    /// `mulh rd, rs1, rs2`.
+    mulh => MulOp::Mulh;
+    /// `mulhu rd, rs1, rs2`.
+    mulhu => MulOp::Mulhu;
+    /// `div rd, rs1, rs2`.
+    div => MulOp::Div;
+    /// `divu rd, rs1, rs2`.
+    divu => MulOp::Divu;
+    /// `rem rd, rs1, rs2`.
+    rem => MulOp::Rem;
+    /// `remu rd, rs1, rs2`.
+    remu => MulOp::Remu;
+    /// `mulw rd, rs1, rs2`.
+    mulw => MulOp::Mulw;
+    /// `divw rd, rs1, rs2`.
+    divw => MulOp::Divw;
+    /// `remw rd, rs1, rs2`.
+    remw => MulOp::Remw;
+}
+
+macro_rules! i_type {
+    ($($(#[$doc:meta])* $name:ident => $op:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+                    self.inst(Inst::OpImm { op: $op, rd, rs1, imm });
+                }
+            )*
+        }
+    };
+}
+
+i_type! {
+    /// `addi rd, rs1, imm`.
+    addi => AluOp::Add;
+    /// `slti rd, rs1, imm`.
+    slti => AluOp::Slt;
+    /// `sltiu rd, rs1, imm`.
+    sltiu => AluOp::Sltu;
+    /// `xori rd, rs1, imm`.
+    xori => AluOp::Xor;
+    /// `ori rd, rs1, imm`.
+    ori => AluOp::Or;
+    /// `andi rd, rs1, imm`.
+    andi => AluOp::And;
+    /// `slli rd, rs1, shamt`.
+    slli => AluOp::Sll;
+    /// `srli rd, rs1, shamt`.
+    srli => AluOp::Srl;
+    /// `srai rd, rs1, shamt`.
+    srai => AluOp::Sra;
+    /// `addiw rd, rs1, imm`.
+    addiw => AluOp::Addw;
+    /// `slliw rd, rs1, shamt`.
+    slliw => AluOp::Sllw;
+    /// `srliw rd, rs1, shamt`.
+    srliw => AluOp::Srlw;
+    /// `sraiw rd, rs1, shamt`.
+    sraiw => AluOp::Sraw;
+}
+
+macro_rules! load_type {
+    ($($(#[$doc:meta])* $name:ident => $kind:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+                    self.inst(Inst::Load { kind: $kind, rd, rs1, offset });
+                }
+            )*
+        }
+    };
+}
+
+load_type! {
+    /// `lb rd, offset(rs1)`.
+    lb => LoadKind::B;
+    /// `lh rd, offset(rs1)`.
+    lh => LoadKind::H;
+    /// `lw rd, offset(rs1)`.
+    lw => LoadKind::W;
+    /// `ld rd, offset(rs1)`.
+    ld => LoadKind::D;
+    /// `lbu rd, offset(rs1)`.
+    lbu => LoadKind::Bu;
+    /// `lhu rd, offset(rs1)`.
+    lhu => LoadKind::Hu;
+    /// `lwu rd, offset(rs1)`.
+    lwu => LoadKind::Wu;
+}
+
+macro_rules! store_type {
+    ($($(#[$doc:meta])* $name:ident => $kind:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rs2: Reg, rs1: Reg, offset: i32) {
+                    self.inst(Inst::Store { kind: $kind, rs1, rs2, offset });
+                }
+            )*
+        }
+    };
+}
+
+store_type! {
+    /// `sb rs2, offset(rs1)`.
+    sb => StoreKind::B;
+    /// `sh rs2, offset(rs1)`.
+    sh => StoreKind::H;
+    /// `sw rs2, offset(rs1)`.
+    sw => StoreKind::W;
+    /// `sd rs2, offset(rs1)`.
+    sd => StoreKind::D;
+}
+
+macro_rules! fp_r_type {
+    ($($(#[$doc:meta])* $name:ident => ($op:expr, $fmt:expr);)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+                    self.inst(Inst::FpOp { op: $op, fmt: $fmt, rd, rs1, rs2 });
+                }
+            )*
+        }
+    };
+}
+
+fp_r_type! {
+    /// `fadd.d rd, rs1, rs2`.
+    fadd_d => (FpOp::Add, FpFmt::D);
+    /// `fsub.d rd, rs1, rs2`.
+    fsub_d => (FpOp::Sub, FpFmt::D);
+    /// `fmul.d rd, rs1, rs2`.
+    fmul_d => (FpOp::Mul, FpFmt::D);
+    /// `fdiv.d rd, rs1, rs2`.
+    fdiv_d => (FpOp::Div, FpFmt::D);
+    /// `fmin.d rd, rs1, rs2`.
+    fmin_d => (FpOp::Min, FpFmt::D);
+    /// `fmax.d rd, rs1, rs2`.
+    fmax_d => (FpOp::Max, FpFmt::D);
+    /// `fadd.s rd, rs1, rs2`.
+    fadd_s => (FpOp::Add, FpFmt::S);
+    /// `fsub.s rd, rs1, rs2`.
+    fsub_s => (FpOp::Sub, FpFmt::S);
+    /// `fmul.s rd, rs1, rs2`.
+    fmul_s => (FpOp::Mul, FpFmt::S);
+    /// `fdiv.s rd, rs1, rs2`.
+    fdiv_s => (FpOp::Div, FpFmt::S);
+}
+
+impl Assembler {
+    /// `fsqrt.d rd, rs1`.
+    pub fn fsqrt_d(&mut self, rd: FReg, rs1: FReg) {
+        self.inst(Inst::FpOp { op: FpOp::Sqrt, fmt: FpFmt::D, rd, rs1, rs2: rs1 });
+    }
+
+    /// `fld rd, offset(rs1)`.
+    pub fn fld(&mut self, rd: FReg, rs1: Reg, offset: i32) {
+        self.inst(Inst::FpLoad { fmt: FpFmt::D, rd, rs1, offset });
+    }
+
+    /// `fsd rs2, offset(rs1)`.
+    pub fn fsd(&mut self, rs2: FReg, rs1: Reg, offset: i32) {
+        self.inst(Inst::FpStore { fmt: FpFmt::D, rs1, rs2, offset });
+    }
+
+    /// `flw rd, offset(rs1)`.
+    pub fn flw(&mut self, rd: FReg, rs1: Reg, offset: i32) {
+        self.inst(Inst::FpLoad { fmt: FpFmt::S, rd, rs1, offset });
+    }
+
+    /// `fsw rs2, offset(rs1)`.
+    pub fn fsw(&mut self, rs2: FReg, rs1: Reg, offset: i32) {
+        self.inst(Inst::FpStore { fmt: FpFmt::S, rs1, rs2, offset });
+    }
+
+    /// `fmadd.d rd, rs1, rs2, rs3` (`rd = rs1*rs2 + rs3`).
+    pub fn fmadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.inst(Inst::FpFma { op: FmaOp::Madd, fmt: FpFmt::D, rd, rs1, rs2, rs3 });
+    }
+
+    /// `fmsub.d rd, rs1, rs2, rs3` (`rd = rs1*rs2 - rs3`).
+    pub fn fmsub_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.inst(Inst::FpFma { op: FmaOp::Msub, fmt: FpFmt::D, rd, rs1, rs2, rs3 });
+    }
+
+    /// `fnmsub.d rd, rs1, rs2, rs3` (`rd = -(rs1*rs2) + rs3`).
+    pub fn fnmsub_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.inst(Inst::FpFma { op: FmaOp::Nmsub, fmt: FpFmt::D, rd, rs1, rs2, rs3 });
+    }
+
+    /// `feq.d rd, rs1, rs2`.
+    pub fn feq_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpCmp { cmp: FpCmp::Eq, fmt: FpFmt::D, rd, rs1, rs2 });
+    }
+
+    /// `flt.d rd, rs1, rs2`.
+    pub fn flt_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpCmp { cmp: FpCmp::Lt, fmt: FpFmt::D, rd, rs1, rs2 });
+    }
+
+    /// `fle.d rd, rs1, rs2`.
+    pub fn fle_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.inst(Inst::FpCmp { cmp: FpCmp::Le, fmt: FpFmt::D, rd, rs1, rs2 });
+    }
+
+    /// `fcvt.d.l rd, rs1` (signed 64-bit int → double).
+    pub fn fcvt_d_l(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::FpCvtFromInt { from: CvtInt::L, fmt: FpFmt::D, rd, rs1 });
+    }
+
+    /// `fcvt.d.w rd, rs1` (signed 32-bit int → double).
+    pub fn fcvt_d_w(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::FpCvtFromInt { from: CvtInt::W, fmt: FpFmt::D, rd, rs1 });
+    }
+
+    /// `fcvt.l.d rd, rs1, rtz` (double → signed 64-bit int, truncating).
+    pub fn fcvt_l_d(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpCvtToInt { to: CvtInt::L, fmt: FpFmt::D, rd, rs1, rm: Rm::Rtz });
+    }
+
+    /// `fcvt.w.d rd, rs1, rtz` (double → signed 32-bit int, truncating).
+    pub fn fcvt_w_d(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpCvtToInt { to: CvtInt::W, fmt: FpFmt::D, rd, rs1, rm: Rm::Rtz });
+    }
+
+    /// `fmv.x.d rd, rs1`.
+    pub fn fmv_x_d(&mut self, rd: Reg, rs1: FReg) {
+        self.inst(Inst::FpMvToInt { fmt: FpFmt::D, rd, rs1 });
+    }
+
+    /// `fmv.d.x rd, rs1`.
+    pub fn fmv_d_x(&mut self, rd: FReg, rs1: Reg) {
+        self.inst(Inst::FpMvFromInt { fmt: FpFmt::D, rd, rs1 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::decode;
+    use crate::mem::Memory;
+    use crate::reg::Reg::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        a.label("start");
+        a.beqz(A0, "end");
+        a.j("start");
+        a.label("end");
+        a.exit();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.symbol("start"), Some(p.base()));
+        // first instruction branches forward by 8 bytes
+        let w = u32::from_le_bytes(p.image()[0..4].try_into().unwrap());
+        match decode(w).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, 8),
+            i => panic!("unexpected {i}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn la_points_at_data() {
+        let mut a = Assembler::new();
+        a.la(A0, "blob");
+        a.exit();
+        a.data_label("blob");
+        a.dwords(&[0xDEAD_BEEF]);
+        let p = a.assemble().unwrap();
+        let addr = p.symbol("blob").unwrap();
+        let mut mem = Memory::new();
+        p.load(&mut mem);
+        assert_eq!(mem.read(addr, 8), 0xDEAD_BEEF);
+        assert!(addr >= p.base() + p.text_len() as u64);
+        assert_eq!(addr % 8, 0);
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut a = Assembler::new();
+        a.beqz(A0, "far");
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.label("far");
+        a.exit();
+        match a.assemble().unwrap_err() {
+            AsmError::BranchOutOfRange { label, .. } => assert_eq!(label, "far"),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn all_emitted_words_decode() {
+        let mut a = Assembler::new();
+        a.li(A0, 0x1234_5678_9abc_def0u64 as i64);
+        a.li(A1, -5);
+        a.li(A2, 1 << 20);
+        a.la(A3, "d");
+        a.lw(A4, A3, 0);
+        a.fld(FReg::Fa0, A3, 8);
+        a.fadd_d(FReg::Fa1, FReg::Fa0, FReg::Fa0);
+        a.exit();
+        a.data_label("d");
+        a.doubles(&[0.0, 3.25]);
+        let p = a.assemble().unwrap();
+        for chunk in p.image()[..p.text_len()].chunks_exact(4) {
+            let w = u32::from_le_bytes(chunk.try_into().unwrap());
+            decode(w).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Architectural checkpoints — the Spike checkpoint role in the paper's
+//! SimPoint flow (Fig. 4).
+//!
+//! A [`Checkpoint`] captures the full architectural state (pc, integer and
+//! FP register files, and the sparse memory image) at an instruction
+//! boundary. Checkpoints restore into the functional simulator or seed the
+//! cycle-level out-of-order model in `boom-uarch`.
+
+use crate::cpu::{Cpu, SimError};
+use crate::mem::Memory;
+use crate::program::Program;
+
+/// A complete architectural snapshot at an instruction boundary.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Program counter of the next instruction to execute.
+    pub pc: u64,
+    /// Integer register file.
+    pub x: [u64; 32],
+    /// FP register file (raw bits).
+    pub f: [u64; 32],
+    /// Full sparse memory image.
+    pub mem: Memory,
+    /// Dynamic instruction count at which the snapshot was taken.
+    pub instret: u64,
+}
+
+impl Checkpoint {
+    /// Snapshots a functional CPU.
+    pub fn capture(cpu: &Cpu) -> Checkpoint {
+        Checkpoint {
+            pc: cpu.pc(),
+            x: *cpu.xregs(),
+            f: *cpu.fregs(),
+            mem: cpu.mem.clone(),
+            instret: cpu.instret(),
+        }
+    }
+
+    /// Restores this snapshot into a fresh functional CPU.
+    pub fn restore(&self) -> Cpu {
+        Cpu::from_state(self.pc, self.x, self.f, self.mem.clone(), self.instret)
+    }
+
+    /// Approximate in-memory footprint in bytes (for reporting).
+    pub fn size_bytes(&self) -> usize {
+        self.mem.page_count() * 4096 + 2 * 32 * 8 + 16
+    }
+}
+
+/// Runs `program` and captures a checkpoint at each instruction count in
+/// `points` (which must be sorted ascending).
+///
+/// This is the batch form used by the SimPoint flow: one functional pass
+/// produces every checkpoint.
+///
+/// # Errors
+///
+/// Propagates simulator errors; a point past program exit yields a
+/// checkpoint at the exit boundary (the remaining points all alias it).
+///
+/// # Panics
+///
+/// Panics if `points` is not sorted ascending.
+pub fn checkpoints_at(program: &Program, points: &[u64]) -> Result<Vec<Checkpoint>, SimError> {
+    assert!(points.windows(2).all(|w| w[0] <= w[1]), "points must be sorted");
+    let mut cpu = Cpu::new(program);
+    let mut out = Vec::with_capacity(points.len());
+    for &target in points {
+        let remaining = target.saturating_sub(cpu.instret());
+        if remaining > 0 {
+            cpu.run(remaining)?;
+        }
+        out.push(Checkpoint::capture(&cpu));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::cpu::StopReason;
+    use crate::reg::Reg::*;
+
+    fn counting_program() -> Program {
+        let mut a = Assembler::new();
+        a.li(A0, 0);
+        a.li(T0, 1000);
+        a.label("loop");
+        a.addi(A0, A0, 1);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn restore_resumes_identically() {
+        let p = counting_program();
+        let mut reference = Cpu::new(&p);
+        reference.run(500).unwrap();
+        let ck = Checkpoint::capture(&reference);
+
+        // Continue both the original and the restored copy to completion.
+        let mut restored = ck.restore();
+        let r1 = reference.run(u64::MAX).unwrap();
+        let r2 = restored.run(u64::MAX).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(reference.xregs(), restored.xregs());
+        assert_eq!(reference.instret(), restored.instret());
+        assert!(matches!(r1, StopReason::Exited(_)));
+    }
+
+    #[test]
+    fn batch_checkpoints_match_single_runs() {
+        let p = counting_program();
+        let cks = checkpoints_at(&p, &[100, 600, 1500]).unwrap();
+        assert_eq!(cks.len(), 3);
+        for (i, target) in [100u64, 600, 1500].iter().enumerate() {
+            let mut cpu = Cpu::new(&p);
+            cpu.run(*target).unwrap();
+            assert_eq!(cks[i].pc, cpu.pc(), "checkpoint {i}");
+            assert_eq!(&cks[i].x, cpu.xregs());
+            assert_eq!(cks[i].instret, cpu.instret());
+        }
+    }
+
+    #[test]
+    fn checkpoint_past_exit_saturates() {
+        let p = counting_program();
+        let cks = checkpoints_at(&p, &[1_000_000]).unwrap();
+        // The loop runs 1000 iterations * 3 insts + prologue/epilogue.
+        assert!(cks[0].instret < 4000);
+    }
+
+    #[test]
+    fn size_reporting_nonzero() {
+        let p = counting_program();
+        let cks = checkpoints_at(&p, &[10]).unwrap();
+        assert!(cks[0].size_bytes() > 4096);
+    }
+}

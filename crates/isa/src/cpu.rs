@@ -1,0 +1,467 @@
+//! Functional (architectural) RV64IMFD simulator — the Spike role.
+//!
+//! The functional CPU executes instructions one at a time with no timing
+//! model. It is used to run workloads to completion, to collect
+//! basic-block vectors for SimPoint, to create architectural checkpoints,
+//! and as the golden model for co-simulation against the out-of-order core.
+
+use crate::exec::{self, Loaded, Operands, Outcome};
+use crate::inst::{decode, Inst};
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Why a [`Cpu::run`] call stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The program executed the exit `ecall`; carries the exit code (`a0`).
+    Exited(u64),
+    /// The instruction budget was exhausted before the program exited.
+    InstLimit,
+    /// An `ebreak` was executed.
+    Breakpoint,
+}
+
+/// Fatal simulation error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// Fetched word does not decode.
+    IllegalInst {
+        /// Faulting program counter.
+        pc: u64,
+        /// The fetched word.
+        word: u32,
+    },
+    /// `ecall` with an `a7` value the harness does not implement.
+    UnsupportedSyscall {
+        /// Faulting program counter.
+        pc: u64,
+        /// The `a7` syscall number.
+        num: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalInst { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+            SimError::UnsupportedSyscall { pc, num } => {
+                write!(f, "unsupported syscall {num} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Information about one retired instruction, fed to profiling hooks.
+#[derive(Clone, Copy, Debug)]
+pub struct Retired {
+    /// Address of the retired instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Address of the next instruction to execute.
+    pub next_pc: u64,
+    /// Set when this instruction was the exit `ecall`.
+    pub exited: Option<u64>,
+}
+
+impl Retired {
+    /// True if this instruction redirected (or could redirect) control flow.
+    #[inline]
+    pub fn ends_basic_block(&self) -> bool {
+        self.inst.is_control_flow() || self.exited.is_some()
+    }
+}
+
+/// Linux-style write syscall number accepted by the harness.
+const SYS_WRITE: u64 = 64;
+/// Linux-style exit syscall number accepted by the harness.
+const SYS_EXIT: u64 = 93;
+
+/// The functional simulator state.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    pc: u64,
+    x: [u64; 32],
+    f: [u64; 32],
+    /// The memory image (public: workload harnesses poke inputs directly).
+    pub mem: Memory,
+    instret: u64,
+    console: Vec<u8>,
+}
+
+impl Cpu {
+    /// Creates a CPU with `program` loaded and `sp` set to its stack top.
+    pub fn new(program: &Program) -> Cpu {
+        let mut mem = Memory::new();
+        program.load(&mut mem);
+        let mut cpu = Cpu {
+            pc: program.entry(),
+            x: [0; 32],
+            f: [0; 32],
+            mem,
+            instret: 0,
+            console: Vec::new(),
+        };
+        cpu.set_x(Reg::Sp, program.stack_top());
+        cpu
+    }
+
+    /// Creates a CPU from raw architectural state (used by checkpoints).
+    pub fn from_state(pc: u64, x: [u64; 32], f: [u64; 32], mem: Memory, instret: u64) -> Cpu {
+        let mut cpu = Cpu { pc, x, f, mem, instret, console: Vec::new() };
+        cpu.x[0] = 0;
+        cpu
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Number of instructions retired so far.
+    #[inline]
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Reads integer register `r`.
+    #[inline]
+    pub fn x(&self, r: Reg) -> u64 {
+        self.x[r.index()]
+    }
+
+    /// Writes integer register `r` (writes to `zero` are ignored).
+    #[inline]
+    pub fn set_x(&mut self, r: Reg, v: u64) {
+        if r != Reg::Zero {
+            self.x[r.index()] = v;
+        }
+    }
+
+    /// Reads the raw bits of FP register `r`.
+    #[inline]
+    pub fn fbits(&self, r: FReg) -> u64 {
+        self.f[r.index()]
+    }
+
+    /// Writes the raw bits of FP register `r`.
+    #[inline]
+    pub fn set_fbits(&mut self, r: FReg, v: u64) {
+        self.f[r.index()] = v;
+    }
+
+    /// All integer registers (for golden-model comparison).
+    pub fn xregs(&self) -> &[u64; 32] {
+        &self.x
+    }
+
+    /// All FP registers (for golden-model comparison).
+    pub fn fregs(&self) -> &[u64; 32] {
+        &self.f
+    }
+
+    /// Bytes written via the write syscall so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on an illegal instruction or unsupported syscall.
+    pub fn step(&mut self) -> Result<Retired, SimError> {
+        let pc = self.pc;
+        let word = self.mem.fetch(pc);
+        let inst = decode(word).map_err(|_| SimError::IllegalInst { pc, word })?;
+        self.execute(pc, inst)
+    }
+
+    fn execute(&mut self, pc: u64, inst: Inst) -> Result<Retired, SimError> {
+        let ops = self.operands(&inst);
+        let mut next_pc = pc.wrapping_add(4);
+        let mut exited = None;
+        match exec::compute(&inst, pc, ops) {
+            Outcome::WriteInt(v) => self.write_int_dest(&inst, v),
+            Outcome::WriteFp(v) => self.write_fp_dest(&inst, v),
+            Outcome::Load { addr, unit } => {
+                let raw = self.mem.read(addr, unit.size());
+                match exec::load_result(unit, raw) {
+                    Loaded::Int(v) => self.write_int_dest(&inst, v),
+                    Loaded::Fp(v) => self.write_fp_dest(&inst, v),
+                }
+            }
+            Outcome::Store { addr, size, data } => self.mem.write(addr, size, data),
+            Outcome::Branch { taken, target } => {
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Outcome::Jump { target, link } => {
+                self.write_int_dest(&inst, link);
+                next_pc = target;
+            }
+            Outcome::Ecall => match self.x(Reg::A7) {
+                SYS_EXIT => exited = Some(self.x(Reg::A0)),
+                SYS_WRITE => {
+                    let buf = self.x(Reg::A1);
+                    let len = self.x(Reg::A2) as usize;
+                    let bytes = self.mem.read_bytes(buf, len.min(1 << 20));
+                    self.console.extend_from_slice(&bytes);
+                    self.set_x(Reg::A0, len as u64);
+                }
+                num => return Err(SimError::UnsupportedSyscall { pc, num }),
+            },
+            Outcome::Ebreak | Outcome::Nop => {}
+        }
+        self.pc = next_pc;
+        self.instret += 1;
+        Ok(Retired { pc, inst, next_pc, exited })
+    }
+
+    #[inline]
+    fn operands(&self, inst: &Inst) -> Operands {
+        // Over-approximating reads (filling all operand slots the variant
+        // names) is fine: `compute` only looks at the fields it needs.
+        let mut ops = Operands::default();
+        match *inst {
+            Inst::Jalr { rs1, .. } | Inst::Load { rs1, .. } | Inst::FpLoad { rs1, .. } => {
+                ops.rs1 = self.x(rs1);
+            }
+            Inst::Branch { rs1, rs2, .. } | Inst::Store { rs1, rs2, .. } => {
+                ops.rs1 = self.x(rs1);
+                ops.rs2 = self.x(rs2);
+            }
+            Inst::OpImm { rs1, .. } => ops.rs1 = self.x(rs1),
+            Inst::Op { rs1, rs2, .. } | Inst::MulDiv { rs1, rs2, .. } => {
+                ops.rs1 = self.x(rs1);
+                ops.rs2 = self.x(rs2);
+            }
+            Inst::FpStore { rs1, rs2, .. } => {
+                ops.rs1 = self.x(rs1);
+                ops.fs2 = self.fbits(rs2);
+            }
+            Inst::FpOp { rs1, rs2, .. } => {
+                ops.fs1 = self.fbits(rs1);
+                ops.fs2 = self.fbits(rs2);
+            }
+            Inst::FpFma { rs1, rs2, rs3, .. } => {
+                ops.fs1 = self.fbits(rs1);
+                ops.fs2 = self.fbits(rs2);
+                ops.fs3 = self.fbits(rs3);
+            }
+            Inst::FpCmp { rs1, rs2, .. } => {
+                ops.fs1 = self.fbits(rs1);
+                ops.fs2 = self.fbits(rs2);
+            }
+            Inst::FpCvtToInt { rs1, .. } | Inst::FpMvToInt { rs1, .. } => {
+                ops.fs1 = self.fbits(rs1);
+            }
+            Inst::FpCvtFromInt { rs1, .. } | Inst::FpMvFromInt { rs1, .. } => {
+                ops.rs1 = self.x(rs1);
+            }
+            Inst::FpCvtFmt { rs1, .. } => ops.fs1 = self.fbits(rs1),
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::Jal { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak => {}
+        }
+        ops
+    }
+
+    #[inline]
+    fn write_int_dest(&mut self, inst: &Inst, v: u64) {
+        let rd = match *inst {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::MulDiv { rd, .. }
+            | Inst::FpCmp { rd, .. }
+            | Inst::FpCvtToInt { rd, .. }
+            | Inst::FpMvToInt { rd, .. } => rd,
+            _ => unreachable!("instruction has no integer destination"),
+        };
+        self.set_x(rd, v);
+    }
+
+    #[inline]
+    fn write_fp_dest(&mut self, inst: &Inst, v: u64) {
+        let rd = match *inst {
+            Inst::FpLoad { rd, .. }
+            | Inst::FpOp { rd, .. }
+            | Inst::FpFma { rd, .. }
+            | Inst::FpCvtFromInt { rd, .. }
+            | Inst::FpCvtFmt { rd, .. }
+            | Inst::FpMvFromInt { rd, .. } => rd,
+            _ => unreachable!("instruction has no FP destination"),
+        };
+        self.set_fbits(rd, v);
+    }
+
+    /// Runs up to `max_insts` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] encountered.
+    pub fn run(&mut self, max_insts: u64) -> Result<StopReason, SimError> {
+        self.run_with(max_insts, |_| {})
+    }
+
+    /// Runs up to `max_insts` instructions, invoking `hook` after each one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] encountered.
+    pub fn run_with(
+        &mut self,
+        max_insts: u64,
+        mut hook: impl FnMut(&Retired),
+    ) -> Result<StopReason, SimError> {
+        for _ in 0..max_insts {
+            let r = self.step()?;
+            hook(&r);
+            if let Some(code) = r.exited {
+                return Ok(StopReason::Exited(code));
+            }
+            if matches!(r.inst, Inst::Ebreak) {
+                return Ok(StopReason::Breakpoint);
+            }
+        }
+        Ok(StopReason::InstLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::reg::Reg::*;
+
+    fn run_program(build: impl FnOnce(&mut Assembler)) -> Cpu {
+        let mut a = Assembler::new();
+        build(&mut a);
+        let p = a.assemble().expect("assembly failed");
+        let mut cpu = Cpu::new(&p);
+        let stop = cpu.run(10_000_000).expect("sim error");
+        assert!(matches!(stop, StopReason::Exited(_)), "did not exit: {stop:?}");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let cpu = run_program(|a| {
+            a.li(A0, 0);
+            a.li(T0, 100);
+            a.label("loop");
+            a.add(A0, A0, T0);
+            a.addi(T0, T0, -1);
+            a.bnez(T0, "loop");
+            a.exit();
+        });
+        assert_eq!(cpu.x(A0), 5050);
+    }
+
+    #[test]
+    fn memory_store_load() {
+        let cpu = run_program(|a| {
+            a.la(A1, "buf");
+            a.li(T0, 0x1122_3344_5566_7788);
+            a.sd(T0, A1, 0);
+            a.lw(A0, A1, 4); // upper word, sign-extended
+            a.exit();
+            a.data_label("buf");
+            a.zeros(16);
+        });
+        assert_eq!(cpu.x(A0), 0x1122_3344);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let cpu = run_program(|a| {
+            a.li(A0, 20);
+            a.call("double");
+            a.call("double");
+            a.exit();
+            a.label("double");
+            a.add(A0, A0, A0);
+            a.ret();
+        });
+        assert_eq!(cpu.x(A0), 80);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let cpu = run_program(|a| {
+            a.la(T0, "vals");
+            a.fld(crate::reg::FReg::Fa0, T0, 0);
+            a.fld(crate::reg::FReg::Fa1, T0, 8);
+            a.fmul_d(crate::reg::FReg::Fa2, crate::reg::FReg::Fa0, crate::reg::FReg::Fa1);
+            a.fsqrt_d(crate::reg::FReg::Fa3, crate::reg::FReg::Fa2);
+            a.fcvt_l_d(A0, crate::reg::FReg::Fa3);
+            a.exit();
+            a.data_label("vals");
+            a.doubles(&[2.0, 8.0]);
+        });
+        assert_eq!(cpu.x(A0), 4);
+    }
+
+    #[test]
+    fn console_write_syscall() {
+        let cpu = run_program(|a| {
+            a.la(A1, "msg");
+            a.li(A2, 5);
+            a.li(A0, 1);
+            a.li(A7, 64);
+            a.inst(crate::inst::Inst::Ecall);
+            a.exit();
+            a.data_label("msg");
+            a.bytes(b"hello");
+        });
+        assert_eq!(cpu.console(), b"hello");
+    }
+
+    #[test]
+    fn writes_to_zero_are_discarded() {
+        let cpu = run_program(|a| {
+            a.li(T0, 42);
+            a.add(Zero, T0, T0);
+            a.mv(A0, Zero);
+            a.exit();
+        });
+        assert_eq!(cpu.x(A0), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_reported() {
+        let mut a = Assembler::new();
+        a.nop();
+        let p = a.assemble().unwrap();
+        let mut cpu = Cpu::new(&p);
+        cpu.step().unwrap();
+        // next fetch reads zeroed memory -> illegal
+        let err = cpu.step().unwrap_err();
+        assert!(matches!(err, SimError::IllegalInst { word: 0, .. }));
+    }
+
+    #[test]
+    fn instret_counts() {
+        let cpu = run_program(|a| {
+            a.li(A0, 7); // 1 inst
+            a.exit(); // li a7 + ecall = 2 insts
+        });
+        assert_eq!(cpu.instret(), 3);
+    }
+}

@@ -1,0 +1,693 @@
+//! Pure instruction semantics, shared by the functional simulator and the
+//! cycle-level out-of-order core model.
+//!
+//! Keeping the semantics in one place means the golden-model co-simulation
+//! tests in `boom-uarch` compare *pipeline behaviour* (ordering, forwarding,
+//! squash correctness), not two independent interpretations of the ISA.
+
+use crate::inst::{AluOp, CvtInt, FmaOp, FpCmp, FpFmt, FpOp, Inst, LoadKind, MulOp, Rm};
+
+/// Source operand values for [`compute`]. Unused fields may be zero.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Operands {
+    /// Integer source 1 value.
+    pub rs1: u64,
+    /// Integer source 2 value.
+    pub rs2: u64,
+    /// FP source 1 raw bits.
+    pub fs1: u64,
+    /// FP source 2 raw bits.
+    pub fs2: u64,
+    /// FP source 3 raw bits (FMA only).
+    pub fs3: u64,
+}
+
+/// Destination class of a load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadUnit {
+    /// Integer load: sign/zero-extension per [`LoadKind`].
+    Int(LoadKind),
+    /// FP load: NaN-boxing per [`FpFmt`].
+    Fp(FpFmt),
+}
+
+impl LoadUnit {
+    /// Access size in bytes.
+    #[inline]
+    pub fn size(self) -> u64 {
+        match self {
+            LoadUnit::Int(k) => k.size(),
+            LoadUnit::Fp(FpFmt::S) => 4,
+            LoadUnit::Fp(FpFmt::D) => 8,
+        }
+    }
+}
+
+/// The architectural effect of one instruction, as computed by [`compute`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Write `value` to the instruction's integer destination register.
+    WriteInt(u64),
+    /// Write raw `bits` to the instruction's FP destination register.
+    WriteFp(u64),
+    /// Memory load; feed the raw little-endian data to [`load_result`].
+    Load {
+        /// Effective address.
+        addr: u64,
+        /// Width and destination class.
+        unit: LoadUnit,
+    },
+    /// Memory store of the low `size` bytes of `data` at `addr`.
+    Store {
+        /// Effective address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Little-endian store data in the low bytes.
+        data: u64,
+    },
+    /// Conditional branch resolved.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+        /// Branch target (valid whether or not taken).
+        target: u64,
+    },
+    /// Unconditional jump; `link` is written to the destination register.
+    Jump {
+        /// Jump target address.
+        target: u64,
+        /// Return address (`pc + 4`).
+        link: u64,
+    },
+    /// Environment call (the simulator interprets the a7/a0 convention).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// No architectural effect (fence).
+    Nop,
+}
+
+/// Value produced by completing a load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loaded {
+    /// Write to the integer destination.
+    Int(u64),
+    /// Write raw bits to the FP destination.
+    Fp(u64),
+}
+
+/// Computes the architectural effect of `inst` at `pc` given operand values.
+pub fn compute(inst: &Inst, pc: u64, ops: Operands) -> Outcome {
+    match *inst {
+        Inst::Lui { imm, .. } => Outcome::WriteInt(imm as u64),
+        Inst::Auipc { imm, .. } => Outcome::WriteInt(pc.wrapping_add(imm as u64)),
+        Inst::Jal { offset, .. } => Outcome::Jump {
+            target: pc.wrapping_add(offset as i64 as u64),
+            link: pc.wrapping_add(4),
+        },
+        Inst::Jalr { offset, .. } => Outcome::Jump {
+            target: ops.rs1.wrapping_add(offset as i64 as u64) & !1,
+            link: pc.wrapping_add(4),
+        },
+        Inst::Branch { cond, offset, .. } => Outcome::Branch {
+            taken: cond.eval(ops.rs1, ops.rs2),
+            target: pc.wrapping_add(offset as i64 as u64),
+        },
+        Inst::Load { kind, offset, .. } => Outcome::Load {
+            addr: ops.rs1.wrapping_add(offset as i64 as u64),
+            unit: LoadUnit::Int(kind),
+        },
+        Inst::Store { kind, offset, .. } => Outcome::Store {
+            addr: ops.rs1.wrapping_add(offset as i64 as u64),
+            size: kind.size(),
+            data: ops.rs2,
+        },
+        Inst::OpImm { op, imm, .. } => Outcome::WriteInt(alu(op, ops.rs1, imm as i64 as u64)),
+        Inst::Op { op, .. } => Outcome::WriteInt(alu(op, ops.rs1, ops.rs2)),
+        Inst::MulDiv { op, .. } => Outcome::WriteInt(muldiv(op, ops.rs1, ops.rs2)),
+        Inst::FpLoad { fmt, offset, .. } => Outcome::Load {
+            addr: ops.rs1.wrapping_add(offset as i64 as u64),
+            unit: LoadUnit::Fp(fmt),
+        },
+        Inst::FpStore { fmt, offset, .. } => Outcome::Store {
+            addr: ops.rs1.wrapping_add(offset as i64 as u64),
+            size: if fmt == FpFmt::S { 4 } else { 8 },
+            data: ops.fs2,
+        },
+        Inst::FpOp { op, fmt, .. } => Outcome::WriteFp(fp_op(op, fmt, ops.fs1, ops.fs2)),
+        Inst::FpFma { op, fmt, .. } => Outcome::WriteFp(fp_fma(op, fmt, ops.fs1, ops.fs2, ops.fs3)),
+        Inst::FpCmp { cmp, fmt, .. } => Outcome::WriteInt(fp_cmp(cmp, fmt, ops.fs1, ops.fs2)),
+        Inst::FpCvtToInt { to, fmt, rm, .. } => {
+            Outcome::WriteInt(fp_cvt_to_int(to, fmt, rm, ops.fs1))
+        }
+        Inst::FpCvtFromInt { from, fmt, .. } => {
+            Outcome::WriteFp(fp_cvt_from_int(from, fmt, ops.rs1))
+        }
+        Inst::FpCvtFmt { to, .. } => Outcome::WriteFp(match to {
+            FpFmt::S => box_s(unbox_d(ops.fs1) as f32),
+            FpFmt::D => (unbox_s(ops.fs1) as f64).to_bits(),
+        }),
+        Inst::FpMvToInt { fmt, .. } => Outcome::WriteInt(match fmt {
+            FpFmt::S => (ops.fs1 as u32) as i32 as i64 as u64,
+            FpFmt::D => ops.fs1,
+        }),
+        Inst::FpMvFromInt { fmt, .. } => Outcome::WriteFp(match fmt {
+            FpFmt::S => 0xffff_ffff_0000_0000 | (ops.rs1 & 0xffff_ffff),
+            FpFmt::D => ops.rs1,
+        }),
+        Inst::Fence => Outcome::Nop,
+        Inst::Ecall => Outcome::Ecall,
+        Inst::Ebreak => Outcome::Ebreak,
+    }
+}
+
+/// Converts raw little-endian load data into the destination register value.
+#[inline]
+pub fn load_result(unit: LoadUnit, raw: u64) -> Loaded {
+    match unit {
+        LoadUnit::Int(kind) => Loaded::Int(match kind {
+            LoadKind::B => raw as u8 as i8 as i64 as u64,
+            LoadKind::H => raw as u16 as i16 as i64 as u64,
+            LoadKind::W => raw as u32 as i32 as i64 as u64,
+            LoadKind::D => raw,
+            LoadKind::Bu => raw as u8 as u64,
+            LoadKind::Hu => raw as u16 as u64,
+            LoadKind::Wu => raw as u32 as u64,
+        }),
+        LoadUnit::Fp(FpFmt::S) => Loaded::Fp(0xffff_ffff_0000_0000 | (raw & 0xffff_ffff)),
+        LoadUnit::Fp(FpFmt::D) => Loaded::Fp(raw),
+    }
+}
+
+/// Single-cycle integer ALU.
+#[inline]
+pub fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
+        AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+        AluOp::Sllw => ((a as i32) << (b & 31)) as i64 as u64,
+        AluOp::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
+        AluOp::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+    }
+}
+
+/// M-extension multiply/divide with RISC-V division-by-zero and overflow
+/// semantics (div by 0 → all-ones / dividend; `MIN / -1` → `MIN`).
+#[inline]
+pub fn muldiv(op: MulOp, a: u64, b: u64) -> u64 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        MulOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        MulOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        MulOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        MulOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        MulOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        MulOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+        MulOp::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                a.wrapping_div(b) as i64 as u64
+            }
+        }
+        MulOp::Divuw => {
+            let (a, b) = (a as u32, b as u32);
+            if b == 0 {
+                u64::MAX
+            } else {
+                (a / b) as i32 as i64 as u64
+            }
+        }
+        MulOp::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as i64 as u64
+            }
+        }
+        MulOp::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            if b == 0 {
+                a as i32 as i64 as u64
+            } else {
+                ((a % b) as i32) as i64 as u64
+            }
+        }
+    }
+}
+
+const CANONICAL_NAN_S: u32 = 0x7fc0_0000;
+const CANONICAL_NAN_D: u64 = 0x7ff8_0000_0000_0000;
+const BOX_MASK: u64 = 0xffff_ffff_0000_0000;
+
+/// Unboxes a NaN-boxed single; an improperly boxed value reads as NaN.
+#[inline]
+pub fn unbox_s(bits: u64) -> f32 {
+    if bits & BOX_MASK == BOX_MASK {
+        f32::from_bits(bits as u32)
+    } else {
+        f32::from_bits(CANONICAL_NAN_S)
+    }
+}
+
+/// NaN-boxes a single-precision value into 64 register bits.
+#[inline]
+pub fn box_s(v: f32) -> u64 {
+    BOX_MASK | (canonicalize_s(v) as u64)
+}
+
+#[inline]
+fn canonicalize_s(v: f32) -> u32 {
+    if v.is_nan() {
+        CANONICAL_NAN_S
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Interprets raw FP register bits as a double.
+#[inline]
+pub fn unbox_d(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn canonicalize_d(v: f64) -> u64 {
+    if v.is_nan() {
+        CANONICAL_NAN_D
+    } else {
+        v.to_bits()
+    }
+}
+
+fn fp_op(op: FpOp, fmt: FpFmt, a_bits: u64, b_bits: u64) -> u64 {
+    match fmt {
+        FpFmt::S => {
+            let (a, b) = (unbox_s(a_bits), unbox_s(b_bits));
+            match op {
+                FpOp::Add => box_s(a + b),
+                FpOp::Sub => box_s(a - b),
+                FpOp::Mul => box_s(a * b),
+                FpOp::Div => box_s(a / b),
+                FpOp::Sqrt => box_s(a.sqrt()),
+                FpOp::SgnJ => BOX_MASK | sgnj32(a.to_bits(), b.to_bits(), |s| s) as u64,
+                FpOp::SgnJn => BOX_MASK | sgnj32(a.to_bits(), b.to_bits(), |s| !s) as u64,
+                FpOp::SgnJx => {
+                    let sa = a.to_bits() >> 31;
+                    BOX_MASK | sgnj32(a.to_bits(), b.to_bits(), |s| s ^ sa) as u64
+                }
+                FpOp::Min => BOX_MASK | fmin32(a, b) as u64,
+                FpOp::Max => BOX_MASK | fmax32(a, b) as u64,
+            }
+        }
+        FpFmt::D => {
+            let (a, b) = (unbox_d(a_bits), unbox_d(b_bits));
+            match op {
+                FpOp::Add => canonicalize_d(a + b),
+                FpOp::Sub => canonicalize_d(a - b),
+                FpOp::Mul => canonicalize_d(a * b),
+                FpOp::Div => canonicalize_d(a / b),
+                FpOp::Sqrt => canonicalize_d(a.sqrt()),
+                FpOp::SgnJ => sgnj64(a_bits, b_bits, |s| s),
+                FpOp::SgnJn => sgnj64(a_bits, b_bits, |s| !s),
+                FpOp::SgnJx => {
+                    let sa = a_bits >> 63;
+                    sgnj64(a_bits, b_bits, |s| s ^ sa)
+                }
+                FpOp::Min => fmin64(a, b),
+                FpOp::Max => fmax64(a, b),
+            }
+        }
+    }
+}
+
+#[inline]
+fn sgnj32(a: u32, b: u32, f: impl Fn(u32) -> u32) -> u32 {
+    (a & 0x7fff_ffff) | ((f(b >> 31) & 1) << 31)
+}
+
+#[inline]
+fn sgnj64(a: u64, b: u64, f: impl Fn(u64) -> u64) -> u64 {
+    (a & 0x7fff_ffff_ffff_ffff) | ((f(b >> 63) & 1) << 63)
+}
+
+fn fmin32(a: f32, b: f32) -> u32 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_S,
+        (true, false) => b.to_bits(),
+        (false, true) => a.to_bits(),
+        (false, false) => {
+            if a == 0.0 && b == 0.0 {
+                // -0.0 is the minimum of {-0.0, +0.0}
+                (a.to_bits() | b.to_bits()) & 0x8000_0000 | 0
+            } else if a < b {
+                a.to_bits()
+            } else {
+                b.to_bits()
+            }
+        }
+    }
+}
+
+fn fmax32(a: f32, b: f32) -> u32 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_S,
+        (true, false) => b.to_bits(),
+        (false, true) => a.to_bits(),
+        (false, false) => {
+            if a == 0.0 && b == 0.0 {
+                a.to_bits() & b.to_bits()
+            } else if a > b {
+                a.to_bits()
+            } else {
+                b.to_bits()
+            }
+        }
+    }
+}
+
+fn fmin64(a: f64, b: f64) -> u64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_D,
+        (true, false) => b.to_bits(),
+        (false, true) => a.to_bits(),
+        (false, false) => {
+            if a == 0.0 && b == 0.0 {
+                (a.to_bits() | b.to_bits()) & 0x8000_0000_0000_0000
+            } else if a < b {
+                a.to_bits()
+            } else {
+                b.to_bits()
+            }
+        }
+    }
+}
+
+fn fmax64(a: f64, b: f64) -> u64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN_D,
+        (true, false) => b.to_bits(),
+        (false, true) => a.to_bits(),
+        (false, false) => {
+            if a == 0.0 && b == 0.0 {
+                a.to_bits() & b.to_bits()
+            } else if a > b {
+                a.to_bits()
+            } else {
+                b.to_bits()
+            }
+        }
+    }
+}
+
+fn fp_fma(op: FmaOp, fmt: FpFmt, a_bits: u64, b_bits: u64, c_bits: u64) -> u64 {
+    match fmt {
+        FpFmt::S => {
+            let (a, b, c) = (unbox_s(a_bits), unbox_s(b_bits), unbox_s(c_bits));
+            let v = match op {
+                FmaOp::Madd => a.mul_add(b, c),
+                FmaOp::Msub => a.mul_add(b, -c),
+                FmaOp::Nmsub => (-a).mul_add(b, c),
+                FmaOp::Nmadd => (-a).mul_add(b, -c),
+            };
+            box_s(v)
+        }
+        FpFmt::D => {
+            let (a, b, c) = (unbox_d(a_bits), unbox_d(b_bits), unbox_d(c_bits));
+            let v = match op {
+                FmaOp::Madd => a.mul_add(b, c),
+                FmaOp::Msub => a.mul_add(b, -c),
+                FmaOp::Nmsub => (-a).mul_add(b, c),
+                FmaOp::Nmadd => (-a).mul_add(b, -c),
+            };
+            canonicalize_d(v)
+        }
+    }
+}
+
+fn fp_cmp(cmp: FpCmp, fmt: FpFmt, a_bits: u64, b_bits: u64) -> u64 {
+    let (a, b) = match fmt {
+        FpFmt::S => (unbox_s(a_bits) as f64, unbox_s(b_bits) as f64),
+        FpFmt::D => (unbox_d(a_bits), unbox_d(b_bits)),
+    };
+    let r = match cmp {
+        FpCmp::Le => a <= b,
+        FpCmp::Lt => a < b,
+        FpCmp::Eq => a == b,
+    };
+    r as u64
+}
+
+fn round(v: f64, rm: Rm) -> f64 {
+    match rm {
+        Rm::Rtz => v.trunc(),
+        Rm::Rne => {
+            // round-half-to-even
+            let r = v.round();
+            if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - v.signum()
+            } else {
+                r
+            }
+        }
+    }
+}
+
+fn fp_cvt_to_int(to: CvtInt, fmt: FpFmt, rm: Rm, bits: u64) -> u64 {
+    let v = match fmt {
+        FpFmt::S => unbox_s(bits) as f64,
+        FpFmt::D => unbox_d(bits),
+    };
+    if v.is_nan() {
+        return match to {
+            CvtInt::W => i32::MAX as i64 as u64,
+            CvtInt::Wu => u32::MAX as u64,
+            CvtInt::L => i64::MAX as u64,
+            CvtInt::Lu => u64::MAX,
+        };
+    }
+    let r = round(v, rm);
+    match to {
+        CvtInt::W => {
+            let clamped = r.clamp(i32::MIN as f64, i32::MAX as f64);
+            clamped as i32 as i64 as u64
+        }
+        CvtInt::Wu => {
+            let clamped = r.clamp(0.0, u32::MAX as f64);
+            (clamped as u32) as i32 as i64 as u64
+        }
+        CvtInt::L => {
+            if r >= i64::MAX as f64 {
+                i64::MAX as u64
+            } else if r <= i64::MIN as f64 {
+                i64::MIN as u64
+            } else {
+                r as i64 as u64
+            }
+        }
+        CvtInt::Lu => {
+            if r >= u64::MAX as f64 {
+                u64::MAX
+            } else if r <= 0.0 {
+                0
+            } else {
+                r as u64
+            }
+        }
+    }
+}
+
+fn fp_cvt_from_int(from: CvtInt, fmt: FpFmt, rs1: u64) -> u64 {
+    let v = match from {
+        CvtInt::W => rs1 as i32 as f64,
+        CvtInt::Wu => rs1 as u32 as f64,
+        CvtInt::L => rs1 as i64 as f64,
+        CvtInt::Lu => rs1 as f64,
+    };
+    match fmt {
+        FpFmt::S => box_s(v as f32),
+        FpFmt::D => v.to_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn alu_word_ops_sign_extend() {
+        assert_eq!(alu(AluOp::Addw, 0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(AluOp::Subw, 0, 1), u64::MAX);
+        assert_eq!(alu(AluOp::Sllw, 1, 31), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(AluOp::Srlw, 0x8000_0000, 1), 0x4000_0000);
+        assert_eq!(alu(AluOp::Sraw, 0x8000_0000, 1), 0xffff_ffff_c000_0000);
+    }
+
+    #[test]
+    fn alu_comparisons() {
+        assert_eq!(alu(AluOp::Slt, (-1i64) as u64, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, (-1i64) as u64, 0), 0);
+        assert_eq!(alu(AluOp::Slt, 3, 3), 0);
+    }
+
+    #[test]
+    fn division_special_cases() {
+        assert_eq!(muldiv(MulOp::Div, 7, 0), u64::MAX);
+        assert_eq!(muldiv(MulOp::Rem, 7, 0), 7);
+        assert_eq!(muldiv(MulOp::Div, i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(muldiv(MulOp::Rem, i64::MIN as u64, (-1i64) as u64), 0);
+        assert_eq!(muldiv(MulOp::Divw, i32::MIN as u32 as u64, (-1i32) as u32 as u64), i32::MIN as i64 as u64);
+        assert_eq!(muldiv(MulOp::Divu, 7, 2), 3);
+        assert_eq!(muldiv(MulOp::Remuw, 0xffff_ffff, 10), (0xffff_ffffu32 % 10) as u64);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        // (-1) * (-1) = 1 -> high bits 0
+        assert_eq!(muldiv(MulOp::Mulh, u64::MAX, u64::MAX), 0);
+        // unsigned: (2^64-1)^2 high word = 2^64 - 2
+        assert_eq!(muldiv(MulOp::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
+        assert_eq!(muldiv(MulOp::Mulhsu, u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn nan_boxing() {
+        let boxed = box_s(1.5);
+        assert_eq!(boxed >> 32, 0xffff_ffff);
+        assert_eq!(unbox_s(boxed), 1.5);
+        // improperly boxed single reads as NaN
+        assert!(unbox_s(1.5f32.to_bits() as u64).is_nan());
+    }
+
+    #[test]
+    fn fp_min_max_nan_and_zero() {
+        // one NaN -> the other operand
+        let nan = CANONICAL_NAN_D;
+        assert_eq!(fp_op(FpOp::Min, FpFmt::D, nan, 2.0f64.to_bits()), 2.0f64.to_bits());
+        assert_eq!(fp_op(FpOp::Max, FpFmt::D, 2.0f64.to_bits(), nan), 2.0f64.to_bits());
+        // both NaN -> canonical NaN
+        assert_eq!(fp_op(FpOp::Min, FpFmt::D, nan, nan), CANONICAL_NAN_D);
+        // signed zeros
+        let pz = 0.0f64.to_bits();
+        let nz = (-0.0f64).to_bits();
+        assert_eq!(fp_op(FpOp::Min, FpFmt::D, pz, nz), nz);
+        assert_eq!(fp_op(FpOp::Max, FpFmt::D, pz, nz), pz);
+    }
+
+    #[test]
+    fn fp_compare_nan_is_false() {
+        let nan = CANONICAL_NAN_D;
+        for cmp in [FpCmp::Le, FpCmp::Lt, FpCmp::Eq] {
+            assert_eq!(fp_cmp(cmp, FpFmt::D, nan, 1.0f64.to_bits()), 0);
+        }
+        assert_eq!(fp_cmp(FpCmp::Le, FpFmt::D, 1.0f64.to_bits(), 1.0f64.to_bits()), 1);
+    }
+
+    #[test]
+    fn cvt_saturation() {
+        let big = 1e30f64.to_bits();
+        assert_eq!(fp_cvt_to_int(CvtInt::W, FpFmt::D, Rm::Rtz, big), i32::MAX as i64 as u64);
+        let neg = (-1e30f64).to_bits();
+        assert_eq!(fp_cvt_to_int(CvtInt::Wu, FpFmt::D, Rm::Rtz, neg), 0);
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rtz, big), i64::MAX as u64);
+        let nan = CANONICAL_NAN_D;
+        assert_eq!(fp_cvt_to_int(CvtInt::W, FpFmt::D, Rm::Rtz, nan), i32::MAX as i64 as u64);
+    }
+
+    #[test]
+    fn cvt_rounding_modes() {
+        let v = 2.5f64.to_bits();
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rtz, v), 2);
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rne, v), 2); // half-to-even
+        let v = 3.5f64.to_bits();
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rne, v), 4);
+        let v = (-2.5f64).to_bits();
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rtz, v), (-2i64) as u64);
+        assert_eq!(fp_cvt_to_int(CvtInt::L, FpFmt::D, Rm::Rne, v), (-2i64) as u64);
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(load_result(LoadUnit::Int(LoadKind::B), 0x80), Loaded::Int(0xffff_ffff_ffff_ff80));
+        assert_eq!(load_result(LoadUnit::Int(LoadKind::Bu), 0x80), Loaded::Int(0x80));
+        assert_eq!(load_result(LoadUnit::Int(LoadKind::W), 0x8000_0000), Loaded::Int(0xffff_ffff_8000_0000));
+        assert_eq!(load_result(LoadUnit::Int(LoadKind::Wu), 0x8000_0000), Loaded::Int(0x8000_0000));
+        match load_result(LoadUnit::Fp(FpFmt::S), 1.0f32.to_bits() as u64) {
+            Loaded::Fp(bits) => assert_eq!(unbox_s(bits), 1.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn jalr_clears_low_bit() {
+        let inst = Inst::Jalr { rd: Reg::Ra, rs1: Reg::A0, offset: 3 };
+        match compute(&inst, 100, Operands { rs1: 0x1000, ..Default::default() }) {
+            Outcome::Jump { target, link } => {
+                assert_eq!(target, 0x1002);
+                assert_eq!(link, 104);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        // Choose values where fused and unfused differ.
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 - f64::EPSILON;
+        let c = -1.0;
+        let fused = a.mul_add(b, c);
+        let bits = fp_fma(FmaOp::Madd, FpFmt::D, a.to_bits(), b.to_bits(), c.to_bits());
+        assert_eq!(f64::from_bits(bits), fused);
+    }
+}

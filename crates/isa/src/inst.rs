@@ -1,0 +1,1339 @@
+//! Typed RV64IMFD instructions with exact decode/encode round-tripping.
+//!
+//! The subset implemented here is everything the `rv-workloads` benchmarks
+//! and the `boom-uarch` core model need: the full RV64I base integer ISA,
+//! the M extension, and the F/D floating-point extensions minus `FCLASS`
+//! and the CSR interface (the workloads are bare-metal and use an `ecall`
+//! exit convention instead of counters).
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Branch comparison condition (`beq`, `bne`, `blt`, `bge`, `bltu`, `bgeu`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BrCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BrCond {
+    /// Evaluates the condition on two 64-bit operand values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => (a as i64) < (b as i64),
+            BrCond::Ge => (a as i64) >= (b as i64),
+            BrCond::Ltu => a < b,
+            BrCond::Geu => a >= b,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            BrCond::Eq => 0b000,
+            BrCond::Ne => 0b001,
+            BrCond::Lt => 0b100,
+            BrCond::Ge => 0b101,
+            BrCond::Ltu => 0b110,
+            BrCond::Geu => 0b111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            BrCond::Eq => "beq",
+            BrCond::Ne => "bne",
+            BrCond::Lt => "blt",
+            BrCond::Ge => "bge",
+            BrCond::Ltu => "bltu",
+            BrCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Width and sign-extension behaviour of an integer load.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum LoadKind {
+    B,
+    H,
+    W,
+    D,
+    Bu,
+    Hu,
+    Wu,
+}
+
+impl LoadKind {
+    /// Access size in bytes.
+    #[inline]
+    pub fn size(self) -> u64 {
+        match self {
+            LoadKind::B | LoadKind::Bu => 1,
+            LoadKind::H | LoadKind::Hu => 2,
+            LoadKind::W | LoadKind::Wu => 4,
+            LoadKind::D => 8,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            LoadKind::B => 0b000,
+            LoadKind::H => 0b001,
+            LoadKind::W => 0b010,
+            LoadKind::D => 0b011,
+            LoadKind::Bu => 0b100,
+            LoadKind::Hu => 0b101,
+            LoadKind::Wu => 0b110,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::B => "lb",
+            LoadKind::H => "lh",
+            LoadKind::W => "lw",
+            LoadKind::D => "ld",
+            LoadKind::Bu => "lbu",
+            LoadKind::Hu => "lhu",
+            LoadKind::Wu => "lwu",
+        }
+    }
+}
+
+/// Width of an integer store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum StoreKind {
+    B,
+    H,
+    W,
+    D,
+}
+
+impl StoreKind {
+    /// Access size in bytes.
+    #[inline]
+    pub fn size(self) -> u64 {
+        match self {
+            StoreKind::B => 1,
+            StoreKind::H => 2,
+            StoreKind::W => 4,
+            StoreKind::D => 8,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            StoreKind::B => 0b000,
+            StoreKind::H => 0b001,
+            StoreKind::W => 0b010,
+            StoreKind::D => 0b011,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::B => "sb",
+            StoreKind::H => "sh",
+            StoreKind::W => "sw",
+            StoreKind::D => "sd",
+        }
+    }
+}
+
+/// Single-cycle integer ALU operation (base ISA, both 64- and 32-bit forms).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+}
+
+impl AluOp {
+    /// Whether the register-immediate form of this operation exists in the ISA.
+    pub fn has_imm_form(self) -> bool {
+        !matches!(self, AluOp::Sub | AluOp::Subw)
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
+        }
+    }
+}
+
+/// M-extension multiply/divide operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum MulOp {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+impl MulOp {
+    /// True for the divide/remainder group (long-latency, unpipelined unit).
+    pub fn is_div(self) -> bool {
+        matches!(
+            self,
+            MulOp::Div
+                | MulOp::Divu
+                | MulOp::Rem
+                | MulOp::Remu
+                | MulOp::Divw
+                | MulOp::Divuw
+                | MulOp::Remw
+                | MulOp::Remuw
+        )
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+            MulOp::Mulhsu => "mulhsu",
+            MulOp::Mulhu => "mulhu",
+            MulOp::Div => "div",
+            MulOp::Divu => "divu",
+            MulOp::Rem => "rem",
+            MulOp::Remu => "remu",
+            MulOp::Mulw => "mulw",
+            MulOp::Divw => "divw",
+            MulOp::Divuw => "divuw",
+            MulOp::Remw => "remw",
+            MulOp::Remuw => "remuw",
+        }
+    }
+}
+
+/// Floating-point precision (F = single, D = double).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FpFmt {
+    S,
+    D,
+}
+
+impl FpFmt {
+    fn bits(self) -> u32 {
+        match self {
+            FpFmt::S => 0b00,
+            FpFmt::D => 0b01,
+        }
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            FpFmt::S => "s",
+            FpFmt::D => "d",
+        }
+    }
+}
+
+/// Two-operand (or sqrt) floating-point computational operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Sqrt,
+    SgnJ,
+    SgnJn,
+    SgnJx,
+    Min,
+    Max,
+}
+
+impl FpOp {
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+            FpOp::Sqrt => "fsqrt",
+            FpOp::SgnJ => "fsgnj",
+            FpOp::SgnJn => "fsgnjn",
+            FpOp::SgnJx => "fsgnjx",
+            FpOp::Min => "fmin",
+            FpOp::Max => "fmax",
+        }
+    }
+}
+
+/// Fused multiply-add flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FmaOp {
+    Madd,
+    Msub,
+    Nmsub,
+    Nmadd,
+}
+
+impl FmaOp {
+    fn opcode(self) -> u32 {
+        match self {
+            FmaOp::Madd => 0b1000011,
+            FmaOp::Msub => 0b1000111,
+            FmaOp::Nmsub => 0b1001011,
+            FmaOp::Nmadd => 0b1001111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FmaOp::Madd => "fmadd",
+            FmaOp::Msub => "fmsub",
+            FmaOp::Nmsub => "fnmsub",
+            FmaOp::Nmadd => "fnmadd",
+        }
+    }
+}
+
+/// Floating-point comparison predicate (writes an integer register).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FpCmp {
+    Le,
+    Lt,
+    Eq,
+}
+
+impl FpCmp {
+    fn funct3(self) -> u32 {
+        match self {
+            FpCmp::Le => 0b000,
+            FpCmp::Lt => 0b001,
+            FpCmp::Eq => 0b010,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmp::Le => "fle",
+            FpCmp::Lt => "flt",
+            FpCmp::Eq => "feq",
+        }
+    }
+}
+
+/// Integer width/signedness selector for float↔int conversions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CvtInt {
+    W,
+    Wu,
+    L,
+    Lu,
+}
+
+impl CvtInt {
+    fn rs2_bits(self) -> u32 {
+        match self {
+            CvtInt::W => 0b00000,
+            CvtInt::Wu => 0b00001,
+            CvtInt::L => 0b00010,
+            CvtInt::Lu => 0b00011,
+        }
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            CvtInt::W => "w",
+            CvtInt::Wu => "wu",
+            CvtInt::L => "l",
+            CvtInt::Lu => "lu",
+        }
+    }
+}
+
+/// Rounding mode for float→int conversions.
+///
+/// Computational FP operations are encoded with the dynamic rounding mode
+/// and executed round-to-nearest-even; conversions honour `Rne`/`Rtz`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Rm {
+    Rne,
+    Rtz,
+}
+
+impl Rm {
+    fn bits(self) -> u32 {
+        match self {
+            Rm::Rne => 0b000,
+            Rm::Rtz => 0b001,
+        }
+    }
+}
+
+/// A decoded RV64IMFD instruction.
+///
+/// Construct via [`decode`] or directly (the assembler in [`crate::asm`]
+/// builds these). Every variant encodes back to exactly one 32-bit word via
+/// [`encode`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Inst {
+    /// `lui rd, imm` — `imm` holds the already-shifted, sign-extended value.
+    Lui { rd: Reg, imm: i64 },
+    /// `auipc rd, imm` — `imm` holds the already-shifted, sign-extended value.
+    Auipc { rd: Reg, imm: i64 },
+    Jal { rd: Reg, offset: i32 },
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    Branch { cond: BrCond, rs1: Reg, rs2: Reg, offset: i32 },
+    Load { kind: LoadKind, rd: Reg, rs1: Reg, offset: i32 },
+    Store { kind: StoreKind, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Register-immediate ALU op. `op` must satisfy [`AluOp::has_imm_form`].
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    FpLoad { fmt: FpFmt, rd: FReg, rs1: Reg, offset: i32 },
+    FpStore { fmt: FpFmt, rs1: Reg, rs2: FReg, offset: i32 },
+    FpOp { op: FpOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
+    FpFma { op: FmaOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
+    FpCmp { cmp: FpCmp, fmt: FpFmt, rd: Reg, rs1: FReg, rs2: FReg },
+    FpCvtToInt { to: CvtInt, fmt: FpFmt, rd: Reg, rs1: FReg, rm: Rm },
+    FpCvtFromInt { from: CvtInt, fmt: FpFmt, rd: FReg, rs1: Reg },
+    /// `fcvt.s.d` (`to == S`) or `fcvt.d.s` (`to == D`).
+    FpCvtFmt { to: FpFmt, rd: FReg, rs1: FReg },
+    /// `fmv.x.w` / `fmv.x.d`.
+    FpMvToInt { fmt: FpFmt, rd: Reg, rs1: FReg },
+    /// `fmv.w.x` / `fmv.d.x`.
+    FpMvFromInt { fmt: FpFmt, rd: FReg, rs1: Reg },
+    Fence,
+    Ecall,
+    Ebreak,
+}
+
+/// Error returned by [`decode`] for a word that is not a supported instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IllegalInst(pub u32);
+
+impl fmt::Display for IllegalInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal or unsupported instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for IllegalInst {}
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::from_index(bits(word, 11, 7))
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::from_index(bits(word, 19, 15))
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::from_index(bits(word, 24, 20))
+}
+
+#[inline]
+fn frd(word: u32) -> FReg {
+    FReg::from_index(bits(word, 11, 7))
+}
+
+#[inline]
+fn frs1(word: u32) -> FReg {
+    FReg::from_index(bits(word, 19, 15))
+}
+
+#[inline]
+fn frs2(word: u32) -> FReg {
+    FReg::from_index(bits(word, 24, 20))
+}
+
+#[inline]
+fn frs3(word: u32) -> FReg {
+    FReg::from_index(bits(word, 31, 27))
+}
+
+#[inline]
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+#[inline]
+fn imm_s(word: u32) -> i32 {
+    (((word & 0xfe00_0000) as i32) >> 20) | bits(word, 11, 7) as i32
+}
+
+#[inline]
+fn imm_b(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 19)
+        | ((bits(word, 7, 7) as i32) << 11)
+        | ((bits(word, 30, 25) as i32) << 5)
+        | ((bits(word, 11, 8) as i32) << 1)
+}
+
+#[inline]
+fn imm_u(word: u32) -> i64 {
+    ((word & 0xffff_f000) as i32) as i64
+}
+
+#[inline]
+fn imm_j(word: u32) -> i32 {
+    (((word & 0x8000_0000) as i32) >> 11)
+        | ((bits(word, 19, 12) as i32) << 12)
+        | ((bits(word, 20, 20) as i32) << 11)
+        | ((bits(word, 30, 21) as i32) << 1)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`IllegalInst`] if the word is not a valid encoding of the
+/// supported RV64IMFD subset.
+pub fn decode(word: u32) -> Result<Inst, IllegalInst> {
+    let ill = Err(IllegalInst(word));
+    let opcode = bits(word, 6, 0);
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+    Ok(match opcode {
+        0b0110111 => Inst::Lui { rd: rd(word), imm: imm_u(word) },
+        0b0010111 => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
+        0b1101111 => Inst::Jal { rd: rd(word), offset: imm_j(word) },
+        0b1100111 => {
+            if funct3 != 0 {
+                return ill;
+            }
+            Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0b1100011 => {
+            let cond = match funct3 {
+                0b000 => BrCond::Eq,
+                0b001 => BrCond::Ne,
+                0b100 => BrCond::Lt,
+                0b101 => BrCond::Ge,
+                0b110 => BrCond::Ltu,
+                0b111 => BrCond::Geu,
+                _ => return ill,
+            };
+            Inst::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+        }
+        0b0000011 => {
+            let kind = match funct3 {
+                0b000 => LoadKind::B,
+                0b001 => LoadKind::H,
+                0b010 => LoadKind::W,
+                0b011 => LoadKind::D,
+                0b100 => LoadKind::Bu,
+                0b101 => LoadKind::Hu,
+                0b110 => LoadKind::Wu,
+                _ => return ill,
+            };
+            Inst::Load { kind, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0b0100011 => {
+            let kind = match funct3 {
+                0b000 => StoreKind::B,
+                0b001 => StoreKind::H,
+                0b010 => StoreKind::W,
+                0b011 => StoreKind::D,
+                _ => return ill,
+            };
+            Inst::Store { kind, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) }
+        }
+        0b0010011 => {
+            let (op, imm) = match funct3 {
+                0b000 => (AluOp::Add, imm_i(word)),
+                0b010 => (AluOp::Slt, imm_i(word)),
+                0b011 => (AluOp::Sltu, imm_i(word)),
+                0b100 => (AluOp::Xor, imm_i(word)),
+                0b110 => (AluOp::Or, imm_i(word)),
+                0b111 => (AluOp::And, imm_i(word)),
+                0b001 => {
+                    if bits(word, 31, 26) != 0 {
+                        return ill;
+                    }
+                    (AluOp::Sll, bits(word, 25, 20) as i32)
+                }
+                0b101 => match bits(word, 31, 26) {
+                    0b000000 => (AluOp::Srl, bits(word, 25, 20) as i32),
+                    0b010000 => (AluOp::Sra, bits(word, 25, 20) as i32),
+                    _ => return ill,
+                },
+                _ => return ill,
+            };
+            Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        0b0011011 => {
+            let (op, imm) = match funct3 {
+                0b000 => (AluOp::Addw, imm_i(word)),
+                0b001 => {
+                    if funct7 != 0 {
+                        return ill;
+                    }
+                    (AluOp::Sllw, bits(word, 24, 20) as i32)
+                }
+                0b101 => match funct7 {
+                    0b0000000 => (AluOp::Srlw, bits(word, 24, 20) as i32),
+                    0b0100000 => (AluOp::Sraw, bits(word, 24, 20) as i32),
+                    _ => return ill,
+                },
+                _ => return ill,
+            };
+            Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        0b0110011 => {
+            let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+            match funct7 {
+                0b0000000 => {
+                    let op = match funct3 {
+                        0b000 => AluOp::Add,
+                        0b001 => AluOp::Sll,
+                        0b010 => AluOp::Slt,
+                        0b011 => AluOp::Sltu,
+                        0b100 => AluOp::Xor,
+                        0b101 => AluOp::Srl,
+                        0b110 => AluOp::Or,
+                        0b111 => AluOp::And,
+                        _ => return ill,
+                    };
+                    Inst::Op { op, rd, rs1, rs2 }
+                }
+                0b0100000 => {
+                    let op = match funct3 {
+                        0b000 => AluOp::Sub,
+                        0b101 => AluOp::Sra,
+                        _ => return ill,
+                    };
+                    Inst::Op { op, rd, rs1, rs2 }
+                }
+                0b0000001 => {
+                    let op = match funct3 {
+                        0b000 => MulOp::Mul,
+                        0b001 => MulOp::Mulh,
+                        0b010 => MulOp::Mulhsu,
+                        0b011 => MulOp::Mulhu,
+                        0b100 => MulOp::Div,
+                        0b101 => MulOp::Divu,
+                        0b110 => MulOp::Rem,
+                        0b111 => MulOp::Remu,
+                        _ => return ill,
+                    };
+                    Inst::MulDiv { op, rd, rs1, rs2 }
+                }
+                _ => return ill,
+            }
+        }
+        0b0111011 => {
+            let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+            match (funct7, funct3) {
+                (0b0000000, 0b000) => Inst::Op { op: AluOp::Addw, rd, rs1, rs2 },
+                (0b0000000, 0b001) => Inst::Op { op: AluOp::Sllw, rd, rs1, rs2 },
+                (0b0000000, 0b101) => Inst::Op { op: AluOp::Srlw, rd, rs1, rs2 },
+                (0b0100000, 0b000) => Inst::Op { op: AluOp::Subw, rd, rs1, rs2 },
+                (0b0100000, 0b101) => Inst::Op { op: AluOp::Sraw, rd, rs1, rs2 },
+                (0b0000001, 0b000) => Inst::MulDiv { op: MulOp::Mulw, rd, rs1, rs2 },
+                (0b0000001, 0b100) => Inst::MulDiv { op: MulOp::Divw, rd, rs1, rs2 },
+                (0b0000001, 0b101) => Inst::MulDiv { op: MulOp::Divuw, rd, rs1, rs2 },
+                (0b0000001, 0b110) => Inst::MulDiv { op: MulOp::Remw, rd, rs1, rs2 },
+                (0b0000001, 0b111) => Inst::MulDiv { op: MulOp::Remuw, rd, rs1, rs2 },
+                _ => return ill,
+            }
+        }
+        0b0001111 => {
+            if funct3 != 0 {
+                return ill;
+            }
+            Inst::Fence
+        }
+        0b1110011 => {
+            if funct3 != 0 || bits(word, 11, 7) != 0 || bits(word, 19, 15) != 0 {
+                return ill;
+            }
+            match bits(word, 31, 20) {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return ill,
+            }
+        }
+        0b0000111 => {
+            let fmt = match funct3 {
+                0b010 => FpFmt::S,
+                0b011 => FpFmt::D,
+                _ => return ill,
+            };
+            Inst::FpLoad { fmt, rd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0b0100111 => {
+            let fmt = match funct3 {
+                0b010 => FpFmt::S,
+                0b011 => FpFmt::D,
+                _ => return ill,
+            };
+            Inst::FpStore { fmt, rs1: rs1(word), rs2: frs2(word), offset: imm_s(word) }
+        }
+        0b1000011 | 0b1000111 | 0b1001011 | 0b1001111 => {
+            let op = match opcode {
+                0b1000011 => FmaOp::Madd,
+                0b1000111 => FmaOp::Msub,
+                0b1001011 => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            let fmt = match bits(word, 26, 25) {
+                0b00 => FpFmt::S,
+                0b01 => FpFmt::D,
+                _ => return ill,
+            };
+            Inst::FpFma {
+                op,
+                fmt,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rs3: frs3(word),
+            }
+        }
+        0b1010011 => {
+            let fmt = match bits(word, 26, 25) {
+                0b00 => FpFmt::S,
+                0b01 => FpFmt::D,
+                _ => return ill,
+            };
+            let f5 = bits(word, 31, 27);
+            match f5 {
+                0b00000 | 0b00001 | 0b00010 | 0b00011 => {
+                    let op = match f5 {
+                        0b00000 => FpOp::Add,
+                        0b00001 => FpOp::Sub,
+                        0b00010 => FpOp::Mul,
+                        _ => FpOp::Div,
+                    };
+                    Inst::FpOp { op, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+                }
+                0b01011 => {
+                    if bits(word, 24, 20) != 0 {
+                        return ill;
+                    }
+                    Inst::FpOp {
+                        op: FpOp::Sqrt,
+                        fmt,
+                        rd: frd(word),
+                        rs1: frs1(word),
+                        rs2: frs1(word),
+                    }
+                }
+                0b00100 => {
+                    let op = match funct3 {
+                        0b000 => FpOp::SgnJ,
+                        0b001 => FpOp::SgnJn,
+                        0b010 => FpOp::SgnJx,
+                        _ => return ill,
+                    };
+                    Inst::FpOp { op, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+                }
+                0b00101 => {
+                    let op = match funct3 {
+                        0b000 => FpOp::Min,
+                        0b001 => FpOp::Max,
+                        _ => return ill,
+                    };
+                    Inst::FpOp { op, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+                }
+                0b01000 => match (fmt, bits(word, 24, 20)) {
+                    (FpFmt::S, 0b00001) => {
+                        Inst::FpCvtFmt { to: FpFmt::S, rd: frd(word), rs1: frs1(word) }
+                    }
+                    (FpFmt::D, 0b00000) => {
+                        Inst::FpCvtFmt { to: FpFmt::D, rd: frd(word), rs1: frs1(word) }
+                    }
+                    _ => return ill,
+                },
+                0b10100 => {
+                    let cmp = match funct3 {
+                        0b000 => FpCmp::Le,
+                        0b001 => FpCmp::Lt,
+                        0b010 => FpCmp::Eq,
+                        _ => return ill,
+                    };
+                    Inst::FpCmp { cmp, fmt, rd: rd(word), rs1: frs1(word), rs2: frs2(word) }
+                }
+                0b11000 => {
+                    let to = match bits(word, 24, 20) {
+                        0b00000 => CvtInt::W,
+                        0b00001 => CvtInt::Wu,
+                        0b00010 => CvtInt::L,
+                        0b00011 => CvtInt::Lu,
+                        _ => return ill,
+                    };
+                    let rm = match funct3 {
+                        0b000 => Rm::Rne,
+                        0b001 => Rm::Rtz,
+                        _ => return ill,
+                    };
+                    Inst::FpCvtToInt { to, fmt, rd: rd(word), rs1: frs1(word), rm }
+                }
+                0b11010 => {
+                    let from = match bits(word, 24, 20) {
+                        0b00000 => CvtInt::W,
+                        0b00001 => CvtInt::Wu,
+                        0b00010 => CvtInt::L,
+                        0b00011 => CvtInt::Lu,
+                        _ => return ill,
+                    };
+                    Inst::FpCvtFromInt { from, fmt, rd: frd(word), rs1: rs1(word) }
+                }
+                0b11100 => {
+                    if funct3 != 0 || bits(word, 24, 20) != 0 {
+                        return ill;
+                    }
+                    Inst::FpMvToInt { fmt, rd: rd(word), rs1: frs1(word) }
+                }
+                0b11110 => {
+                    if funct3 != 0 || bits(word, 24, 20) != 0 {
+                        return ill;
+                    }
+                    Inst::FpMvFromInt { fmt, rd: frd(word), rs1: rs1(word) }
+                }
+                _ => return ill,
+            }
+        }
+        _ => return ill,
+    })
+}
+
+fn enc_r(opcode: u32, funct3: u32, funct7: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+fn enc_i(opcode: u32, funct3: u32, rd: u32, rs1: u32, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-immediate out of range: {imm}");
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (((imm as u32) & 0xfff) << 20)
+}
+
+fn enc_s(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-immediate out of range: {imm}");
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn enc_b(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    debug_assert!(
+        (-4096..=4095).contains(&imm) && imm % 2 == 0,
+        "B-immediate out of range or odd: {imm}"
+    );
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn enc_u(opcode: u32, rd: u32, imm: i64) -> u32 {
+    debug_assert_eq!(imm & 0xfff, 0, "U-immediate has low bits set: {imm:#x}");
+    debug_assert!(
+        (-(1i64 << 31)..(1i64 << 31)).contains(&imm),
+        "U-immediate out of range: {imm:#x}"
+    );
+    opcode | (rd << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+fn enc_j(opcode: u32, rd: u32, imm: i32) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+        "J-immediate out of range or odd: {imm}"
+    );
+    let imm = imm as u32;
+    opcode
+        | (rd << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+/// Dynamic rounding-mode bits used when encoding computational FP ops.
+const RM_DYN: u32 = 0b111;
+
+/// Encodes an instruction to its canonical 32-bit word.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if an immediate is out of range for its encoding
+/// or if an `OpImm` carries an operation with no immediate form; the
+/// assembler validates these before constructing [`Inst`] values.
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Lui { rd, imm } => enc_u(0b0110111, rd.index() as u32, imm),
+        Inst::Auipc { rd, imm } => enc_u(0b0010111, rd.index() as u32, imm),
+        Inst::Jal { rd, offset } => enc_j(0b1101111, rd.index() as u32, offset),
+        Inst::Jalr { rd, rs1, offset } => {
+            enc_i(0b1100111, 0, rd.index() as u32, rs1.index() as u32, offset)
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => enc_b(
+            0b1100011,
+            cond.funct3(),
+            rs1.index() as u32,
+            rs2.index() as u32,
+            offset,
+        ),
+        Inst::Load { kind, rd, rs1, offset } => enc_i(
+            0b0000011,
+            kind.funct3(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            offset,
+        ),
+        Inst::Store { kind, rs1, rs2, offset } => enc_s(
+            0b0100011,
+            kind.funct3(),
+            rs1.index() as u32,
+            rs2.index() as u32,
+            offset,
+        ),
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let (rd, rs1) = (rd.index() as u32, rs1.index() as u32);
+            match op {
+                AluOp::Add => enc_i(0b0010011, 0b000, rd, rs1, imm),
+                AluOp::Slt => enc_i(0b0010011, 0b010, rd, rs1, imm),
+                AluOp::Sltu => enc_i(0b0010011, 0b011, rd, rs1, imm),
+                AluOp::Xor => enc_i(0b0010011, 0b100, rd, rs1, imm),
+                AluOp::Or => enc_i(0b0010011, 0b110, rd, rs1, imm),
+                AluOp::And => enc_i(0b0010011, 0b111, rd, rs1, imm),
+                AluOp::Sll => {
+                    debug_assert!((0..64).contains(&imm));
+                    enc_i(0b0010011, 0b001, rd, rs1, imm)
+                }
+                AluOp::Srl => {
+                    debug_assert!((0..64).contains(&imm));
+                    enc_i(0b0010011, 0b101, rd, rs1, imm)
+                }
+                AluOp::Sra => {
+                    debug_assert!((0..64).contains(&imm));
+                    enc_i(0b0010011, 0b101, rd, rs1, imm | (0b010000 << 6))
+                }
+                AluOp::Addw => enc_i(0b0011011, 0b000, rd, rs1, imm),
+                AluOp::Sllw => {
+                    debug_assert!((0..32).contains(&imm));
+                    enc_i(0b0011011, 0b001, rd, rs1, imm)
+                }
+                AluOp::Srlw => {
+                    debug_assert!((0..32).contains(&imm));
+                    enc_i(0b0011011, 0b101, rd, rs1, imm)
+                }
+                AluOp::Sraw => {
+                    debug_assert!((0..32).contains(&imm));
+                    enc_i(0b0011011, 0b101, rd, rs1, imm | (0b0100000 << 5))
+                }
+                AluOp::Sub | AluOp::Subw => {
+                    unreachable!("sub/subw have no immediate form")
+                }
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (rd, rs1, rs2) = (rd.index() as u32, rs1.index() as u32, rs2.index() as u32);
+            let (opcode, funct3, funct7) = match op {
+                AluOp::Add => (0b0110011, 0b000, 0b0000000),
+                AluOp::Sub => (0b0110011, 0b000, 0b0100000),
+                AluOp::Sll => (0b0110011, 0b001, 0b0000000),
+                AluOp::Slt => (0b0110011, 0b010, 0b0000000),
+                AluOp::Sltu => (0b0110011, 0b011, 0b0000000),
+                AluOp::Xor => (0b0110011, 0b100, 0b0000000),
+                AluOp::Srl => (0b0110011, 0b101, 0b0000000),
+                AluOp::Sra => (0b0110011, 0b101, 0b0100000),
+                AluOp::Or => (0b0110011, 0b110, 0b0000000),
+                AluOp::And => (0b0110011, 0b111, 0b0000000),
+                AluOp::Addw => (0b0111011, 0b000, 0b0000000),
+                AluOp::Subw => (0b0111011, 0b000, 0b0100000),
+                AluOp::Sllw => (0b0111011, 0b001, 0b0000000),
+                AluOp::Srlw => (0b0111011, 0b101, 0b0000000),
+                AluOp::Sraw => (0b0111011, 0b101, 0b0100000),
+            };
+            enc_r(opcode, funct3, funct7, rd, rs1, rs2)
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            let (rd, rs1, rs2) = (rd.index() as u32, rs1.index() as u32, rs2.index() as u32);
+            let (opcode, funct3) = match op {
+                MulOp::Mul => (0b0110011, 0b000),
+                MulOp::Mulh => (0b0110011, 0b001),
+                MulOp::Mulhsu => (0b0110011, 0b010),
+                MulOp::Mulhu => (0b0110011, 0b011),
+                MulOp::Div => (0b0110011, 0b100),
+                MulOp::Divu => (0b0110011, 0b101),
+                MulOp::Rem => (0b0110011, 0b110),
+                MulOp::Remu => (0b0110011, 0b111),
+                MulOp::Mulw => (0b0111011, 0b000),
+                MulOp::Divw => (0b0111011, 0b100),
+                MulOp::Divuw => (0b0111011, 0b101),
+                MulOp::Remw => (0b0111011, 0b110),
+                MulOp::Remuw => (0b0111011, 0b111),
+            };
+            enc_r(opcode, funct3, 0b0000001, rd, rs1, rs2)
+        }
+        Inst::FpLoad { fmt, rd, rs1, offset } => {
+            let funct3 = if fmt == FpFmt::S { 0b010 } else { 0b011 };
+            enc_i(0b0000111, funct3, rd.index() as u32, rs1.index() as u32, offset)
+        }
+        Inst::FpStore { fmt, rs1, rs2, offset } => {
+            let funct3 = if fmt == FpFmt::S { 0b010 } else { 0b011 };
+            enc_s(0b0100111, funct3, rs1.index() as u32, rs2.index() as u32, offset)
+        }
+        Inst::FpOp { op, fmt, rd, rs1, rs2 } => {
+            let (rd, r1, r2) = (rd.index() as u32, rs1.index() as u32, rs2.index() as u32);
+            let (f5, funct3, rs2_field) = match op {
+                FpOp::Add => (0b00000, RM_DYN, r2),
+                FpOp::Sub => (0b00001, RM_DYN, r2),
+                FpOp::Mul => (0b00010, RM_DYN, r2),
+                FpOp::Div => (0b00011, RM_DYN, r2),
+                FpOp::Sqrt => (0b01011, RM_DYN, 0),
+                FpOp::SgnJ => (0b00100, 0b000, r2),
+                FpOp::SgnJn => (0b00100, 0b001, r2),
+                FpOp::SgnJx => (0b00100, 0b010, r2),
+                FpOp::Min => (0b00101, 0b000, r2),
+                FpOp::Max => (0b00101, 0b001, r2),
+            };
+            enc_r(0b1010011, funct3, (f5 << 2) | fmt.bits(), rd, r1, rs2_field)
+        }
+        Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+            op.opcode()
+                | ((rd.index() as u32) << 7)
+                | (RM_DYN << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | (fmt.bits() << 25)
+                | ((rs3.index() as u32) << 27)
+        }
+        Inst::FpCmp { cmp, fmt, rd, rs1, rs2 } => enc_r(
+            0b1010011,
+            cmp.funct3(),
+            (0b10100 << 2) | fmt.bits(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            rs2.index() as u32,
+        ),
+        Inst::FpCvtToInt { to, fmt, rd, rs1, rm } => enc_r(
+            0b1010011,
+            rm.bits(),
+            (0b11000 << 2) | fmt.bits(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            to.rs2_bits(),
+        ),
+        Inst::FpCvtFromInt { from, fmt, rd, rs1 } => enc_r(
+            0b1010011,
+            RM_DYN,
+            (0b11010 << 2) | fmt.bits(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            from.rs2_bits(),
+        ),
+        Inst::FpCvtFmt { to, rd, rs1 } => {
+            let (fmt_bits, rs2_field, funct3) = match to {
+                FpFmt::S => (FpFmt::S.bits(), 0b00001, RM_DYN),
+                FpFmt::D => (FpFmt::D.bits(), 0b00000, 0b000),
+            };
+            enc_r(
+                0b1010011,
+                funct3,
+                (0b01000 << 2) | fmt_bits,
+                rd.index() as u32,
+                rs1.index() as u32,
+                rs2_field,
+            )
+        }
+        Inst::FpMvToInt { fmt, rd, rs1 } => enc_r(
+            0b1010011,
+            0b000,
+            (0b11100 << 2) | fmt.bits(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            0,
+        ),
+        Inst::FpMvFromInt { fmt, rd, rs1 } => enc_r(
+            0b1010011,
+            0b000,
+            (0b11110 << 2) | fmt.bits(),
+            rd.index() as u32,
+            rs1.index() as u32,
+            0,
+        ),
+        Inst::Fence => 0x0ff0_000f,
+        Inst::Ecall => 0x0000_0073,
+        Inst::Ebreak => 0x0010_0073,
+    }
+}
+
+impl Inst {
+    /// True if this instruction may redirect control flow (branch/jal/jalr).
+    #[inline]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. })
+    }
+
+    /// True for a conditional branch.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// True for loads (integer or floating-point).
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::FpLoad { .. })
+    }
+
+    /// True for stores (integer or floating-point).
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::FpStore { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm >> 12) & 0xfffff),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xfffff),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
+            }
+            Inst::Load { kind, rd, rs1, offset } => {
+                write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic())
+            }
+            Inst::Store { kind, rs1, rs2, offset } => {
+                write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic())
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let m = op.mnemonic();
+                // Shift-immediates and word ops keep their mnemonic; the rest
+                // get the conventional `i` suffix (addi, xori, ...).
+                match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => write!(f, "{m}i {rd}, {rs1}, {imm}"),
+                    AluOp::Sllw | AluOp::Srlw | AluOp::Sraw | AluOp::Addw => {
+                        let base = &m[..m.len() - 1];
+                        write!(f, "{base}iw {rd}, {rs1}, {imm}")
+                    }
+                    _ => write!(f, "{m}i {rd}, {rs1}, {imm}"),
+                }
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::FpLoad { fmt, rd, rs1, offset } => {
+                let m = if fmt == FpFmt::S { "flw" } else { "fld" };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::FpStore { fmt, rs1, rs2, offset } => {
+                let m = if fmt == FpFmt::S { "fsw" } else { "fsd" };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::FpOp { op, fmt, rd, rs1, rs2 } => {
+                if op == FpOp::Sqrt {
+                    write!(f, "fsqrt.{} {rd}, {rs1}", fmt.suffix())
+                } else {
+                    write!(f, "{}.{} {rd}, {rs1}, {rs2}", op.mnemonic(), fmt.suffix())
+                }
+            }
+            Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+                write!(f, "{}.{} {rd}, {rs1}, {rs2}, {rs3}", op.mnemonic(), fmt.suffix())
+            }
+            Inst::FpCmp { cmp, fmt, rd, rs1, rs2 } => {
+                write!(f, "{}.{} {rd}, {rs1}, {rs2}", cmp.mnemonic(), fmt.suffix())
+            }
+            Inst::FpCvtToInt { to, fmt, rd, rs1, rm } => {
+                let rm = if rm == Rm::Rtz { ", rtz" } else { "" };
+                write!(f, "fcvt.{}.{} {rd}, {rs1}{rm}", to.suffix(), fmt.suffix())
+            }
+            Inst::FpCvtFromInt { from, fmt, rd, rs1 } => {
+                write!(f, "fcvt.{}.{} {rd}, {rs1}", fmt.suffix(), from.suffix())
+            }
+            Inst::FpCvtFmt { to, rd, rs1 } => {
+                let from = if to == FpFmt::S { "d" } else { "s" };
+                write!(f, "fcvt.{}.{from} {rd}, {rs1}", to.suffix())
+            }
+            Inst::FpMvToInt { fmt, rd, rs1 } => {
+                let s = if fmt == FpFmt::S { "w" } else { "d" };
+                write!(f, "fmv.x.{s} {rd}, {rs1}")
+            }
+            Inst::FpMvFromInt { fmt, rd, rs1 } => {
+                let s = if fmt == FpFmt::S { "w" } else { "d" };
+                write!(f, "fmv.{s}.x {rd}, {rs1}")
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Ebreak => write!(f, "ebreak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_known_words() {
+        // addi a0, a0, 1
+        assert_eq!(
+            decode(0x0015_0513).unwrap(),
+            Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }
+        );
+        // ret == jalr x0, 0(ra)
+        assert_eq!(
+            decode(0x0000_8067).unwrap(),
+            Inst::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }
+        );
+        // sd s0, 8(sp)
+        assert_eq!(
+            decode(0x0081_3423).unwrap(),
+            Inst::Store { kind: StoreKind::D, rs1: Reg::Sp, rs2: Reg::S0, offset: 8 }
+        );
+        // mul a0, a1, a2
+        assert_eq!(
+            decode(0x02c5_8533).unwrap(),
+            Inst::MulDiv { op: MulOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
+        );
+        // ecall
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+    }
+
+    #[test]
+    fn decode_negative_immediates() {
+        // addi sp, sp, -16
+        assert_eq!(
+            decode(0xff01_0113).unwrap(),
+            Inst::OpImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -16 }
+        );
+        // beq a0, zero, -8 (backwards branch)
+        let w = encode(Inst::Branch { cond: BrCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 });
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::Branch { cond: BrCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -8 }
+        );
+    }
+
+    #[test]
+    fn fp_round_trip_samples() {
+        let insts = [
+            Inst::FpOp { op: FpOp::Add, fmt: FpFmt::D, rd: FReg::Fa0, rs1: FReg::Fa1, rs2: FReg::Fa2 },
+            Inst::FpOp { op: FpOp::Sqrt, fmt: FpFmt::S, rd: FReg::Ft0, rs1: FReg::Ft1, rs2: FReg::Ft1 },
+            Inst::FpFma {
+                op: FmaOp::Madd,
+                fmt: FpFmt::D,
+                rd: FReg::Fa0,
+                rs1: FReg::Fa1,
+                rs2: FReg::Fa2,
+                rs3: FReg::Fa3,
+            },
+            Inst::FpCmp { cmp: FpCmp::Lt, fmt: FpFmt::D, rd: Reg::A0, rs1: FReg::Fa0, rs2: FReg::Fa1 },
+            Inst::FpCvtToInt { to: CvtInt::L, fmt: FpFmt::D, rd: Reg::A0, rs1: FReg::Fa0, rm: Rm::Rtz },
+            Inst::FpCvtFromInt { from: CvtInt::W, fmt: FpFmt::D, rd: FReg::Fa0, rs1: Reg::A0 },
+            Inst::FpCvtFmt { to: FpFmt::S, rd: FReg::Fa0, rs1: FReg::Fa1 },
+            Inst::FpCvtFmt { to: FpFmt::D, rd: FReg::Fa0, rs1: FReg::Fa1 },
+            Inst::FpMvToInt { fmt: FpFmt::D, rd: Reg::A0, rs1: FReg::Fa0 },
+            Inst::FpMvFromInt { fmt: FpFmt::S, rd: FReg::Fa0, rs1: Reg::A0 },
+            Inst::FpLoad { fmt: FpFmt::D, rd: FReg::Fa0, rs1: Reg::Sp, offset: -24 },
+            Inst::FpStore { fmt: FpFmt::S, rs1: Reg::Sp, rs2: FReg::Fa0, offset: 12 },
+        ];
+        for inst in insts {
+            assert_eq!(decode(encode(inst)).unwrap(), inst, "{inst}");
+        }
+    }
+
+    #[test]
+    fn illegal_words_are_rejected() {
+        for w in [0u32, 0xffff_ffff, 0x0000_0001, 0x8000_0000, 0x0000_707f] {
+            assert!(decode(w).is_err(), "{w:#010x} should be illegal");
+        }
+    }
+
+    #[test]
+    fn shift_immediates_round_trip() {
+        for sh in [0, 1, 31, 32, 63] {
+            for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+                let inst = Inst::OpImm { op, rd: Reg::A0, rs1: Reg::A1, imm: sh };
+                assert_eq!(decode(encode(inst)).unwrap(), inst);
+            }
+        }
+        for sh in [0, 1, 15, 31] {
+            for op in [AluOp::Sllw, AluOp::Srlw, AluOp::Sraw] {
+                let inst = Inst::OpImm { op, rd: Reg::A0, rs1: Reg::A1, imm: sh };
+                assert_eq!(decode(encode(inst)).unwrap(), inst);
+            }
+        }
+    }
+
+    #[test]
+    fn disassembly_is_never_empty() {
+        let inst = Inst::Fence;
+        assert!(!inst.to_string().is_empty());
+        assert_eq!(
+            Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: -4 }.to_string(),
+            "addi a0, sp, -4"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Sparse, paged physical memory shared by the functional and cycle-level
+//! simulators.
+
+use std::collections::HashMap;
+
+/// Size of one backing page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+type Page = [u8; PAGE_SIZE as usize];
+
+/// A sparse 64-bit physical address space backed by 4 KiB pages.
+///
+/// Reads of untouched memory return zero, matching the zeroed-DRAM
+/// convention the bare-metal workloads rely on. All accesses are
+/// little-endian and may be misaligned (split accesses fall back to a
+/// byte-wise path).
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<Page>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of distinct pages that have been written.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterates over `(page_base_address, page_bytes)` for all touched pages.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(k, v)| (k * PAGE_SIZE, &v[..]))
+    }
+
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&Page> {
+        self.pages.get(&(addr / PAGE_SIZE)).map(|p| &**p)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u64) -> &mut Page {
+        self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr` into a u64.
+    #[inline]
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = addr & PAGE_MASK;
+        if off + size <= PAGE_SIZE {
+            let Some(p) = self.page(addr) else { return 0 };
+            let off = off as usize;
+            let mut buf = [0u8; 8];
+            buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
+            u64::from_le_bytes(buf)
+        } else {
+            let mut v = 0u64;
+            for i in 0..size {
+                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+            }
+            v
+        }
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let off = addr & PAGE_MASK;
+        if off + size <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            let off = off as usize;
+            p[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        } else {
+            for i in 0..size {
+                self.write_u8(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    /// Reads a 32-bit instruction word (must be 4-byte aligned for speed;
+    /// falls back gracefully otherwise).
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> u32 {
+        self.read(pc, 4) as u32
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let room = (PAGE_SIZE as usize) - off;
+            let n = room.min(rest.len());
+            self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
+        }
+    }
+
+    /// Copies `len` bytes out of memory starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x8000_0000, 8), 0);
+        assert_eq!(m.read_u8(42), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn read_write_widths() {
+        let mut m = Memory::new();
+        m.write(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read(0x1004, 4), 0x1122_3344);
+        assert_eq!(m.read(0x1000, 2), 0x7788);
+        assert_eq!(m.read(0x1000, 1), 0x88);
+        m.write(0x1002, 2, 0xAABB);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_AABB_7788);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 3; // 8-byte access straddles the boundary
+        m.write(addr, 8, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read(addr, 8), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(PAGE_SIZE - 100, &data);
+        assert_eq!(m.read_bytes(PAGE_SIZE - 100, data.len()), data);
+    }
+}

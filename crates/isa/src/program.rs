@@ -1,0 +1,69 @@
+//! Loadable program images produced by the assembler.
+
+use crate::mem::Memory;
+use std::collections::HashMap;
+
+/// A position-fixed, bare-metal program image (text followed by data).
+///
+/// Produced by [`crate::asm::Assembler::assemble`]; loaded into a simulator
+/// with [`Program::load`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: u64,
+    text_len: usize,
+    image: Vec<u8>,
+    symbols: HashMap<String, u64>,
+    stack_top: u64,
+}
+
+impl Program {
+    pub(crate) fn new(
+        base: u64,
+        text_len: usize,
+        image: Vec<u8>,
+        symbols: HashMap<String, u64>,
+        stack_top: u64,
+    ) -> Program {
+        Program { base, text_len, image, symbols, stack_top }
+    }
+
+    /// Load address of the first text byte; also the entry point.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Entry-point address (equal to [`Program::base`]).
+    pub fn entry(&self) -> u64 {
+        self.base
+    }
+
+    /// Initial stack-pointer value simulators should install.
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// Size of the text (code) section in bytes.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// The full image (text + data) as raw bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Address of a label defined during assembly, if present.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Copies the image into `mem` at its base address.
+    pub fn load(&self, mem: &mut Memory) {
+        mem.write_bytes(self.base, &self.image);
+    }
+
+    /// Number of static instructions in the text section.
+    pub fn inst_count(&self) -> usize {
+        self.text_len / 4
+    }
+}

@@ -1,0 +1,198 @@
+//! Integer and floating-point architectural register names.
+
+use std::fmt;
+
+/// One of the 32 integer architectural registers (`x0`–`x31`).
+///
+/// The enum carries the numeric index as its discriminant; ABI aliases are
+/// provided as associated constants via the variant names themselves
+/// (`Reg::A0` is `x10`, etc.).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+impl Reg {
+    /// All 32 integer registers in index order.
+    pub const ALL: [Reg; 32] = {
+        use Reg::*;
+        [
+            Zero, Ra, Sp, Gp, Tp, T0, T1, T2, S0, S1, A0, A1, A2, A3, A4, A5, A6, A7, S2, S3, S4,
+            S5, S6, S7, S8, S9, S10, S11, T3, T4, T5, T6,
+        ]
+    };
+
+    /// Constructs a register from its hardware index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub fn from_index(idx: u32) -> Reg {
+        Self::ALL[idx as usize]
+    }
+
+    /// The hardware index (0–31) of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, `a0`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// One of the 32 floating-point architectural registers (`f0`–`f31`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum FReg {
+    Ft0 = 0,
+    Ft1 = 1,
+    Ft2 = 2,
+    Ft3 = 3,
+    Ft4 = 4,
+    Ft5 = 5,
+    Ft6 = 6,
+    Ft7 = 7,
+    Fs0 = 8,
+    Fs1 = 9,
+    Fa0 = 10,
+    Fa1 = 11,
+    Fa2 = 12,
+    Fa3 = 13,
+    Fa4 = 14,
+    Fa5 = 15,
+    Fa6 = 16,
+    Fa7 = 17,
+    Fs2 = 18,
+    Fs3 = 19,
+    Fs4 = 20,
+    Fs5 = 21,
+    Fs6 = 22,
+    Fs7 = 23,
+    Fs8 = 24,
+    Fs9 = 25,
+    Fs10 = 26,
+    Fs11 = 27,
+    Ft8 = 28,
+    Ft9 = 29,
+    Ft10 = 30,
+    Ft11 = 31,
+}
+
+impl FReg {
+    /// All 32 floating-point registers in index order.
+    pub const ALL: [FReg; 32] = {
+        use FReg::*;
+        [
+            Ft0, Ft1, Ft2, Ft3, Ft4, Ft5, Ft6, Ft7, Fs0, Fs1, Fa0, Fa1, Fa2, Fa3, Fa4, Fa5, Fa6,
+            Fa7, Fs2, Fs3, Fs4, Fs5, Fs6, Fs7, Fs8, Fs9, Fs10, Fs11, Ft8, Ft9, Ft10, Ft11,
+        ]
+    };
+
+    /// Constructs a register from its hardware index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    #[inline]
+    pub fn from_index(idx: u32) -> FReg {
+        Self::ALL[idx as usize]
+    }
+
+    /// The hardware index (0–31) of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The ABI name (`ft0`, `fa0`, `fs3`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
+            "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+            "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+            assert_eq!(FReg::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn abi_names_are_distinct() {
+        let mut names: Vec<&str> = Reg::ALL.iter().map(|r| r.abi_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let _ = Reg::from_index(32);
+    }
+}

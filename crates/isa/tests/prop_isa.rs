@@ -1,0 +1,260 @@
+//! Property-based tests for the ISA layer: encode/decode round-trips,
+//! decoder totality, memory invariants, and checkpoint determinism.
+
+use proptest::prelude::*;
+use rv_isa::asm::Assembler;
+use rv_isa::checkpoint::Checkpoint;
+use rv_isa::cpu::Cpu;
+use rv_isa::inst::{
+    AluOp, BrCond, CvtInt, FmaOp, FpCmp, FpFmt, FpOp, Inst, LoadKind, MulOp, Rm, StoreKind,
+};
+use rv_isa::mem::Memory;
+use rv_isa::reg::{FReg, Reg};
+use rv_isa::{decode, encode};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::from_index)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u32..32).prop_map(FReg::from_index)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn any_fmt() -> impl Strategy<Value = FpFmt> {
+    prop_oneof![Just(FpFmt::S), Just(FpFmt::D)]
+}
+
+/// A strategy over every valid instruction form.
+fn any_inst() -> impl Strategy<Value = Inst> {
+    let alu_rr = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Addw),
+        Just(AluOp::Subw),
+        Just(AluOp::Sllw),
+        Just(AluOp::Srlw),
+        Just(AluOp::Sraw),
+    ];
+    let mul_op = prop_oneof![
+        Just(MulOp::Mul),
+        Just(MulOp::Mulh),
+        Just(MulOp::Mulhsu),
+        Just(MulOp::Mulhu),
+        Just(MulOp::Div),
+        Just(MulOp::Divu),
+        Just(MulOp::Rem),
+        Just(MulOp::Remu),
+        Just(MulOp::Mulw),
+        Just(MulOp::Divw),
+        Just(MulOp::Divuw),
+        Just(MulOp::Remw),
+        Just(MulOp::Remuw),
+    ];
+    let br = prop_oneof![
+        Just(BrCond::Eq),
+        Just(BrCond::Ne),
+        Just(BrCond::Lt),
+        Just(BrCond::Ge),
+        Just(BrCond::Ltu),
+        Just(BrCond::Geu),
+    ];
+    let load = prop_oneof![
+        Just(LoadKind::B),
+        Just(LoadKind::H),
+        Just(LoadKind::W),
+        Just(LoadKind::D),
+        Just(LoadKind::Bu),
+        Just(LoadKind::Hu),
+        Just(LoadKind::Wu),
+    ];
+    let store = prop_oneof![
+        Just(StoreKind::B),
+        Just(StoreKind::H),
+        Just(StoreKind::W),
+        Just(StoreKind::D),
+    ];
+    let fp_arith = prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::SgnJ),
+        Just(FpOp::SgnJn),
+        Just(FpOp::SgnJx),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+    ];
+    let fma = prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)];
+    let cmp = prop_oneof![Just(FpCmp::Le), Just(FpCmp::Lt), Just(FpCmp::Eq)];
+    let cvt = prop_oneof![Just(CvtInt::W), Just(CvtInt::Wu), Just(CvtInt::L), Just(CvtInt::Lu)];
+    let rm = prop_oneof![Just(Rm::Rne), Just(Rm::Rtz)];
+
+    prop_oneof![
+        (any_reg(), (-0x80000i64..0x80000).prop_map(|v| v << 12))
+            .prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (any_reg(), (-0x80000i64..0x80000).prop_map(|v| v << 12))
+            .prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+        (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|v| v * 2))
+            .prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (br, any_reg(), any_reg(), (-2048i32..2048).prop_map(|v| v * 2))
+            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
+        (load, any_reg(), any_reg(), imm12())
+            .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
+        (store, any_reg(), any_reg(), imm12())
+            .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
+        (alu_rr.clone(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (mul_op, any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        // OpImm: non-shift forms with 12-bit immediates
+        (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm
+        }),
+        // shifts with constrained shamt
+        (any_reg(), any_reg(), 0i32..64).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), 0i32..32).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: AluOp::Sraw,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_fmt(), any_freg(), any_reg(), imm12())
+            .prop_map(|(fmt, rd, rs1, offset)| Inst::FpLoad { fmt, rd, rs1, offset }),
+        (any_fmt(), any_reg(), any_freg(), imm12())
+            .prop_map(|(fmt, rs1, rs2, offset)| Inst::FpStore { fmt, rs1, rs2, offset }),
+        (fp_arith, any_fmt(), any_freg(), any_freg(), any_freg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpOp { op, fmt, rd, rs1, rs2 }),
+        (any_fmt(), any_freg(), any_freg())
+            .prop_map(|(fmt, rd, rs1)| Inst::FpOp { op: FpOp::Sqrt, fmt, rd, rs1, rs2: rs1 }),
+        (fma, any_fmt(), any_freg(), any_freg(), any_freg(), any_freg())
+            .prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 }),
+        (cmp, any_fmt(), any_reg(), any_freg(), any_freg())
+            .prop_map(|(cmp, fmt, rd, rs1, rs2)| Inst::FpCmp { cmp, fmt, rd, rs1, rs2 }),
+        (cvt.clone(), any_fmt(), any_reg(), any_freg(), rm)
+            .prop_map(|(to, fmt, rd, rs1, rm)| Inst::FpCvtToInt { to, fmt, rd, rs1, rm }),
+        (cvt, any_fmt(), any_freg(), any_reg())
+            .prop_map(|(from, fmt, rd, rs1)| Inst::FpCvtFromInt { from, fmt, rd, rs1 }),
+        (any_fmt(), any_freg(), any_freg()).prop_map(|(to, rd, rs1)| Inst::FpCvtFmt { to, rd, rs1 }),
+        (any_fmt(), any_reg(), any_freg()).prop_map(|(fmt, rd, rs1)| Inst::FpMvToInt { fmt, rd, rs1 }),
+        (any_fmt(), any_freg(), any_reg()).prop_map(|(fmt, rd, rs1)| Inst::FpMvFromInt {
+            fmt,
+            rd,
+            rs1
+        }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every constructible instruction.
+    #[test]
+    fn encode_decode_round_trip(inst in any_inst()) {
+        let word = encode(inst);
+        let back = decode(word).expect("canonical encoding must decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// The decoder never panics on arbitrary words, and anything it accepts
+    /// re-encodes to a decodable word with identical meaning.
+    #[test]
+    fn decode_is_total_and_stable(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let re = encode(inst);
+            let again = decode(re).expect("re-encoded word must decode");
+            prop_assert_eq!(again, inst);
+        }
+    }
+
+    /// Disassembly is never empty for any decodable word.
+    #[test]
+    fn disasm_nonempty(inst in any_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    /// Memory reads return exactly what was written, across page boundaries.
+    #[test]
+    fn memory_read_after_write(
+        addr in 0u64..(1 << 40),
+        value in any::<u64>(),
+        size_sel in 0usize..4,
+    ) {
+        let size = [1u64, 2, 4, 8][size_sel];
+        let mut m = Memory::new();
+        m.write(addr, size, value);
+        let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+        prop_assert_eq!(m.read(addr, size), value & mask);
+    }
+
+    /// Checkpoint + restore mid-run reproduces the exact final state of an
+    /// uninterrupted run, for randomized arithmetic programs.
+    #[test]
+    fn checkpoint_restore_determinism(
+        seed in any::<u64>(),
+        iters in 10u32..200,
+        split in 5u64..100,
+    ) {
+        let mut a = Assembler::new();
+        a.li(Reg::A0, seed as i64);
+        a.li(Reg::T0, iters as i64);
+        a.label("loop");
+        // xorshift-style mixing so state depends on every iteration
+        a.slli(Reg::T1, Reg::A0, 13);
+        a.xor(Reg::A0, Reg::A0, Reg::T1);
+        a.srli(Reg::T1, Reg::A0, 7);
+        a.xor(Reg::A0, Reg::A0, Reg::T1);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.exit();
+        let p = a.assemble().unwrap();
+
+        let mut straight = Cpu::new(&p);
+        straight.run(u64::MAX).unwrap();
+
+        let mut first = Cpu::new(&p);
+        let stop = first.run(split).unwrap();
+        let mut resumed = if matches!(stop, rv_isa::cpu::StopReason::Exited(_)) {
+            // The split fell past program exit; the checkpoint degenerates
+            // to the final state.
+            first
+        } else {
+            let ck = Checkpoint::capture(&first);
+            let mut resumed = ck.restore();
+            resumed.run(u64::MAX).unwrap();
+            resumed
+        };
+        let _ = &mut resumed;
+
+        prop_assert_eq!(straight.xregs(), resumed.xregs());
+        prop_assert_eq!(straight.pc(), resumed.pc());
+        prop_assert_eq!(straight.instret(), resumed.instret());
+    }
+}

@@ -1,0 +1,474 @@
+//! The power estimator: configuration + activity → per-component power.
+
+use crate::calib::calibration;
+use crate::report::{Component, PowerBreakdown, PowerReport};
+use crate::structures::{pj_per_cycle_to_mw, CamQueue, MultiPortRegFile, ProcessParams, SramArray};
+use boom_uarch::stats::{IssueQueueStats, Stats};
+use boom_uarch::{BoomConfig, Core};
+
+/// Storage geometry of the branch-prediction structures, taken from the
+/// live predictor objects (their size depends on the configured flavour).
+#[derive(Clone, Copy, Debug)]
+pub struct PredictorGeometry {
+    /// Conditional-predictor storage bits (TAGE ≫ gshare).
+    pub cond_bits: u64,
+    /// Tables read per prediction.
+    pub tables_per_lookup: u64,
+    /// BTB storage bits.
+    pub btb_bits: u64,
+}
+
+/// Convenience wrapper: estimates power for a finished [`Core`] run.
+pub fn estimate_core(core: &Core) -> PowerReport {
+    let geom = PredictorGeometry {
+        cond_bits: core.predictor_storage_bits(),
+        tables_per_lookup: core.predictor_tables_per_lookup(),
+        btb_bits: core.btb_storage_bits(),
+    };
+    estimate(core.config(), core.stats(), &geom)
+}
+
+/// Estimates per-component power from a configuration, its activity
+/// counters, and the predictor geometry.
+///
+/// Leakage is constant per configuration; internal and switching power
+/// scale with events per cycle, converted to mW at the configured clock.
+pub fn estimate(cfg: &BoomConfig, stats: &Stats, geom: &PredictorGeometry) -> PowerReport {
+    let p = ProcessParams::default();
+    let est = Estimator { cfg, stats, geom, p, cycles: stats.cycles.max(1) as f64 };
+    let mut entries = Vec::with_capacity(14);
+    entries.push((Component::IntRegFile, est.int_regfile()));
+    entries.push((Component::FpRegFile, est.fp_regfile()));
+    entries.push((Component::IntRename, est.rename(true)));
+    entries.push((Component::FpRename, est.rename(false)));
+    entries.push((
+        Component::IntIssue,
+        est.issue_queue(&stats.int_iq, cfg.int_issue_slots, cfg.int_issue_width),
+    ));
+    entries.push((
+        Component::MemIssue,
+        est.issue_queue(&stats.mem_iq, cfg.mem_issue_slots, cfg.mem_issue_width),
+    ));
+    entries.push((
+        Component::FpIssue,
+        est.issue_queue(&stats.fp_iq, cfg.fp_issue_slots, cfg.fp_issue_width),
+    ));
+    entries.push((Component::Rob, est.rob()));
+    entries.push((Component::BranchPredictor, est.branch_predictor()));
+    entries.push((Component::FetchBuffer, est.fetch_buffer()));
+    entries.push((Component::Lsu, est.lsu()));
+    entries.push((Component::DCache, est.dcache()));
+    entries.push((Component::ICache, est.icache()));
+    entries.push((Component::RestOfTile, est.rest_of_tile()));
+    // Apply the per-component calibration.
+    for (c, pb) in &mut entries {
+        let k = calibration(*c);
+        pb.leakage_mw *= k.leakage;
+        pb.internal_mw *= k.dynamic;
+        pb.switching_mw *= k.dynamic;
+    }
+    let slots = est.int_issue_per_slot();
+    PowerReport::new(entries, slots)
+}
+
+/// Bits per issue-queue entry (uop payload).
+const IQ_ENTRY_BITS: u64 = 70;
+/// Physical-register tag bits compared by wakeup CAMs.
+const IQ_TAG_BITS: u64 = 8;
+/// Bits per ROB entry (no data — merged register file).
+const ROB_ENTRY_BITS: u64 = 50;
+/// Bits per fetch-buffer entry (instruction + prediction metadata).
+const FB_ENTRY_BITS: u64 = 80;
+/// Bits per LDQ/STQ entry (address + data + flags).
+const LSQ_ENTRY_BITS: u64 = 110;
+/// Address bits compared by the STQ search CAM.
+const LSQ_TAG_BITS: u64 = 40;
+/// Tag bits per cache line.
+const CACHE_TAG_BITS: u64 = 24;
+
+struct Estimator<'a> {
+    cfg: &'a BoomConfig,
+    stats: &'a Stats,
+    geom: &'a PredictorGeometry,
+    p: ProcessParams,
+    cycles: f64,
+}
+
+impl Estimator<'_> {
+    #[inline]
+    fn epc(&self, events: u64) -> f64 {
+        events as f64 / self.cycles
+    }
+
+    #[inline]
+    fn to_mw(&self, pj_per_cycle: f64) -> f64 {
+        pj_per_cycle_to_mw(pj_per_cycle, self.cfg.clock_hz)
+    }
+
+    fn regfile(&self, rf: MultiPortRegFile, reads: u64, writes: u64) -> PowerBreakdown {
+        let p = &self.p;
+        let internal =
+            self.epc(reads) * rf.read_pj(p) + self.epc(writes) * rf.read_pj(p) * 1.2;
+        // Every write broadcasts across the bypass network; the network's
+        // clocked comparators also tick every cycle.
+        let bypass_wire = rf.width as f64 * rf.read_ports as f64 * p.wire_bit_pj;
+        let switching = self.epc(writes) * bypass_wire
+            + rf.bypass_units() * 0.02 * p.clock_per_bit_pj;
+        PowerBreakdown {
+            leakage_mw: rf.leakage_mw(p),
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    fn int_regfile(&self) -> PowerBreakdown {
+        let rf = MultiPortRegFile {
+            regs: self.cfg.int_phys_regs as u64,
+            width: 64,
+            read_ports: self.cfg.irf_read_ports as u64,
+            write_ports: self.cfg.irf_write_ports as u64,
+        };
+        self.regfile(rf, self.stats.irf_reads, self.stats.irf_writes)
+    }
+
+    fn fp_regfile(&self) -> PowerBreakdown {
+        let rf = MultiPortRegFile {
+            regs: self.cfg.fp_phys_regs as u64,
+            width: 64,
+            read_ports: self.cfg.frf_read_ports as u64,
+            write_ports: self.cfg.frf_write_ports as u64,
+        };
+        self.regfile(rf, self.stats.frf_reads, self.stats.frf_writes)
+    }
+
+    fn rename(&self, int: bool) -> PowerBreakdown {
+        let p = &self.p;
+        let (phys, rs) = if int {
+            (self.cfg.int_phys_regs as u64, &self.stats.int_rename)
+        } else {
+            (self.cfg.fp_phys_regs as u64, &self.stats.fp_rename)
+        };
+        let tag_bits = (64 - (phys - 1).leading_zeros()) as u64; // ceil(log2)
+        let map_bits = 32 * tag_bits;
+        let snapshot_bits = map_bits + phys; // allocation list: map + free list
+        let storage_bits = map_bits + phys + self.cfg.max_br_count as u64 * snapshot_bits;
+        // The map table and allocation lists are read/written by every
+        // decode lane, so cell size grows with machine width.
+        let leakage = storage_bits as f64 * p.leak_per_ff_bit_mw * self.cfg.decode_width as f64;
+
+        let map_access = tag_bits as f64 * p.sram_bit_access_pj * 4.0;
+        let internal = (self.epc(rs.map_reads) + self.epc(rs.map_writes)) * map_access
+            + (self.epc(rs.freelist_pops) + self.epc(rs.freelist_pushes))
+                * (tag_bits as f64 * p.sram_bit_access_pj * 3.0);
+        // Snapshot writes copy the entire allocation list — this is what
+        // makes the FP rename unit burn power on every branch even in
+        // integer-only code (Key Takeaway #3).
+        let switching = self.epc(rs.snapshot_writes) * snapshot_bits as f64 * p.wire_bit_pj * 4.0;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    fn iq_cam(&self, slots: usize) -> CamQueue {
+        CamQueue { entries: slots as u64, entry_bits: IQ_ENTRY_BITS, tag_bits: IQ_TAG_BITS }
+    }
+
+    fn issue_queue(&self, iq: &IssueQueueStats, slots: usize, width: usize) -> PowerBreakdown {
+        let p = &self.p;
+        let cam = self.iq_cam(slots);
+        // Every additional issue port adds a full read/select network to
+        // the queue, scaling all per-event energies.
+        let port_factor = width as f64;
+        // A non-collapsing queue trades the shift writes for an explicit
+        // age-ordered select network (~slots^2 age matrix): selection gets
+        // markedly more expensive and the matrix leaks.
+        let (select_factor, age_matrix_bits) = match self.cfg.iq_kind {
+            boom_uarch::IssueQueueKind::Collapsing => (1.0, 0u64),
+            boom_uarch::IssueQueueKind::NonCollapsing => (4.0, (slots * slots) as u64),
+        };
+        let select_pj = slots as f64 * 0.25 * p.clock_per_bit_pj * 8.0 * select_factor;
+        // Occupied slots dominate: every occupied entry clocks its
+        // payload, precharges its wakeup comparators, and participates in
+        // select every cycle — the paper's occupancy-correlated power
+        // (Fig. 8). Entry writes/shifts are comparatively cheap.
+        let internal = ((self.epc(iq.writes) + self.epc(iq.collapse_writes))
+            * cam.write_pj(p)
+            * 0.15
+            + self.epc(iq.issued) * select_pj
+            + self.epc(iq.occupancy_sum) * cam.hold_pj(p) * 10.0)
+            * port_factor;
+        // Wakeup: each broadcast compares source tags of waiting entries.
+        let switching = self.epc(iq.wakeup_cam_matches) * cam.compare_pj(p) * port_factor;
+        PowerBreakdown {
+            leakage_mw: cam.leakage_mw(p) + age_matrix_bits as f64 * p.leak_per_ff_bit_mw,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    /// Per-slot power of the integer issue queue (paper Fig. 8), mW,
+    /// calibration applied to match the component total.
+    fn int_issue_per_slot(&self) -> Vec<f64> {
+        let p = &self.p;
+        let k = calibration(Component::IntIssue);
+        let cam = self.iq_cam(self.cfg.int_issue_slots);
+        let iq = &self.stats.int_iq;
+        let port_factor = self.cfg.int_issue_width as f64;
+        let leak_per_slot = cam.leakage_mw(p) / self.cfg.int_issue_slots as f64 * k.leakage;
+        let total_occ: u64 = iq.slot_occupancy.iter().sum::<u64>().max(1);
+        iq.slot_occupancy
+            .iter()
+            .zip(&iq.slot_writes)
+            .map(|(&occ, &writes)| {
+                let hold = self.epc(occ) * cam.hold_pj(p) * 10.0 * port_factor;
+                let write = self.epc(writes) * cam.write_pj(p) * 0.15 * port_factor;
+                // Wakeup compare energy distributed by slot residency.
+                let wake = self.epc(iq.wakeup_cam_matches) * cam.compare_pj(p) * port_factor
+                    * occ as f64 / total_occ as f64;
+                leak_per_slot + self.to_mw(hold + write + wake) * k.dynamic
+            })
+            .collect()
+    }
+
+    fn rob(&self) -> PowerBreakdown {
+        let p = &self.p;
+        let bits = self.cfg.rob_entries as u64 * ROB_ENTRY_BITS;
+        let leakage = bits as f64 * p.leak_per_ff_bit_mw * 0.6;
+        let access = ROB_ENTRY_BITS as f64 * p.sram_bit_access_pj * 2.0;
+        let internal = (self.epc(self.stats.rob_writes) + self.epc(self.stats.rob_reads)) * access
+            + self.epc(self.stats.rob_occupancy_sum) * ROB_ENTRY_BITS as f64 * p.clock_per_bit_pj * 0.3;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: 0.0,
+        }
+    }
+
+    fn branch_predictor(&self) -> PowerBreakdown {
+        let p = &self.p;
+        let bp = &self.stats.bp;
+        let total_bits = self.geom.cond_bits + self.geom.btb_bits + 32 * 64;
+        let leakage = total_bits as f64 * p.leak_per_bit_mw * 2.2;
+
+        let table = SramArray {
+            bits: (self.geom.cond_bits / self.geom.tables_per_lookup.max(1)).max(1),
+            row_bits: 16,
+        };
+        let btb = SramArray {
+            bits: self.geom.btb_bits.max(1),
+            row_bits: 57 * self.cfg.btb_ways as u64,
+        };
+        let internal = self.epc(bp.table_reads) * table.access_pj(p)
+            + self.epc(bp.updates) * table.access_pj(p) * 1.5
+            + self.epc(bp.allocations) * table.access_pj(p) * 2.0
+            + (self.epc(bp.btb_lookups) + self.epc(bp.btb_updates)) * btb.access_pj(p)
+            + (self.epc(bp.ras_pushes) + self.epc(bp.ras_pops))
+                * (64.0 * p.sram_bit_access_pj);
+        // Index hashing / history folding toggles every lookup.
+        let switching = self.epc(bp.lookups) * 128.0 * p.wire_bit_pj;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    fn fetch_buffer(&self) -> PowerBreakdown {
+        let p = &self.p;
+        let bits = self.cfg.fetch_buffer_entries as u64 * FB_ENTRY_BITS;
+        let leakage = bits as f64 * p.leak_per_ff_bit_mw * 0.5;
+        let access = FB_ENTRY_BITS as f64 * p.sram_bit_access_pj * 2.0;
+        let internal = (self.epc(self.stats.fetch_buffer_writes)
+            + self.epc(self.stats.fetch_buffer_reads))
+            * access
+            + self.epc(self.stats.fetch_buffer_occupancy_sum)
+                * FB_ENTRY_BITS as f64
+                * p.clock_per_bit_pj
+                * 0.3;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: 0.0,
+        }
+    }
+
+    fn lsu(&self) -> PowerBreakdown {
+        let p = &self.p;
+        let entries = (self.cfg.ldq_entries + self.cfg.stq_entries) as u64;
+        let cam = CamQueue { entries, entry_bits: LSQ_ENTRY_BITS, tag_bits: LSQ_TAG_BITS };
+        let leakage = cam.leakage_mw(p);
+        let internal = (self.epc(self.stats.ldq_writes) + self.epc(self.stats.stq_writes))
+            * cam.write_pj(p)
+            + self.epc(self.stats.lsu_occupancy_sum) * cam.hold_pj(p) * 0.5
+            + self.epc(self.stats.agu_ops) * (40.0 * p.sram_bit_access_pj * 4.0);
+        // Each load searches the whole STQ.
+        let search_pj = self.cfg.stq_entries as f64 * cam.compare_pj(p);
+        let switching = self.epc(self.stats.stq_searches) * search_pj
+            + self.epc(self.stats.forwards) * 64.0 * p.wire_bit_pj;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    fn cache(
+        &self,
+        params: &boom_uarch::CacheParams,
+        cs: &boom_uarch::stats::CacheStats,
+        row_bits: u64,
+        ports: usize,
+    ) -> PowerBreakdown {
+        let p = &self.p;
+        let cap_bits = (params.capacity_bytes() * 8) as u64;
+        let tag_bits = (params.sets * params.ways) as u64 * CACHE_TAG_BITS;
+        let data = SramArray { bits: cap_bits, row_bits: row_bits * params.ways as u64 / 2 };
+        let tags = SramArray { bits: tag_bits, row_bits: CACHE_TAG_BITS * params.ways as u64 };
+        let mshr_bits = params.mshrs as u64 * 64 * 8;
+        // Multi-ported arrays (MegaBOOM's dual memory units) roughly
+        // double the cell size — Key Takeaway #8.
+        let leakage = ((cap_bits + tag_bits) as f64 * p.leak_per_bit_mw
+            + mshr_bits as f64 * p.leak_per_ff_bit_mw)
+            * ports as f64;
+
+        let line_bits = (params.line_bytes * 8) as f64;
+        let internal = (self.epc(cs.reads) + self.epc(cs.writes))
+            * (data.access_pj(p) + tags.access_pj(p))
+            + self.epc(cs.misses) * line_bits * p.sram_bit_access_pj * 1.5
+            + self.epc(cs.writebacks) * line_bits * p.sram_bit_access_pj
+            + self.epc(cs.mshr_occupancy_sum) * 64.0 * 8.0 * p.clock_per_bit_pj;
+        let switching = self.epc(cs.misses) * line_bits * p.wire_bit_pj;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
+    fn dcache(&self) -> PowerBreakdown {
+        self.cache(&self.cfg.dcache, &self.stats.dcache, 64, self.cfg.mem_issue_width)
+    }
+
+    fn icache(&self) -> PowerBreakdown {
+        self.cache(
+            &self.cfg.icache,
+            &self.stats.icache,
+            32 * self.cfg.fetch_width as u64,
+            1,
+        )
+    }
+
+    fn rest_of_tile(&self) -> PowerBreakdown {
+        let p = &self.p;
+        let s = self.stats;
+        // Execution units + decode + fetch control leak roughly in
+        // proportion to machine width.
+        let unit_bits = (self.cfg.decode_width * 14_000
+            + self.cfg.mem_issue_width * 6_000
+            + self.cfg.fp_issue_width * 22_000
+            + 30_000) as f64;
+        let leakage = unit_bits * p.leak_per_ff_bit_mw;
+        let internal = self.epc(s.alu_ops) * 1.6
+            + self.epc(s.mul_ops) * 5.0
+            + self.epc(s.div_ops) * 18.0
+            + self.epc(s.fpu_ops) * 7.0
+            + self.epc(s.fdiv_ops) * 24.0
+            + self.epc(s.agu_ops) * 1.2
+            + self.epc(s.decoded) * 2.4;
+        let switching = self.epc(s.decoded) * 0.8;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boom_uarch::BoomConfig;
+    use rv_isa::asm::Assembler;
+    use rv_isa::reg::Reg::*;
+
+    fn run_loop(cfg: BoomConfig) -> Core {
+        let mut a = Assembler::new();
+        a.li(A0, 0);
+        a.li(T0, 5000);
+        a.label("loop");
+        a.add(A0, A0, T0);
+        a.xori(A1, A0, 21);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+        let p = a.assemble().unwrap();
+        let mut core = Core::new(cfg, &p);
+        let r = core.run(10_000_000);
+        assert!(r.exited);
+        core
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let core = run_loop(BoomConfig::medium());
+        let rep = estimate_core(&core);
+        for (c, pb) in rep.iter() {
+            assert!(pb.leakage_mw >= 0.0, "{c} leakage");
+            assert!(pb.total_mw() > 0.0, "{c} total");
+        }
+        assert!(rep.analyzed_fraction() > 0.3 && rep.analyzed_fraction() < 1.0);
+    }
+
+    #[test]
+    fn bigger_config_burns_more_power() {
+        let med = estimate_core(&run_loop(BoomConfig::medium()));
+        let mega = estimate_core(&run_loop(BoomConfig::mega()));
+        assert!(mega.tile_total_mw() > med.tile_total_mw());
+        // The integer register file must grow dramatically (Takeaway #1).
+        let ratio = mega.component(Component::IntRegFile).total_mw()
+            / med.component(Component::IntRegFile).total_mw();
+        assert!(ratio > 3.0, "IRF ratio {ratio}");
+    }
+
+    #[test]
+    fn leakage_is_workload_independent() {
+        let a = estimate_core(&run_loop(BoomConfig::large()));
+        let mut quick = Assembler::new();
+        quick.li(T0, 10);
+        quick.label("l");
+        quick.addi(T0, T0, -1);
+        quick.bnez(T0, "l");
+        quick.exit();
+        let p = quick.assemble().unwrap();
+        let mut core = Core::new(BoomConfig::large(), &p);
+        core.run(10_000_000);
+        let b = estimate_core(&core);
+        for c in Component::ALL {
+            let (la, lb) = (a.component(c).leakage_mw, b.component(c).leakage_mw);
+            assert!((la - lb).abs() < 1e-9, "{c}: {la} vs {lb}");
+        }
+    }
+
+    #[test]
+    fn per_slot_power_sums_below_component_total() {
+        let core = run_loop(BoomConfig::mega());
+        let rep = estimate_core(&core);
+        assert_eq!(rep.int_issue_slot_mw.len(), 40);
+        let slot_sum: f64 = rep.int_issue_slot_mw.iter().sum();
+        let total = rep.component(Component::IntIssue).total_mw();
+        // Slots exclude the shared select tree, so the sum is close to but
+        // does not exceed the component total.
+        assert!(slot_sum <= total * 1.01, "slots {slot_sum} vs total {total}");
+        assert!(slot_sum > total * 0.3);
+    }
+
+    #[test]
+    fn occupied_low_slots_burn_more() {
+        let core = run_loop(BoomConfig::mega());
+        let rep = estimate_core(&core);
+        // A simple dependent loop keeps only the low slots occupied.
+        assert!(rep.int_issue_slot_mw[0] > rep.int_issue_slot_mw[39]);
+    }
+}

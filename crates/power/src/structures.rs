@@ -1,0 +1,218 @@
+//! Parametric energy models for the hardware structures BOOM is built
+//! from: SRAM arrays, CAMs, multi-ported register files, and broadcast
+//! (bypass/wakeup) networks.
+//!
+//! The models are first-order but capture the *scaling* the paper's
+//! analysis hinges on:
+//!
+//! * multi-port register-file cells grow with total port count, and the
+//!   bypass network grows **non-linearly** in read × write ports (Key
+//!   Takeaway #1);
+//! * CAM search energy scales with the number of searched entries
+//!   (issue-queue wakeup, STQ address match);
+//! * SRAM access energy scales with the row width and associativity;
+//! * leakage scales with storage bits, inflated by port-heavy cells.
+//!
+//! All energies are in picojoules per event; leakage in milliwatts.
+
+/// ASAP7-flavoured base coefficients (7 nm-class, 0.7 V, typical corner).
+///
+/// These are the "liberty file" of the model: one set of process
+/// constants shared by every structure.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessParams {
+    /// Leakage per storage bit of single-port SRAM, in mW.
+    pub leak_per_bit_mw: f64,
+    /// Leakage per bit of flip-flop/latch storage (queues, maps), in mW.
+    pub leak_per_ff_bit_mw: f64,
+    /// Read/write energy per bit of single-port SRAM, in pJ.
+    pub sram_bit_access_pj: f64,
+    /// Energy per bit driven across a broadcast wire, in pJ.
+    pub wire_bit_pj: f64,
+    /// Energy per CAM tag comparison (per entry, per search), in pJ.
+    pub cam_compare_pj: f64,
+    /// Clock/precharge energy per occupied flip-flop bit per cycle, in pJ.
+    pub clock_per_bit_pj: f64,
+}
+
+impl Default for ProcessParams {
+    fn default() -> ProcessParams {
+        ProcessParams {
+            leak_per_bit_mw: 6.0e-6,
+            leak_per_ff_bit_mw: 2.5e-5,
+            sram_bit_access_pj: 2.2e-4,
+            wire_bit_pj: 1.2e-4,
+            cam_compare_pj: 3.0e-3,
+            clock_per_bit_pj: 4.0e-5,
+        }
+    }
+}
+
+/// A single-port (or lightly ported) SRAM array such as a cache data/tag
+/// array or a predictor table.
+#[derive(Clone, Copy, Debug)]
+pub struct SramArray {
+    /// Total storage bits.
+    pub bits: u64,
+    /// Bits driven per access (row width).
+    pub row_bits: u64,
+}
+
+impl SramArray {
+    /// Leakage power in mW.
+    pub fn leakage_mw(&self, p: &ProcessParams) -> f64 {
+        self.bits as f64 * p.leak_per_bit_mw
+    }
+
+    /// Energy of one access in pJ (row activation + a size-dependent
+    /// wordline/bitline term).
+    pub fn access_pj(&self, p: &ProcessParams) -> f64 {
+        let row = self.row_bits as f64 * p.sram_bit_access_pj;
+        // Larger arrays pay longer bitlines: sqrt term.
+        let wires = (self.bits as f64).sqrt() * p.wire_bit_pj;
+        row + wires
+    }
+}
+
+/// A multi-ported register file with a bypass network.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiPortRegFile {
+    /// Number of registers.
+    pub regs: u64,
+    /// Bits per register.
+    pub width: u64,
+    /// Read ports.
+    pub read_ports: u64,
+    /// Write ports.
+    pub write_ports: u64,
+}
+
+impl MultiPortRegFile {
+    /// The size of the bypass/forwarding network in "wire-bit units".
+    ///
+    /// Every write port broadcasts to every read port across the operand
+    /// width, and the mux/comparator tree grows with total port count —
+    /// the super-linear growth the paper highlights.
+    pub fn bypass_units(&self) -> f64 {
+        // Empirically, RTL power of BOOM's merged register files grows
+        // roughly with the cube of (read x write) ports: the forwarding
+        // mux tree and comparator matrix both widen and deepen. This is
+        // the non-linearity behind the paper's Key Takeaways #1 and #2.
+        let rw = (self.read_ports * self.write_ports) as f64;
+        rw.powf(2.7) / 64.0 * self.width as f64
+    }
+
+    /// Leakage power in mW: port-heavy cells grow quadratically with port
+    /// count, and the bypass network leaks in proportion to its size.
+    pub fn leakage_mw(&self, p: &ProcessParams) -> f64 {
+        let ports = (self.read_ports + self.write_ports) as f64;
+        let cells =
+            self.regs as f64 * self.width as f64 * p.leak_per_bit_mw * (0.3 + 0.015 * ports);
+        let bypass = self.bypass_units() * 3.0 * p.leak_per_bit_mw;
+        cells + bypass
+    }
+
+    /// Energy of one register read in pJ.
+    pub fn read_pj(&self, p: &ProcessParams) -> f64 {
+        let ports = (self.read_ports + self.write_ports) as f64;
+        self.width as f64 * p.sram_bit_access_pj * (1.0 + 0.15 * ports)
+    }
+
+    /// Energy of one register write in pJ (includes the bypass broadcast
+    /// to all read ports).
+    pub fn write_pj(&self, p: &ProcessParams) -> f64 {
+        let bypass = self.width as f64 * self.read_ports as f64 * p.wire_bit_pj;
+        self.read_pj(p) + bypass
+    }
+}
+
+/// A CAM-searched queue (issue-queue wakeup, STQ address match).
+#[derive(Clone, Copy, Debug)]
+pub struct CamQueue {
+    /// Number of entries.
+    pub entries: u64,
+    /// Payload bits per entry.
+    pub entry_bits: u64,
+    /// Tag bits compared per search.
+    pub tag_bits: u64,
+}
+
+impl CamQueue {
+    /// Leakage power in mW (flip-flop storage + comparators).
+    pub fn leakage_mw(&self, p: &ProcessParams) -> f64 {
+        let storage = (self.entries * self.entry_bits) as f64 * p.leak_per_ff_bit_mw;
+        let comparators = (self.entries * self.tag_bits) as f64 * 2.0 * p.leak_per_ff_bit_mw;
+        storage + comparators
+    }
+
+    /// Energy of writing one entry, in pJ.
+    pub fn write_pj(&self, p: &ProcessParams) -> f64 {
+        self.entry_bits as f64 * p.sram_bit_access_pj * 2.0
+    }
+
+    /// Energy of one tag comparison against one entry, in pJ.
+    pub fn compare_pj(&self, p: &ProcessParams) -> f64 {
+        p.cam_compare_pj * self.tag_bits as f64 / 8.0
+    }
+
+    /// Clock/precharge energy of one occupied entry for one cycle, in pJ.
+    pub fn hold_pj(&self, p: &ProcessParams) -> f64 {
+        self.entry_bits as f64 * p.clock_per_bit_pj
+    }
+}
+
+/// Converts an energy-per-cycle figure to power at a clock frequency.
+///
+/// `pj_per_cycle` picojoules dissipated each cycle at `clock_hz` is
+/// `pj_per_cycle × clock_hz / 1e9` mW.
+#[inline]
+pub fn pj_per_cycle_to_mw(pj_per_cycle: f64, clock_hz: f64) -> f64 {
+    pj_per_cycle * clock_hz / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ProcessParams = ProcessParams {
+        leak_per_bit_mw: 6.0e-6,
+        leak_per_ff_bit_mw: 2.5e-5,
+        sram_bit_access_pj: 2.2e-4,
+        wire_bit_pj: 1.2e-4,
+        cam_compare_pj: 3.0e-3,
+        clock_per_bit_pj: 4.0e-5,
+    };
+
+    #[test]
+    fn regfile_power_grows_superlinearly_with_ports() {
+        // MediumBOOM vs MegaBOOM integer register files (Table I).
+        let medium = MultiPortRegFile { regs: 80, width: 64, read_ports: 6, write_ports: 3 };
+        let mega = MultiPortRegFile { regs: 128, width: 64, read_ports: 12, write_ports: 6 };
+        let leak_ratio = mega.leakage_mw(&P) / medium.leakage_mw(&P);
+        // Registers grow 1.6x but power must grow much faster (ports).
+        assert!(leak_ratio > 3.0, "leakage ratio {leak_ratio}");
+        let write_ratio = mega.write_pj(&P) / medium.write_pj(&P);
+        assert!(write_ratio > 1.5, "write ratio {write_ratio}");
+    }
+
+    #[test]
+    fn sram_access_energy_scales_with_row_width() {
+        let narrow = SramArray { bits: 1 << 15, row_bits: 64 };
+        let wide = SramArray { bits: 1 << 15, row_bits: 512 };
+        assert!(wide.access_pj(&P) > narrow.access_pj(&P) * 3.0);
+    }
+
+    #[test]
+    fn cam_energy_monotone_in_geometry() {
+        let small = CamQueue { entries: 12, entry_bits: 40, tag_bits: 14 };
+        let large = CamQueue { entries: 40, entry_bits: 40, tag_bits: 14 };
+        assert!(large.leakage_mw(&P) > small.leakage_mw(&P));
+        assert_eq!(small.compare_pj(&P), large.compare_pj(&P));
+    }
+
+    #[test]
+    fn unit_conversion_at_500mhz() {
+        // 1 pJ per 2 ns cycle = 0.5 mW.
+        assert!((pj_per_cycle_to_mw(1.0, 500e6) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the power model: monotonicity in activity and
+//! geometry, additivity of the leakage/internal/switching split, and
+//! scale-invariance of per-cycle normalization.
+
+use boom_uarch::stats::Stats;
+use boom_uarch::BoomConfig;
+use proptest::prelude::*;
+use rtl_power::{estimate, Component, PredictorGeometry};
+
+fn geom() -> PredictorGeometry {
+    PredictorGeometry { cond_bits: 65536, tables_per_lookup: 5, btb_bits: 14592 }
+}
+
+fn stats_with(cycles: u64, fill: impl Fn(&mut Stats)) -> Stats {
+    let cfg = BoomConfig::medium();
+    let mut s = Stats::new(cfg.int_issue_slots, cfg.mem_issue_slots, cfg.fp_issue_slots);
+    s.cycles = cycles;
+    fill(&mut s);
+    s
+}
+
+proptest! {
+    /// More of any single activity never lowers any component's power.
+    #[test]
+    fn activity_is_monotone(
+        base_reads in 0u64..100_000,
+        extra in 1u64..100_000,
+    ) {
+        let cfg = BoomConfig::medium();
+        let cycles = 100_000;
+        let lo = stats_with(cycles, |s| s.irf_reads = base_reads);
+        let hi = stats_with(cycles, |s| s.irf_reads = base_reads + extra);
+        let p_lo = estimate(&cfg, &lo, &geom());
+        let p_hi = estimate(&cfg, &hi, &geom());
+        prop_assert!(
+            p_hi.component(Component::IntRegFile).total_mw()
+                >= p_lo.component(Component::IntRegFile).total_mw()
+        );
+        // Unrelated components must be unaffected.
+        let d = (p_hi.component(Component::DCache).total_mw()
+            - p_lo.component(Component::DCache).total_mw())
+        .abs();
+        prop_assert!(d < 1e-12);
+    }
+
+    /// The three power classes are non-negative and sum to the total.
+    #[test]
+    fn split_is_additive(
+        reads in 0u64..1_000_000,
+        writes in 0u64..1_000_000,
+        lookups in 0u64..1_000_000,
+    ) {
+        let cfg = BoomConfig::large();
+        let s = stats_with(1_000_000, |s| {
+            s.irf_reads = reads;
+            s.irf_writes = writes;
+            s.bp.lookups = lookups;
+            s.bp.table_reads = lookups * 5;
+        });
+        let rep = estimate(&cfg, &s, &geom());
+        for (c, pb) in rep.iter() {
+            prop_assert!(pb.leakage_mw >= 0.0, "{c}");
+            prop_assert!(pb.internal_mw >= 0.0, "{c}");
+            prop_assert!(pb.switching_mw >= 0.0, "{c}");
+            let sum = pb.leakage_mw + pb.internal_mw + pb.switching_mw;
+            prop_assert!((sum - pb.total_mw()).abs() < 1e-12, "{c}");
+        }
+    }
+
+    /// Power is a rate: scaling counters and cycles together is invariant.
+    #[test]
+    fn per_cycle_normalization(k in 2u64..10, reads in 1u64..10_000) {
+        let cfg = BoomConfig::mega();
+        let a = stats_with(100_000, |s| {
+            s.irf_reads = reads;
+            s.decoded = reads;
+        });
+        let b = stats_with(100_000 * k, |s| {
+            s.irf_reads = reads * k;
+            s.decoded = reads * k;
+        });
+        let pa = estimate(&cfg, &a, &geom());
+        let pb = estimate(&cfg, &b, &geom());
+        prop_assert!((pa.tile_total_mw() - pb.tile_total_mw()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn leakage_ordering_medium_large_mega() {
+    // With zero activity, every component's power is pure leakage and the
+    // bigger configuration must never leak less.
+    let zero = |cfg: &BoomConfig| {
+        let mut s = Stats::new(cfg.int_issue_slots, cfg.mem_issue_slots, cfg.fp_issue_slots);
+        s.cycles = 1000;
+        estimate(cfg, &s, &geom())
+    };
+    let m = zero(&BoomConfig::medium());
+    let l = zero(&BoomConfig::large());
+    let g = zero(&BoomConfig::mega());
+    for c in Component::ALL {
+        let (pm, pl, pg) = (
+            m.component(c).leakage_mw,
+            l.component(c).leakage_mw,
+            g.component(c).leakage_mw,
+        );
+        assert!(pl >= pm - 1e-12, "{c}: Large {pl} < Medium {pm}");
+        assert!(pg >= pl - 1e-12, "{c}: Mega {pg} < Large {pl}");
+    }
+}
+
+#[test]
+fn gshare_geometry_cuts_bp_power() {
+    let cfg = BoomConfig::large();
+    let s = stats_with_activity();
+    let tage = estimate(&cfg, &s, &geom());
+    let small = PredictorGeometry { cond_bits: 16384, tables_per_lookup: 1, btb_bits: 14592 };
+    let gsh = estimate(&cfg, &s, &small);
+    let ratio = tage.component(Component::BranchPredictor).total_mw()
+        / gsh.component(Component::BranchPredictor).total_mw();
+    assert!(ratio > 1.5, "ratio {ratio}");
+}
+
+fn stats_with_activity() -> Stats {
+    let cfg = BoomConfig::large();
+    let mut s = Stats::new(cfg.int_issue_slots, cfg.mem_issue_slots, cfg.fp_issue_slots);
+    s.cycles = 100_000;
+    s.bp.lookups = 20_000;
+    s.bp.table_reads = 100_000;
+    s.bp.updates = 20_000;
+    s.bp.btb_lookups = 20_000;
+    s
+}

@@ -1,0 +1,110 @@
+//! Bayesian Information Criterion scoring of clusterings.
+//!
+//! SimPoint picks the number of clusters `k` by scoring each candidate
+//! clustering with the BIC of a spherical-Gaussian mixture (the X-means
+//! formulation of Pelleg & Moore) and choosing the smallest `k` whose score
+//! reaches a set fraction of the best score observed.
+
+use crate::kmeans::Clustering;
+
+/// BIC score of a clustering (higher is better).
+///
+/// Uses the spherical-Gaussian likelihood with a shared variance estimated
+/// from the clustering's SSE, penalized by `p/2 · ln(n)` free parameters
+/// where `p = k·(d+1)`.
+pub fn bic(clustering: &Clustering, n: usize) -> f64 {
+    let k = clustering.k as f64;
+    let d = clustering.dim as f64;
+    let n_f = n as f64;
+    let sizes = clustering.sizes();
+
+    // Variance of the spherical model; clamp for degenerate (perfect) fits.
+    let denom = (n_f - k).max(1.0);
+    let sigma2 = (clustering.sse / (denom * d)).max(1e-12);
+
+    let mut ll = 0.0;
+    for &rj in &sizes {
+        if rj == 0 {
+            continue;
+        }
+        let rj_f = rj as f64;
+        ll += rj_f * rj_f.ln() - rj_f * n_f.ln()
+            - rj_f * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            - (rj_f - 1.0) * d / 2.0;
+    }
+    let params = k * (d + 1.0);
+    ll - params / 2.0 * n_f.ln()
+}
+
+/// Picks the smallest `k` whose normalized BIC reaches `threshold` of the
+/// best score (SimPoint 3.0's `-bicThreshold`, default 0.9).
+///
+/// `scores` must be ordered by ascending `k`, with `scores[i]` belonging to
+/// `ks[i]`.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or lengths differ.
+pub fn choose_k(ks: &[usize], scores: &[f64], threshold: f64) -> usize {
+    assert!(!scores.is_empty() && ks.len() == scores.len());
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let range = (max - min).max(1e-12);
+    for (&k, &s) in ks.iter().zip(scores) {
+        if (s - min) / range >= threshold {
+            return k;
+        }
+    }
+    *ks.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans_best_of;
+    use crate::projection::project;
+    use rv_isa::bbv::{BbvProfile, Interval};
+
+    fn phased_profile(phases: usize, per_phase: usize) -> BbvProfile {
+        let mut intervals = Vec::new();
+        for p in 0..phases {
+            for _ in 0..per_phase {
+                intervals.push(Interval { weights: vec![(p, 90), (phases, 10)], len: 100 });
+            }
+        }
+        let total = (phases * per_phase * 100) as u64;
+        BbvProfile { intervals, dim: phases + 1, interval_size: 100, total_insts: total }
+    }
+
+    #[test]
+    fn bic_prefers_true_phase_count() {
+        let profile = phased_profile(3, 8);
+        let v = project(&profile, 8, 11);
+        let ks: Vec<usize> = (1..=6).collect();
+        let scores: Vec<f64> = ks
+            .iter()
+            .map(|&k| bic(&kmeans_best_of(&v, k, 100, 8, 13), v.rows()))
+            .collect();
+        let chosen = choose_k(&ks, &scores, 0.9);
+        assert_eq!(chosen, 3, "scores: {scores:?}");
+    }
+
+    #[test]
+    fn choose_k_threshold_monotonicity() {
+        let ks = [1, 2, 3, 4];
+        let scores = [0.0, 50.0, 100.0, 99.0];
+        assert_eq!(choose_k(&ks, &scores, 1.0), 3);
+        assert_eq!(choose_k(&ks, &scores, 0.9), 3);
+        assert_eq!(choose_k(&ks, &scores, 0.5), 2);
+        assert_eq!(choose_k(&ks, &scores, 0.0), 1);
+    }
+
+    #[test]
+    fn bic_finite_for_perfect_clustering() {
+        let profile = phased_profile(2, 5);
+        let v = project(&profile, 4, 17);
+        let c = kmeans_best_of(&v, 2, 100, 5, 19);
+        let score = bic(&c, v.rows());
+        assert!(score.is_finite());
+    }
+}

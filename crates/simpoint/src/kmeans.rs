@@ -1,0 +1,234 @@
+//! Lloyd's k-means with k-means++ seeding, as used by SimPoint 3.0.
+
+use crate::projection::ProjectedVectors;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one k-means run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster index for every input vector.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids, row-major (`k × dim`).
+    pub centroids: Vec<f64>,
+    /// Dimensionality of the space.
+    pub dim: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Sum of squared distances of points to their centroid.
+    pub sse: f64,
+}
+
+impl Clustering {
+    /// The centroid of cluster `c`.
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Number of points assigned to each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn kmeanspp_init(vectors: &ProjectedVectors, k: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let dim = vectors.dim();
+    let n = vectors.rows();
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(vectors.row(first));
+    let mut d2: Vec<f64> = (0..n).map(|i| dist2(vectors.row(i), vectors.row(first))).collect();
+    for _ in 1..k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        let start = centroids.len();
+        centroids.extend_from_slice(vectors.row(next));
+        let new_c = &centroids[start..start + dim].to_vec();
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = dist2(vectors.row(i), new_c);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Runs Lloyd's algorithm once from a k-means++ seeding.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of vectors.
+pub fn kmeans(vectors: &ProjectedVectors, k: usize, max_iters: usize, seed: u64) -> Clustering {
+    assert!(k >= 1 && k <= vectors.rows(), "k must be in 1..=n");
+    let dim = vectors.dim();
+    let n = vectors.rows();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = kmeanspp_init(vectors, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let v = vectors.row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = dist2(v, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(vectors.row(i)) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist2(vectors.row(a), &centroids[assignment[a] * dim..(assignment[a] + 1) * dim]);
+                        let db = dist2(vectors.row(b), &centroids[assignment[b] * dim..(assignment[b] + 1) * dim]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(vectors.row(far));
+                changed = true;
+            } else {
+                for (dst, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *dst = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sse = (0..n)
+        .map(|i| dist2(vectors.row(i), &centroids[assignment[i] * dim..(assignment[i] + 1) * dim]))
+        .sum();
+    Clustering { assignment, centroids, dim, k, sse }
+}
+
+/// Runs `restarts` independent k-means attempts and keeps the lowest-SSE one.
+pub fn kmeans_best_of(
+    vectors: &ProjectedVectors,
+    k: usize,
+    max_iters: usize,
+    restarts: usize,
+    seed: u64,
+) -> Clustering {
+    (0..restarts.max(1))
+        .map(|r| kmeans(vectors, k, max_iters, seed.wrapping_add(r as u64 * 0x9e37)))
+        .min_by(|a, b| a.sse.partial_cmp(&b.sse).unwrap())
+        .expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project;
+    use rv_isa::bbv::{BbvProfile, Interval};
+
+    fn two_phase_profile() -> BbvProfile {
+        // 10 intervals dominated by block 0, then 10 dominated by block 1.
+        let mut intervals = Vec::new();
+        for i in 0..20 {
+            let block = if i < 10 { 0 } else { 1 };
+            intervals.push(Interval { weights: vec![(block, 95), (2, 5)], len: 100 });
+        }
+        BbvProfile { intervals, dim: 3, interval_size: 100, total_insts: 2000 }
+    }
+
+    #[test]
+    fn separates_two_obvious_phases() {
+        let p = two_phase_profile();
+        let v = project(&p, 8, 1);
+        let c = kmeans_best_of(&v, 2, 100, 5, 1);
+        // All of phase 1 in one cluster, all of phase 2 in the other.
+        let first = c.assignment[0];
+        assert!(c.assignment[..10].iter().all(|&a| a == first));
+        assert!(c.assignment[10..].iter().all(|&a| a != first));
+        assert!(c.sse < 1e-9, "perfect phases should cluster exactly: sse={}", c.sse);
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean() {
+        let p = two_phase_profile();
+        let v = project(&p, 4, 2);
+        let c = kmeans(&v, 1, 50, 3);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+        // centroid is the mean of all rows
+        for d in 0..4 {
+            let mean: f64 = (0..v.rows()).map(|i| v.row(i)[d]).sum::<f64>() / v.rows() as f64;
+            assert!((c.centroid(0)[d] - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sse_never_increases_with_k() {
+        let p = two_phase_profile();
+        let v = project(&p, 8, 3);
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let c = kmeans_best_of(&v, k, 100, 8, 4);
+            assert!(c.sse <= prev + 1e-9, "sse increased at k={k}");
+            prev = c.sse;
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let p = two_phase_profile();
+        let v = project(&p, 8, 5);
+        let c = kmeans_best_of(&v, 3, 100, 3, 6);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = two_phase_profile();
+        let v = project(&p, 8, 9);
+        let a = kmeans(&v, 2, 100, 42);
+        let b = kmeans(&v, 2, 100, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.sse, b.sse);
+    }
+}

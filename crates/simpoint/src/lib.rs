@@ -1,0 +1,40 @@
+//! # simpoint — program-phase analysis (SimPoint 3.0)
+//!
+//! A from-scratch implementation of the SimPoint methodology (Hamerly,
+//! Perelman, Lau & Calder, *SimPoint 3.0*, JILP 2005) used by the paper to
+//! cut RTL-simulation time by 45×:
+//!
+//! 1. Each fixed-size interval of dynamic execution is summarized by a
+//!    basic-block vector (collected by [`rv_isa::bbv`]).
+//! 2. Vectors are normalized and randomly projected down to a small
+//!    dimension ([`projection`]).
+//! 3. k-means (with k-means++ seeding) clusters the projected vectors for a
+//!    range of `k`; the Bayesian Information Criterion picks the best `k`
+//!    ([`kmeans`], [`bic`]).
+//! 4. The interval closest to each centroid becomes a *simulation point*,
+//!    weighted by its cluster's share of execution; the highest-weight
+//!    points are kept until a target coverage is reached ([`select`]).
+//!
+//! ```
+//! use rv_isa::bbv::{BbvCollector, BbvProfile};
+//! use simpoint::{analyze, SimPointConfig};
+//! # use rv_isa::asm::Assembler; use rv_isa::cpu::Cpu; use rv_isa::reg::Reg::*;
+//! # let mut a = Assembler::new();
+//! # a.li(T0, 2000); a.label("l"); a.addi(A0, A0, 1); a.addi(T0, T0, -1);
+//! # a.bnez(T0, "l"); a.exit();
+//! # let p = a.assemble().unwrap();
+//! # let mut cpu = Cpu::new(&p);
+//! let mut collector = BbvCollector::new(200);
+//! cpu.run_with(u64::MAX, |r| collector.observe(r)).unwrap();
+//! let profile: BbvProfile = collector.finish();
+//! let analysis = analyze(&profile, &SimPointConfig::default());
+//! assert!(analysis.selected_coverage() >= 0.9);
+//! ```
+
+#![warn(missing_docs)]
+pub mod bic;
+pub mod kmeans;
+pub mod projection;
+pub mod select;
+
+pub use select::{analyze, SimPoint, SimPointAnalysis, SimPointConfig};

@@ -1,0 +1,132 @@
+//! Normalization and random projection of basic-block vectors.
+//!
+//! SimPoint first normalizes each interval's BBV to unit L1 mass (so that
+//! intervals of unequal length compare by *shape*), then projects the
+//! high-dimensional sparse vectors down to a small dense dimension with a
+//! random matrix. Random projection approximately preserves pairwise
+//! distances (Johnson–Lindenstrauss), which is all k-means needs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rv_isa::bbv::BbvProfile;
+
+/// Dense row-major matrix of projected interval vectors.
+#[derive(Clone, Debug)]
+pub struct ProjectedVectors {
+    data: Vec<f64>,
+    dim: usize,
+    rows: usize,
+}
+
+impl ProjectedVectors {
+    /// Number of interval vectors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Projected dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th projected vector.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+/// Projects a BBV profile to `dim` dense dimensions using a random ±U(0,1)
+/// matrix generated from `seed`.
+///
+/// The projection matrix is generated lazily per basic block (keyed by block
+/// id), so memory is `O(observed_blocks × dim)` and results are independent
+/// of block discovery order.
+///
+/// # Panics
+///
+/// Panics if `dim` is zero or the profile has no intervals.
+pub fn project(profile: &BbvProfile, dim: usize, seed: u64) -> ProjectedVectors {
+    assert!(dim > 0, "projection dimension must be positive");
+    assert!(!profile.intervals.is_empty(), "profile has no intervals");
+
+    // One deterministic row of the projection matrix per basic block.
+    let block_row = |block: usize| -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    };
+    let mut rows_cache: Vec<Option<Vec<f64>>> = vec![None; profile.dim.max(1)];
+
+    let mut data = Vec::with_capacity(profile.intervals.len() * dim);
+    for interval in &profile.intervals {
+        let norm: f64 = interval.len.max(1) as f64;
+        let mut out = vec![0.0; dim];
+        for &(block, weight) in &interval.weights {
+            let row = rows_cache
+                .get_mut(block)
+                .expect("block id within profile dimension")
+                .get_or_insert_with(|| block_row(block));
+            let w = weight as f64 / norm;
+            for (o, r) in out.iter_mut().zip(row.iter()) {
+                *o += w * r;
+            }
+        }
+        data.extend_from_slice(&out);
+    }
+    ProjectedVectors { data, dim, rows: profile.intervals.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::bbv::Interval;
+
+    fn profile(intervals: Vec<Interval>, dim: usize) -> BbvProfile {
+        let total = intervals.iter().map(|i| i.len).sum();
+        BbvProfile { intervals, dim, interval_size: 100, total_insts: total }
+    }
+
+    #[test]
+    fn identical_intervals_project_identically() {
+        let iv = Interval { weights: vec![(0, 60), (3, 40)], len: 100 };
+        let p = profile(vec![iv.clone(), iv], 5);
+        let v = project(&p, 8, 42);
+        assert_eq!(v.row(0), v.row(1));
+    }
+
+    #[test]
+    fn scaled_intervals_project_identically() {
+        // Same *shape*, double the length: normalization must equate them.
+        let a = Interval { weights: vec![(0, 60), (3, 40)], len: 100 };
+        let b = Interval { weights: vec![(0, 120), (3, 80)], len: 200 };
+        let p = profile(vec![a, b], 5);
+        let v = project(&p, 8, 42);
+        for (x, y) in v.row(0).iter().zip(v.row(1)) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_intervals_project_differently() {
+        let a = Interval { weights: vec![(0, 100)], len: 100 };
+        let b = Interval { weights: vec![(1, 100)], len: 100 };
+        let p = profile(vec![a, b], 2);
+        let v = project(&p, 8, 42);
+        assert_ne!(v.row(0), v.row(1));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Interval { weights: vec![(0, 30), (1, 70)], len: 100 };
+        let p = profile(vec![a], 2);
+        let v1 = project(&p, 4, 7);
+        let v2 = project(&p, 4, 7);
+        let v3 = project(&p, 4, 8);
+        assert_eq!(v1.row(0), v2.row(0));
+        assert_ne!(v1.row(0), v3.row(0));
+    }
+}

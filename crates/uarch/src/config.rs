@@ -1,0 +1,310 @@
+//! BOOM core configurations (the paper's Table I).
+//!
+//! The three presets mirror Chipyard's `MediumBoomConfig` (2-wide),
+//! `LargeBoomConfig` (3-wide) and `MegaBoomConfig` (4-wide) generator
+//! parameters: widths, window sizes, register-file port counts, issue queue
+//! capacities, load/store queues, MSHRs, and cache geometry.
+
+use crate::issue::IssueQueueKind;
+
+/// Geometry and timing of one L1 cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Miss Status Handling Registers (outstanding misses).
+    pub mshrs: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheParams {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+/// Which conditional branch predictor the front end uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// BOOM's default TAGE predictor (the paper's configuration).
+    Tage,
+    /// The gshare predictor used by the paper's prior-work comparison
+    /// (Key Takeaway #7 ablation).
+    Gshare,
+    /// A plain bimodal predictor (cheapest ablation point).
+    Bimodal,
+}
+
+/// A complete BOOM core configuration.
+///
+/// Construct with [`BoomConfig::medium`], [`BoomConfig::large`], or
+/// [`BoomConfig::mega`], then adjust fields for ablation studies.
+#[derive(Clone, Debug)]
+pub struct BoomConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Instructions fetched per cycle (within one cache line).
+    pub fetch_width: usize,
+    /// Decode/rename/dispatch width; also the commit width.
+    pub decode_width: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Integer physical registers.
+    pub int_phys_regs: usize,
+    /// Floating-point physical registers.
+    pub fp_phys_regs: usize,
+    /// Integer register file read ports.
+    pub irf_read_ports: usize,
+    /// Integer register file write ports.
+    pub irf_write_ports: usize,
+    /// FP register file read ports.
+    pub frf_read_ports: usize,
+    /// FP register file write ports.
+    pub frf_write_ports: usize,
+    /// Integer issue queue slots.
+    pub int_issue_slots: usize,
+    /// Memory issue queue slots.
+    pub mem_issue_slots: usize,
+    /// FP issue queue slots.
+    pub fp_issue_slots: usize,
+    /// Integer instructions issued per cycle (= integer ALUs).
+    pub int_issue_width: usize,
+    /// Memory operations issued per cycle (= memory execution units).
+    pub mem_issue_width: usize,
+    /// FP operations issued per cycle (= FPUs).
+    pub fp_issue_width: usize,
+    /// Load queue entries.
+    pub ldq_entries: usize,
+    /// Store queue entries.
+    pub stq_entries: usize,
+    /// Fetch buffer entries (instructions).
+    pub fetch_buffer_entries: usize,
+    /// Maximum in-flight branches (rename snapshots / allocation lists).
+    pub max_br_count: usize,
+    /// BTB sets.
+    pub btb_sets: usize,
+    /// BTB ways.
+    pub btb_ways: usize,
+    /// Return-address stack entries.
+    pub ras_entries: usize,
+    /// Conditional predictor flavour.
+    pub predictor: PredictorKind,
+    /// Scale factor for predictor table sizes (Medium uses half-size BTB).
+    pub bp_table_shift: u32,
+    /// L1 instruction cache.
+    pub icache: CacheParams,
+    /// L1 data cache.
+    pub dcache: CacheParams,
+    /// Backing-memory latency in cycles (L1 miss penalty).
+    pub mem_latency: u64,
+    /// Additional front-end redirect penalty on a mispredict, beyond the
+    /// natural pipeline refill (models BOOM's deeper fetch pipeline).
+    pub redirect_penalty: u64,
+    /// Pipelined integer multiply latency.
+    pub mul_latency: u64,
+    /// Unpipelined integer divide latency.
+    pub div_latency: u64,
+    /// Pipelined FPU (add/mul/fma/cvt) latency.
+    pub fpu_latency: u64,
+    /// Unpipelined FP divide/sqrt latency.
+    pub fdiv_latency: u64,
+    /// Core clock in Hz (the paper runs everything at 500 MHz).
+    pub clock_hz: f64,
+    /// Issue-queue implementation (Key Takeaway #5 ablation).
+    pub iq_kind: IssueQueueKind,
+}
+
+impl BoomConfig {
+    /// `MediumBoomConfig`: the 2-wide core.
+    pub fn medium() -> BoomConfig {
+        BoomConfig {
+            name: "MediumBOOM".to_string(),
+            fetch_width: 4,
+            decode_width: 2,
+            rob_entries: 64,
+            int_phys_regs: 80,
+            fp_phys_regs: 64,
+            irf_read_ports: 6,
+            irf_write_ports: 3,
+            frf_read_ports: 3,
+            frf_write_ports: 2,
+            int_issue_slots: 20,
+            mem_issue_slots: 12,
+            fp_issue_slots: 16,
+            int_issue_width: 2,
+            mem_issue_width: 1,
+            fp_issue_width: 1,
+            ldq_entries: 16,
+            stq_entries: 16,
+            fetch_buffer_entries: 16,
+            max_br_count: 12,
+            btb_sets: 64,
+            btb_ways: 2,
+            ras_entries: 32,
+            predictor: PredictorKind::Tage,
+            bp_table_shift: 1, // half-size tables (paper: Medium's BTB is half)
+            icache: CacheParams { sets: 64, ways: 4, line_bytes: 64, mshrs: 2, hit_latency: 1 },
+            dcache: CacheParams { sets: 64, ways: 4, line_bytes: 64, mshrs: 4, hit_latency: 3 },
+            mem_latency: 40,
+            redirect_penalty: 3,
+            mul_latency: 3,
+            div_latency: 16,
+            fpu_latency: 4,
+            fdiv_latency: 18,
+            clock_hz: 500e6,
+            iq_kind: IssueQueueKind::Collapsing,
+        }
+    }
+
+    /// `LargeBoomConfig`: the 3-wide core.
+    pub fn large() -> BoomConfig {
+        BoomConfig {
+            name: "LargeBOOM".to_string(),
+            fetch_width: 8,
+            decode_width: 3,
+            rob_entries: 96,
+            int_phys_regs: 100,
+            fp_phys_regs: 96,
+            irf_read_ports: 8,
+            irf_write_ports: 4,
+            frf_read_ports: 4,
+            frf_write_ports: 2,
+            int_issue_slots: 32,
+            mem_issue_slots: 24,
+            fp_issue_slots: 24,
+            int_issue_width: 3,
+            mem_issue_width: 1,
+            fp_issue_width: 1,
+            ldq_entries: 24,
+            stq_entries: 24,
+            fetch_buffer_entries: 24,
+            max_br_count: 16,
+            btb_sets: 128,
+            btb_ways: 2,
+            ras_entries: 32,
+            predictor: PredictorKind::Tage,
+            bp_table_shift: 0,
+            icache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1 },
+            dcache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 4, hit_latency: 3 },
+            mem_latency: 40,
+            redirect_penalty: 3,
+            mul_latency: 3,
+            div_latency: 16,
+            fpu_latency: 4,
+            fdiv_latency: 18,
+            clock_hz: 500e6,
+            iq_kind: IssueQueueKind::Collapsing,
+        }
+    }
+
+    /// `MegaBoomConfig`: the 4-wide core.
+    pub fn mega() -> BoomConfig {
+        BoomConfig {
+            name: "MegaBOOM".to_string(),
+            fetch_width: 8,
+            decode_width: 4,
+            rob_entries: 128,
+            int_phys_regs: 128,
+            fp_phys_regs: 128,
+            irf_read_ports: 12,
+            irf_write_ports: 6,
+            frf_read_ports: 6,
+            frf_write_ports: 4,
+            int_issue_slots: 40,
+            mem_issue_slots: 24,
+            fp_issue_slots: 32,
+            int_issue_width: 4,
+            mem_issue_width: 2,
+            fp_issue_width: 2,
+            ldq_entries: 32,
+            stq_entries: 32,
+            fetch_buffer_entries: 32,
+            max_br_count: 20,
+            btb_sets: 128,
+            btb_ways: 2,
+            ras_entries: 32,
+            predictor: PredictorKind::Tage,
+            bp_table_shift: 0,
+            icache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1 },
+            dcache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 8, hit_latency: 3 },
+            mem_latency: 40,
+            redirect_penalty: 3,
+            mul_latency: 3,
+            div_latency: 16,
+            fpu_latency: 4,
+            fdiv_latency: 18,
+            clock_hz: 500e6,
+            iq_kind: IssueQueueKind::Collapsing,
+        }
+    }
+
+    /// The three paper configurations, smallest first.
+    pub fn all_three() -> Vec<BoomConfig> {
+        vec![BoomConfig::medium(), BoomConfig::large(), BoomConfig::mega()]
+    }
+
+    /// Returns a copy using the given conditional predictor (for the
+    /// TAGE-vs-gshare ablation of Key Takeaway #7).
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> BoomConfig {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Returns a copy using the given issue-queue implementation (for the
+    /// collapsing-vs-non-collapsing ablation of Key Takeaway #5).
+    pub fn with_issue_queue(mut self, kind: IssueQueueKind) -> BoomConfig {
+        self.iq_kind = kind;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let m = BoomConfig::medium();
+        let l = BoomConfig::large();
+        let g = BoomConfig::mega();
+        assert!(m.decode_width < l.decode_width && l.decode_width < g.decode_width);
+        assert!(m.rob_entries < l.rob_entries && l.rob_entries < g.rob_entries);
+        assert!(m.int_phys_regs < l.int_phys_regs && l.int_phys_regs < g.int_phys_regs);
+        assert!(m.irf_read_ports < l.irf_read_ports && l.irf_read_ports < g.irf_read_ports);
+        assert!(m.int_issue_slots < l.int_issue_slots && l.int_issue_slots < g.int_issue_slots);
+    }
+
+    #[test]
+    fn paper_table1_invariants() {
+        let m = BoomConfig::medium();
+        let l = BoomConfig::large();
+        let g = BoomConfig::mega();
+        // Mega has 12 read / 6 write IRF ports; Large 8/4; Medium 6/3 (§IV-B).
+        assert_eq!((g.irf_read_ports, g.irf_write_ports), (12, 6));
+        assert_eq!((l.irf_read_ports, l.irf_write_ports), (8, 4));
+        assert_eq!((m.irf_read_ports, m.irf_write_ports), (6, 3));
+        // Mega's FP RF has 2x the ports of Large (Key Takeaway #2).
+        assert_eq!(g.frf_read_ports, 2 * (l.frf_read_ports - 1)); // 6 vs 4
+        assert_eq!(g.frf_write_ports, 2 * l.frf_write_ports);
+        // Mega: 40 integer issue slots (Fig. 8), two memory units, 2x MSHRs.
+        assert_eq!(g.int_issue_slots, 40);
+        assert_eq!(g.mem_issue_width, 2);
+        assert_eq!(g.dcache.mshrs, 2 * l.dcache.mshrs);
+        // Large and Mega share D-cache geometry; Medium is half-size.
+        assert_eq!(l.dcache.capacity_bytes(), g.dcache.capacity_bytes());
+        assert_eq!(2 * m.dcache.capacity_bytes(), l.dcache.capacity_bytes());
+        // Medium's predictor tables are half-size.
+        assert_eq!(m.bp_table_shift, 1);
+        assert_eq!(l.bp_table_shift, 0);
+        // Everything runs at 500 MHz.
+        for c in [&m, &l, &g] {
+            assert_eq!(c.clock_hz, 500e6);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Merged physical register file with free list and busy (ready) table.
+//!
+//! BOOM uses explicit renaming with a *merged* register file: committed and
+//! speculative values live in one physical file, and the ROB stores no data
+//! (the paper's §IV-B notes this is why BOOM's ROB is small and cheap).
+
+/// A physical register index.
+pub type PReg = u16;
+
+/// One class (integer or FP) of physical registers.
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    vals: Vec<u64>,
+    ready: Vec<bool>,
+    free: Vec<PReg>,
+}
+
+impl PhysRegFile {
+    /// Creates a file with `total` registers; the first 32 start mapped to
+    /// the architectural registers (value 0, ready), the rest are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 33` (at least one register must be renameable).
+    pub fn new(total: usize) -> PhysRegFile {
+        assert!(total >= 33, "need more physical than architectural registers");
+        PhysRegFile {
+            vals: vec![0; total],
+            ready: {
+                let mut r = vec![false; total];
+                r[..32].fill(true);
+                r
+            },
+            free: (32..total as PReg).rev().collect(),
+        }
+    }
+
+    /// Number of physical registers.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if the file has no registers (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Free registers remaining.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a register (marked not-ready), or `None` if exhausted.
+    pub fn alloc(&mut self) -> Option<PReg> {
+        let p = self.free.pop()?;
+        self.ready[p as usize] = false;
+        Some(p)
+    }
+
+    /// Returns a register to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the register is already free.
+    pub fn release(&mut self, p: PReg) {
+        debug_assert!(!self.free.contains(&p), "double free of p{p}");
+        self.ready[p as usize] = true;
+        self.free.push(p);
+    }
+
+    /// Reads a register value.
+    #[inline]
+    pub fn read(&self, p: PReg) -> u64 {
+        self.vals[p as usize]
+    }
+
+    /// Writes a register value and marks it ready.
+    #[inline]
+    pub fn write(&mut self, p: PReg, v: u64) {
+        self.vals[p as usize] = v;
+        self.ready[p as usize] = true;
+    }
+
+    /// Sets a value without changing readiness (checkpoint restore).
+    pub fn poke(&mut self, p: PReg, v: u64) {
+        self.vals[p as usize] = v;
+    }
+
+    /// Whether the register's value has been produced.
+    #[inline]
+    pub fn is_ready(&self, p: PReg) -> bool {
+        self.ready[p as usize]
+    }
+}
+
+/// A register alias table for one register class.
+#[derive(Clone, Debug)]
+pub struct Rat {
+    map: [PReg; 32],
+}
+
+impl Rat {
+    /// Identity mapping: architectural register `i` → physical `i`.
+    pub fn identity() -> Rat {
+        let mut map = [0; 32];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as PReg;
+        }
+        Rat { map }
+    }
+
+    /// Current mapping of architectural register `arch`.
+    #[inline]
+    pub fn get(&self, arch: usize) -> PReg {
+        self.map[arch]
+    }
+
+    /// Remaps `arch` to `p`, returning the previous mapping.
+    #[inline]
+    pub fn set(&mut self, arch: usize, p: PReg) -> PReg {
+        std::mem::replace(&mut self.map[arch], p)
+    }
+
+    /// The raw table (for snapshots/assertions).
+    pub fn table(&self) -> &[PReg; 32] {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut prf = PhysRegFile::new(36);
+        assert_eq!(prf.free_count(), 4);
+        let mut got = Vec::new();
+        while let Some(p) = prf.alloc() {
+            assert!(!prf.is_ready(p));
+            got.push(p);
+        }
+        assert_eq!(got.len(), 4);
+        prf.release(got[0]);
+        assert_eq!(prf.free_count(), 1);
+    }
+
+    #[test]
+    fn write_makes_ready() {
+        let mut prf = PhysRegFile::new(40);
+        let p = prf.alloc().unwrap();
+        assert!(!prf.is_ready(p));
+        prf.write(p, 99);
+        assert!(prf.is_ready(p));
+        assert_eq!(prf.read(p), 99);
+    }
+
+    #[test]
+    fn initial_arch_registers_ready() {
+        let prf = PhysRegFile::new(64);
+        for p in 0..32 {
+            assert!(prf.is_ready(p));
+        }
+    }
+
+    #[test]
+    fn rat_set_returns_previous() {
+        let mut rat = Rat::identity();
+        assert_eq!(rat.get(5), 5);
+        let prev = rat.set(5, 40);
+        assert_eq!(prev, 5);
+        assert_eq!(rat.get(5), 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_registers_rejected() {
+        let _ = PhysRegFile::new(32);
+    }
+}

@@ -1,0 +1,332 @@
+//! Microarchitectural activity counters — the model's "signal trace".
+//!
+//! Where the paper feeds Verilator toggle traces to Cadence Joules, this
+//! model accumulates per-structure activity counts that `rtl-power`
+//! converts to leakage/internal/switching power. Counters are grouped by
+//! the thirteen components the paper analyzes, plus the execution/decode
+//! activity that forms the "rest of tile".
+
+/// Activity of one issue queue (BOOM's collapsing queues).
+#[derive(Clone, Debug, Default)]
+pub struct IssueQueueStats {
+    /// Dispatch writes into the queue.
+    pub writes: u64,
+    /// Entry shifts caused by collapsing on dequeue (Key Takeaway #5).
+    pub collapse_writes: u64,
+    /// Instructions issued (selected) from the queue.
+    pub issued: u64,
+    /// Wakeup broadcasts received (one per completing producer × occupancy).
+    pub wakeup_cam_matches: u64,
+    /// Sum over cycles of queue occupancy.
+    pub occupancy_sum: u64,
+    /// Per-slot occupied-cycle counts (index = physical slot).
+    pub slot_occupancy: Vec<u64>,
+    /// Per-slot write counts (dispatch + collapse shifts).
+    pub slot_writes: Vec<u64>,
+}
+
+impl IssueQueueStats {
+    /// Creates stats sized for a queue with `slots` entries.
+    pub fn new(slots: usize) -> IssueQueueStats {
+        IssueQueueStats {
+            slot_occupancy: vec![0; slots],
+            slot_writes: vec![0; slots],
+            ..IssueQueueStats::default()
+        }
+    }
+
+    /// Mean occupancy per cycle.
+    pub fn mean_occupancy(&self, cycles: u64) -> f64 {
+        self.occupancy_sum as f64 / cycles.max(1) as f64
+    }
+}
+
+/// Activity of one cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Read (or fetch) accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Misses (reads + writes).
+    pub misses: u64,
+    /// MSHR allocations.
+    pub mshr_allocs: u64,
+    /// Sum over cycles of occupied MSHRs.
+    pub mshr_occupancy_sum: u64,
+    /// Dirty-line writebacks to memory.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let acc = self.reads + self.writes;
+        if acc == 0 {
+            0.0
+        } else {
+            self.misses as f64 / acc as f64
+        }
+    }
+}
+
+/// Branch-prediction activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PredictorStats {
+    /// Conditional-predictor lookups (every fetched conditional branch).
+    pub lookups: u64,
+    /// Number of predictor tables read per lookup (TAGE reads all tables).
+    pub table_reads: u64,
+    /// Conditional-predictor training updates (at commit).
+    pub updates: u64,
+    /// New tagged-entry allocations (TAGE only).
+    pub allocations: u64,
+    /// BTB lookups (every fetch group).
+    pub btb_lookups: u64,
+    /// BTB fills/updates.
+    pub btb_updates: u64,
+    /// Return-address-stack pushes.
+    pub ras_pushes: u64,
+    /// Return-address-stack pops.
+    pub ras_pops: u64,
+}
+
+/// Renaming activity for one register class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RenameStats {
+    /// Map-table (RAT) writes: one per renamed destination.
+    pub map_writes: u64,
+    /// Map-table reads: one per renamed source operand.
+    pub map_reads: u64,
+    /// Free-list pops (allocations).
+    pub freelist_pops: u64,
+    /// Free-list pushes (commit-time frees and squash rollbacks).
+    pub freelist_pushes: u64,
+    /// Allocation-list snapshot writes: one full snapshot per branch
+    /// (Key Takeaway #3 — these occur even when no FP code runs).
+    pub snapshot_writes: u64,
+}
+
+/// The complete activity record of one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub retired: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches (conditional + jump-target).
+    pub mispredicts: u64,
+    /// Instructions squashed by misprediction recovery.
+    pub squashed: u64,
+
+    /// L1 instruction cache.
+    pub icache: CacheStats,
+    /// L1 data cache.
+    pub dcache: CacheStats,
+
+    /// Branch-prediction structures.
+    pub bp: PredictorStats,
+
+    /// Fetch-buffer writes (instructions inserted).
+    pub fetch_buffer_writes: u64,
+    /// Fetch-buffer reads (instructions drained to decode).
+    pub fetch_buffer_reads: u64,
+    /// Sum over cycles of fetch-buffer occupancy.
+    pub fetch_buffer_occupancy_sum: u64,
+
+    /// Instructions decoded.
+    pub decoded: u64,
+
+    /// Integer rename unit.
+    pub int_rename: RenameStats,
+    /// FP rename unit.
+    pub fp_rename: RenameStats,
+
+    /// Integer register file reads.
+    pub irf_reads: u64,
+    /// Integer register file writes.
+    pub irf_writes: u64,
+    /// FP register file reads.
+    pub frf_reads: u64,
+    /// FP register file writes.
+    pub frf_writes: u64,
+
+    /// Integer issue queue.
+    pub int_iq: IssueQueueStats,
+    /// Memory issue queue.
+    pub mem_iq: IssueQueueStats,
+    /// FP issue queue.
+    pub fp_iq: IssueQueueStats,
+
+    /// ROB dispatch writes.
+    pub rob_writes: u64,
+    /// ROB commit reads.
+    pub rob_reads: u64,
+    /// Sum over cycles of ROB occupancy.
+    pub rob_occupancy_sum: u64,
+
+    /// Load-queue allocations.
+    pub ldq_writes: u64,
+    /// Store-queue allocations.
+    pub stq_writes: u64,
+    /// Store-queue CAM searches performed by loads.
+    pub stq_searches: u64,
+    /// Store-to-load forwards.
+    pub forwards: u64,
+    /// Sum over cycles of LDQ+STQ occupancy.
+    pub lsu_occupancy_sum: u64,
+
+    /// Integer ALU operations executed.
+    pub alu_ops: u64,
+    /// Integer multiply operations executed.
+    pub mul_ops: u64,
+    /// Integer divide operations executed.
+    pub div_ops: u64,
+    /// FP (pipelined) operations executed.
+    pub fpu_ops: u64,
+    /// FP divide/sqrt operations executed.
+    pub fdiv_ops: u64,
+    /// Address-generation operations executed.
+    pub agu_ops: u64,
+}
+
+impl Stats {
+    /// Creates a stats record sized for the given issue-queue capacities.
+    pub fn new(int_slots: usize, mem_slots: usize, fp_slots: usize) -> Stats {
+        Stats {
+            int_iq: IssueQueueStats::new(int_slots),
+            mem_iq: IssueQueueStats::new(mem_slots),
+            fp_iq: IssueQueueStats::new(fp_slots),
+            ..Stats::default()
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.retired as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Branch misprediction rate (per committed branch).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Merges another run's counters into this one (used to accumulate
+    /// across SimPoint intervals *before* weighting; weighted merges are
+    /// done on power/IPC numbers instead).
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.retired += other.retired;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.squashed += other.squashed;
+        for (a, b) in [(&mut self.icache, &other.icache), (&mut self.dcache, &other.dcache)] {
+            a.reads += b.reads;
+            a.writes += b.writes;
+            a.misses += b.misses;
+            a.mshr_allocs += b.mshr_allocs;
+            a.mshr_occupancy_sum += b.mshr_occupancy_sum;
+            a.writebacks += b.writebacks;
+        }
+        let bp = &other.bp;
+        self.bp.lookups += bp.lookups;
+        self.bp.table_reads += bp.table_reads;
+        self.bp.updates += bp.updates;
+        self.bp.allocations += bp.allocations;
+        self.bp.btb_lookups += bp.btb_lookups;
+        self.bp.btb_updates += bp.btb_updates;
+        self.bp.ras_pushes += bp.ras_pushes;
+        self.bp.ras_pops += bp.ras_pops;
+        self.fetch_buffer_writes += other.fetch_buffer_writes;
+        self.fetch_buffer_reads += other.fetch_buffer_reads;
+        self.fetch_buffer_occupancy_sum += other.fetch_buffer_occupancy_sum;
+        self.decoded += other.decoded;
+        for (a, b) in [
+            (&mut self.int_rename, &other.int_rename),
+            (&mut self.fp_rename, &other.fp_rename),
+        ] {
+            a.map_writes += b.map_writes;
+            a.map_reads += b.map_reads;
+            a.freelist_pops += b.freelist_pops;
+            a.freelist_pushes += b.freelist_pushes;
+            a.snapshot_writes += b.snapshot_writes;
+        }
+        self.irf_reads += other.irf_reads;
+        self.irf_writes += other.irf_writes;
+        self.frf_reads += other.frf_reads;
+        self.frf_writes += other.frf_writes;
+        for (a, b) in [
+            (&mut self.int_iq, &other.int_iq),
+            (&mut self.mem_iq, &other.mem_iq),
+            (&mut self.fp_iq, &other.fp_iq),
+        ] {
+            a.writes += b.writes;
+            a.collapse_writes += b.collapse_writes;
+            a.issued += b.issued;
+            a.wakeup_cam_matches += b.wakeup_cam_matches;
+            a.occupancy_sum += b.occupancy_sum;
+            for (s, o) in a.slot_occupancy.iter_mut().zip(&b.slot_occupancy) {
+                *s += o;
+            }
+            for (s, o) in a.slot_writes.iter_mut().zip(&b.slot_writes) {
+                *s += o;
+            }
+        }
+        self.rob_writes += other.rob_writes;
+        self.rob_reads += other.rob_reads;
+        self.rob_occupancy_sum += other.rob_occupancy_sum;
+        self.ldq_writes += other.ldq_writes;
+        self.stq_writes += other.stq_writes;
+        self.stq_searches += other.stq_searches;
+        self.forwards += other.forwards;
+        self.lsu_occupancy_sum += other.lsu_occupancy_sum;
+        self.alu_ops += other.alu_ops;
+        self.mul_ops += other.mul_ops;
+        self.div_ops += other.div_ops;
+        self.fpu_ops += other.fpu_ops;
+        self.fdiv_ops += other.fdiv_ops;
+        self.agu_ops += other.agu_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = Stats::new(4, 4, 4);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::new(4, 4, 4);
+        a.cycles = 10;
+        a.retired = 20;
+        a.int_iq.slot_occupancy[1] = 5;
+        let mut b = Stats::new(4, 4, 4);
+        b.cycles = 5;
+        b.retired = 7;
+        b.int_iq.slot_occupancy[1] = 2;
+        b.irf_reads = 3;
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.retired, 27);
+        assert_eq!(a.int_iq.slot_occupancy[1], 7);
+        assert_eq!(a.irf_reads, 3);
+    }
+
+    #[test]
+    fn miss_rate_bounds() {
+        let c = CacheStats { reads: 80, writes: 20, misses: 10, ..Default::default() };
+        assert!((c.miss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pipeline tracing in Konata's Kanata format.
+//!
+//! BOOM ships a "pipeview" facility that visualizes every instruction's
+//! journey through the pipeline; the de-facto viewer is
+//! [Konata](https://github.com/shioyadan/Konata). Attach a tracer with
+//! [`crate::Core::attach_tracer`], run, and dump the trace with
+//! [`crate::Core::take_trace`]; the resulting file opens directly in
+//! Konata and shows dispatch/issue/execute/commit per instruction,
+//! including wrong-path instructions flushed by mispredictions.
+
+use rv_isa::inst::Inst;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Pipeline stages reported to the viewer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    Dispatch,
+    Issue,
+    Execute,
+}
+
+impl Stage {
+    fn label(self) -> &'static str {
+        match self {
+            Stage::Dispatch => "Ds",
+            Stage::Issue => "Is",
+            Stage::Execute => "Ex",
+        }
+    }
+}
+
+/// A Kanata-format pipeline trace under construction.
+#[derive(Clone, Debug, Default)]
+pub struct PipeTracer {
+    body: String,
+    last_cycle: u64,
+    next_uid: u64,
+    uid_of_seq: HashMap<u64, (u64, Stage)>,
+    retired: u64,
+}
+
+impl PipeTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> PipeTracer {
+        PipeTracer::default()
+    }
+
+    fn advance(&mut self, cycle: u64) {
+        if cycle > self.last_cycle {
+            let _ = writeln!(self.body, "C\t{}", cycle - self.last_cycle);
+            self.last_cycle = cycle;
+        }
+    }
+
+    /// Records a uop entering the window (decode/rename/dispatch).
+    pub fn dispatch(&mut self, cycle: u64, seq: u64, pc: u64, inst: &Inst) {
+        self.advance(cycle);
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.uid_of_seq.insert(seq, (uid, Stage::Dispatch));
+        let _ = writeln!(self.body, "I\t{uid}\t{seq}\t0");
+        let _ = writeln!(self.body, "L\t{uid}\t0\t{pc:#x}: {inst}");
+        let _ = writeln!(self.body, "S\t{uid}\t0\t{}", Stage::Dispatch.label());
+    }
+
+    fn transition(&mut self, cycle: u64, seq: u64, to: Stage) {
+        self.advance(cycle);
+        if let Some((uid, stage)) = self.uid_of_seq.get(&seq).copied() {
+            let _ = writeln!(self.body, "E\t{uid}\t0\t{}", stage.label());
+            let _ = writeln!(self.body, "S\t{uid}\t0\t{}", to.label());
+            self.uid_of_seq.insert(seq, (uid, to));
+        }
+    }
+
+    /// Records a uop issuing to a functional unit.
+    pub fn issue(&mut self, cycle: u64, seq: u64) {
+        self.transition(cycle, seq, Stage::Issue);
+    }
+
+    /// Records a uop beginning execution (same cycle as issue in this
+    /// model, kept distinct for viewer clarity).
+    pub fn execute(&mut self, cycle: u64, seq: u64) {
+        self.transition(cycle, seq, Stage::Execute);
+    }
+
+    /// Records a uop committing.
+    pub fn commit(&mut self, cycle: u64, seq: u64) {
+        self.advance(cycle);
+        if let Some((uid, stage)) = self.uid_of_seq.remove(&seq) {
+            let _ = writeln!(self.body, "E\t{uid}\t0\t{}", stage.label());
+            let _ = writeln!(self.body, "R\t{uid}\t{}\t0", self.retired);
+            self.retired += 1;
+        }
+    }
+
+    /// Records a uop squashed by misprediction recovery.
+    pub fn squash(&mut self, cycle: u64, seq: u64) {
+        self.advance(cycle);
+        if let Some((uid, stage)) = self.uid_of_seq.remove(&seq) {
+            let _ = writeln!(self.body, "E\t{uid}\t0\t{}", stage.label());
+            let _ = writeln!(self.body, "R\t{uid}\t0\t1");
+        }
+    }
+
+    /// Number of instructions currently in flight in the trace.
+    pub fn in_flight(&self) -> usize {
+        self.uid_of_seq.len()
+    }
+
+    /// Renders the complete Kanata file.
+    pub fn render(&self) -> String {
+        format!("Kanata\t0004\nC=\t0\n{}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::inst::AluOp;
+    use rv_isa::reg::Reg;
+
+    fn nop() -> Inst {
+        Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }
+    }
+
+    #[test]
+    fn trace_has_header_and_balanced_stages() {
+        let mut t = PipeTracer::new();
+        t.dispatch(1, 0, 0x8000_0000, &nop());
+        t.issue(2, 0);
+        t.execute(2, 0);
+        t.commit(4, 0);
+        let out = t.render();
+        assert!(out.starts_with("Kanata\t0004\n"));
+        let starts = out.matches("\nS\t").count();
+        let ends = out.matches("\nE\t").count();
+        assert_eq!(starts, ends, "{out}");
+        assert!(out.contains("R\t0\t0\t0"), "{out}");
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn squashed_uops_are_flushed() {
+        let mut t = PipeTracer::new();
+        t.dispatch(1, 0, 0x8000_0000, &nop());
+        t.dispatch(1, 1, 0x8000_0004, &nop());
+        t.squash(3, 1);
+        t.commit(4, 0);
+        let out = t.render();
+        assert!(out.contains("R\t1\t0\t1"), "flush record missing: {out}");
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn cycle_deltas_accumulate() {
+        let mut t = PipeTracer::new();
+        t.dispatch(5, 0, 0, &nop());
+        t.commit(9, 0);
+        let out = t.render();
+        assert!(out.contains("C\t5"), "{out}");
+        assert!(out.contains("C\t4"), "{out}");
+    }
+
+    #[test]
+    fn unknown_seq_is_ignored() {
+        let mut t = PipeTracer::new();
+        t.issue(1, 42);
+        t.commit(2, 42);
+        assert_eq!(t.retired, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Micro-op classification: which issue queue, execution unit, and register
+//! operands each instruction uses.
+
+use rv_isa::inst::Inst;
+use rv_isa::reg::{FReg, Reg};
+
+/// The three distributed scheduler queues of BOOM (§IV-B of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IqKind {
+    /// Integer issue unit.
+    Int,
+    /// Memory issue unit.
+    Mem,
+    /// Floating-point issue unit.
+    Fp,
+}
+
+/// Functional unit class (determines latency and pipelining).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecUnit {
+    /// Single-cycle integer ALU (also branches and jumps).
+    Alu,
+    /// Pipelined integer multiplier.
+    Mul,
+    /// Unpipelined integer divider.
+    Div,
+    /// Address generation + data-cache access.
+    Agu,
+    /// Pipelined FPU (add/mul/fma/cmp/cvt/moves).
+    Fpu,
+    /// Unpipelined FP divide/sqrt.
+    FDiv,
+}
+
+/// An architectural source register, integer or FP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SrcReg {
+    /// Integer register.
+    Int(Reg),
+    /// FP register.
+    Fp(FReg),
+}
+
+/// An architectural destination register, integer or FP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DestReg {
+    /// Integer register.
+    Int(Reg),
+    /// FP register.
+    Fp(FReg),
+}
+
+/// Decoded micro-op metadata used by rename/dispatch/issue.
+#[derive(Clone, Copy, Debug)]
+pub struct UopInfo {
+    /// Which issue queue the uop dispatches into.
+    pub iq: IqKind,
+    /// Which functional unit executes it.
+    pub unit: ExecUnit,
+    /// Architectural sources (up to 3; FMA uses all three).
+    pub srcs: [Option<SrcReg>; 3],
+    /// Architectural destination, if any.
+    pub dest: Option<DestReg>,
+}
+
+impl UopInfo {
+    /// Number of register-file reads this uop performs at issue.
+    pub fn src_count(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Classifies an instruction into its micro-op metadata.
+pub fn classify(inst: &Inst) -> UopInfo {
+    use ExecUnit::*;
+    use IqKind::*;
+    let (iq, unit, srcs, dest): (IqKind, ExecUnit, [Option<SrcReg>; 3], Option<DestReg>) =
+        match *inst {
+            Inst::Lui { rd, .. } | Inst::Auipc { rd, .. } => {
+                (Int, Alu, [None; 3], int_dest(rd))
+            }
+            Inst::Jal { rd, .. } => (Int, Alu, [None; 3], int_dest(rd)),
+            Inst::Jalr { rd, rs1, .. } => (Int, Alu, [int_src(rs1), None, None], int_dest(rd)),
+            Inst::Branch { rs1, rs2, .. } => {
+                (Int, Alu, [int_src(rs1), int_src(rs2), None], None)
+            }
+            Inst::Load { rd, rs1, .. } => (Mem, Agu, [int_src(rs1), None, None], int_dest(rd)),
+            Inst::Store { rs1, rs2, .. } => (Mem, Agu, [int_src(rs1), int_src(rs2), None], None),
+            Inst::OpImm { op: _, rd, rs1, .. } => {
+                (Int, Alu, [int_src(rs1), None, None], int_dest(rd))
+            }
+            Inst::Op { rd, rs1, rs2, .. } => {
+                (Int, Alu, [int_src(rs1), int_src(rs2), None], int_dest(rd))
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                let unit = if op.is_div() { Div } else { Mul };
+                (Int, unit, [int_src(rs1), int_src(rs2), None], int_dest(rd))
+            }
+            Inst::FpLoad { rd, rs1, .. } => (Mem, Agu, [int_src(rs1), None, None], Some(DestReg::Fp(rd))),
+            Inst::FpStore { rs1, rs2, .. } => {
+                (Mem, Agu, [int_src(rs1), Some(SrcReg::Fp(rs2)), None], None)
+            }
+            Inst::FpOp { op, rd, rs1, rs2, .. } => {
+                let unit = if matches!(op, rv_isa::inst::FpOp::Div | rv_isa::inst::FpOp::Sqrt) {
+                    FDiv
+                } else {
+                    Fpu
+                };
+                let rs2_src = if op == rv_isa::inst::FpOp::Sqrt {
+                    None
+                } else {
+                    Some(SrcReg::Fp(rs2))
+                };
+                (Fp, unit, [Some(SrcReg::Fp(rs1)), rs2_src, None], Some(DestReg::Fp(rd)))
+            }
+            Inst::FpFma { rd, rs1, rs2, rs3, .. } => (
+                Fp,
+                Fpu,
+                [Some(SrcReg::Fp(rs1)), Some(SrcReg::Fp(rs2)), Some(SrcReg::Fp(rs3))],
+                Some(DestReg::Fp(rd)),
+            ),
+            Inst::FpCmp { rd, rs1, rs2, .. } => (
+                Fp,
+                Fpu,
+                [Some(SrcReg::Fp(rs1)), Some(SrcReg::Fp(rs2)), None],
+                int_dest(rd),
+            ),
+            Inst::FpCvtToInt { rd, rs1, .. } => {
+                (Fp, Fpu, [Some(SrcReg::Fp(rs1)), None, None], int_dest(rd))
+            }
+            Inst::FpCvtFromInt { rd, rs1, .. } => {
+                (Fp, Fpu, [int_src(rs1), None, None], Some(DestReg::Fp(rd)))
+            }
+            Inst::FpCvtFmt { rd, rs1, .. } => {
+                (Fp, Fpu, [Some(SrcReg::Fp(rs1)), None, None], Some(DestReg::Fp(rd)))
+            }
+            Inst::FpMvToInt { rd, rs1, .. } => {
+                (Fp, Fpu, [Some(SrcReg::Fp(rs1)), None, None], int_dest(rd))
+            }
+            Inst::FpMvFromInt { rd, rs1, .. } => {
+                (Fp, Fpu, [int_src(rs1), None, None], Some(DestReg::Fp(rd)))
+            }
+            Inst::Fence | Inst::Ecall | Inst::Ebreak => (Int, Alu, [None; 3], None),
+        };
+    UopInfo { iq, unit, srcs, dest }
+}
+
+#[inline]
+fn int_src(r: Reg) -> Option<SrcReg> {
+    // x0 is hard-wired zero: never a real dependency or register-file read.
+    if r == Reg::Zero {
+        None
+    } else {
+        Some(SrcReg::Int(r))
+    }
+}
+
+#[inline]
+fn int_dest(r: Reg) -> Option<DestReg> {
+    if r == Reg::Zero {
+        None
+    } else {
+        Some(DestReg::Int(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::inst::{AluOp, BrCond, FpFmt, FpOp, LoadKind, MulOp, StoreKind};
+    use rv_isa::reg::FReg::*;
+    use rv_isa::reg::Reg::*;
+
+    #[test]
+    fn loads_and_stores_go_to_mem_queue() {
+        let l = classify(&Inst::Load { kind: LoadKind::D, rd: A0, rs1: Sp, offset: 0 });
+        assert_eq!(l.iq, IqKind::Mem);
+        assert_eq!(l.unit, ExecUnit::Agu);
+        assert_eq!(l.dest, Some(DestReg::Int(A0)));
+        let s = classify(&Inst::Store { kind: StoreKind::W, rs1: Sp, rs2: A1, offset: 4 });
+        assert_eq!(s.iq, IqKind::Mem);
+        assert_eq!(s.dest, None);
+        assert_eq!(s.src_count(), 2);
+    }
+
+    #[test]
+    fn fp_store_reads_one_int_one_fp() {
+        let s = classify(&Inst::FpStore { fmt: FpFmt::D, rs1: Sp, rs2: Fa0, offset: 0 });
+        assert_eq!(s.iq, IqKind::Mem);
+        assert_eq!(s.srcs[0], Some(SrcReg::Int(Sp)));
+        assert_eq!(s.srcs[1], Some(SrcReg::Fp(Fa0)));
+    }
+
+    #[test]
+    fn div_and_fdiv_use_unpipelined_units() {
+        let d = classify(&Inst::MulDiv { op: MulOp::Div, rd: A0, rs1: A1, rs2: A2 });
+        assert_eq!(d.unit, ExecUnit::Div);
+        let f = classify(&Inst::FpOp { op: FpOp::Div, fmt: FpFmt::D, rd: Fa0, rs1: Fa1, rs2: Fa2 });
+        assert_eq!(f.unit, ExecUnit::FDiv);
+        assert_eq!(f.iq, IqKind::Fp);
+    }
+
+    #[test]
+    fn zero_register_is_not_a_dependency() {
+        let i = classify(&Inst::Op { op: AluOp::Add, rd: Zero, rs1: Zero, rs2: A0 });
+        assert_eq!(i.dest, None);
+        assert_eq!(i.src_count(), 1);
+        let b = classify(&Inst::Branch { cond: BrCond::Ne, rs1: A0, rs2: Zero, offset: 8 });
+        assert_eq!(b.src_count(), 1);
+    }
+
+    #[test]
+    fn fma_reads_three_sources() {
+        let i = classify(&Inst::FpFma {
+            op: rv_isa::inst::FmaOp::Madd,
+            fmt: FpFmt::D,
+            rd: Fa0,
+            rs1: Fa1,
+            rs2: Fa2,
+            rs3: Fa3,
+        });
+        assert_eq!(i.src_count(), 3);
+        assert_eq!(i.iq, IqKind::Fp);
+    }
+}

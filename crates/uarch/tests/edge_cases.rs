@@ -1,0 +1,246 @@
+//! Edge-case tests for the pipeline: resource exhaustion, unpipelined-unit
+//! contention, wrong-path fetch into garbage, and recovery correctness —
+//! each checked against the functional golden model.
+
+use boom_uarch::{BoomConfig, Core};
+use rv_isa::asm::Assembler;
+use rv_isa::cpu::Cpu;
+use rv_isa::reg::FReg::*;
+use rv_isa::reg::Reg::{self, *};
+
+fn cosim(cfg: BoomConfig, build: impl Fn(&mut Assembler)) -> Core {
+    let mut a = Assembler::new();
+    build(&mut a);
+    let p = a.assemble().expect("assembles");
+    let mut golden = Cpu::new(&p);
+    golden.run(50_000_000).expect("functional run");
+    let mut core = Core::new(cfg, &p);
+    let r = core.run(50_000_000);
+    assert!(r.exited && !r.hung, "{r:?}");
+    for reg in Reg::ALL {
+        assert_eq!(core.arch_x(reg), golden.x(reg), "mismatch in {reg}");
+    }
+    core
+}
+
+/// A single rename snapshot: every second branch must stall dispatch, yet
+/// recovery from mispredictions must still be exact.
+#[test]
+fn single_branch_snapshot_still_correct() {
+    let mut cfg = BoomConfig::medium();
+    cfg.max_br_count = 1;
+    cosim(cfg, |a| {
+        a.li(S0, 0xACE1);
+        a.li(S1, 300);
+        a.label("loop");
+        a.srli(T1, S0, 1);
+        a.andi(T2, S0, 1);
+        a.beqz(T2, "even");
+        a.li(T3, 0xB400);
+        a.xor(T1, T1, T3);
+        a.label("even");
+        a.mv(S0, T1);
+        a.add(A0, A0, S0);
+        a.addi(S1, S1, -1);
+        a.bnez(S1, "loop");
+        a.exit();
+    });
+}
+
+/// One spare physical register: rename stalls on nearly every instruction.
+#[test]
+fn minimal_free_list_still_correct() {
+    let mut cfg = BoomConfig::medium();
+    cfg.int_phys_regs = 34;
+    cfg.fp_phys_regs = 34;
+    cosim(cfg, |a| {
+        a.li(A0, 0);
+        a.li(T0, 200);
+        a.label("loop");
+        a.slli(T1, T0, 2);
+        a.add(A0, A0, T1);
+        a.xori(A1, A0, 0x55);
+        a.add(A0, A0, A1);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+    });
+}
+
+/// A single MSHR with write-heavy traffic exercises the commit-stall path
+/// (stores blocked on MSHR-full at commit).
+#[test]
+fn single_mshr_store_commit_stalls() {
+    let mut cfg = BoomConfig::medium();
+    cfg.dcache.mshrs = 1;
+    cfg.dcache.sets = 4;
+    cfg.dcache.ways = 1;
+    let core = cosim(cfg, |a| {
+        a.la(S0, "buf");
+        a.li(T0, 64);
+        a.label("loop");
+        // Strided stores+loads that conflict in a 4-set direct-mapped cache.
+        a.slli(T1, T0, 8);
+        a.add(T1, S0, T1);
+        a.sd(T0, T1, 0);
+        a.ld(T2, T1, 0);
+        a.add(A0, A0, T2);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+        a.data_label("buf");
+        a.zeros(64 * 256 + 16);
+    });
+    assert!(core.stats().dcache.misses > 30, "expected heavy missing");
+}
+
+/// Back-to-back divides contend for the single unpipelined divider.
+#[test]
+fn divider_contention_makes_progress() {
+    let core = cosim(BoomConfig::mega(), |a| {
+        a.li(S0, 0xDEAD_BEEF);
+        a.li(S1, 40);
+        a.label("loop");
+        a.li(T1, 7);
+        a.div(T2, S0, T1);
+        a.li(T1, 13);
+        a.div(T3, S0, T1);
+        a.rem(T4, S0, T2);
+        a.add(A0, A0, T2);
+        a.add(A0, A0, T3);
+        a.add(A0, A0, T4);
+        a.addi(S0, S0, -17);
+        a.addi(S1, S1, -1);
+        a.bnez(S1, "loop");
+        a.exit();
+    });
+    assert_eq!(core.stats().div_ops, 120);
+    // An unpipelined 16-cycle divider bounds throughput.
+    assert!(core.stats().ipc() < 1.0, "divider-bound IPC {}", core.stats().ipc());
+}
+
+/// FP divide/sqrt contention on the unpipelined FP divider.
+#[test]
+fn fp_divider_contention_makes_progress() {
+    cosim(BoomConfig::medium(), |a| {
+        a.la(T0, "vals");
+        a.fld(Fa0, T0, 0);
+        a.fld(Fa1, T0, 8);
+        a.li(S1, 25);
+        a.label("loop");
+        a.fdiv_d(Fa2, Fa0, Fa1);
+        a.fsqrt_d(Fa3, Fa2);
+        a.fadd_d(Fa0, Fa0, Fa3);
+        a.addi(S1, S1, -1);
+        a.bnez(S1, "loop");
+        a.fcvt_l_d(A0, Fa0);
+        a.exit();
+        a.data_label("vals");
+        a.doubles(&[100.0, 3.0]);
+    });
+}
+
+/// A mispredicted branch whose wrong path runs into non-instruction bytes
+/// must wedge fetch harmlessly until the redirect arrives.
+#[test]
+fn wrong_path_into_garbage_recovers() {
+    let core = cosim(BoomConfig::large(), |a| {
+        a.li(S0, 0x1234_5678);
+        a.li(S1, 120);
+        a.label("loop");
+        a.slli(T1, S0, 7);
+        a.xor(S0, S0, T1);
+        a.srli(T1, S0, 9);
+        a.xor(S0, S0, T1);
+        a.andi(T2, S0, 1);
+        // Mostly-unpredictable branch straight to the exit path: the wrong
+        // path repeatedly falls into the data section below.
+        a.bnez(T2, "cont");
+        a.addi(A0, A0, 1);
+        a.label("cont");
+        a.addi(S1, S1, -1);
+        a.bnez(S1, "loop");
+        a.exit();
+        // Data immediately follows the final ecall: all-ones words do not
+        // decode, so wrong-path fetch past the end wedges.
+        a.data_label("junk");
+        a.dwords(&[u64::MAX; 8]);
+    });
+    assert!(core.stats().mispredicts > 5, "test needs real mispredicts");
+}
+
+/// Tiny load/store queues force dispatch back-pressure with forwarding.
+#[test]
+fn tiny_lsq_with_forwarding_chains() {
+    let mut cfg = BoomConfig::medium();
+    cfg.ldq_entries = 2;
+    cfg.stq_entries = 2;
+    let core = cosim(cfg, |a| {
+        a.la(S0, "buf");
+        a.li(T0, 100);
+        a.label("loop");
+        a.sd(T0, S0, 0);
+        a.ld(T1, S0, 0); // forwarded
+        a.sd(T1, S0, 8);
+        a.ld(T2, S0, 8); // forwarded
+        a.add(A0, A0, T2);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+        a.data_label("buf");
+        a.zeros(16);
+    });
+    assert!(core.stats().forwards > 100, "forwards {}", core.stats().forwards);
+}
+
+/// Partial-overlap store-to-load hazards (byte store under a word load)
+/// must stall until the store drains, never forward garbage.
+#[test]
+fn partial_overlap_hazard_is_exact() {
+    cosim(BoomConfig::mega(), |a| {
+        a.la(S0, "buf");
+        a.li(T0, 60);
+        a.label("loop");
+        a.sd(T0, S0, 0);
+        a.sb(T0, S0, 3); // partial overlap under the following ld
+        a.ld(T1, S0, 0);
+        a.add(A0, A0, T1);
+        a.sh(T0, S0, 6);
+        a.lwu(T2, S0, 4);
+        a.add(A0, A0, T2);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.exit();
+        a.data_label("buf");
+        a.zeros(16);
+    });
+}
+
+/// Deep call chains exercise RAS overflow and recovery.
+#[test]
+fn deep_recursion_with_ras_overflow() {
+    let mut cfg = BoomConfig::medium();
+    cfg.ras_entries = 4; // force overflow on a depth-16 recursion
+    cosim(cfg, |a| {
+        a.li(A0, 16);
+        a.call("fib_like");
+        a.exit();
+        a.label("fib_like");
+        // f(n) = n <= 1 ? 1 : f(n-1) + n  (single recursion, depth n)
+        a.li(T0, 1);
+        a.ble(A0, T0, "base");
+        a.addi(Sp, Sp, -16);
+        a.sd(Ra, Sp, 0);
+        a.sd(A0, Sp, 8);
+        a.addi(A0, A0, -1);
+        a.call("fib_like");
+        a.ld(T1, Sp, 8);
+        a.add(A0, A0, T1);
+        a.ld(Ra, Sp, 0);
+        a.addi(Sp, Sp, 16);
+        a.ret();
+        a.label("base");
+        a.li(A0, 1);
+        a.ret();
+    });
+}

@@ -1,0 +1,42 @@
+//! Lockstep co-simulation of every workload: each committed instruction is
+//! checked against the functional golden model at commit time (the
+//! Chipyard spike-cosim analogue). This is the strictest end-to-end
+//! correctness gate the model has.
+
+use boom_uarch::{BoomConfig, Core};
+use rv_isa::checkpoint::Checkpoint;
+use rv_isa::cpu::Cpu;
+use rv_workloads::{all, by_name, Scale};
+
+#[test]
+fn every_workload_runs_in_lockstep_on_mega() {
+    for w in all(Scale::Test) {
+        let mut core = Core::new(BoomConfig::mega(), &w.program);
+        core.attach_golden_model();
+        let r = core.run(500_000_000);
+        assert!(core.cosim_mismatch().is_none(), "{}: {}", w.name, core.cosim_mismatch().unwrap());
+        assert!(r.exited && r.exit_code == Some(0), "{}: {r:?}", w.name);
+    }
+}
+
+#[test]
+fn lockstep_works_from_a_checkpoint() {
+    let w = by_name("bitcount", Scale::Test).unwrap();
+    let mut cpu = Cpu::new(&w.program);
+    cpu.run(10_000).unwrap();
+    let ck = Checkpoint::capture(&cpu);
+    let mut core = Core::from_checkpoint(BoomConfig::medium(), &ck);
+    core.attach_golden_model();
+    let r = core.run(500_000_000);
+    assert!(core.cosim_mismatch().is_none(), "{}", core.cosim_mismatch().unwrap());
+    assert!(r.exited && r.exit_code == Some(0), "{r:?}");
+}
+
+#[test]
+#[should_panic(expected = "before running")]
+fn attaching_late_is_rejected() {
+    let w = by_name("sha", Scale::Test).unwrap();
+    let mut core = Core::new(BoomConfig::medium(), &w.program);
+    core.run(10);
+    core.attach_golden_model();
+}

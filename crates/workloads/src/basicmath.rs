@@ -1,0 +1,213 @@
+//! Basicmath (MiBench): integer square roots, Newton cube roots, and
+//! angle conversions.
+//!
+//! A mixed integer/FP profile: the bit-by-bit integer square root is
+//! branch- and shift-heavy, the cube-root solver leans on the unpipelined
+//! FP divider, and the angle conversions stream FP multiplies.
+
+use crate::data::{doubles, rng_for, u64s};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::FReg::*;
+use rv_isa::reg::Reg::*;
+use std::f64::consts::PI;
+
+/// Bit-by-bit integer square root — the oracle for the assembly kernel.
+fn isqrt(x: u64) -> u64 {
+    let mut op = x;
+    let mut res = 0u64;
+    let mut one = 1u64 << 62;
+    while one > op {
+        one >>= 2;
+    }
+    while one != 0 {
+        if op >= res + one {
+            op -= res + one;
+            res = (res >> 1) + one;
+        } else {
+            res >>= 1;
+        }
+        one >>= 2;
+    }
+    res
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let n_sqrt: usize = 320 * scale.factor() as usize;
+    let n_cbrt: usize = 160 * scale.factor() as usize;
+    let newton_iters = 30;
+
+    let mut rng = rng_for("basicmath");
+    let sqrt_vals: Vec<u64> = u64s(&mut rng, n_sqrt).iter().map(|v| v >> 2).collect();
+    let cbrt_vals = doubles(&mut rng, n_cbrt, 1.0, 1000.0);
+    let angles = doubles(&mut rng, 360, 0.0, 360.0);
+
+    let expected_isqrt: u64 = sqrt_vals.iter().fold(0u64, |s, &v| s.wrapping_add(isqrt(v)));
+
+    let mut a = Assembler::new();
+    a.li(A0, 0); // failure accumulator
+
+    // ---- kernel 1: integer square roots --------------------------------
+    a.la(S0, "sqrt_vals");
+    a.li(S1, n_sqrt as i64);
+    a.li(S2, 0); // checksum
+    a.label("isqrt_loop");
+    a.ld(T0, S0, 0); // op
+    a.li(T1, 0); // res
+    a.li(T2, 1);
+    a.slli(T2, T2, 62); // one
+    a.label("shrink");
+    a.bgeu(T0, T2, "bits");
+    a.srli(T2, T2, 2);
+    a.bnez(T2, "shrink");
+    a.label("bits");
+    a.beqz(T2, "isqrt_done");
+    a.add(T3, T1, T2); // res + one
+    a.bltu(T0, T3, "no_sub");
+    a.sub(T0, T0, T3);
+    a.srli(T1, T1, 1);
+    a.add(T1, T1, T2);
+    a.j("bits_next");
+    a.label("no_sub");
+    a.srli(T1, T1, 1);
+    a.label("bits_next");
+    a.srli(T2, T2, 2);
+    a.j("bits");
+    a.label("isqrt_done");
+    a.add(S2, S2, T1);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "isqrt_loop");
+    // compare with the oracle sum
+    a.la(T0, "expected_isqrt");
+    a.ld(T0, T0, 0);
+    a.xor(T0, T0, S2);
+    a.snez(T0, T0);
+    a.add(A0, A0, T0);
+
+    // ---- kernel 2: Newton reciprocal cube roots --------------------------
+    // z_{k+1} = z·(4 − x·z³)/3 converges to x^(-1/3); cbrt(x) = x·z².
+    // Four values iterate in interleaved lanes (the multiply-only inner
+    // loop is how production libm implements cbrt).
+    a.la(S0, "cbrt_vals");
+    a.li(S1, (n_cbrt / 4) as i64);
+    a.la(T0, "consts");
+    a.fld(Fs0, T0, 0); // 4.0
+    a.fld(Fs1, T0, 8); // 1/3
+    a.fld(Fs2, T0, 16); // tolerance 1e-9
+    a.la(T0, "one");
+    a.fld(Fs3, T0, 0); // 1.0
+    a.label("cbrt_loop");
+    a.fld(Fa0, S0, 0);
+    a.fld(Fa1, S0, 8);
+    a.fld(Fa2, S0, 16);
+    a.fld(Fa3, S0, 24);
+    // z0 = 1/x per lane (safe start: x·z³ = 1/x² ≤ 1)
+    a.fdiv_d(Fa4, Fs3, Fa0);
+    a.fdiv_d(Fa5, Fs3, Fa1);
+    a.fdiv_d(Fa6, Fs3, Fa2);
+    a.fdiv_d(Fa7, Fs3, Fa3);
+    a.li(T1, newton_iters);
+    a.label("newton");
+    for (x, z, t) in [(Fa0, Fa4, Ft0), (Fa1, Fa5, Ft1), (Fa2, Fa6, Ft2), (Fa3, Fa7, Ft3)] {
+        a.fmul_d(t, z, z);
+        a.fmul_d(t, t, z);
+        a.fmul_d(t, t, x);
+        a.fsub_d(t, Fs0, t); // 4 − x·z³
+        a.fmul_d(t, t, z);
+        a.fmul_d(t, t, Fs1); // /3
+        a.fmv_d(z, t);
+    }
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "newton");
+    // verify per lane: y = x·z²; |y³ − x| ≤ tol·x
+    for (x, z) in [(Fa0, Fa4), (Fa1, Fa5), (Fa2, Fa6), (Fa3, Fa7)] {
+        a.fmul_d(Ft0, z, z);
+        a.fmul_d(Ft0, Ft0, x); // y
+        a.fmul_d(Ft1, Ft0, Ft0);
+        a.fmul_d(Ft1, Ft1, Ft0); // y³
+        a.fsub_d(Ft1, Ft1, x);
+        a.fabs_d(Ft1, Ft1);
+        a.fmul_d(Ft2, x, Fs2);
+        a.fle_d(T1, Ft1, Ft2);
+        a.xori(T1, T1, 1);
+        a.add(A0, A0, T1);
+    }
+    a.addi(S0, S0, 32);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "cbrt_loop");
+
+    // ---- kernel 3: deg↔rad round trips -----------------------------------
+    a.li(S11, scale.factor() as i64);
+    a.label("deg_rep");
+    a.la(S0, "angles");
+    a.li(S1, 360);
+    a.la(T0, "consts");
+    a.fld(Fs3, T0, 24); // π/180
+    a.fld(Fs4, T0, 32); // 180/π
+    a.fld(Fs2, T0, 16); // tolerance
+    a.label("deg_loop");
+    a.fld(Fa0, S0, 0);
+    a.fmul_d(Fa1, Fa0, Fs3);
+    a.fmul_d(Fa1, Fa1, Fs4);
+    a.fsub_d(Fa2, Fa1, Fa0);
+    a.fabs_d(Fa2, Fa2);
+    a.la(T1, "consts");
+    a.fld(Fa3, T1, 40); // 1.0
+    a.fadd_d(Fa3, Fa0, Fa3);
+    a.fmul_d(Fa3, Fa3, Fs2);
+    a.fle_d(T1, Fa2, Fa3);
+    a.xori(T1, T1, 1);
+    a.add(A0, A0, T1);
+    a.addi(S0, S0, 8);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "deg_loop");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "deg_rep");
+
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("sqrt_vals");
+    a.dwords(&sqrt_vals);
+    a.data_label("expected_isqrt");
+    a.dwords(&[expected_isqrt]);
+    a.data_label("cbrt_vals");
+    a.doubles(&cbrt_vals);
+    a.data_label("angles");
+    a.doubles(&angles);
+    a.data_label("consts");
+    a.doubles(&[4.0, 1.0 / 3.0, 1e-9, PI / 180.0, 180.0 / PI, 1.0]);
+    a.data_label("one");
+    a.doubles(&[1.0]);
+
+    Workload {
+        name: "Basicmath",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("basicmath assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn isqrt_oracle_is_exact() {
+        for x in [0u64, 1, 2, 3, 4, 15, 16, 17, 1 << 40, u64::MAX >> 2] {
+            let r = isqrt(x);
+            assert!(r * r <= x, "x={x}");
+            assert!((r + 1).checked_mul(r + 1).map_or(true, |sq| sq > x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(200_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Bitcount (MiBench): bit-population counting with three algorithms.
+//!
+//! The SWAR pass is pure shift/mask ILP; the Kernighan pass has a
+//! data-dependent loop; the nibble-table pass adds small-table loads.
+//! Together they give the high-IPC integer profile the paper observes
+//! (Bitcount stresses the integer pipeline alongside Sha).
+
+use crate::data::{rng_for, u64s};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let n: usize = 256;
+    let reps: u64 = 3 * scale.factor();
+
+    let mut rng = rng_for("bitcount");
+    let values = u64s(&mut rng, n);
+
+    // Oracle: total set bits, counted three times (once per algorithm).
+    let ones: u64 = values.iter().map(|v| v.count_ones() as u64).sum();
+    let expected = ones.wrapping_mul(3).wrapping_mul(reps);
+
+    // 4-bit popcount lookup table.
+    let nibble_table: Vec<u64> = (0..16u64).map(|v| v.count_ones() as u64).collect();
+
+    let mut a = Assembler::new();
+    a.la(S0, "values");
+    a.li(S1, n as i64);
+    a.li(S11, reps as i64);
+    a.li(A0, 0); // grand total
+
+    a.label("rep");
+
+    // --- Pass 1: SWAR popcount -------------------------------------
+    a.mv(T0, S0);
+    a.mv(T1, S1);
+    a.la(S2, "m1");
+    a.ld(S3, S2, 0); // 0x5555...
+    a.ld(S4, S2, 8); // 0x3333...
+    a.ld(S5, S2, 16); // 0x0f0f...
+    a.ld(S6, S2, 24); // 0x0101...
+    a.label("swar");
+    a.ld(A1, T0, 0);
+    a.srli(A2, A1, 1);
+    a.and(A2, A2, S3);
+    a.sub(A1, A1, A2);
+    a.srli(A2, A1, 2);
+    a.and(A1, A1, S4);
+    a.and(A2, A2, S4);
+    a.add(A1, A1, A2);
+    a.srli(A2, A1, 4);
+    a.add(A1, A1, A2);
+    a.and(A1, A1, S5);
+    a.mul(A1, A1, S6);
+    a.srli(A1, A1, 56);
+    a.add(A0, A0, A1);
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "swar");
+
+    // --- Pass 2: Kernighan's loop ----------------------------------
+    a.mv(T0, S0);
+    a.mv(T1, S1);
+    a.label("kern_outer");
+    a.ld(A1, T0, 0);
+    a.beqz(A1, "kern_done");
+    a.label("kern_inner");
+    a.addi(A2, A1, -1);
+    a.and(A1, A1, A2);
+    a.addi(A0, A0, 1);
+    a.bnez(A1, "kern_inner");
+    a.label("kern_done");
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "kern_outer");
+
+    // --- Pass 3: nibble-table lookups -------------------------------
+    a.la(S7, "nibbles");
+    a.mv(T0, S0);
+    a.mv(T1, S1);
+    a.label("tab_outer");
+    a.ld(A1, T0, 0);
+    a.li(T2, 16); // nibbles per word
+    a.label("tab_inner");
+    a.andi(A2, A1, 0xF);
+    a.slli(A2, A2, 3);
+    a.add(A2, S7, A2);
+    a.ld(A3, A2, 0);
+    a.add(A0, A0, A3);
+    a.srli(A1, A1, 4);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "tab_inner");
+    a.addi(T0, T0, 8);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "tab_outer");
+
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // Verify.
+    a.la(T3, "expected");
+    a.ld(T3, T3, 0);
+    a.xor(A0, A0, T3);
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("values");
+    a.dwords(&values);
+    a.data_label("m1");
+    a.dwords(&[
+        0x5555_5555_5555_5555,
+        0x3333_3333_3333_3333,
+        0x0f0f_0f0f_0f0f_0f0f,
+        0x0101_0101_0101_0101,
+    ]);
+    a.data_label("nibbles");
+    a.dwords(&nibble_table);
+    a.data_label("expected");
+    a.dwords(&[expected]);
+
+    Workload {
+        name: "Bitcount",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("bitcount assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(50_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic input-data generation shared by the workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for a named workload — same name, same data, always.
+pub fn rng_for(name: &str) -> SmallRng {
+    let mut seed = 0xB00F_CAFE_u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+    }
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` random 64-bit values.
+pub fn u64s(rng: &mut SmallRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` random 32-bit values as u64 (zero-extended).
+pub fn u32s(rng: &mut SmallRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen::<u32>() as u64).collect()
+}
+
+/// `n` random bytes, restricted to lowercase letters and spaces (text-like).
+pub fn text(rng: &mut SmallRng, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_ratio(1, 6) {
+                b' '
+            } else {
+                rng.gen_range(b'a'..=b'z')
+            }
+        })
+        .collect()
+}
+
+/// `n` doubles uniform in `(lo, hi)`.
+pub fn doubles(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let a = u64s(&mut rng_for("x"), 8);
+        let b = u64s(&mut rng_for("x"), 8);
+        let c = u64s(&mut rng_for("y"), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn text_is_printable() {
+        let t = text(&mut rng_for("t"), 1000);
+        assert!(t.iter().all(|&b| b == b' ' || b.is_ascii_lowercase()));
+    }
+}

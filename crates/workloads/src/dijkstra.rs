@@ -1,0 +1,215 @@
+//! Dijkstra (MiBench): all-pairs-style shortest paths on a dense graph.
+//!
+//! The adjacency-matrix min-scan is a long dependence chain with
+//! data-dependent branches, so instructions pile up in the integer issue
+//! queue — the paper's canonical high-occupancy / low-IPC contrast to Sha
+//! (Fig. 8, Key Takeaway #4).
+
+use crate::data::rng_for;
+use crate::{Scale, Suite, Workload};
+use rand::Rng;
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+
+const INF: u64 = 1 << 40;
+
+/// Reference implementation — the oracle.
+fn oracle(adj: &[u32], v: usize, sources: &[usize]) -> u64 {
+    let mut checksum = 0u64;
+    for &src in sources {
+        let mut dist = vec![INF; v];
+        let mut visited = vec![false; v];
+        dist[src] = 0;
+        for _ in 0..v {
+            let mut best = INF;
+            let mut best_idx = usize::MAX;
+            for i in 0..v {
+                if !visited[i] && dist[i] < best {
+                    best = dist[i];
+                    best_idx = i;
+                }
+            }
+            if best_idx == usize::MAX {
+                break;
+            }
+            visited[best_idx] = true;
+            for j in 0..v {
+                let nd = best + adj[best_idx * v + j] as u64;
+                if nd < dist[j] {
+                    dist[j] = nd;
+                }
+            }
+        }
+        for d in dist {
+            checksum = checksum.wrapping_add(d);
+        }
+    }
+    checksum
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let v: usize = match scale {
+        Scale::Test => 20,
+        Scale::Small => 40,
+        Scale::Full => 64,
+    };
+    let num_sources: usize = (2 * scale.factor()) as usize;
+
+    let mut rng = rng_for("dijkstra");
+    let adj: Vec<u32> = (0..v * v).map(|_| rng.gen_range(1..100u32)).collect();
+    let sources: Vec<usize> = (0..num_sources).map(|s| (s * 7 + 3) % v).collect();
+    let expected = oracle(&adj, v, &sources);
+
+    let mut a = Assembler::new();
+    a.la(S0, "adj");
+    a.la(S1, "nodes"); // node pool: [dist: u64][next: u64] per vertex
+    a.la(S2, "lhead"); // head cell: pointer to the first list node
+    a.li(S3, v as i64);
+    a.li(S4, 0); // source index counter
+    a.li(S5, num_sources as i64);
+    a.li(A0, 0); // checksum
+    a.la(S6, "inf");
+    a.ld(S6, S6, 0); // INF constant
+
+    a.label("source_loop");
+    // Build the unvisited list 0 -> 1 -> ... -> V-1 with dist = INF.
+    a.mv(T0, S1);
+    a.mv(T1, S3);
+    a.sd(S1, S2, 0); // lhead -> node 0
+    a.label("init");
+    a.sd(S6, T0, 0); // dist = INF
+    a.addi(T2, T0, 16);
+    a.sd(T2, T0, 8); // next = following node
+    a.mv(T0, T2);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "init");
+    a.sd(Zero, T0, -8); // last node: next = null
+    // src = (s4*7+3) % v ; nodes[src].dist = 0
+    a.li(T0, 7);
+    a.mul(T0, S4, T0);
+    a.addi(T0, T0, 3);
+    a.remu(T0, T0, S3);
+    a.slli(T0, T0, 4);
+    a.add(T0, S1, T0);
+    a.sd(Zero, T0, 0);
+
+    a.mv(S7, S3); // outer iteration counter
+    a.label("iter");
+    // --- min-scan: pointer-chase the unvisited list -------------------
+    // MiBench's dijkstra walks a queue of candidates; the next-pointer
+    // chase is a serial load chain, so dispatched scan work piles up in
+    // the integer issue queue (the paper's Fig. 8 occupancy signature),
+    // and the running minimum is maintained branchlessly (cmov-style).
+    a.mv(A1, S6); // best dist
+    a.li(A2, 0); // best node ptr
+    a.li(A3, 0); // address of the pointer to the best node
+    a.mv(T0, S2); // qaddr: address of pointer to current node
+    a.ld(T1, S2, 0); // p = first node
+    a.label("scan");
+    a.beqz(T1, "scan_done");
+    a.ld(T2, T1, 0); // d = p->dist
+    a.sltu(T3, T2, A1);
+    a.neg(T3, T3); // mask
+    a.xor(T4, T2, A1);
+    a.and(T4, T4, T3);
+    a.xor(A1, A1, T4); // best = min(best, d)
+    a.xor(T4, T1, A2);
+    a.and(T4, T4, T3);
+    a.xor(A2, A2, T4); // bestp
+    a.xor(T4, T0, A3);
+    a.and(T4, T4, T3);
+    a.xor(A3, A3, T4); // best qaddr
+    a.addi(T0, T1, 8);
+    a.ld(T1, T1, 8); // p = p->next (the serial chain)
+    a.j("scan");
+    a.label("scan_done");
+    a.beqz(A2, "source_done");
+    // Unlink the chosen node: *best_qaddr = bestp->next.
+    a.ld(T0, A2, 8);
+    a.sd(T0, A3, 0);
+    // --- relax the chosen vertex's adjacency row ----------------------
+    // vertex id = (bestp - pool) / 16
+    a.sub(T0, A2, S1);
+    a.srli(T0, T0, 4);
+    a.mul(T0, T0, S3);
+    a.slli(T0, T0, 2);
+    a.add(T0, S0, T0); // &adj[best][0]
+    a.mv(T1, S1); // &nodes[0]
+    a.mv(T2, S3); // j counter
+    a.label("relax");
+    a.lwu(T3, T0, 0);
+    a.add(T3, T3, A1); // nd = best + w
+    a.ld(T4, T1, 0);
+    // dist[j] = min(dist[j], nd), branchlessly
+    a.sltu(T5, T3, T4);
+    a.neg(T5, T5);
+    a.xor(T6, T3, T4);
+    a.and(T6, T6, T5);
+    a.xor(T4, T4, T6);
+    a.sd(T4, T1, 0);
+    a.addi(T0, T0, 4);
+    a.addi(T1, T1, 16);
+    a.addi(T2, T2, -1);
+    a.bnez(T2, "relax");
+    a.addi(S7, S7, -1);
+    a.bnez(S7, "iter");
+
+    a.label("source_done");
+    // checksum += sum of node distances
+    a.mv(T0, S1);
+    a.mv(T1, S3);
+    a.label("sum");
+    a.ld(T2, T0, 0);
+    a.add(A0, A0, T2);
+    a.addi(T0, T0, 16);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "sum");
+    a.addi(S4, S4, 1);
+    a.blt(S4, S5, "source_loop");
+
+    // verify
+    a.la(T0, "expected");
+    a.ld(T0, T0, 0);
+    a.xor(A0, A0, T0);
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("adj");
+    a.words(&adj);
+    a.data_label("nodes");
+    a.zeros(v * 16);
+    a.data_label("lhead");
+    a.dwords(&[0]);
+    a.data_label("inf");
+    a.dwords(&[INF]);
+    a.data_label("expected");
+    a.dwords(&[expected]);
+
+    Workload {
+        name: "Dijkstra",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("dijkstra assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn oracle_on_tiny_graph() {
+        // 2 vertices: dist = [0, w01] from source 0.
+        let adj = vec![5, 7, 2, 5];
+        assert_eq!(oracle(&adj, 2, &[0]), 7);
+    }
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

@@ -1,0 +1,281 @@
+//! FFT / iFFT (MiBench): iterative radix-2 complex FFT on doubles.
+//!
+//! The FP-heaviest workloads in the paper: together with Qsort they are
+//! the only benchmarks that exercise the FP register file and FP issue
+//! unit (Key Takeaway #2 and the FP Issue analysis key on them).
+//!
+//! The forward workload checks Parseval's identity
+//! (`Σ|X|²/N = Σ|x|²` within 1 ppm); the inverse workload runs
+//! forward + inverse and checks elementwise round-trip error.
+
+use crate::data::{doubles, rng_for};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::FReg::*;
+use rv_isa::reg::Reg::*;
+use std::f64::consts::PI;
+
+/// Emits an in-place radix-2 DIT FFT over the buffer pointed to by `S0`
+/// (`n` interleaved re/im doubles), using the twiddle table at `tw_label`.
+/// All labels are prefixed so the routine can be emitted more than once.
+fn emit_fft(a: &mut Assembler, prefix: &str, n: usize, tw_label: &str) {
+    let l = |s: &str| format!("{prefix}_{s}");
+    a.li(S2, n as i64);
+    a.li(S1, 1); // half (points)
+    a.la(S6, tw_label);
+    a.label(&l("stage"));
+    // twiddle base for this stage: tw + (half-1)*16
+    a.addi(T0, S1, -1);
+    a.slli(T0, T0, 4);
+    a.add(S5, S6, T0);
+    a.li(S3, 0); // k
+    a.label(&l("kloop"));
+    a.li(S4, 0); // j
+    a.label(&l("jloop"));
+    // twiddle (wr, wi)
+    a.slli(T0, S4, 4);
+    a.add(T0, S5, T0);
+    a.fld(Fa0, T0, 0); // wr
+    a.fld(Fa1, T0, 8); // wi
+    // element addresses: i1 = (k+j)*16, i2 = i1 + half*16
+    a.add(T1, S3, S4);
+    a.slli(T1, T1, 4);
+    a.add(T1, S0, T1); // &work[i1]
+    a.slli(T2, S1, 4);
+    a.add(T2, T1, T2); // &work[i2]
+    a.fld(Fa2, T2, 0); // re2
+    a.fld(Fa3, T2, 8); // im2
+    // tr = wr*re2 - wi*im2 ; ti = wr*im2 + wi*re2
+    a.fmul_d(Fa4, Fa1, Fa3);
+    a.fmsub_d(Fa4, Fa0, Fa2, Fa4);
+    a.fmul_d(Fa5, Fa1, Fa2);
+    a.fmadd_d(Fa5, Fa0, Fa3, Fa5);
+    a.fld(Fa6, T1, 0); // re1
+    a.fld(Fa7, T1, 8); // im1
+    a.fsub_d(Ft0, Fa6, Fa4);
+    a.fsub_d(Ft1, Fa7, Fa5);
+    a.fsd(Ft0, T2, 0);
+    a.fsd(Ft1, T2, 8);
+    a.fadd_d(Ft0, Fa6, Fa4);
+    a.fadd_d(Ft1, Fa7, Fa5);
+    a.fsd(Ft0, T1, 0);
+    a.fsd(Ft1, T1, 8);
+    a.addi(S4, S4, 1);
+    a.blt(S4, S1, &l("jloop"));
+    // k += 2*half
+    a.slli(T0, S1, 1);
+    a.add(S3, S3, T0);
+    a.blt(S3, S2, &l("kloop"));
+    // half *= 2
+    a.slli(S1, S1, 1);
+    a.blt(S1, S2, &l("stage"));
+}
+
+/// Concatenated per-stage twiddle factors: for each stage with `half`
+/// butterflies, pairs `(cos θ, sign·sin θ)` with `θ = −π·j/half`.
+fn twiddles(n: usize, sign: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut half = 1usize;
+    while half < n {
+        for j in 0..half {
+            let theta = -PI * j as f64 / half as f64;
+            out.push(theta.cos());
+            out.push(sign * theta.sin());
+        }
+        half *= 2;
+    }
+    out
+}
+
+/// Bit-reversed index permutation.
+fn bit_reverse_perm(n: usize) -> Vec<u64> {
+    let bits = n.trailing_zeros();
+    (0..n as u64).map(|i| (i.reverse_bits() >> (64 - bits)) & (n as u64 - 1)).collect()
+}
+
+/// Builds the FFT (`inverse = false`) or iFFT (`inverse = true`) workload.
+pub fn build(scale: Scale, inverse: bool) -> Workload {
+    let n: usize = match scale {
+        Scale::Test => 64,
+        Scale::Small => 128,
+        Scale::Full => 256,
+    };
+    let reps: u64 = if inverse { 3 * scale.factor() } else { 6 * scale.factor() };
+
+    let mut rng = rng_for(if inverse { "ifft" } else { "fft" });
+    let mut signal = Vec::with_capacity(2 * n);
+    for v in doubles(&mut rng, 2 * n, -1.0, 1.0) {
+        signal.push(v);
+    }
+
+    let mut a = Assembler::new();
+    a.li(A0, 0); // failure accumulator
+    a.li(S11, reps as i64);
+    a.label("rep");
+
+    // ---- bit-reversal copy signal -> work ------------------------------
+    a.la(T0, "signal");
+    a.la(T1, "work");
+    a.la(T2, "perm");
+    a.li(T3, n as i64);
+    a.label("brc");
+    a.ld(T4, T2, 0); // j = perm[i]
+    a.slli(T4, T4, 4);
+    a.add(T4, T1, T4);
+    a.fld(Fa0, T0, 0);
+    a.fld(Fa1, T0, 8);
+    a.fsd(Fa0, T4, 0);
+    a.fsd(Fa1, T4, 8);
+    a.addi(T0, T0, 16);
+    a.addi(T2, T2, 8);
+    a.addi(T3, T3, -1);
+    a.bnez(T3, "brc");
+
+    // ---- forward transform ----------------------------------------------
+    a.la(S0, "work");
+    emit_fft(&mut a, "fwd", n, "tw_fwd");
+
+    if inverse {
+        // ---- inverse transform: bit-reverse work -> work2, iFFT, scale --
+        a.la(T0, "work");
+        a.la(T1, "work2");
+        a.la(T2, "perm");
+        a.li(T3, n as i64);
+        a.label("brc2");
+        a.ld(T4, T2, 0);
+        a.slli(T4, T4, 4);
+        a.add(T4, T1, T4);
+        a.fld(Fa0, T0, 0);
+        a.fld(Fa1, T0, 8);
+        a.fsd(Fa0, T4, 0);
+        a.fsd(Fa1, T4, 8);
+        a.addi(T0, T0, 16);
+        a.addi(T2, T2, 8);
+        a.addi(T3, T3, -1);
+        a.bnez(T3, "brc2");
+        a.la(S0, "work2");
+        emit_fft(&mut a, "inv", n, "tw_inv");
+        // scale by 1/N and compare elementwise with the original signal
+        a.la(T0, "work2");
+        a.la(T1, "signal");
+        a.la(T2, "consts");
+        a.fld(Fa5, T2, 0); // 1/N
+        a.fld(Fa6, T2, 8); // tolerance
+        a.fld(Fa7, T2, 16); // 1.0
+        a.li(T3, 2 * n as i64);
+        a.label("cmp");
+        a.fld(Fa0, T0, 0);
+        a.fmul_d(Fa0, Fa0, Fa5);
+        a.fld(Fa1, T1, 0);
+        a.fsub_d(Fa2, Fa0, Fa1);
+        a.fabs_d(Fa2, Fa2);
+        a.fabs_d(Fa3, Fa1);
+        a.fadd_d(Fa3, Fa3, Fa7);
+        a.fmul_d(Fa3, Fa3, Fa6);
+        a.fle_d(T4, Fa2, Fa3);
+        a.xori(T4, T4, 1);
+        a.add(A0, A0, T4);
+        a.addi(T0, T0, 8);
+        a.addi(T1, T1, 8);
+        a.addi(T3, T3, -1);
+        a.bnez(T3, "cmp");
+    } else {
+        // ---- Parseval check: |Σ|X|²/N − Σ|x|²| ≤ tol·Σ|x|² --------------
+        a.la(T0, "signal");
+        a.la(T1, "work");
+        a.la(T2, "consts");
+        a.fld(Fa5, T2, 0); // 1/N
+        a.fld(Fa6, T2, 8); // tolerance
+        a.li(T3, n as i64);
+        a.fmv_d_x(Fa0, Zero); // E1
+        a.fmv_d_x(Fa1, Zero); // E2
+        a.label("energy");
+        a.fld(Fa2, T0, 0);
+        a.fmadd_d(Fa0, Fa2, Fa2, Fa0);
+        a.fld(Fa2, T0, 8);
+        a.fmadd_d(Fa0, Fa2, Fa2, Fa0);
+        a.fld(Fa2, T1, 0);
+        a.fmadd_d(Fa1, Fa2, Fa2, Fa1);
+        a.fld(Fa2, T1, 8);
+        a.fmadd_d(Fa1, Fa2, Fa2, Fa1);
+        a.addi(T0, T0, 16);
+        a.addi(T1, T1, 16);
+        a.addi(T3, T3, -1);
+        a.bnez(T3, "energy");
+        a.fmul_d(Fa1, Fa1, Fa5); // E2/N
+        a.fsub_d(Fa2, Fa1, Fa0);
+        a.fabs_d(Fa2, Fa2);
+        a.fmul_d(Fa3, Fa0, Fa6);
+        a.fle_d(T4, Fa2, Fa3);
+        a.xori(T4, T4, 1);
+        a.add(A0, A0, T4);
+    }
+
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("signal");
+    a.doubles(&signal);
+    a.data_label("work");
+    a.zeros(16 * n);
+    if inverse {
+        a.data_label("work2");
+        a.zeros(16 * n);
+    }
+    a.data_label("perm");
+    a.dwords(&bit_reverse_perm(n));
+    a.data_label("tw_fwd");
+    a.doubles(&twiddles(n, 1.0));
+    if inverse {
+        a.data_label("tw_inv");
+        a.doubles(&twiddles(n, -1.0));
+    }
+    a.data_label("consts");
+    a.doubles(&[1.0 / n as f64, if inverse { 1e-9 } else { 1e-6 }, 1.0]);
+
+    Workload {
+        name: if inverse { "iFFT" } else { "FFT" },
+        suite: Suite::MiBench,
+        program: a.assemble().expect("fft assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn perm_is_an_involution() {
+        let p = bit_reverse_perm(64);
+        for (i, &j) in p.iter().enumerate() {
+            assert_eq!(p[j as usize], i as u64);
+        }
+    }
+
+    #[test]
+    fn twiddle_table_has_n_minus_one_pairs() {
+        assert_eq!(twiddles(64, 1.0).len(), 2 * 63);
+        // First stage twiddle is W = 1.
+        let t = twiddles(8, 1.0);
+        assert_eq!(t[0], 1.0);
+        assert_eq!(t[1], 0.0);
+    }
+
+    #[test]
+    fn forward_passes_parseval() {
+        let w = build(Scale::Test, false);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        let w = build(Scale::Test, true);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Matmult (Embench `matmult-int`): integer matrix multiplication.
+//!
+//! Streaming loads with a strided B-matrix access pattern make this the
+//! workload with the highest data-cache power in the paper (Fig. 7
+//! analysis, Key Takeaway #8).
+
+use crate::data::{rng_for, u32s};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    // 64x64 matrices of 8-byte elements: each matrix is 32 KiB, so the
+    // B-matrix stream contends for the entire L1 (16-32 KiB) — the cache
+    // pressure behind Matmult's top D-cache power in the paper.
+    let n: u64 = match scale {
+        Scale::Test => 16,
+        Scale::Small => 64,
+        Scale::Full => 64,
+    };
+    let reps: u64 = match scale {
+        Scale::Test => 2,
+        Scale::Small => 1,
+        Scale::Full => 3,
+    };
+
+    let mut rng = rng_for("matmult");
+    let a_vals = u32s(&mut rng, (n * n) as usize);
+    let b_vals = u32s(&mut rng, (n * n) as usize);
+
+    // Oracle: the same multiply in Rust, with the same wrapping arithmetic.
+    let mut c_vals = vec![0u64; (n * n) as usize];
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            let mut acc = 0u64;
+            for k in 0..n as usize {
+                acc = acc.wrapping_add(a_vals[i * n as usize + k].wrapping_mul(b_vals[k * n as usize + j]));
+            }
+            c_vals[i * n as usize + j] = acc;
+        }
+    }
+    let expected: u64 = c_vals.iter().fold(0u64, |s, &v| s.wrapping_add(v));
+
+    let mut asm = Assembler::new();
+    asm.la(S0, "mat_a");
+    asm.la(S1, "mat_b");
+    asm.la(S2, "mat_c");
+    asm.li(S3, n as i64);
+    asm.li(S11, reps as i64);
+
+    asm.label("rep");
+    asm.li(S4, 0); // i
+    asm.label("i_loop");
+    asm.li(S5, 0); // j
+    asm.label("j_loop");
+    // acc = 0; pa = &A[i][0]; pb = &B[0][j]
+    asm.li(A0, 0);
+    asm.mul(T0, S4, S3);
+    asm.slli(T0, T0, 3);
+    asm.add(T1, S0, T0); // pa
+    asm.slli(T2, S5, 3);
+    asm.add(T2, S1, T2); // pb
+    asm.slli(T4, S3, 3); // row stride in bytes
+    asm.mv(T5, S3); // k counter
+    asm.label("k_loop");
+    asm.ld(A1, T1, 0);
+    asm.ld(A2, T2, 0);
+    asm.mul(A3, A1, A2);
+    asm.add(A0, A0, A3);
+    asm.addi(T1, T1, 8);
+    asm.add(T2, T2, T4);
+    asm.addi(T5, T5, -1);
+    asm.bnez(T5, "k_loop");
+    // C[i][j] = acc
+    asm.mul(T0, S4, S3);
+    asm.add(T0, T0, S5);
+    asm.slli(T0, T0, 3);
+    asm.add(T0, S2, T0);
+    asm.sd(A0, T0, 0);
+    asm.addi(S5, S5, 1);
+    asm.blt(S5, S3, "j_loop");
+    asm.addi(S4, S4, 1);
+    asm.blt(S4, S3, "i_loop");
+    asm.addi(S11, S11, -1);
+    asm.bnez(S11, "rep");
+
+    // Checksum C and verify against the oracle constant.
+    asm.li(A0, 0);
+    asm.mv(T0, S2);
+    asm.mul(T1, S3, S3);
+    asm.label("sum");
+    asm.ld(T2, T0, 0);
+    asm.add(A0, A0, T2);
+    asm.addi(T0, T0, 8);
+    asm.addi(T1, T1, -1);
+    asm.bnez(T1, "sum");
+    asm.la(T3, "expected");
+    asm.ld(T3, T3, 0);
+    asm.xor(A0, A0, T3);
+    asm.snez(A0, A0); // 0 on success, 1 on mismatch
+    asm.exit();
+
+    asm.data_label("mat_a");
+    asm.dwords(&a_vals);
+    asm.data_label("mat_b");
+    asm.dwords(&b_vals);
+    asm.data_label("mat_c");
+    asm.zeros((n * n * 8) as usize);
+    asm.data_label("expected");
+    asm.dwords(&[expected]);
+
+    Workload {
+        name: "Matmult",
+        suite: Suite::Embench,
+        program: asm.assemble().expect("matmult assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(50_000_000).unwrap(), StopReason::Exited(0));
+    }
+
+    #[test]
+    fn scales_dynamic_length() {
+        let count = |s| {
+            let w = build(s);
+            let mut cpu = Cpu::new(&w.program);
+            cpu.run(100_000_000).unwrap();
+            cpu.instret()
+        };
+        assert!(count(Scale::Small) > 4 * count(Scale::Test));
+    }
+}

@@ -1,0 +1,155 @@
+//! Patricia (MiBench): digital search trie over 32-bit keys (IP-address
+//! style routing-table lookups).
+//!
+//! Every probe is a chain of dependent loads with a data-dependent
+//! branch per trie level — the pointer-chasing profile MiBench's
+//! patricia is known for (the paper gives it a 2M SimPoint interval,
+//! like Tarfind, because its phases are long).
+
+use crate::data::{rng_for, u32s};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+use std::collections::HashSet;
+
+/// Node layout: `[key: u64][left: u64][right: u64][pad: u64]` = 32 bytes.
+const NODE_BYTES: u64 = 32;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let n_insert: usize = match scale {
+        Scale::Test => 128,
+        Scale::Small => 512,
+        Scale::Full => 1024,
+    };
+    let n_query: usize = 256;
+    let reps: u64 = 4 * scale.factor();
+
+    let mut rng = rng_for("patricia");
+    let keys = u32s(&mut rng, n_insert);
+    // Queries: alternate between inserted keys and fresh random ones.
+    let fresh = u32s(&mut rng, n_query);
+    let queries: Vec<u64> = (0..n_query)
+        .map(|i| if i % 2 == 0 { keys[(i * 7) % n_insert] } else { fresh[i] })
+        .collect();
+
+    // Oracle: exact membership.
+    let set: HashSet<u64> = keys.iter().copied().collect();
+    let hits_per_pass: u64 = queries.iter().filter(|q| set.contains(q)).count() as u64;
+    let expected = hits_per_pass * reps;
+
+    let mut a = Assembler::new();
+    // ---- build the trie --------------------------------------------------
+    a.la(S0, "pool"); // bump allocator
+    a.la(S1, "root"); // root pointer cell
+    a.la(S2, "keys");
+    a.li(S3, n_insert as i64);
+    a.label("insert_loop");
+    a.ld(A1, S2, 0); // key
+    a.mv(T0, S1); // slot address
+    a.li(T1, 0); // depth
+    a.label("ins_walk");
+    a.ld(T2, T0, 0); // child pointer
+    a.beqz(T2, "ins_place");
+    a.ld(T3, T2, 0); // node key
+    a.beq(T3, A1, "ins_next_key"); // duplicate
+    a.srl(T3, A1, T1);
+    a.andi(T3, T3, 1);
+    a.slli(T3, T3, 3);
+    a.addi(T0, T2, 8);
+    a.add(T0, T0, T3); // &left or &right
+    a.addi(T1, T1, 1);
+    a.j("ins_walk");
+    a.label("ins_place");
+    a.sd(A1, S0, 0); // node.key = key (children zeroed pool)
+    a.sd(S0, T0, 0); // *slot = node
+    a.addi(S0, S0, NODE_BYTES as i32);
+    a.label("ins_next_key");
+    a.addi(S2, S2, 8);
+    a.addi(S3, S3, -1);
+    a.bnez(S3, "insert_loop");
+
+    // ---- query passes -----------------------------------------------------
+    a.li(A0, 0); // hit counter
+    a.li(S11, reps as i64);
+    a.label("rep");
+    a.la(S2, "queries");
+    a.li(S3, n_query as i64);
+    a.label("query_loop");
+    a.ld(A1, S2, 0);
+    a.ld(T2, S1, 0); // cur = root
+    a.li(T1, 0); // depth
+    a.label("q_walk");
+    a.beqz(T2, "q_miss");
+    a.ld(T3, T2, 0);
+    a.beq(T3, A1, "q_hit");
+    a.srl(T3, A1, T1);
+    a.andi(T3, T3, 1);
+    a.slli(T3, T3, 3);
+    a.addi(T4, T2, 8);
+    a.add(T4, T4, T3);
+    a.ld(T2, T4, 0);
+    a.addi(T1, T1, 1);
+    a.j("q_walk");
+    a.label("q_hit");
+    a.addi(A0, A0, 1);
+    a.label("q_miss");
+    a.addi(S2, S2, 8);
+    a.addi(S3, S3, -1);
+    a.bnez(S3, "query_loop");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // ---- verify -----------------------------------------------------------
+    a.la(T0, "expected");
+    a.ld(T0, T0, 0);
+    a.xor(A0, A0, T0);
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("root");
+    a.dwords(&[0]);
+    a.data_label("keys");
+    a.dwords(&keys);
+    a.data_label("queries");
+    a.dwords(&queries);
+    a.data_label("expected");
+    a.dwords(&[expected]);
+    a.data_label("pool");
+    a.zeros(((n_insert as u64 + 1) * NODE_BYTES) as usize);
+
+    Workload {
+        name: "Patricia",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("patricia assembles"),
+        interval_size: 2 * scale.interval(), // Table II: 2M vs 1M intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+
+    #[test]
+    fn queries_contain_hits_and_misses() {
+        // The workload is only interesting if both outcomes occur.
+        let mut rng = rng_for("patricia");
+        let keys = u32s(&mut rng, 128);
+        let fresh = u32s(&mut rng, 256);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        let hits = (0..256)
+            .map(|i| if i % 2 == 0 { keys[(i * 7) % 128] } else { fresh[i] })
+            .filter(|q| set.contains(q))
+            .count();
+        assert!(hits >= 128, "implanted keys must hit");
+        assert!(hits < 256, "random keys should mostly miss");
+    }
+}

@@ -1,0 +1,181 @@
+//! Qsort (MiBench `qsort_large`): sort 3-D points by Euclidean distance.
+//!
+//! Distances are computed with FP multiply-add and square root, and the
+//! quicksort partitions compare doubles — this is one of the three
+//! workloads (with FFT/iFFT) that exercise the FP register file in the
+//! paper's analysis.
+
+use crate::data::{doubles, rng_for};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::FReg::*;
+use rv_isa::reg::Reg::*;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let n: usize = match scale {
+        Scale::Test => 96,
+        Scale::Small => 384,
+        Scale::Full => 1024,
+    };
+    let reps: u64 = (3 * scale.factor() / 4).max(1);
+
+    let mut rng = rng_for("qsort");
+    let points = doubles(&mut rng, 3 * n, -1000.0, 1000.0);
+
+    let mut a = Assembler::new();
+    a.li(S11, reps as i64);
+    a.label("rep");
+
+    // ---- compute dist[i] = sqrt(x² + y² + z²) --------------------------
+    a.la(S0, "points");
+    a.la(S1, "dist");
+    a.li(T0, n as i64);
+    a.label("dist_loop");
+    a.fld(Fa0, S0, 0);
+    a.fld(Fa1, S0, 8);
+    a.fld(Fa2, S0, 16);
+    a.fmul_d(Fa3, Fa0, Fa0);
+    a.fmadd_d(Fa3, Fa1, Fa1, Fa3);
+    a.fmadd_d(Fa3, Fa2, Fa2, Fa3);
+    a.fsqrt_d(Fa3, Fa3);
+    a.fsd(Fa3, S1, 0);
+    a.addi(S0, S0, 24);
+    a.addi(S1, S1, 8);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "dist_loop");
+
+    // ---- iterative quicksort over dist[0..n] ---------------------------
+    a.la(S0, "dist");
+    a.li(S1, n as i64);
+    a.la(S2, "qstack");
+    a.li(S3, 0); // stack depth (pairs)
+    // push (0, n-1)
+    a.sd(Zero, S2, 0);
+    a.addi(T0, S1, -1);
+    a.sd(T0, S2, 8);
+    a.li(S3, 1);
+
+    a.label("qs_loop");
+    a.beqz(S3, "qs_done");
+    a.addi(S3, S3, -1);
+    a.slli(T0, S3, 4);
+    a.add(T0, S2, T0);
+    a.ld(S4, T0, 0); // lo
+    a.ld(S5, T0, 8); // hi
+    a.bge(S4, S5, "qs_loop");
+    // pivot = a[hi]
+    a.slli(T0, S5, 3);
+    a.add(T0, S0, T0);
+    a.fld(Fa0, T0, 0);
+    // i = lo - 1; j = lo
+    a.addi(S6, S4, -1);
+    a.mv(S7, S4);
+    a.label("part");
+    a.bge(S7, S5, "part_done");
+    a.slli(T0, S7, 3);
+    a.add(T0, S0, T0);
+    a.fld(Fa1, T0, 0);
+    a.flt_d(T1, Fa1, Fa0);
+    a.beqz(T1, "part_next");
+    a.addi(S6, S6, 1);
+    // swap a[i], a[j]
+    a.slli(T2, S6, 3);
+    a.add(T2, S0, T2);
+    a.fld(Fa2, T2, 0);
+    a.fsd(Fa1, T2, 0);
+    a.fsd(Fa2, T0, 0);
+    a.label("part_next");
+    a.addi(S7, S7, 1);
+    a.j("part");
+    a.label("part_done");
+    // place pivot: swap a[i+1], a[hi]
+    a.addi(S6, S6, 1);
+    a.slli(T0, S6, 3);
+    a.add(T0, S0, T0);
+    a.slli(T1, S5, 3);
+    a.add(T1, S0, T1);
+    a.fld(Fa1, T0, 0);
+    a.fld(Fa2, T1, 0);
+    a.fsd(Fa2, T0, 0);
+    a.fsd(Fa1, T1, 0);
+    // push (lo, i-1) and (i+1, hi)
+    a.slli(T0, S3, 4);
+    a.add(T0, S2, T0);
+    a.sd(S4, T0, 0);
+    a.addi(T1, S6, -1);
+    a.sd(T1, T0, 8);
+    a.addi(S3, S3, 1);
+    a.slli(T0, S3, 4);
+    a.add(T0, S2, T0);
+    a.addi(T1, S6, 1);
+    a.sd(T1, T0, 0);
+    a.sd(S5, T0, 8);
+    a.addi(S3, S3, 1);
+    a.j("qs_loop");
+    a.label("qs_done");
+
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // ---- verify ascending order ----------------------------------------
+    a.la(S0, "dist");
+    a.li(T0, (n - 1) as i64);
+    a.li(A0, 0);
+    a.label("verify");
+    a.fld(Fa0, S0, 0);
+    a.fld(Fa1, S0, 8);
+    a.fle_d(T1, Fa0, Fa1);
+    a.xori(T1, T1, 1);
+    a.or(A0, A0, T1);
+    a.addi(S0, S0, 8);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "verify");
+    a.exit();
+
+    a.data_label("points");
+    a.doubles(&points);
+    a.data_label("dist");
+    a.zeros(n * 8);
+    a.data_label("qstack");
+    a.zeros(2 * n * 16);
+
+    Workload {
+        name: "Qsort",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("qsort assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn sorts_and_verifies() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+        // Cross-check the final array against a Rust sort of the same
+        // distances.
+        let base = w.program.symbol("dist").unwrap();
+        let pts = w.program.symbol("points").unwrap();
+        let n = 96;
+        let mut expected: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = f64::from_bits(cpu.mem.read(pts + i * 24, 8));
+                let y = f64::from_bits(cpu.mem.read(pts + i * 24 + 8, 8));
+                let z = f64::from_bits(cpu.mem.read(pts + i * 24 + 16, 8));
+                // Mirror the fused multiply-adds the assembly uses.
+                z.mul_add(z, y.mul_add(y, x * x)).sqrt()
+            })
+            .collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, e) in expected.iter().enumerate() {
+            let got = f64::from_bits(cpu.mem.read(base + i as u64 * 8, 8));
+            assert_eq!(got, *e, "element {i}");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Sha (Embench/MiBench-style): SHA-256 compression over a message buffer.
+//!
+//! The paper's highest-IPC workload: two independent hash lanes (as in
+//! multi-buffer SHA libraries) and an 8x-unrolled round loop with
+//! register-role rotation expose abundant integer ILP, which lets all
+//! three BOOM configurations approach their issue-width ceilings
+//! (Fig. 10) while leaving the integer issue queue nearly empty (Fig. 8).
+
+use crate::data::{rng_for, u32s};
+use crate::{Scale, Suite, Workload};
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::{self, *};
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Reference SHA-256 compression (whole blocks, no padding) — the oracle
+/// for the assembly implementation.
+fn compress_blocks(blocks: &[u32], reps: u64) -> [u32; 8] {
+    let mut h = H0;
+    for _ in 0..reps {
+        for block in blocks.chunks_exact(16) {
+            let mut w = [0u32; 64];
+            w[..16].copy_from_slice(block);
+            for t in 16..64 {
+                let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+                let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+                w[t] = w[t - 16].wrapping_add(s0).wrapping_add(w[t - 7]).wrapping_add(s1);
+            }
+            let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
+                (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
+            for t in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[t]).wrapping_add(w[t]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                hh = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+                *hi = hi.wrapping_add(v);
+            }
+        }
+    }
+    h
+}
+
+/// Emits `rd = rs rotr32 r` using `t` as a temporary (1 <= r <= 31).
+fn rotr32(a: &mut Assembler, rd: Reg, rs: Reg, r: i32, t: Reg) {
+    a.srliw(t, rs, r);
+    a.slliw(rd, rs, 32 - r);
+    a.or(rd, rd, t);
+}
+
+/// Emits one SHA-256 round for the lane whose working variables live in
+/// `st = [a,b,c,d,e,f,g,h]`. Writes only `st[3]` (d += t1, the next e)
+/// and `st[7]` (h = t1 + t2, the next a); the caller rotates the role
+/// array, so no move instructions are needed. `k` holds K[t] and must
+/// survive; temps T0-T3 and T5 are clobbered.
+fn emit_round(a: &mut Assembler, st: &[Reg; 8], w_ptr: Reg, w_off: i32, k: Reg) {
+    // khw = k + w + h (off the critical e-chain)
+    a.lw(T5, w_ptr, w_off);
+    a.addw(T5, T5, k);
+    a.addw(T5, T5, st[7]);
+    // s1 = rotr(e,6) ^ rotr(e,11) ^ rotr(e,25)
+    rotr32(a, T0, st[4], 6, T1);
+    rotr32(a, T2, st[4], 11, T1);
+    a.xor(T0, T0, T2);
+    rotr32(a, T2, st[4], 25, T1);
+    a.xor(T0, T0, T2);
+    // ch = (e & f) ^ (!e & g)
+    a.and(T2, st[4], st[5]);
+    a.not(T3, st[4]);
+    a.and(T3, T3, st[6]);
+    a.xor(T2, T2, T3);
+    // t1 = s1 + ch + khw
+    a.addw(T0, T0, T2);
+    a.addw(T0, T0, T5);
+    // d += t1 (becomes the next round's e)
+    a.addw(st[3], st[3], T0);
+    // s0 = rotr(a,2) ^ rotr(a,13) ^ rotr(a,22)
+    rotr32(a, T2, st[0], 2, T1);
+    rotr32(a, T3, st[0], 13, T1);
+    a.xor(T2, T2, T3);
+    rotr32(a, T3, st[0], 22, T1);
+    a.xor(T2, T2, T3);
+    // maj = (a&b) ^ (a&c) ^ (b&c)
+    a.and(T3, st[0], st[1]);
+    a.and(T5, st[0], st[2]);
+    a.xor(T3, T3, T5);
+    a.and(T5, st[1], st[2]);
+    a.xor(T3, T3, T5);
+    a.addw(T2, T2, T3); // t2
+    // h = t1 + t2 (becomes the next round's a)
+    a.addw(st[7], T0, T2);
+}
+
+/// Emits the message-schedule expansion for one lane: copies the block at
+/// `msg_ptr` into the buffer labelled `wbuf` and expands W[16..64].
+/// Clobbers T1-T6, A6 and A7.
+fn emit_schedule(a: &mut Assembler, msg_ptr: Reg, wbuf: &str) {
+    a.la(A6, wbuf);
+    a.li(T1, 16);
+    a.mv(T2, msg_ptr);
+    a.mv(T3, A6);
+    let copy = format!("{wbuf}_copy");
+    a.label(&copy);
+    a.lw(T4, T2, 0);
+    a.sw(T4, T3, 0);
+    a.addi(T2, T2, 4);
+    a.addi(T3, T3, 4);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, &copy);
+    // expand W[16..64]; T3 points at W[t]
+    a.li(T1, 48);
+    let expand = format!("{wbuf}_expand");
+    a.label(&expand);
+    a.lw(T2, T3, -60); // w[t-15]
+    rotr32(a, T4, T2, 7, T6);
+    rotr32(a, T5, T2, 18, T6);
+    a.xor(T4, T4, T5);
+    a.srliw(T5, T2, 3);
+    a.xor(T4, T4, T5); // s0
+    a.lw(T2, T3, -8); // w[t-2]
+    rotr32(a, T6, T2, 17, T5);
+    rotr32(a, T5, T2, 19, A7);
+    a.xor(T6, T6, T5);
+    a.srliw(T5, T2, 10);
+    a.xor(T6, T6, T5); // s1
+    a.lw(T2, T3, -64); // w[t-16]
+    a.lw(T5, T3, -28); // w[t-7]
+    a.addw(T2, T2, T4);
+    a.addw(T2, T2, T5);
+    a.addw(T2, T2, T6);
+    a.sw(T2, T3, 0);
+    a.addi(T3, T3, 4);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, &expand);
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let blocks_per_lane: usize = 2;
+    let reps: u64 = 6 * scale.factor();
+
+    let mut rng = rng_for("sha");
+    let msg32: Vec<u32> =
+        u32s(&mut rng, 2 * blocks_per_lane * 16).iter().map(|&v| v as u32).collect();
+    let (lane1_msg, lane2_msg) = msg32.split_at(blocks_per_lane * 16);
+    let digest1 = compress_blocks(lane1_msg, reps);
+    let digest2 = compress_blocks(lane2_msg, reps);
+
+    let lane1: [Reg; 8] = [S2, S3, S4, S5, S6, S7, S8, S9];
+    let lane2: [Reg; 8] = [A0, A1, A2, A3, A4, A5, A6, A7];
+
+    let mut a = Assembler::new();
+    // Initialize both hash states from the IV table.
+    a.la(T0, "iv");
+    a.la(T1, "hstate1");
+    a.la(T2, "hstate2");
+    a.li(T3, 8);
+    a.label("init_h");
+    a.lw(T4, T0, 0);
+    a.sw(T4, T1, 0);
+    a.sw(T4, T2, 0);
+    a.addi(T0, T0, 4);
+    a.addi(T1, T1, 4);
+    a.addi(T2, T2, 4);
+    a.addi(T3, T3, -1);
+    a.bnez(T3, "init_h");
+
+    a.li(S11, reps as i64);
+    a.label("rep");
+    a.la(T0, "blkctr");
+    a.sd(Zero, T0, 0);
+    a.label("block_loop");
+
+    // ---- message schedules for both lanes -----------------------------
+    a.la(T0, "blkctr");
+    a.ld(T0, T0, 0);
+    a.slli(T0, T0, 6); // *64 bytes
+    a.la(S0, "msg");
+    a.add(S0, S0, T0); // lane-1 block
+    a.li(T1, (blocks_per_lane * 64) as i64);
+    a.add(S1, S0, T1); // lane-2 block
+    emit_schedule(&mut a, S0, "wbuf1");
+    emit_schedule(&mut a, S1, "wbuf2");
+
+    // ---- load both lane states ----------------------------------------
+    a.la(T0, "hstate1");
+    for (i, r) in lane1.iter().enumerate() {
+        a.lw(*r, T0, (i * 4) as i32);
+    }
+    a.la(T0, "hstate2");
+    for (i, r) in lane2.iter().enumerate() {
+        a.lw(*r, T0, (i * 4) as i32);
+    }
+
+    // ---- 64 rounds, 8x unrolled, two interleaved lanes -----------------
+    a.la(S10, "ktab");
+    a.la(S0, "wbuf1");
+    a.la(S1, "wbuf2");
+    a.li(T6, 8);
+    a.label("round8");
+    let mut r1 = lane1;
+    let mut r2 = lane2;
+    for r in 0..8 {
+        a.lw(T4, S10, (r * 4) as i32);
+        emit_round(&mut a, &r1, S0, (r * 4) as i32, T4);
+        emit_round(&mut a, &r2, S1, (r * 4) as i32, T4);
+        r1.rotate_right(1);
+        r2.rotate_right(1);
+    }
+    a.addi(S10, S10, 32);
+    a.addi(S0, S0, 32);
+    a.addi(S1, S1, 32);
+    a.addi(T6, T6, -1);
+    a.bnez(T6, "round8");
+
+    // ---- add the working variables back into the states -----------------
+    a.la(T0, "hstate1");
+    for (i, r) in lane1.iter().enumerate() {
+        a.lw(T1, T0, (i * 4) as i32);
+        a.addw(T1, T1, *r);
+        a.sw(T1, T0, (i * 4) as i32);
+    }
+    a.la(T0, "hstate2");
+    for (i, r) in lane2.iter().enumerate() {
+        a.lw(T1, T0, (i * 4) as i32);
+        a.addw(T1, T1, *r);
+        a.sw(T1, T0, (i * 4) as i32);
+    }
+
+    a.la(T0, "blkctr");
+    a.ld(T1, T0, 0);
+    a.addi(T1, T1, 1);
+    a.sd(T1, T0, 0);
+    a.li(T2, blocks_per_lane as i64);
+    a.blt(T1, T2, "block_loop");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // ---- verify both digests ---------------------------------------------
+    a.li(A0, 0);
+    for (state, digest) in [("hstate1", "digest1"), ("hstate2", "digest2")] {
+        a.la(T0, state);
+        a.la(T1, digest);
+        a.li(T2, 8);
+        let check = format!("check_{state}");
+        a.label(&check);
+        a.lwu(T3, T0, 0);
+        a.lwu(T4, T1, 0);
+        a.xor(T3, T3, T4);
+        a.or(A0, A0, T3);
+        a.addi(T0, T0, 4);
+        a.addi(T1, T1, 4);
+        a.addi(T2, T2, -1);
+        a.bnez(T2, &check);
+    }
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("iv");
+    a.words(&H0);
+    a.data_label("ktab");
+    a.words(&K);
+    a.data_label("msg");
+    a.words(&msg32);
+    a.data_label("hstate1");
+    a.zeros(32);
+    a.data_label("hstate2");
+    a.zeros(32);
+    a.data_label("wbuf1");
+    a.zeros(64 * 4);
+    a.data_label("wbuf2");
+    a.zeros(64 * 4);
+    a.data_label("blkctr");
+    a.dwords(&[0]);
+    a.data_label("digest1");
+    a.words(&digest1);
+    a.data_label("digest2");
+    a.words(&digest2);
+
+    Workload {
+        name: "Sha",
+        suite: Suite::Embench,
+        program: a.assemble().expect("sha assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn oracle_leaves_iv_untouched_for_empty_message() {
+        assert_eq!(compress_blocks(&[], 1), H0);
+    }
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+
+    #[test]
+    fn lanes_hash_different_halves() {
+        let mut rng = rng_for("sha");
+        let msg: Vec<u32> = u32s(&mut rng, 64).iter().map(|&v| v as u32).collect();
+        let (l1, l2) = msg.split_at(32);
+        assert_ne!(compress_blocks(l1, 1), compress_blocks(l2, 1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Stringsearch (MiBench): Boyer–Moore–Horspool text search.
+//!
+//! Byte loads, a 256-entry skip-table lookup per window, and
+//! data-dependent comparison loops give the memory-issue-unit pressure
+//! the paper observes (Stringsearch and Dijkstra dominate Mem Issue
+//! power across all three configurations).
+
+use crate::data::{rng_for, text};
+use crate::{Scale, Suite, Workload};
+use rand::Rng;
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+
+/// Reference Horspool search — the oracle. Returns `(match_count,
+/// position_sum)` with the same non-overlapping advance as the assembly.
+fn oracle(text: &[u8], pat: &[u8]) -> (u64, u64) {
+    let plen = pat.len();
+    let mut skip = [plen as u64; 256];
+    for (i, &b) in pat[..plen - 1].iter().enumerate() {
+        skip[b as usize] = (plen - 1 - i) as u64;
+    }
+    let (mut count, mut possum) = (0u64, 0u64);
+    let mut pos = plen - 1;
+    while pos < text.len() {
+        let mut j = 0;
+        while j < plen && text[pos - j] == pat[plen - 1 - j] {
+            j += 1;
+        }
+        if j == plen {
+            count += 1;
+            possum = possum.wrapping_add(pos as u64);
+            pos += plen;
+        } else {
+            pos += skip[text[pos] as usize] as usize;
+        }
+    }
+    (count, possum)
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let text_len: usize = match scale {
+        Scale::Test => 2048,
+        Scale::Small => 8192,
+        Scale::Full => 24576,
+    };
+    let reps = scale.factor();
+
+    let mut rng = rng_for("stringsearch");
+    let body = text(&mut rng, text_len);
+    let patterns: Vec<Vec<u8>> = (0..12)
+        .map(|i| {
+            let len = rng.gen_range(5..=10usize);
+            if i % 2 == 0 {
+                // Implanted pattern: copy a slice of the text.
+                let start = rng.gen_range(0..text_len - len);
+                body[start..start + len].to_vec()
+            } else {
+                text(&mut rng, len)
+            }
+        })
+        .collect();
+
+    let mut expected = 0u64;
+    for pat in &patterns {
+        let (count, possum) = oracle(&body, pat);
+        expected = expected.wrapping_add(count.wrapping_mul(1_000_003)).wrapping_add(possum);
+    }
+    expected = expected.wrapping_mul(reps);
+
+    // Pattern blob: [len:u64][bytes padded to 8] per pattern.
+    let mut blob = Vec::new();
+    for pat in &patterns {
+        blob.extend_from_slice(&(pat.len() as u64).to_le_bytes());
+        let mut bytes = pat.clone();
+        while bytes.len() % 8 != 0 {
+            bytes.push(0);
+        }
+        blob.extend_from_slice(&bytes);
+    }
+
+    let mut a = Assembler::new();
+    a.la(S0, "text");
+    a.li(S1, text_len as i64);
+    a.li(A0, 0); // running checksum
+    a.li(S11, reps as i64);
+
+    a.label("rep");
+    a.la(S2, "patterns");
+    a.li(S3, patterns.len() as i64);
+
+    a.label("pattern_loop");
+    a.ld(S4, S2, 0); // plen
+    a.addi(S5, S2, 8); // pattern bytes
+    // --- build the skip table: skip[b] = plen; then last-occurrence ---
+    a.la(S6, "skip");
+    a.li(T0, 256);
+    a.mv(T1, S6);
+    a.label("skip_init");
+    a.sd(S4, T1, 0);
+    a.addi(T1, T1, 8);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "skip_init");
+    a.addi(T0, S4, -1); // i over pat[..plen-1]
+    a.mv(T1, S5);
+    a.mv(T2, T0); // remaining = plen-1 ... skip value = plen-1-i, start at plen-1
+    a.label("skip_fill");
+    a.beqz(T2, "skip_done");
+    a.lbu(T3, T1, 0);
+    a.slli(T3, T3, 3);
+    a.add(T3, S6, T3);
+    a.sd(T2, T3, 0);
+    a.addi(T1, T1, 1);
+    a.addi(T2, T2, -1);
+    a.j("skip_fill");
+    a.label("skip_done");
+
+    // --- scan ---
+    a.addi(T0, S4, -1); // pos = plen-1
+    a.label("scan");
+    a.bge(T0, S1, "pattern_done");
+    // backwards compare: j = 0..plen
+    a.li(T1, 0); // j
+    a.label("cmp");
+    a.beq(T1, S4, "match");
+    a.sub(T2, T0, T1);
+    a.add(T2, S0, T2);
+    a.lbu(T2, T2, 0); // text[pos-j]
+    a.sub(T3, S4, T1);
+    a.addi(T3, T3, -1);
+    a.add(T3, S5, T3);
+    a.lbu(T3, T3, 0); // pat[plen-1-j]
+    a.bne(T2, T3, "mismatch");
+    a.addi(T1, T1, 1);
+    a.j("cmp");
+    a.label("match");
+    // checksum += 1_000_003; checksum += pos; pos += plen
+    a.la(T4, "prime");
+    a.ld(T4, T4, 0);
+    a.add(A0, A0, T4);
+    a.add(A0, A0, T0);
+    a.add(T0, T0, S4);
+    a.j("scan");
+    a.label("mismatch");
+    // pos += skip[text[pos]]
+    a.add(T2, S0, T0);
+    a.lbu(T2, T2, 0);
+    a.slli(T2, T2, 3);
+    a.add(T2, S6, T2);
+    a.ld(T2, T2, 0);
+    a.add(T0, T0, T2);
+    a.j("scan");
+
+    a.label("pattern_done");
+    // advance to next pattern: 8 + padded len
+    a.addi(T0, S4, 7);
+    a.andi(T0, T0, -8);
+    a.addi(T0, T0, 8);
+    a.add(S2, S2, T0);
+    a.addi(S3, S3, -1);
+    a.bnez(S3, "pattern_loop");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // verify
+    a.la(T0, "expected");
+    a.ld(T0, T0, 0);
+    a.xor(A0, A0, T0);
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("text");
+    a.bytes(&body);
+    a.data_label("patterns");
+    a.bytes(&blob);
+    a.data_label("skip");
+    a.zeros(256 * 8);
+    a.data_label("prime");
+    a.dwords(&[1_000_003]);
+    a.data_label("expected");
+    a.dwords(&[expected]);
+
+    Workload {
+        name: "Stringsearch",
+        suite: Suite::MiBench,
+        program: a.assemble().expect("stringsearch assembles"),
+        interval_size: scale.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn oracle_finds_known_matches() {
+        let (count, possum) = oracle(b"abracadabra", b"abra");
+        assert_eq!(count, 2);
+        // matches end at positions 3 and 10
+        assert_eq!(possum, 13);
+    }
+
+    #[test]
+    fn oracle_handles_no_match() {
+        assert_eq!(oracle(b"aaaaaa", b"xyz"), (0, 0));
+    }
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

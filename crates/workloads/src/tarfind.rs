@@ -1,0 +1,216 @@
+//! Tarfind (Embench): scan a tar archive for files matching a name.
+//!
+//! Walks 512-byte tar headers: validates the `ustar` magic, sums header
+//! bytes (the tar checksum), parses the octal size field, and skips the
+//! data blocks. Serial byte loads over a buffer much larger than the L1
+//! make this the lowest-IPC workload, exactly as in the paper's Fig. 10.
+
+use crate::data::rng_for;
+use crate::{Scale, Suite, Workload};
+use rand::Rng;
+use rv_isa::asm::Assembler;
+use rv_isa::reg::Reg::*;
+
+const BLOCK: usize = 512;
+const MAGIC_OFF: usize = 257;
+const SIZE_OFF: usize = 124;
+
+/// Builds a synthetic ustar archive; returns the bytes and the file count.
+fn build_archive(files: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = Vec::new();
+    for _ in 0..files {
+        let name_len = rng.gen_range(5..=10usize);
+        let mut name: Vec<u8> = (0..name_len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+        if rng.gen_ratio(1, 3) {
+            name[0] = b'a'; // target prefix
+        }
+        let size = rng.gen_range(200..3000usize);
+        let mut header = vec![0u8; BLOCK];
+        header[..name.len()].copy_from_slice(&name);
+        // 11 octal digits, NUL-terminated.
+        let octal = format!("{size:011o}");
+        header[SIZE_OFF..SIZE_OFF + 11].copy_from_slice(octal.as_bytes());
+        header[MAGIC_OFF..MAGIC_OFF + 5].copy_from_slice(b"ustar");
+        out.extend_from_slice(&header);
+        let data_blocks = size.div_ceil(BLOCK);
+        let mut data = vec![0u8; data_blocks * BLOCK];
+        rng.fill(&mut data[..size]);
+        out.extend_from_slice(&data);
+    }
+    out.extend_from_slice(&[0u8; 2 * BLOCK]); // end-of-archive marker
+    out
+}
+
+/// Reference scan — the oracle. Mirrors the assembly exactly.
+fn oracle(archive: &[u8]) -> u64 {
+    let mut checksum = 0u64;
+    let mut ptr = 0usize;
+    loop {
+        let block = &archive[ptr..ptr + BLOCK];
+        if &block[MAGIC_OFF..MAGIC_OFF + 5] != b"ustar" {
+            break;
+        }
+        // Rolling (multiplicative) hash of the header: a serial
+        // multiply-accumulate chain, the latency-bound behaviour that
+        // makes Tarfind the lowest-IPC workload.
+        let mut hdr_hash = 0u64;
+        for &b in block {
+            hdr_hash = hdr_hash.wrapping_mul(31).wrapping_add(b as u64).wrapping_mul(17);
+        }
+        checksum = checksum.wrapping_add(hdr_hash);
+        let mut size = 0u64;
+        for &c in &block[SIZE_OFF..] {
+            if c == 0 {
+                break;
+            }
+            size = size * 8 + (c - b'0') as u64;
+        }
+        checksum = checksum.wrapping_add(size);
+        if block[0] == b'a' {
+            checksum = checksum.wrapping_add(1 << 32);
+        }
+        ptr += BLOCK + (size as usize).div_ceil(BLOCK) * BLOCK;
+    }
+    checksum
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let files: usize = match scale {
+        Scale::Test => 8,
+        Scale::Small => 48,
+        Scale::Full => 96,
+    };
+    let reps: u64 = scale.factor();
+
+    let mut rng = rng_for("tarfind");
+    let archive = build_archive(files, &mut rng);
+    let expected = oracle(&archive).wrapping_mul(reps);
+
+    let mut a = Assembler::new();
+    a.li(A0, 0); // checksum
+    a.li(S11, reps as i64);
+    a.label("rep");
+    a.la(S0, "archive"); // block pointer
+
+    a.label("block_loop");
+    // ---- magic check at +257 -------------------------------------------
+    a.la(T0, "magic");
+    a.li(T1, 5);
+    a.addi(T2, S0, MAGIC_OFF as i32);
+    a.label("magic_cmp");
+    a.lbu(T3, T2, 0);
+    a.lbu(T4, T0, 0);
+    a.bne(T3, T4, "archive_done");
+    a.addi(T0, T0, 1);
+    a.addi(T2, T2, 1);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "magic_cmp");
+
+    // ---- rolling header hash (serial multiply-accumulate chain) ----------
+    // Unrolled 8x: the multiply chain is the critical path, so the core
+    // is latency-bound here — Tarfind's signature low IPC.
+    a.li(T0, (BLOCK / 8) as i64);
+    a.mv(T1, S0);
+    a.li(T2, 0);
+    a.li(T5, 31);
+    a.li(T6, 17);
+    a.label("hdr_hash");
+    for off in 0..8 {
+        a.lbu(T3, T1, off);
+        a.mul(T2, T2, T5);
+        a.add(T2, T2, T3);
+        a.mul(T2, T2, T6);
+    }
+    a.addi(T1, T1, 8);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "hdr_hash");
+    a.add(A0, A0, T2);
+
+    // ---- octal size parse -------------------------------------------------
+    a.addi(T1, S0, SIZE_OFF as i32);
+    a.li(T2, 0); // size
+    a.label("octal");
+    a.lbu(T3, T1, 0);
+    a.beqz(T3, "octal_done");
+    a.slli(T2, T2, 3);
+    a.addi(T3, T3, -48);
+    a.add(T2, T2, T3);
+    a.addi(T1, T1, 1);
+    a.j("octal");
+    a.label("octal_done");
+    a.add(A0, A0, T2);
+
+    // ---- name-prefix match -------------------------------------------------
+    a.lbu(T3, S0, 0);
+    a.li(T4, b'a' as i64);
+    a.bne(T3, T4, "no_match");
+    a.li(T4, 1);
+    a.slli(T4, T4, 32);
+    a.add(A0, A0, T4);
+    a.label("no_match");
+
+    // ---- skip to the next header -------------------------------------------
+    // blocks = ceil(size / 512); ptr += 512 + blocks*512
+    a.addi(T2, T2, 511);
+    a.srli(T2, T2, 9);
+    a.slli(T2, T2, 9);
+    a.add(S0, S0, T2);
+    a.addi(S0, S0, BLOCK as i32);
+    a.j("block_loop");
+
+    a.label("archive_done");
+    a.addi(S11, S11, -1);
+    a.bnez(S11, "rep");
+
+    // ---- verify --------------------------------------------------------------
+    a.la(T0, "expected");
+    a.ld(T0, T0, 0);
+    a.xor(A0, A0, T0);
+    a.snez(A0, A0);
+    a.exit();
+
+    a.data_label("magic");
+    a.bytes(b"ustar");
+    a.data_label("expected");
+    a.dwords(&[expected]);
+    a.data_label("archive");
+    a.bytes(&archive);
+
+    Workload {
+        name: "Tarfind",
+        suite: Suite::Embench,
+        program: a.assemble().expect("tarfind assembles"),
+        interval_size: 2 * scale.interval(), // Table II: 2M intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_isa::cpu::{Cpu, StopReason};
+
+    #[test]
+    fn archive_is_block_aligned_and_terminated() {
+        let mut rng = rng_for("tarfind");
+        let arc = build_archive(4, &mut rng);
+        assert_eq!(arc.len() % BLOCK, 0);
+        assert!(arc[arc.len() - 2 * BLOCK..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn oracle_counts_prefixed_files() {
+        let mut rng = rng_for("tarfind");
+        let arc = build_archive(8, &mut rng);
+        let sum = oracle(&arc);
+        // At least the header sums are non-zero.
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn verifies_against_oracle() {
+        let w = build(Scale::Test);
+        let mut cpu = Cpu::new(&w.program);
+        assert_eq!(cpu.run(100_000_000).unwrap(), StopReason::Exited(0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Every workload must exit successfully (code 0) on the cycle-level
+//! OoO core — the full-program co-simulation check — and exhibit the
+//! relative IPC ordering the paper's Fig. 10 reports.
+
+use boom_uarch::{BoomConfig, Core};
+use rv_workloads::{all, Scale};
+
+#[test]
+fn all_workloads_pass_on_medium_boom() {
+    for w in all(Scale::Test) {
+        let mut core = Core::new(BoomConfig::medium(), &w.program);
+        let r = core.run(500_000_000);
+        assert!(r.exited && !r.hung, "{}: {r:?}", w.name);
+        assert_eq!(r.exit_code, Some(0), "{} failed self-verification", w.name);
+        println!(
+            "{:14} insts={:9} cycles={:9} IPC={:.2} mispred={:.1}%",
+            w.name,
+            core.stats().retired,
+            core.stats().cycles,
+            core.stats().ipc(),
+            100.0 * core.stats().mispredict_rate(),
+        );
+    }
+}
+
+#[test]
+fn all_workloads_pass_on_mega_boom() {
+    for w in all(Scale::Test) {
+        let mut core = Core::new(BoomConfig::mega(), &w.program);
+        let r = core.run(500_000_000);
+        assert!(r.exited && !r.hung, "{}: {r:?}", w.name);
+        assert_eq!(r.exit_code, Some(0), "{} failed self-verification", w.name);
+        println!("{:14} IPC={:.2}", w.name, core.stats().ipc());
+    }
+}
+
+#[test]
+fn sha_has_highest_ipc_tarfind_lowest() {
+    // The paper's Fig. 10 headline orderings.
+    let mut ipc = std::collections::HashMap::new();
+    for w in all(Scale::Small) {
+        let mut core = Core::new(BoomConfig::large(), &w.program);
+        let r = core.run(500_000_000);
+        assert!(r.exited, "{}", w.name);
+        ipc.insert(w.name, core.stats().ipc());
+    }
+    let sha = ipc["Sha"];
+    let tarfind = ipc["Tarfind"];
+    for (name, v) in &ipc {
+        assert!(sha >= *v * 0.95, "Sha ({sha:.2}) should lead, {name} = {v:.2}");
+        assert!(tarfind <= *v * 1.05, "Tarfind ({tarfind:.2}) should trail, {name} = {v:.2}");
+    }
+}

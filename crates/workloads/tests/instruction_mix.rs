@@ -1,0 +1,111 @@
+//! Workload-identity tests: each benchmark must exhibit the dynamic
+//! instruction mix its analysis role in the paper depends on (FP usage
+//! confined to FFT/iFFT/Qsort/Basicmath, memory intensity for Matmult,
+//! branchiness for Stringsearch, multiply pressure for Tarfind, ...).
+
+use rv_isa::cpu::Cpu;
+use rv_isa::inst::Inst;
+use rv_workloads::{all, Scale};
+use std::collections::HashMap;
+
+#[derive(Default, Clone, Debug)]
+struct Mix {
+    total: u64,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    muldiv: u64,
+    fp: u64,
+}
+
+fn measure() -> HashMap<&'static str, Mix> {
+    let mut out = HashMap::new();
+    for w in all(Scale::Test) {
+        let mut cpu = Cpu::new(&w.program);
+        let mut mix = Mix::default();
+        cpu.run_with(200_000_000, |r| {
+            mix.total += 1;
+            match r.inst {
+                Inst::Load { .. } | Inst::FpLoad { .. } => mix.loads += 1,
+                Inst::Store { .. } | Inst::FpStore { .. } => mix.stores += 1,
+                Inst::Branch { .. } => mix.branches += 1,
+                Inst::MulDiv { .. } => mix.muldiv += 1,
+                _ => {}
+            }
+            if matches!(
+                r.inst,
+                Inst::FpLoad { .. }
+                    | Inst::FpStore { .. }
+                    | Inst::FpOp { .. }
+                    | Inst::FpFma { .. }
+                    | Inst::FpCmp { .. }
+                    | Inst::FpCvtToInt { .. }
+                    | Inst::FpCvtFromInt { .. }
+                    | Inst::FpCvtFmt { .. }
+                    | Inst::FpMvToInt { .. }
+                    | Inst::FpMvFromInt { .. }
+            ) {
+                mix.fp += 1;
+            }
+        })
+        .unwrap();
+        out.insert(w.name, mix);
+    }
+    out
+}
+
+#[test]
+fn fp_usage_is_confined_to_fp_workloads() {
+    let mixes = measure();
+    // The paper: only FFT, iFFT and Qsort use FP registers heavily
+    // (Basicmath's cbrt kernel uses FP too).
+    for name in ["FFT", "iFFT", "Qsort", "Basicmath"] {
+        let m = &mixes[name];
+        assert!(
+            m.fp as f64 > 0.10 * m.total as f64,
+            "{name}: fp share {:.1}%",
+            100.0 * m.fp as f64 / m.total as f64
+        );
+    }
+    for name in ["Bitcount", "Sha", "Dijkstra", "Patricia", "Matmult", "Stringsearch", "Tarfind"] {
+        let m = &mixes[name];
+        assert!(
+            (m.fp as f64) < 0.01 * m.total as f64,
+            "{name}: unexpected fp share {:.1}%",
+            100.0 * m.fp as f64 / m.total as f64
+        );
+    }
+}
+
+#[test]
+fn memory_intensity_identities() {
+    let mixes = measure();
+    // Matmult streams two operands per MAC: loads dominate.
+    let mm = &mixes["Matmult"];
+    assert!(mm.loads as f64 > 0.2 * mm.total as f64, "matmult loads {:?}", mm);
+    // Stringsearch and Patricia are load-heavy, store-light.
+    for name in ["Stringsearch", "Patricia", "Tarfind"] {
+        let m = &mixes[name];
+        assert!(m.loads > 4 * m.stores, "{name}: {m:?}");
+    }
+    // Sha's state lives in registers: well under 10% memory operations.
+    let sha = &mixes["Sha"];
+    assert!((sha.loads + sha.stores) as f64 <= 0.12 * sha.total as f64, "{sha:?}");
+}
+
+#[test]
+fn control_and_multiply_identities() {
+    let mixes = measure();
+    // Tarfind's rolling hash: multiplies are a large dynamic share.
+    let tf = &mixes["Tarfind"];
+    assert!(tf.muldiv as f64 > 0.2 * tf.total as f64, "{tf:?}");
+    // Bitcount's Kernighan pass and loops make it branchy but not
+    // memory-bound.
+    let bc = &mixes["Bitcount"];
+    assert!(bc.branches as f64 > 0.1 * bc.total as f64, "{bc:?}");
+    assert!((bc.loads + bc.stores) as f64 <= 0.2 * bc.total as f64, "{bc:?}");
+    // Dijkstra's branchless min-scan keeps branch share low while staying
+    // load-heavy (the chain is through loads, not branches).
+    let dj = &mixes["Dijkstra"];
+    assert!(dj.loads as f64 > 0.12 * dj.total as f64, "{dj:?}");
+}

@@ -1,0 +1,54 @@
+//! Disassemble a workload's text section and print its static instruction
+//! mix — a small demonstration of the `rv-isa` decode/disassembly API.
+//!
+//! ```sh
+//! cargo run --release --example disasm -- sha | head -40
+//! ```
+
+use rv_isa::inst::Inst;
+use rv_isa::decode;
+use rv_workloads::{by_name, Scale};
+use std::collections::BTreeMap;
+
+fn class_of(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::Branch { .. } => "branch",
+        Inst::Jal { .. } | Inst::Jalr { .. } => "jump",
+        Inst::Load { .. } | Inst::FpLoad { .. } => "load",
+        Inst::Store { .. } | Inst::FpStore { .. } => "store",
+        Inst::MulDiv { .. } => "mul/div",
+        Inst::FpOp { .. } | Inst::FpFma { .. } | Inst::FpCmp { .. } => "fp-arith",
+        Inst::FpCvtToInt { .. }
+        | Inst::FpCvtFromInt { .. }
+        | Inst::FpCvtFmt { .. }
+        | Inst::FpMvToInt { .. }
+        | Inst::FpMvFromInt { .. } => "fp-move/cvt",
+        Inst::Lui { .. } | Inst::Auipc { .. } => "const",
+        Inst::Fence | Inst::Ecall | Inst::Ebreak => "system",
+        _ => "int-alu",
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sha".to_string());
+    let w = by_name(&name, Scale::Test).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let program = &w.program;
+
+    let mut mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let base = program.base();
+    for (i, word) in program.image()[..program.text_len()].chunks_exact(4).enumerate() {
+        let pc = base + 4 * i as u64;
+        let word = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
+        let inst = decode(word).expect("text section decodes");
+        *mix.entry(class_of(&inst)).or_default() += 1;
+        println!("{pc:#010x}:  {word:08x}  {inst}");
+    }
+
+    eprintln!("\n{} static instructions; mix:", program.inst_count());
+    for (class, count) in mix {
+        eprintln!(
+            "  {class:<12} {count:>5}  ({:>4.1}%)",
+            100.0 * count as f64 / program.inst_count() as f64
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Dump a Konata-format pipeline trace (BOOM's "pipeview") for the first
+//! instructions of a workload — open the output file in the Konata viewer
+//! to watch dispatch/issue/execute/commit and misprediction flushes.
+//!
+//! ```sh
+//! cargo run --release --example pipeview -- dijkstra mega 2000 > trace.kanata
+//! ```
+
+use boom_uarch::{BoomConfig, Core};
+use rv_workloads::{by_name, Scale};
+
+fn main() {
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "dijkstra".to_string());
+    let cfg = match std::env::args().nth(2).as_deref() {
+        Some("medium") => BoomConfig::medium(),
+        Some("large") => BoomConfig::large(),
+        _ => BoomConfig::mega(),
+    };
+    let insts: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let w = by_name(&workload_name, Scale::Test)
+        .unwrap_or_else(|| panic!("unknown workload `{workload_name}`"));
+
+    let mut core = Core::new(cfg, &w.program);
+    core.attach_tracer();
+    let r = core.run(insts);
+    eprintln!(
+        "traced {} committed instructions over {} cycles (IPC {:.2}, {} squashed)",
+        r.retired,
+        r.cycles,
+        core.stats().ipc(),
+        core.stats().squashed
+    );
+    print!("{}", core.take_trace().expect("tracer attached"));
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run one workload through the full SimPoint power/performance
+//! flow on one BOOM configuration and print the paper-style summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload] [medium|large|mega]
+//! ```
+
+use boom_uarch::BoomConfig;
+use boomflow::{run_simpoint_flow, FlowConfig};
+use rtl_power::Component;
+use rv_workloads::{by_name, Scale};
+
+fn main() {
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "sha".to_string());
+    let cfg = match std::env::args().nth(2).as_deref() {
+        Some("large") => BoomConfig::large(),
+        Some("mega") => BoomConfig::mega(),
+        _ => BoomConfig::medium(),
+    };
+    let workload = by_name(&workload_name, Scale::Small)
+        .unwrap_or_else(|| panic!("unknown workload `{workload_name}`"));
+
+    println!("Running {} on {} through the SimPoint flow...", workload.name, cfg.name);
+    let r = run_simpoint_flow(&cfg, &workload, &FlowConfig::default()).expect("flow failed");
+
+    println!();
+    println!("workload           : {} ({} dynamic instructions)", r.name, r.total_insts);
+    println!("simulation points  : {} x {} instructions ({:.0}% coverage)",
+             r.points.len(), r.interval_size, 100.0 * r.coverage);
+    println!("detailed-sim budget: {:.0}x smaller than full simulation", r.speedup);
+    println!("IPC                : {:.2}", r.ipc);
+    println!("BOOM tile power    : {:.2} mW @ 500 MHz", r.tile_power_mw());
+    println!("performance/watt   : {:.1} IPC/W", r.perf_per_watt());
+    println!();
+    println!("{:<18} {:>9} {:>9} {:>9} {:>9}", "component", "leak mW", "int mW", "switch mW", "total mW");
+    for c in Component::ALL {
+        let p = r.power.component(c);
+        println!(
+            "{:<18} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            c.name(), p.leakage_mw, p.internal_mw, p.switching_mw, p.total_mw()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Every workload must pass its built-in self-verification (exit code 0)
+//! on the cycle-level core in unusual configurations too — the gshare
+//! variant and a deliberately tiny custom configuration that stresses
+//! structural-hazard paths (full ROB, full queues, free-list exhaustion).
+
+use boom_uarch::{BoomConfig, Core, PredictorKind};
+use rv_workloads::{all, Scale};
+
+#[test]
+fn all_workloads_pass_with_gshare_predictor() {
+    for w in all(Scale::Test) {
+        let cfg = BoomConfig::medium().with_predictor(PredictorKind::Gshare);
+        let mut core = Core::new(cfg, &w.program);
+        let r = core.run(500_000_000);
+        assert!(r.exited && r.exit_code == Some(0), "{}: {r:?}", w.name);
+    }
+}
+
+#[test]
+fn all_workloads_pass_on_a_tiny_stress_config() {
+    // A deliberately cramped core: resources this small force constant
+    // dispatch stalls, queue-full back-pressure and snapshot exhaustion.
+    let mut cfg = BoomConfig::medium();
+    cfg.name = "TinyBOOM".to_string();
+    cfg.rob_entries = 12;
+    cfg.int_phys_regs = 40;
+    cfg.fp_phys_regs = 40;
+    cfg.int_issue_slots = 4;
+    cfg.mem_issue_slots = 3;
+    cfg.fp_issue_slots = 3;
+    cfg.ldq_entries = 3;
+    cfg.stq_entries = 3;
+    cfg.fetch_buffer_entries = 6;
+    cfg.max_br_count = 3;
+    for w in all(Scale::Test) {
+        let mut core = Core::new(cfg.clone(), &w.program);
+        let r = core.run(500_000_000);
+        assert!(r.exited && r.exit_code == Some(0), "{}: {r:?}", w.name);
+    }
+}

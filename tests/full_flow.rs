@@ -1,0 +1,88 @@
+//! Integration tests of the complete SimPoint flow across all crates:
+//! functional profiling, phase analysis, checkpointing, detailed
+//! simulation with warm-up, and weighted power/performance aggregation.
+
+use boom_uarch::BoomConfig;
+use boomflow::{run_full, run_simpoint_flow, FlowConfig};
+use rv_workloads::{all, by_name, Scale};
+
+#[test]
+fn flow_invariants_hold_for_every_workload() {
+    let flow = FlowConfig::default();
+    let cfg = BoomConfig::medium();
+    for w in all(Scale::Test) {
+        let r = run_simpoint_flow(&cfg, &w, &flow)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.coverage >= 0.9, "{}: coverage {}", w.name, r.coverage);
+        assert!(r.ipc > 0.1 && r.ipc < 4.0, "{}: ipc {}", w.name, r.ipc);
+        let wsum: f64 = r.points.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9, "{}: weights sum {wsum}", w.name);
+        assert!(r.tile_power_mw() > 5.0 && r.tile_power_mw() < 100.0,
+            "{}: tile {} mW", w.name, r.tile_power_mw());
+        // At Test scale some workloads have so few intervals that SimPoint
+        // cannot buy simulation time (it exists for *large* workloads);
+        // the flow must still never blow the budget up by more than the
+        // warm-up overhead.
+        assert!(r.speedup > 0.5, "{}: speedup {}", w.name, r.speedup);
+        // Leakage must not depend on the workload: every point of the same
+        // config reports identical leakage per component.
+        for c in rtl_power::Component::ALL {
+            let leaks: Vec<f64> =
+                r.points.iter().map(|p| p.power.component(c).leakage_mw).collect();
+            for l in &leaks {
+                assert!((l - leaks[0]).abs() < 1e-9, "{}: {c} leakage varies", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn simpoint_ipc_matches_full_simulation_within_tolerance() {
+    let flow = FlowConfig::default();
+    let cfg = BoomConfig::large();
+    for name in ["bitcount", "dijkstra", "sha", "matmult"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let sp = run_simpoint_flow(&cfg, &w, &flow).unwrap();
+        let full = run_full(&cfg, &w).unwrap();
+        let err = (sp.ipc - full.ipc).abs() / full.ipc;
+        assert!(
+            err < 0.30,
+            "{name}: simpoint IPC {:.3} vs full {:.3} ({:.0}% error)",
+            sp.ipc,
+            full.ipc,
+            100.0 * err
+        );
+    }
+}
+
+#[test]
+fn bigger_cores_are_faster_but_less_efficient_on_average() {
+    let flow = FlowConfig::default();
+    let workloads = all(Scale::Test);
+    let mean = |cfg: &BoomConfig| -> (f64, f64) {
+        let rs: Vec<_> = workloads
+            .iter()
+            .map(|w| run_simpoint_flow(cfg, w, &flow).unwrap())
+            .collect();
+        let n = rs.len() as f64;
+        (
+            rs.iter().map(|r| r.ipc).sum::<f64>() / n,
+            rs.iter().map(|r| r.perf_per_watt()).sum::<f64>() / n,
+        )
+    };
+    let (ipc_m, ppw_m) = mean(&BoomConfig::medium());
+    let (ipc_g, ppw_g) = mean(&BoomConfig::mega());
+    assert!(ipc_g > ipc_m * 1.1, "Mega IPC {ipc_g:.2} vs Medium {ipc_m:.2}");
+    assert!(ppw_m > ppw_g * 1.2, "Medium IPC/W {ppw_m:.1} vs Mega {ppw_g:.1}");
+}
+
+#[test]
+fn deterministic_results_across_runs() {
+    let flow = FlowConfig::default();
+    let w = by_name("patricia", Scale::Test).unwrap();
+    let a = run_simpoint_flow(&BoomConfig::medium(), &w, &flow).unwrap();
+    let b = run_simpoint_flow(&BoomConfig::medium(), &w, &flow).unwrap();
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.tile_power_mw(), b.tile_power_mw());
+    assert_eq!(a.points.len(), b.points.len());
+}

@@ -36,29 +36,25 @@ fn main() {
     let mut ratios = Vec::new();
     for base in BoomConfig::all_three() {
         let tage = run_config(&base, &workloads, &flow);
-        let gsh = run_config(
-            &base.clone().with_predictor(PredictorKind::Gshare),
-            &workloads,
-            &flow,
-        );
-        let bim = run_config(
-            &base.clone().with_predictor(PredictorKind::Bimodal),
-            &workloads,
-            &flow,
-        );
+        let gsh =
+            run_config(&base.clone().with_predictor(PredictorKind::Gshare), &workloads, &flow);
+        let bim =
+            run_config(&base.clone().with_predictor(PredictorKind::Bimodal), &workloads, &flow);
         let n = workloads.len() as f64;
         let bp = |rs: &[boomflow::WorkloadResult]| -> f64 {
-            rs.iter().map(|r| r.power.component(Component::BranchPredictor).total_mw()).sum::<f64>() / n
+            rs.iter().map(|r| r.power.component(Component::BranchPredictor).total_mw()).sum::<f64>()
+                / n
         };
         let mis = |rs: &[boomflow::WorkloadResult]| -> f64 {
             let (m, b) = rs.iter().fold((0u64, 0u64), |acc, r| {
-                r.points.iter().fold(acc, |(m, b), p| (m + p.stats.mispredicts, b + p.stats.branches))
+                r.points
+                    .iter()
+                    .fold(acc, |(m, b), p| (m + p.stats.mispredicts, b + p.stats.branches))
             });
             100.0 * m as f64 / b.max(1) as f64
         };
-        let ipc = |rs: &[boomflow::WorkloadResult]| -> f64 {
-            rs.iter().map(|r| r.ipc).sum::<f64>() / n
-        };
+        let ipc =
+            |rs: &[boomflow::WorkloadResult]| -> f64 { rs.iter().map(|r| r.ipc).sum::<f64>() / n };
         let ratio = bp(&tage) / bp(&gsh);
         ratios.push(ratio);
         rows.push(vec![

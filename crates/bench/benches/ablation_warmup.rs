@@ -27,8 +27,8 @@ fn main() {
         let flow = FlowConfig { warmup_insts: warmup, ..FlowConfig::default() };
         let mut row = vec![warmup.to_string()];
         for (name, full) in names.iter().zip(&fulls) {
-            let r = run_simpoint_flow(&cfg, &by_name(name, BENCH_SCALE).unwrap(), &flow)
-                .expect("flow");
+            let r =
+                run_simpoint_flow(&cfg, &by_name(name, BENCH_SCALE).unwrap(), &flow).expect("flow");
             row.push(format!("{:+.1}%", 100.0 * (r.ipc - full) / full));
         }
         rows.push(row);

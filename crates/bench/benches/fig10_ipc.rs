@@ -21,8 +21,12 @@ fn main() {
         let (_, results) = &all[cfg_i];
         results.iter().find(|r| r.name == name).map(|r| r.ipc).expect("workload present")
     };
-    println!("Sha IPC:     measured {:.2} / {:.2} / {:.2}  (paper: 1.83 / 2.6 / 3.5)",
-        by_name(0, "Sha"), by_name(1, "Sha"), by_name(2, "Sha"));
+    println!(
+        "Sha IPC:     measured {:.2} / {:.2} / {:.2}  (paper: 1.83 / 2.6 / 3.5)",
+        by_name(0, "Sha"),
+        by_name(1, "Sha"),
+        by_name(2, "Sha")
+    );
     for (i, name) in ["MediumBOOM", "LargeBOOM", "MegaBOOM"].iter().enumerate() {
         let (_, results) = &all[i];
         let max = results.iter().max_by(|a, b| a.ipc.partial_cmp(&b.ipc).unwrap()).unwrap();

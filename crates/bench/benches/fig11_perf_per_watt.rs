@@ -28,10 +28,7 @@ fn main() {
                 (cfg.name.clone(), v)
             })
             .collect();
-        let winner = per_cfg
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let winner = per_cfg.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         if winner.0 == "MediumBOOM" {
             medium_wins += 1;
         }

@@ -7,7 +7,8 @@ use boomflow_bench::{banner, paper_mean_mw, run_config, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::all;
 
-const CFG_INDEX: usize = 5 - 5;
+/// MediumBOOM's column in the paper's per-component power table.
+const CFG_INDEX: usize = 0;
 
 fn main() {
     banner("Fig. 5: per-component power (mW), MediumBOOM, all workloads");

@@ -14,13 +14,10 @@ use rv_workloads::by_name;
 
 fn slot_power(name: &str) -> (PowerReport, f64, f64) {
     let w = by_name(name, BENCH_SCALE).expect("workload exists");
-    let r = run_simpoint_flow(&BoomConfig::mega(), &w, &FlowConfig::default())
-        .expect("flow succeeds");
-    let occ: f64 = r
-        .points
-        .iter()
-        .map(|p| p.weight * p.stats.int_iq.mean_occupancy(p.stats.cycles))
-        .sum();
+    let r =
+        run_simpoint_flow(&BoomConfig::mega(), &w, &FlowConfig::default()).expect("flow succeeds");
+    let occ: f64 =
+        r.points.iter().map(|p| p.weight * p.stats.int_iq.mean_occupancy(p.stats.cycles)).sum();
     (r.power, r.ipc, occ)
 }
 

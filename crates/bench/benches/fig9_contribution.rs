@@ -7,10 +7,11 @@ use boomflow_bench::{banner, run_all, BENCH_SCALE, PAPER_ANALYZED_FRACTION, PAPE
 fn main() {
     banner("Fig. 9: analyzed-component contribution to tile power");
     let all = run_all(BENCH_SCALE);
-    let header: Vec<String> = ["Configuration", "13-component mW", "Tile mW", "Share", "Paper share", "Paper tile mW"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> =
+        ["Configuration", "13-component mW", "Tile mW", "Share", "Paper share", "Paper tile mW"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     let mut rows = Vec::new();
     for (i, (cfg, results)) in all.iter().enumerate() {
         let n = results.len() as f64;

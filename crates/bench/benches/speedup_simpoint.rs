@@ -58,5 +58,8 @@ fn main() {
         (geo_red / n).exp()
     );
     println!("Geomean wall-clock speedup of the detailed phase: {:.1}x", (geo_wall / n).exp());
-    println!("Worst-case SimPoint IPC error: {:.1}% (SimPoint targets ~90% coverage)", 100.0 * worst_err);
+    println!(
+        "Worst-case SimPoint IPC error: {:.1}% (SimPoint targets ~90% coverage)",
+        100.0 * worst_err
+    );
 }

@@ -11,7 +11,7 @@ fn main() {
         .chain(cfgs.iter().map(|c| c.name.clone()))
         .collect();
     let row = |name: &str, f: &dyn Fn(&BoomConfig) -> String| -> Vec<String> {
-        std::iter::once(name.to_string()).chain(cfgs.iter().map(|c| f(c))).collect()
+        std::iter::once(name.to_string()).chain(cfgs.iter().map(f)).collect()
     };
     let rows = vec![
         row("Fetch width", &|c| c.fetch_width.to_string()),

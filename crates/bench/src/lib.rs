@@ -14,7 +14,11 @@ use std::thread;
 /// # Panics
 ///
 /// Panics if any workload fails its flow (a correctness bug).
-pub fn run_config(cfg: &BoomConfig, workloads: &[Workload], flow: &FlowConfig) -> Vec<WorkloadResult> {
+pub fn run_config(
+    cfg: &BoomConfig,
+    workloads: &[Workload],
+    flow: &FlowConfig,
+) -> Vec<WorkloadResult> {
     thread::scope(|s| {
         let handles: Vec<_> = workloads
             .iter()

@@ -5,7 +5,14 @@
 //! boomflow [--workload NAME|all] [--config medium|large|mega|all]
 //!          [--scale test|small|full] [--predictor tage|gshare]
 //!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
+//!          [--retries N] [--cycle-budget N]
 //! ```
+//!
+//! The matrix is run under the fault-tolerant supervisor: a hang or panic
+//! in one (configuration, workload) cell is reported — including the
+//! pipeline watchdog's diagnostic snapshot — and the remaining cells
+//! still run. The process exits non-zero only if some cell failed after
+//! per-point retries.
 //!
 //! Examples:
 //!
@@ -17,7 +24,9 @@
 
 use boom_uarch::{BoomConfig, IssueQueueKind, PredictorKind};
 use boomflow::report::render_table;
-use boomflow::{run_full, run_simpoint_flow, FlowConfig, WorkloadResult};
+use boomflow::{
+    run_full, supervise_matrix, FaultInjection, FlowConfig, RetryPolicy, WorkloadResult,
+};
 use rtl_power::Component;
 use rv_workloads::{all, by_name, Scale, Workload};
 use std::process::exit;
@@ -30,6 +39,10 @@ struct Args {
     iq: IssueQueueKind,
     full: bool,
     warmup: u64,
+    retries: u32,
+    cycle_budget: Option<u64>,
+    /// Hidden: freeze commit on simulation point N (watchdog demo/tests).
+    inject_hang: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -37,6 +50,7 @@ fn usage() -> ! {
         "usage: boomflow [--workload NAME|all] [--config medium|large|mega|all]\n\
          \x20               [--scale test|small|full] [--predictor tage|gshare]\n\
          \x20               [--iq collapsing|noncollapsing] [--full] [--warmup N]\n\
+         \x20               [--retries N] [--cycle-budget N]\n\
          workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
          \x20          patricia matmult sha tarfind"
     );
@@ -52,6 +66,9 @@ fn parse_args() -> Args {
         iq: IssueQueueKind::Collapsing,
         full: false,
         warmup: 5_000,
+        retries: RetryPolicy::default().max_attempts,
+        cycle_budget: None,
+        inject_hang: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +100,13 @@ fn parse_args() -> Args {
             }
             "--full" => args.full = true,
             "--warmup" => args.warmup = value().parse().unwrap_or_else(|_| usage()),
+            "--retries" => args.retries = value().parse().unwrap_or_else(|_| usage()),
+            "--cycle-budget" => {
+                args.cycle_budget = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            // Hidden fault-injection flag: exercises the watchdog and the
+            // supervisor's quarantine path on a live run.
+            "--inject-hang" => args.inject_hang = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -98,9 +122,7 @@ fn configs(sel: &str, predictor: PredictorKind, iq: IssueQueueKind) -> Vec<BoomC
         "mega" => vec![BoomConfig::mega()],
         _ => usage(),
     };
-    base.into_iter()
-        .map(|c| c.with_predictor(predictor).with_issue_queue(iq))
-        .collect()
+    base.into_iter().map(|c| c.with_predictor(predictor).with_issue_queue(iq)).collect()
 }
 
 fn workloads(sel: &str, scale: Scale) -> Vec<Workload> {
@@ -126,10 +148,14 @@ fn print_result(r: &WorkloadResult) {
         100.0 * r.coverage,
         r.speedup,
     );
-    let header: Vec<String> = ["Component", "Leakage mW", "Internal mW", "Switching mW", "Total mW", "Share"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    if let Some(d) = &r.degradation {
+        println!("    {d}");
+    }
+    let header: Vec<String> =
+        ["Component", "Leakage mW", "Internal mW", "Switching mW", "Total mW", "Share"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     let tile = r.tile_power_mw();
     let rows: Vec<Vec<String>> = Component::ALL
         .iter()
@@ -150,13 +176,25 @@ fn print_result(r: &WorkloadResult) {
 
 fn main() {
     let args = parse_args();
-    let flow = FlowConfig { warmup_insts: args.warmup, ..FlowConfig::default() };
+    let flow = FlowConfig {
+        warmup_insts: args.warmup,
+        retry: RetryPolicy {
+            max_attempts: args.retries,
+            cycle_budget: args.cycle_budget,
+            ..RetryPolicy::default()
+        },
+        inject: FaultInjection { hang_point: args.inject_hang, ..FaultInjection::default() },
+        ..FlowConfig::default()
+    };
     let cfgs = configs(&args.config, args.predictor, args.iq);
     let ws = workloads(&args.workload, args.scale);
 
-    for cfg in &cfgs {
-        for w in &ws {
-            if args.full {
+    if args.full {
+        // Full detailed simulation: one run per cell, no SimPoint. A hang
+        // prints the watchdog snapshot and moves on to the next cell.
+        let mut failures = 0u32;
+        for cfg in &cfgs {
+            for w in &ws {
                 match run_full(cfg, w) {
                     Ok(full) => println!(
                         "{} on {} (full detailed simulation): IPC {:.3} over {} insts / {} cycles, tile {:.2} mW",
@@ -165,18 +203,28 @@ fn main() {
                     ),
                     Err(e) => {
                         eprintln!("{} on {}: {e}", w.name, cfg.name);
-                        exit(1);
-                    }
-                }
-            } else {
-                match run_simpoint_flow(cfg, w, &flow) {
-                    Ok(r) => print_result(&r),
-                    Err(e) => {
-                        eprintln!("{} on {}: {e}", w.name, cfg.name);
-                        exit(1);
+                        failures += 1;
                     }
                 }
             }
         }
+        if failures > 0 {
+            eprintln!("{failures} full-simulation cell(s) failed");
+            exit(1);
+        }
+        return;
+    }
+
+    let report = supervise_matrix(&cfgs, &ws, &flow);
+    for cell in &report.cells {
+        if let Ok(r) = &cell.outcome {
+            print_result(r);
+        }
+    }
+    if let Some(log) = report.failure_log() {
+        eprint!("\n{log}");
+    }
+    if !report.all_ok() {
+        exit(1);
     }
 }

@@ -1,6 +1,19 @@
 //! The SimPoint → checkpoint → detailed-simulation → power flow.
+//!
+//! Detailed simulation is where model bugs and pathological checkpoints
+//! surface, so every per-point simulation runs under supervision: panics
+//! are caught, a configurable cycle / wall-clock budget bounds each
+//! attempt, failed points are retried with a perturbed warm-up, and points
+//! that fail every attempt are quarantined — the surviving points'
+//! weights are re-normalized and the loss is reported in
+//! [`WorkloadResult::degradation`]. See [`crate::supervisor`] for the
+//! policy types and the campaign-level driver.
 
-use boom_uarch::{BoomConfig, Core, Stats};
+use crate::supervisor::{
+    panic_message, renormalized, Degradation, FailureKind, FaultInjection, PointFailure,
+    RetryPolicy,
+};
+use boom_uarch::{BoomConfig, Core, Stats, WatchdogSnapshot};
 use rtl_power::{estimate_core, PowerReport};
 use rv_isa::bbv::{BbvCollector, BbvProfile};
 use rv_isa::checkpoint::{checkpoints_at, Checkpoint};
@@ -8,8 +21,10 @@ use rv_isa::cpu::{Cpu, SimError, StopReason};
 use rv_workloads::Workload;
 use simpoint::{analyze, SimPointAnalysis, SimPointConfig};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
-/// Flow parameters (SimPoint settings and warm-up length).
+/// Flow parameters (SimPoint settings, warm-up length, and supervision).
 #[derive(Clone, Debug)]
 pub struct FlowConfig {
     /// SimPoint clustering parameters.
@@ -20,6 +35,10 @@ pub struct FlowConfig {
     pub warmup_insts: u64,
     /// Hard cap on functional profiling length (safety net).
     pub max_profile_insts: u64,
+    /// Per-point retry and budget policy.
+    pub retry: RetryPolicy,
+    /// Test-only fault injection (defaults to "inject nothing").
+    pub inject: FaultInjection,
 }
 
 impl Default for FlowConfig {
@@ -28,6 +47,8 @@ impl Default for FlowConfig {
             simpoint: SimPointConfig::default(),
             warmup_insts: 5_000,
             max_profile_insts: 2_000_000_000,
+            retry: RetryPolicy::default(),
+            inject: FaultInjection::default(),
         }
     }
 }
@@ -41,10 +62,34 @@ pub enum FlowError {
     NoExit,
     /// The workload exited non-zero (failed its self-verification).
     SelfCheckFailed(u64),
-    /// The detailed core hung (model bug or invalid checkpoint).
+    /// The detailed core hung (model bug or invalid checkpoint) and no
+    /// simulation point survived.
     CoreHung {
         /// Which simulation point hung.
         simpoint: usize,
+        /// The pipeline watchdog's diagnostic snapshot at the moment the
+        /// hang was detected.
+        snapshot: Box<WatchdogSnapshot>,
+    },
+    /// The detailed core hung during a full (non-SimPoint) simulation.
+    FullRunHung {
+        /// The pipeline watchdog's diagnostic snapshot.
+        snapshot: Box<WatchdogSnapshot>,
+    },
+    /// A point's worker panicked and no simulation point survived.
+    PointPanicked {
+        /// Which simulation point panicked.
+        simpoint: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A point exceeded its cycle or wall-clock budget and no simulation
+    /// point survived.
+    PointBudgetExceeded {
+        /// Which simulation point ran out of budget.
+        simpoint: usize,
+        /// Human-readable description of the exhausted budget.
+        detail: String,
     },
 }
 
@@ -56,8 +101,17 @@ impl fmt::Display for FlowError {
             FlowError::SelfCheckFailed(code) => {
                 write!(f, "workload failed self-verification (exit code {code})")
             }
-            FlowError::CoreHung { simpoint } => {
-                write!(f, "detailed core hung while simulating point {simpoint}")
+            FlowError::CoreHung { simpoint, snapshot } => {
+                write!(f, "detailed core hung while simulating point {simpoint}\n{snapshot}")
+            }
+            FlowError::FullRunHung { snapshot } => {
+                write!(f, "detailed core hung during full simulation\n{snapshot}")
+            }
+            FlowError::PointPanicked { simpoint, message } => {
+                write!(f, "worker for simulation point {simpoint} panicked: {message}")
+            }
+            FlowError::PointBudgetExceeded { simpoint, detail } => {
+                write!(f, "simulation point {simpoint} exceeded its budget ({detail})")
             }
         }
     }
@@ -71,12 +125,37 @@ impl From<SimError> for FlowError {
     }
 }
 
+impl PointFailure {
+    /// The error this failure escalates to when no point survived.
+    pub fn into_flow_error(self) -> FlowError {
+        match self.kind {
+            FailureKind::Hung { snapshot } => {
+                FlowError::CoreHung { simpoint: self.simpoint, snapshot }
+            }
+            FailureKind::Panicked { message } => {
+                FlowError::PointPanicked { simpoint: self.simpoint, message }
+            }
+            FailureKind::CycleBudgetExceeded { cycles, budget } => FlowError::PointBudgetExceeded {
+                simpoint: self.simpoint,
+                detail: format!("{cycles} of {budget} cycles"),
+            },
+            FailureKind::WallClockExceeded { elapsed_ms, budget_ms } => {
+                FlowError::PointBudgetExceeded {
+                    simpoint: self.simpoint,
+                    detail: format!("{elapsed_ms} of {budget_ms} ms"),
+                }
+            }
+        }
+    }
+}
+
 /// Per-simulation-point measurement.
 #[derive(Clone, Debug)]
 pub struct PointResult {
     /// Index of the represented interval in the BBV profile.
     pub interval: usize,
-    /// Cluster weight (fraction of execution).
+    /// Cluster weight (fraction of execution; re-normalized if points
+    /// were quarantined).
     pub weight: f64,
     /// Measured IPC of the interval.
     pub ipc: f64,
@@ -97,16 +176,20 @@ pub struct WorkloadResult {
     pub ipc: f64,
     /// SimPoint-weighted per-component power (paper Figs. 5–8).
     pub power: PowerReport,
-    /// Per-point measurements.
+    /// Per-point measurements (quarantined points excluded).
     pub points: Vec<PointResult>,
     /// Total dynamic instructions of the full workload.
     pub total_insts: u64,
     /// Interval size used (dynamic instructions).
     pub interval_size: u64,
-    /// Execution coverage of the selected points.
+    /// Execution coverage of the surviving points (scaled down when
+    /// points were quarantined).
     pub coverage: f64,
     /// Detailed-simulation reduction factor (paper: 45×).
     pub speedup: f64,
+    /// Present when points were quarantined or retried; records the lost
+    /// weight, the per-point failures, and the retry count.
+    pub degradation: Option<Degradation>,
 }
 
 impl WorkloadResult {
@@ -139,9 +222,16 @@ pub fn profile(workload: &Workload, max_insts: u64) -> Result<BbvProfile, FlowEr
 
 /// Runs the complete SimPoint flow for one configuration and workload.
 ///
+/// Per-point failures (panics, hangs, budget overruns) are retried per
+/// [`FlowConfig::retry`] and quarantined points are dropped with the
+/// surviving weights re-normalized, so this returns `Ok` — with a
+/// populated [`WorkloadResult::degradation`] — as long as at least one
+/// simulation point survives.
+///
 /// # Errors
 ///
-/// Propagates profiling failures and detailed-simulation hangs.
+/// Propagates profiling failures; fails with the first point's error when
+/// *every* simulation point fails after retries.
 pub fn run_simpoint_flow(
     cfg: &BoomConfig,
     workload: &Workload,
@@ -167,32 +257,89 @@ pub fn run_simpoint_flow(
 
     // 4 + 5. Detailed simulation and power per point — the points are
     // independent (the paper runs them as separate RTL-simulator jobs),
-    // so simulate them in parallel.
-    let results: Vec<(usize, Option<PointResult>)> = std::thread::scope(|s| {
+    // so simulate them in parallel, each under its own supervision.
+    let outcomes: Vec<Result<(PointResult, u32), PointFailure>> = std::thread::scope(|s| {
         let handles: Vec<_> = targets
             .iter()
             .zip(&checkpoints)
             .map(|((sel_idx, _, warm), ck)| {
                 let sp = analysis.selected[*sel_idx];
                 let interval_len = bbv.intervals[sp.interval].len;
-                let sel_idx = *sel_idx;
-                let warm = *warm;
-                s.spawn(move || {
-                    (sel_idx, simulate_point(cfg, ck, warm, interval_len, sp.interval, sp.weight))
-                })
+                let task = PointTask {
+                    sel_idx: *sel_idx,
+                    warmup: *warm,
+                    interval_len,
+                    interval: sp.interval,
+                    weight: sp.weight,
+                };
+                let handle = s
+                    .spawn(move || run_point_supervised(cfg, ck, &task, &flow.retry, &flow.inject));
+                (task, handle)
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("point worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|(task, h)| {
+                // The worker already isolates panics with `catch_unwind`;
+                // a failed join means something unwound outside it, which
+                // is still a quarantinable failure, not a reason to abort.
+                h.join().unwrap_or_else(|payload| {
+                    Err(PointFailure {
+                        simpoint: task.sel_idx,
+                        interval: task.interval,
+                        weight: task.weight,
+                        attempts: 1,
+                        kind: FailureKind::Panicked { message: panic_message(payload.as_ref()) },
+                    })
+                })
+            })
+            .collect()
     });
-    let mut points: Vec<PointResult> = Vec::with_capacity(results.len());
-    for (sel_idx, point) in results {
-        points.push(point.ok_or(FlowError::CoreHung { simpoint: sel_idx })?);
+
+    let mut points: Vec<PointResult> = Vec::with_capacity(outcomes.len());
+    let mut failed: Vec<PointFailure> = Vec::new();
+    let mut retries: u32 = 0;
+    for outcome in outcomes {
+        match outcome {
+            Ok((p, attempts)) => {
+                retries += attempts.saturating_sub(1);
+                points.push(p);
+            }
+            Err(f) => {
+                retries += f.attempts.saturating_sub(1);
+                failed.push(f);
+            }
+        }
     }
+
+    // Quarantine: drop the failed points and re-normalize the survivors'
+    // weights so the weighted averages below stay well-formed.
+    let mut coverage = analysis.selected_coverage();
+    let degradation = if failed.is_empty() && retries == 0 {
+        None
+    } else {
+        let weights: Vec<f64> = points.iter().map(|p| p.weight).collect();
+        let Some(renorm) = renormalized(&weights) else {
+            // Nothing survived: escalate the first failure.
+            let Some(first) = failed.into_iter().next() else {
+                // Unreachable in practice (no points selected at all), but
+                // degrade honestly rather than panic.
+                return Err(FlowError::NoExit);
+            };
+            return Err(first.into_flow_error());
+        };
+        let surviving: f64 = weights.iter().sum();
+        let lost_weight: f64 = failed.iter().map(|f| f.weight).sum();
+        for (p, w) in points.iter_mut().zip(renorm) {
+            p.weight = w;
+        }
+        coverage *= surviving / (surviving + lost_weight);
+        Some(Degradation { failed, lost_weight, retries })
+    };
 
     // Weighted aggregation.
     let ipc = points.iter().map(|p| p.weight * p.ipc).sum();
-    let weighted: Vec<(f64, &PowerReport)> =
-        points.iter().map(|p| (p.weight, &p.power)).collect();
+    let weighted: Vec<(f64, &PowerReport)> = points.iter().map(|p| (p.weight, &p.power)).collect();
     let power = PowerReport::weighted_average(&weighted);
 
     Ok(WorkloadResult {
@@ -203,37 +350,148 @@ pub fn run_simpoint_flow(
         points,
         total_insts: bbv.total_insts,
         interval_size: workload.interval_size,
-        coverage: analysis.selected_coverage(),
+        coverage,
         speedup: analysis.speedup(),
+        degradation,
     })
 }
 
-/// Restores a checkpoint into the detailed core, warms it up, measures one
-/// interval, and estimates power. Returns `None` if the core hangs.
-fn simulate_point(
-    cfg: &BoomConfig,
-    ck: &Checkpoint,
+/// Everything one point's worker needs besides the checkpoint.
+#[derive(Clone, Copy, Debug)]
+struct PointTask {
+    sel_idx: usize,
     warmup: u64,
     interval_len: u64,
     interval: usize,
     weight: f64,
-) -> Option<PointResult> {
-    let mut core = Core::from_checkpoint(cfg.clone(), ck);
-    if warmup > 0 {
-        let r = core.run(warmup);
-        if r.hung {
-            return None;
+}
+
+/// Runs one point under supervision: panics caught, budget enforced,
+/// bounded retries with a perturbed (shortened) warm-up and a backed-off
+/// budget. Returns the measurement and the attempts it took, or the
+/// quarantine record.
+fn run_point_supervised(
+    cfg: &BoomConfig,
+    ck: &Checkpoint,
+    task: &PointTask,
+    retry: &RetryPolicy,
+    inject: &FaultInjection,
+) -> Result<(PointResult, u32), PointFailure> {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut warmup = task.warmup;
+    let mut cycle_budget = retry.cycle_budget;
+    let mut last: Option<FailureKind> = None;
+    for attempt in 1..=max_attempts {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            simulate_point(cfg, ck, warmup, task, cycle_budget, retry.wall_clock, inject)
+        }));
+        match result {
+            Ok(Ok(p)) => return Ok((p, attempt)),
+            Ok(Err(kind)) => last = Some(kind),
+            Err(payload) => {
+                last = Some(FailureKind::Panicked { message: panic_message(payload.as_ref()) })
+            }
         }
+        // Perturb the next attempt: shorten the warm-up (the checkpoint
+        // bounds it from above) and widen the budget.
+        warmup = ((warmup as f64) * retry.warmup_perturb).round() as u64;
+        cycle_budget = cycle_budget.map(|b| ((b as f64) * retry.budget_backoff).round() as u64);
+    }
+    Err(PointFailure {
+        simpoint: task.sel_idx,
+        interval: task.interval,
+        weight: task.weight,
+        attempts: max_attempts,
+        kind: last.unwrap_or(FailureKind::Panicked { message: "no attempt recorded".to_string() }),
+    })
+}
+
+/// Cycle and wall-clock accounting for one simulation attempt.
+struct Budget {
+    cycle_limit: Option<u64>,
+    cycles_used: u64,
+    wall_limit: Option<Duration>,
+    started: Instant,
+}
+
+impl Budget {
+    fn new(cycle_limit: Option<u64>, wall_limit: Option<Duration>) -> Budget {
+        Budget { cycle_limit, cycles_used: 0, wall_limit, started: Instant::now() }
+    }
+
+    fn charge(&mut self, cycles: u64) -> Result<(), FailureKind> {
+        self.cycles_used += cycles;
+        if let Some(limit) = self.cycle_limit {
+            if self.cycles_used > limit {
+                return Err(FailureKind::CycleBudgetExceeded {
+                    cycles: self.cycles_used,
+                    budget: limit,
+                });
+            }
+        }
+        if let Some(limit) = self.wall_limit {
+            let elapsed = self.started.elapsed();
+            if elapsed > limit {
+                return Err(FailureKind::WallClockExceeded {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    budget_ms: limit.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Instructions between budget checks while running the detailed core.
+const BUDGET_CHECK_INSTS: u64 = 50_000;
+
+/// Runs up to `insts` instructions on the core in budget-checked chunks.
+/// A hang yields the watchdog snapshot; budget overruns yield the budget
+/// failure.
+fn run_budgeted(core: &mut Core, insts: u64, budget: &mut Budget) -> Result<(), FailureKind> {
+    let mut remaining = insts;
+    while remaining > 0 {
+        let r = core.run(remaining.min(BUDGET_CHECK_INSTS));
+        budget.charge(r.cycles)?;
+        if r.hung {
+            return Err(FailureKind::Hung { snapshot: Box::new(core.dump_state()) });
+        }
+        if r.exited {
+            return Ok(());
+        }
+        remaining = remaining.saturating_sub(r.retired.max(1));
+    }
+    Ok(())
+}
+
+/// Restores a checkpoint into the detailed core, warms it up, measures one
+/// interval, and estimates power.
+fn simulate_point(
+    cfg: &BoomConfig,
+    ck: &Checkpoint,
+    warmup: u64,
+    task: &PointTask,
+    cycle_budget: Option<u64>,
+    wall_budget: Option<Duration>,
+    inject: &FaultInjection,
+) -> Result<PointResult, FailureKind> {
+    let mut core = Core::from_checkpoint(cfg.clone(), ck);
+    if inject.hangs(task.sel_idx) {
+        core.inject_commit_stall();
+    }
+    if inject.panics(task.sel_idx) {
+        panic!("injected panic for supervisor testing (point {})", task.sel_idx);
+    }
+    let mut budget = Budget::new(cycle_budget, wall_budget);
+    if warmup > 0 {
+        run_budgeted(&mut core, warmup, &mut budget)?;
     }
     core.reset_stats();
-    let r = core.run(interval_len);
-    if r.hung {
-        return None;
-    }
+    run_budgeted(&mut core, task.interval_len, &mut budget)?;
     let power = estimate_core(&core);
-    Some(PointResult {
-        interval,
-        weight,
+    Ok(PointResult {
+        interval: task.interval,
+        weight: task.weight,
         ipc: core.stats().ipc(),
         power,
         stats: core.stats().clone(),
@@ -258,12 +516,13 @@ pub struct FullRunResult {
 ///
 /// # Errors
 ///
-/// Fails if the workload does not exit cleanly.
+/// Fails if the workload does not exit cleanly; a pipeline hang yields
+/// [`FlowError::FullRunHung`] carrying the watchdog's snapshot.
 pub fn run_full(cfg: &BoomConfig, workload: &Workload) -> Result<FullRunResult, FlowError> {
     let mut core = Core::new(cfg.clone(), &workload.program);
     let r = core.run(u64::MAX);
     if r.hung {
-        return Err(FlowError::CoreHung { simpoint: usize::MAX });
+        return Err(FlowError::FullRunHung { snapshot: Box::new(core.dump_state()) });
     }
     match r.exit_code {
         Some(0) => {}
@@ -288,6 +547,7 @@ mod tests {
             simpoint: SimPointConfig { max_k: 6, restarts: 2, ..SimPointConfig::default() },
             warmup_insts: 1_000,
             max_profile_insts: 500_000_000,
+            ..FlowConfig::default()
         }
     }
 
@@ -299,6 +559,7 @@ mod tests {
         assert!(r.coverage >= 0.9);
         assert!(r.speedup > 1.0);
         assert!(!r.points.is_empty());
+        assert!(r.degradation.is_none(), "clean run must not report degradation");
         let wsum: f64 = r.points.iter().map(|p| p.weight).sum();
         assert!((wsum - 1.0).abs() < 1e-9);
         assert!(r.tile_power_mw() > 0.0);
@@ -314,7 +575,13 @@ mod tests {
         let flow = run_simpoint_flow(&cfg, &w, &quick_flow()).unwrap();
         let full = run_full(&cfg, &w).unwrap();
         let err = (flow.ipc - full.ipc).abs() / full.ipc;
-        assert!(err < 0.25, "simpoint {:.3} vs full {:.3} ({:.0}% error)", flow.ipc, full.ipc, 100.0 * err);
+        assert!(
+            err < 0.25,
+            "simpoint {:.3} vs full {:.3} ({:.0}% error)",
+            flow.ipc,
+            full.ipc,
+            100.0 * err
+        );
     }
 
     #[test]
@@ -334,6 +601,41 @@ mod tests {
         };
         match run_simpoint_flow(&BoomConfig::medium(), &w, &quick_flow()) {
             Err(FlowError::SelfCheckFailed(7)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_on_one_point_degrades_instead_of_failing() {
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let flow = FlowConfig {
+            inject: FaultInjection { panic_point: Some(0), ..FaultInjection::default() },
+            retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+            ..quick_flow()
+        };
+        let r = run_simpoint_flow(&BoomConfig::medium(), &w, &flow).unwrap();
+        let d = r.degradation.expect("quarantine must be reported");
+        assert_eq!(d.failed.len(), 1);
+        assert_eq!(d.failed[0].simpoint, 0);
+        assert_eq!(d.failed[0].attempts, 2);
+        assert!(matches!(d.failed[0].kind, FailureKind::Panicked { .. }));
+        assert!(d.lost_weight > 0.0);
+        let wsum: f64 = r.points.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9, "surviving weights must re-normalize, got {wsum}");
+    }
+
+    #[test]
+    fn cycle_budget_overrun_is_reported_with_backoff() {
+        // A 1-cycle budget fails every point on the first attempt; the
+        // backed-off budget on retry is still far too small, so the whole
+        // workload fails with a budget error.
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let flow = FlowConfig {
+            retry: RetryPolicy { max_attempts: 2, cycle_budget: Some(1), ..RetryPolicy::default() },
+            ..quick_flow()
+        };
+        match run_simpoint_flow(&BoomConfig::medium(), &w, &flow) {
+            Err(FlowError::PointBudgetExceeded { .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

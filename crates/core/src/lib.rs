@@ -39,5 +39,10 @@
 #![warn(missing_docs)]
 pub mod flow;
 pub mod report;
+pub mod supervisor;
 
 pub use flow::{run_full, run_simpoint_flow, FlowConfig, FlowError, FullRunResult, WorkloadResult};
+pub use supervisor::{
+    supervise_matrix, CampaignReport, CellFailure, CellResult, Degradation, FailureKind,
+    FaultInjection, PointFailure, RetryPolicy,
+};

@@ -83,11 +83,7 @@ pub fn render_component_power(results: &[WorkloadResult]) -> String {
 
 /// Renders one metric (IPC or perf/W) across workloads × configurations
 /// (the data behind paper Figs. 10/11).
-pub fn render_metric(
-    title: &str,
-    workload_names: &[&str],
-    configs: &[(&str, Vec<f64>)],
-) -> String {
+pub fn render_metric(title: &str, workload_names: &[&str], configs: &[(&str, Vec<f64>)]) -> String {
     let mut header = vec![title.to_string()];
     header.extend(workload_names.iter().map(|n| n.to_string()));
     header.push("Mean".to_string());
@@ -112,10 +108,7 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["A".into(), "Bee".into()],
-            &[
-                vec!["x".into(), "1".into()],
-                vec!["long-name".into(), "22.5".into()],
-            ],
+            &[vec!["x".into(), "1".into()], vec!["long-name".into(), "22.5".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,396 @@
+//! Fault-tolerant campaign supervision for the SimPoint flow.
+//!
+//! The paper's experimental matrix (3 configurations × 11 workloads, plus
+//! ablations) is exactly the situation where one bad cell must not take
+//! down an overnight campaign: a model bug that hangs the detailed core on
+//! one simulation point, or a panic in one worker thread, should degrade
+//! that cell's answer — or fail that one cell — and leave the rest of the
+//! matrix intact.
+//!
+//! This module provides the policy and reporting types the flow uses for
+//! that:
+//!
+//! * [`RetryPolicy`] — how often a failing simulation point is retried,
+//!   how its warm-up is perturbed between attempts, and the cycle /
+//!   wall-clock budget each attempt runs under;
+//! * [`PointFailure`] / [`FailureKind`] — what exactly went wrong with a
+//!   quarantined point, including the pipeline watchdog's
+//!   [`WatchdogSnapshot`] for hangs;
+//! * [`Degradation`] — the honesty record attached to a
+//!   [`WorkloadResult`](crate::WorkloadResult) whose weights were
+//!   re-normalized after quarantining points;
+//! * [`supervise_matrix`] — the campaign driver: every (configuration,
+//!   workload) cell is isolated behind `catch_unwind`, failures are
+//!   collected into a structured [`CampaignReport`], and the caller decides
+//!   the process exit code from [`CampaignReport::all_ok`].
+
+use crate::flow::{run_simpoint_flow, FlowConfig, FlowError, WorkloadResult};
+use crate::report::render_table;
+use boom_uarch::{BoomConfig, WatchdogSnapshot};
+use rv_workloads::Workload;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Retry and budget policy for one simulation point's detailed simulation.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per point (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Multiplicative warm-up perturbation applied before each retry.
+    ///
+    /// Must be ≤ 1: the checkpoint is captured *before* the warm-up
+    /// region, so a retry can shorten the warm-up (shifting the measured
+    /// window slightly earlier past a suspected pathological state) but
+    /// cannot lengthen it.
+    pub warmup_perturb: f64,
+    /// Cycle budget for one attempt (`None` = unlimited; the core's own
+    /// no-commit watchdog still applies).
+    pub cycle_budget: Option<u64>,
+    /// Multiplier applied to the cycle budget on each retry, so a point
+    /// that merely ran out of budget gets more room the next time.
+    pub budget_backoff: f64,
+    /// Wall-clock budget for one attempt (`None` = unlimited).
+    pub wall_clock: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            warmup_perturb: 0.75,
+            cycle_budget: None,
+            budget_backoff: 2.0,
+            wall_clock: None,
+        }
+    }
+}
+
+/// Test-only fault injection, threaded through [`FlowConfig`].
+///
+/// Used by the supervisor's own tests and by `boomflow --inject-hang` to
+/// exercise hang detection, retry, and quarantine on demand. All fields
+/// default to "inject nothing".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultInjection {
+    /// Freeze the commit stage in this simulation point's detailed core,
+    /// so the pipeline watchdog fires deterministically.
+    pub hang_point: Option<usize>,
+    /// Freeze the commit stage in *every* point's detailed core (forces
+    /// total failure of the workload, not just a quarantine).
+    pub hang_every_point: bool,
+    /// Panic inside this point's worker thread (exercises the
+    /// `catch_unwind` isolation path).
+    pub panic_point: Option<usize>,
+}
+
+impl FaultInjection {
+    /// Whether point `simpoint` should have its commit stage frozen.
+    pub fn hangs(&self, simpoint: usize) -> bool {
+        self.hang_every_point || self.hang_point == Some(simpoint)
+    }
+
+    /// Whether point `simpoint`'s worker should panic.
+    pub fn panics(&self, simpoint: usize) -> bool {
+        self.panic_point == Some(simpoint)
+    }
+}
+
+/// Why one attempt at simulating a point failed.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// The detailed core made no commit progress; the pipeline watchdog
+    /// captured a diagnostic snapshot.
+    Hung {
+        /// The pipeline state at the moment the watchdog fired.
+        snapshot: Box<WatchdogSnapshot>,
+    },
+    /// The worker thread panicked.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The attempt exceeded its cycle budget while still making progress.
+    CycleBudgetExceeded {
+        /// Cycles consumed when the budget check fired.
+        cycles: u64,
+        /// The budget that was in force.
+        budget: u64,
+    },
+    /// The attempt exceeded its wall-clock budget.
+    WallClockExceeded {
+        /// Elapsed wall-clock milliseconds when the check fired.
+        elapsed_ms: u64,
+        /// The budget that was in force, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Hung { snapshot } => {
+                write!(f, "pipeline hung ({})", snapshot.diagnosis())
+            }
+            FailureKind::Panicked { message } => write!(f, "worker panicked: {message}"),
+            FailureKind::CycleBudgetExceeded { cycles, budget } => {
+                write!(f, "cycle budget exceeded ({cycles} of {budget} cycles)")
+            }
+            FailureKind::WallClockExceeded { elapsed_ms, budget_ms } => {
+                write!(f, "wall-clock budget exceeded ({elapsed_ms} of {budget_ms} ms)")
+            }
+        }
+    }
+}
+
+/// A simulation point that failed every attempt and was quarantined.
+#[derive(Clone, Debug)]
+pub struct PointFailure {
+    /// Index of the point among the selected simulation points.
+    pub simpoint: usize,
+    /// Index of the represented interval in the BBV profile.
+    pub interval: usize,
+    /// The cluster weight lost by quarantining this point.
+    pub weight: f64,
+    /// Attempts made (first try included).
+    pub attempts: u32,
+    /// The failure of the last attempt.
+    pub kind: FailureKind,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point {} (interval {}, weight {:.3}) failed after {} attempt(s): {}",
+            self.simpoint, self.interval, self.weight, self.attempts, self.kind
+        )?;
+        // For hangs, the full pipeline snapshot is the diagnostic artifact
+        // the campaign exists to preserve — print it, indented.
+        if let FailureKind::Hung { snapshot } = &self.kind {
+            for line in snapshot.to_string().lines() {
+                write!(f, "\n    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Record of graceful degradation attached to a
+/// [`WorkloadResult`](crate::WorkloadResult).
+///
+/// Present whenever the result was produced with fewer points than the
+/// phase analysis selected, or only after retries. The surviving points'
+/// weights have been re-normalized to sum to 1, so the weighted IPC and
+/// power are still well-formed averages — but over a smaller slice of
+/// execution, quantified here.
+#[derive(Clone, Debug, Default)]
+pub struct Degradation {
+    /// Points that failed all attempts and were quarantined.
+    pub failed: Vec<PointFailure>,
+    /// Total original cluster weight of the quarantined points (the
+    /// fraction of execution the result no longer represents).
+    pub lost_weight: f64,
+    /// Retries (attempts beyond the first) spent across all points,
+    /// including points that eventually succeeded.
+    pub retries: u32,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded: {} point(s) quarantined, {:.1}% of execution weight lost, {} retry(ies)",
+            self.failed.len(),
+            100.0 * self.lost_weight,
+            self.retries
+        )?;
+        for p in &self.failed {
+            write!(f, "\n  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-normalizes the surviving points' weights to sum to 1.
+///
+/// Returns `None` when the weights sum to zero (or the slice is empty) —
+/// i.e. nothing survived that can meaningfully represent the execution.
+pub fn renormalized(weights: &[f64]) -> Option<Vec<f64>> {
+    let sum: f64 = weights.iter().sum();
+    if !sum.is_finite() || sum <= 0.0 {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / sum).collect())
+}
+
+/// Outcome of one (configuration, workload) cell of the campaign matrix.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Configuration name.
+    pub config: String,
+    /// Workload name.
+    pub workload: &'static str,
+    /// The cell's result, or why it failed even after per-point retries.
+    pub outcome: Result<Box<WorkloadResult>, CellFailure>,
+}
+
+/// Why a whole cell failed.
+#[derive(Debug)]
+pub enum CellFailure {
+    /// The flow returned an error (profiling failure, or every simulation
+    /// point of the workload failed).
+    Flow(FlowError),
+    /// The flow itself panicked outside any per-point isolation.
+    Panicked(String),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Flow(e) => write!(f, "{e}"),
+            CellFailure::Panicked(m) => write!(f, "flow panicked: {m}"),
+        }
+    }
+}
+
+/// Aggregate of a supervised campaign over a configuration × workload
+/// matrix.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One entry per cell, in (configuration-major) run order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// True when every cell produced a result (possibly degraded).
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.outcome.is_ok())
+    }
+
+    /// Cells that failed outright.
+    pub fn failed(&self) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(|c| c.outcome.is_err())
+    }
+
+    /// Cells that succeeded but were degraded (quarantined points or
+    /// retries).
+    pub fn degraded(&self) -> impl Iterator<Item = (&CellResult, &Degradation)> {
+        self.cells.iter().filter_map(|c| match &c.outcome {
+            Ok(r) => r.degradation.as_ref().map(|d| (c, d)),
+            Err(_) => None,
+        })
+    }
+
+    /// Renders the structured failure / degradation log, or `None` when
+    /// the campaign was entirely clean.
+    pub fn failure_log(&self) -> Option<String> {
+        let failed: Vec<&CellResult> = self.failed().collect();
+        let degraded: Vec<(&CellResult, &Degradation)> = self.degraded().collect();
+        if failed.is_empty() && degraded.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        if !degraded.is_empty() {
+            let header: Vec<String> =
+                ["Config", "Workload", "Lost weight", "Quarantined", "Retries"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            let rows: Vec<Vec<String>> = degraded
+                .iter()
+                .map(|(c, d)| {
+                    vec![
+                        c.config.clone(),
+                        c.workload.to_string(),
+                        format!("{:.1}%", 100.0 * d.lost_weight),
+                        d.failed.len().to_string(),
+                        d.retries.to_string(),
+                    ]
+                })
+                .collect();
+            out.push_str("Degraded cells (results kept, weights re-normalized):\n");
+            out.push_str(&render_table(&header, &rows));
+            for (c, d) in &degraded {
+                for p in &d.failed {
+                    out.push_str(&format!("  {} on {}: {p}\n", c.workload, c.config));
+                }
+            }
+        }
+        if !failed.is_empty() {
+            out.push_str("Failed cells:\n");
+            for c in &failed {
+                if let Err(e) = &c.outcome {
+                    out.push_str(&format!("  {} on {}: {e}\n", c.workload, c.config))
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Runs the supervised campaign over every (configuration, workload) cell.
+///
+/// Each cell is isolated behind `catch_unwind`: a panic anywhere in one
+/// cell's flow — profiling, clustering, checkpointing, or a detailed-
+/// simulation worker that escaped per-point isolation — is recorded as
+/// that cell's [`CellFailure`] and the remaining cells still run. Within a
+/// cell, per-point failures are already retried and quarantined by
+/// [`run_simpoint_flow`], so a cell fails only when profiling fails or
+/// every point of the workload fails after retries.
+pub fn supervise_matrix(
+    cfgs: &[BoomConfig],
+    workloads: &[Workload],
+    flow: &FlowConfig,
+) -> CampaignReport {
+    let mut cells = Vec::with_capacity(cfgs.len() * workloads.len());
+    for cfg in cfgs {
+        for w in workloads {
+            let outcome = match catch_unwind(AssertUnwindSafe(|| run_simpoint_flow(cfg, w, flow))) {
+                Ok(Ok(r)) => Ok(Box::new(r)),
+                Ok(Err(e)) => Err(CellFailure::Flow(e)),
+                Err(payload) => Err(CellFailure::Panicked(panic_message(payload.as_ref()))),
+            };
+            cells.push(CellResult { config: cfg.name.clone(), workload: w.name, outcome });
+        }
+    }
+    CampaignReport { cells }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renormalized_weights_sum_to_one() {
+        let w = renormalized(&[0.2, 0.3]).unwrap();
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((w[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renormalized_rejects_empty_and_zero() {
+        assert!(renormalized(&[]).is_none());
+        assert!(renormalized(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn panic_message_handles_both_string_kinds() {
+        let static_payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        let owned_payload: Box<dyn std::any::Any + Send> = Box::new(String::from("bang"));
+        assert_eq!(panic_message(static_payload.as_ref()), "boom");
+        assert_eq!(panic_message(owned_payload.as_ref()), "bang");
+    }
+}

@@ -19,7 +19,9 @@
 //! assert_eq!(program.symbol("table").unwrap() % 8, 0);
 //! ```
 
-use crate::inst::{AluOp, BrCond, CvtInt, FmaOp, FpCmp, FpFmt, FpOp, Inst, LoadKind, MulOp, Rm, StoreKind};
+use crate::inst::{
+    AluOp, BrCond, CvtInt, FmaOp, FpCmp, FpFmt, FpOp, Inst, LoadKind, MulOp, Rm, StoreKind,
+};
 use crate::program::Program;
 use crate::reg::{FReg, Reg};
 use crate::DEFAULT_BASE;
@@ -72,10 +74,21 @@ impl std::error::Error for AsmError {}
 #[derive(Clone, Debug)]
 enum Item {
     Inst(Inst),
-    Branch { cond: BrCond, rs1: Reg, rs2: Reg, label: String },
-    Jal { rd: Reg, label: String },
+    Branch {
+        cond: BrCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
     /// `auipc rd, %hi` + `addi rd, rd, %lo` — always two words.
-    La { rd: Reg, label: String },
+    La {
+        rd: Reg,
+        label: String,
+    },
 }
 
 impl Item {
@@ -100,6 +113,8 @@ pub struct Assembler {
     data: Vec<u8>,
     /// Label -> resolved address-space location.
     labels: HashMap<String, Loc>,
+    /// Labels defined more than once, reported by [`Assembler::assemble`].
+    duplicate_labels: Vec<String>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -126,6 +141,7 @@ impl Assembler {
             text_words: 0,
             data: Vec::new(),
             labels: HashMap::new(),
+            duplicate_labels: Vec::new(),
         }
     }
 
@@ -146,29 +162,32 @@ impl Assembler {
 
     /// Defines a code label at the current text position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label is already defined (a programming error in the
-    /// workload source).
+    /// Redefining a name keeps the first definition; the conflict is
+    /// reported as [`AsmError::DuplicateLabel`] by [`Assembler::assemble`].
     pub fn label(&mut self, name: &str) {
-        let prev = self.labels.insert(name.to_string(), Loc::Text(self.text_words));
-        assert!(prev.is_none(), "duplicate label `{name}`");
+        self.define(name, Loc::Text(self.text_words));
     }
 
     /// Defines a data label at the current (8-byte aligned) data position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label is already defined.
+    /// Redefining a name keeps the first definition; the conflict is
+    /// reported as [`AsmError::DuplicateLabel`] by [`Assembler::assemble`].
     pub fn data_label(&mut self, name: &str) {
         self.align_data(8);
-        let prev = self.labels.insert(name.to_string(), Loc::Data(self.data.len() as u64));
-        assert!(prev.is_none(), "duplicate label `{name}`");
+        self.define(name, Loc::Data(self.data.len() as u64));
+    }
+
+    fn define(&mut self, name: &str, loc: Loc) {
+        if self.labels.contains_key(name) {
+            self.duplicate_labels.push(name.to_string());
+        } else {
+            self.labels.insert(name.to_string(), loc);
+        }
     }
 
     /// Pads the data section to `align` bytes.
     pub fn align_data(&mut self, align: usize) {
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }
@@ -240,7 +259,7 @@ impl Assembler {
             // lui + addiw; `hi` may wrap to -2^31 for values near i32::MAX,
             // which lui sign-extends and addiw then corrects in 32-bit space.
             let lo = (value << 52) >> 52; // sign-extended low 12 bits
-            let hi = (value - lo) as i64 as i32 as i64;
+            let hi = (value - lo) as i32 as i64;
             self.inst(Inst::Lui { rd, imm: hi });
             if lo != 0 || hi == 0 {
                 self.inst(Inst::OpImm { op: AluOp::Addw, rd, rs1: rd, imm: lo as i32 });
@@ -405,8 +424,12 @@ impl Assembler {
     ///
     /// # Errors
     ///
-    /// Returns an [`AsmError`] for undefined labels or out-of-range targets.
+    /// Returns an [`AsmError`] for duplicate or undefined labels and
+    /// out-of-range targets.
     pub fn assemble(&self) -> Result<Program, AsmError> {
+        if let Some(name) = self.duplicate_labels.first() {
+            return Err(AsmError::DuplicateLabel(name.clone()));
+        }
         let text_len = (self.text_words * 4) as usize;
         let data_base_off = (text_len + 15) & !15; // 16-byte align the data section
 
@@ -473,11 +496,7 @@ impl Assembler {
         }
         debug_assert_eq!(pc - self.base, text_len as u64);
 
-        let symbols = self
-            .labels
-            .iter()
-            .map(|(name, loc)| (name.clone(), addr_of(*loc)))
-            .collect();
+        let symbols = self.labels.iter().map(|(name, loc)| (name.clone(), addr_of(*loc))).collect();
         Ok(Program::new(self.base, text_len, image, symbols, self.stack_top))
     }
 }
@@ -816,11 +835,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate label")]
-    fn duplicate_label_panics() {
+    fn duplicate_label_is_an_error() {
         let mut a = Assembler::new();
         a.label("x");
-        a.label("x");
+        a.exit();
+        a.data_label("x");
+        a.dwords(&[1]);
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub enum SimError {
         /// The `a7` syscall number.
         num: u64,
     },
+    /// The executor produced a destination write for an instruction that
+    /// has no destination of that class (a decode/execute disagreement —
+    /// a model bug, not a guest-program fault).
+    NoDestination {
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// Register-file class of the attempted write.
+        fp: bool,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +59,10 @@ impl fmt::Display for SimError {
             }
             SimError::UnsupportedSyscall { pc, num } => {
                 write!(f, "unsupported syscall {num} at pc {pc:#x}")
+            }
+            SimError::NoDestination { pc, fp } => {
+                let class = if *fp { "FP" } else { "integer" };
+                write!(f, "instruction at pc {pc:#x} has no {class} destination")
             }
         }
     }
@@ -189,13 +202,13 @@ impl Cpu {
         let mut next_pc = pc.wrapping_add(4);
         let mut exited = None;
         match exec::compute(&inst, pc, ops) {
-            Outcome::WriteInt(v) => self.write_int_dest(&inst, v),
-            Outcome::WriteFp(v) => self.write_fp_dest(&inst, v),
+            Outcome::WriteInt(v) => self.write_int_dest(pc, &inst, v)?,
+            Outcome::WriteFp(v) => self.write_fp_dest(pc, &inst, v)?,
             Outcome::Load { addr, unit } => {
                 let raw = self.mem.read(addr, unit.size());
                 match exec::load_result(unit, raw) {
-                    Loaded::Int(v) => self.write_int_dest(&inst, v),
-                    Loaded::Fp(v) => self.write_fp_dest(&inst, v),
+                    Loaded::Int(v) => self.write_int_dest(pc, &inst, v)?,
+                    Loaded::Fp(v) => self.write_fp_dest(pc, &inst, v)?,
                 }
             }
             Outcome::Store { addr, size, data } => self.mem.write(addr, size, data),
@@ -205,7 +218,7 @@ impl Cpu {
                 }
             }
             Outcome::Jump { target, link } => {
-                self.write_int_dest(&inst, link);
+                self.write_int_dest(pc, &inst, link)?;
                 next_pc = target;
             }
             Outcome::Ecall => match self.x(Reg::A7) {
@@ -279,7 +292,7 @@ impl Cpu {
     }
 
     #[inline]
-    fn write_int_dest(&mut self, inst: &Inst, v: u64) {
+    fn write_int_dest(&mut self, pc: u64, inst: &Inst, v: u64) -> Result<(), SimError> {
         let rd = match *inst {
             Inst::Lui { rd, .. }
             | Inst::Auipc { rd, .. }
@@ -292,13 +305,14 @@ impl Cpu {
             | Inst::FpCmp { rd, .. }
             | Inst::FpCvtToInt { rd, .. }
             | Inst::FpMvToInt { rd, .. } => rd,
-            _ => unreachable!("instruction has no integer destination"),
+            _ => return Err(SimError::NoDestination { pc, fp: false }),
         };
         self.set_x(rd, v);
+        Ok(())
     }
 
     #[inline]
-    fn write_fp_dest(&mut self, inst: &Inst, v: u64) {
+    fn write_fp_dest(&mut self, pc: u64, inst: &Inst, v: u64) -> Result<(), SimError> {
         let rd = match *inst {
             Inst::FpLoad { rd, .. }
             | Inst::FpOp { rd, .. }
@@ -306,9 +320,10 @@ impl Cpu {
             | Inst::FpCvtFromInt { rd, .. }
             | Inst::FpCvtFmt { rd, .. }
             | Inst::FpMvFromInt { rd, .. } => rd,
-            _ => unreachable!("instruction has no FP destination"),
+            _ => return Err(SimError::NoDestination { pc, fp: true }),
         };
         self.set_fbits(rd, v);
+        Ok(())
     }
 
     /// Runs up to `max_insts` instructions.

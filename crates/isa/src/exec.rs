@@ -221,13 +221,7 @@ pub fn muldiv(op: MulOp, a: u64, b: u64) -> u64 {
                 a.wrapping_div(b) as u64
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         MulOp::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -258,11 +252,7 @@ pub fn muldiv(op: MulOp, a: u64, b: u64) -> u64 {
         }
         MulOp::Divuw => {
             let (a, b) = (a as u32, b as u32);
-            if b == 0 {
-                u64::MAX
-            } else {
-                (a / b) as i32 as i64 as u64
-            }
+            a.checked_div(b).map_or(u64::MAX, |q| q as i32 as i64 as u64)
         }
         MulOp::Remw => {
             let (a, b) = (a as i32, b as i32);
@@ -388,7 +378,7 @@ fn fmin32(a: f32, b: f32) -> u32 {
         (false, false) => {
             if a == 0.0 && b == 0.0 {
                 // -0.0 is the minimum of {-0.0, +0.0}
-                (a.to_bits() | b.to_bits()) & 0x8000_0000 | 0
+                (a.to_bits() | b.to_bits()) & 0x8000_0000
             } else if a < b {
                 a.to_bits()
             } else {
@@ -586,7 +576,10 @@ mod tests {
         assert_eq!(muldiv(MulOp::Rem, 7, 0), 7);
         assert_eq!(muldiv(MulOp::Div, i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
         assert_eq!(muldiv(MulOp::Rem, i64::MIN as u64, (-1i64) as u64), 0);
-        assert_eq!(muldiv(MulOp::Divw, i32::MIN as u32 as u64, (-1i32) as u32 as u64), i32::MIN as i64 as u64);
+        assert_eq!(
+            muldiv(MulOp::Divw, i32::MIN as u32 as u64, (-1i32) as u32 as u64),
+            i32::MIN as i64 as u64
+        );
         assert_eq!(muldiv(MulOp::Divu, 7, 2), 3);
         assert_eq!(muldiv(MulOp::Remuw, 0xffff_ffff, 10), (0xffff_ffffu32 % 10) as u64);
     }
@@ -658,9 +651,15 @@ mod tests {
 
     #[test]
     fn load_extension() {
-        assert_eq!(load_result(LoadUnit::Int(LoadKind::B), 0x80), Loaded::Int(0xffff_ffff_ffff_ff80));
+        assert_eq!(
+            load_result(LoadUnit::Int(LoadKind::B), 0x80),
+            Loaded::Int(0xffff_ffff_ffff_ff80)
+        );
         assert_eq!(load_result(LoadUnit::Int(LoadKind::Bu), 0x80), Loaded::Int(0x80));
-        assert_eq!(load_result(LoadUnit::Int(LoadKind::W), 0x8000_0000), Loaded::Int(0xffff_ffff_8000_0000));
+        assert_eq!(
+            load_result(LoadUnit::Int(LoadKind::W), 0x8000_0000),
+            Loaded::Int(0xffff_ffff_8000_0000)
+        );
         assert_eq!(load_result(LoadUnit::Int(LoadKind::Wu), 0x8000_0000), Loaded::Int(0x8000_0000));
         match load_result(LoadUnit::Fp(FpFmt::S), 1.0f32.to_bits() as u64) {
             Loaded::Fp(bits) => assert_eq!(unbox_s(bits), 1.0),

@@ -424,31 +424,126 @@ impl Rm {
 #[allow(missing_docs)]
 pub enum Inst {
     /// `lui rd, imm` — `imm` holds the already-shifted, sign-extended value.
-    Lui { rd: Reg, imm: i64 },
+    Lui {
+        rd: Reg,
+        imm: i64,
+    },
     /// `auipc rd, imm` — `imm` holds the already-shifted, sign-extended value.
-    Auipc { rd: Reg, imm: i64 },
-    Jal { rd: Reg, offset: i32 },
-    Jalr { rd: Reg, rs1: Reg, offset: i32 },
-    Branch { cond: BrCond, rs1: Reg, rs2: Reg, offset: i32 },
-    Load { kind: LoadKind, rd: Reg, rs1: Reg, offset: i32 },
-    Store { kind: StoreKind, rs1: Reg, rs2: Reg, offset: i32 },
+    Auipc {
+        rd: Reg,
+        imm: i64,
+    },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Branch {
+        cond: BrCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Load {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Store {
+        kind: StoreKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Register-immediate ALU op. `op` must satisfy [`AluOp::has_imm_form`].
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
-    FpLoad { fmt: FpFmt, rd: FReg, rs1: Reg, offset: i32 },
-    FpStore { fmt: FpFmt, rs1: Reg, rs2: FReg, offset: i32 },
-    FpOp { op: FpOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
-    FpFma { op: FmaOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
-    FpCmp { cmp: FpCmp, fmt: FpFmt, rd: Reg, rs1: FReg, rs2: FReg },
-    FpCvtToInt { to: CvtInt, fmt: FpFmt, rd: Reg, rs1: FReg, rm: Rm },
-    FpCvtFromInt { from: CvtInt, fmt: FpFmt, rd: FReg, rs1: Reg },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    FpLoad {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+        offset: i32,
+    },
+    FpStore {
+        fmt: FpFmt,
+        rs1: Reg,
+        rs2: FReg,
+        offset: i32,
+    },
+    FpOp {
+        op: FpOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
+    FpFma {
+        op: FmaOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+    },
+    FpCmp {
+        cmp: FpCmp,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: FReg,
+        rs2: FReg,
+    },
+    FpCvtToInt {
+        to: CvtInt,
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: FReg,
+        rm: Rm,
+    },
+    FpCvtFromInt {
+        from: CvtInt,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+    },
     /// `fcvt.s.d` (`to == S`) or `fcvt.d.s` (`to == D`).
-    FpCvtFmt { to: FpFmt, rd: FReg, rs1: FReg },
+    FpCvtFmt {
+        to: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+    },
     /// `fmv.x.w` / `fmv.x.d`.
-    FpMvToInt { fmt: FpFmt, rd: Reg, rs1: FReg },
+    FpMvToInt {
+        fmt: FpFmt,
+        rd: Reg,
+        rs1: FReg,
+    },
     /// `fmv.w.x` / `fmv.d.x`.
-    FpMvFromInt { fmt: FpFmt, rd: FReg, rs1: Reg },
+    FpMvFromInt {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: Reg,
+    },
     Fence,
     Ecall,
     Ebreak,
@@ -753,7 +848,7 @@ pub fn decode(word: u32) -> Result<Inst, IllegalInst> {
             };
             let f5 = bits(word, 31, 27);
             match f5 {
-                0b00000 | 0b00001 | 0b00010 | 0b00011 => {
+                0b00000..=0b00011 => {
                     let op = match f5 {
                         0b00000 => FpOp::Add,
                         0b00001 => FpOp::Sub,
@@ -930,27 +1025,15 @@ pub fn encode(inst: Inst) -> u32 {
         Inst::Jalr { rd, rs1, offset } => {
             enc_i(0b1100111, 0, rd.index() as u32, rs1.index() as u32, offset)
         }
-        Inst::Branch { cond, rs1, rs2, offset } => enc_b(
-            0b1100011,
-            cond.funct3(),
-            rs1.index() as u32,
-            rs2.index() as u32,
-            offset,
-        ),
-        Inst::Load { kind, rd, rs1, offset } => enc_i(
-            0b0000011,
-            kind.funct3(),
-            rd.index() as u32,
-            rs1.index() as u32,
-            offset,
-        ),
-        Inst::Store { kind, rs1, rs2, offset } => enc_s(
-            0b0100011,
-            kind.funct3(),
-            rs1.index() as u32,
-            rs2.index() as u32,
-            offset,
-        ),
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            enc_b(0b1100011, cond.funct3(), rs1.index() as u32, rs2.index() as u32, offset)
+        }
+        Inst::Load { kind, rd, rs1, offset } => {
+            enc_i(0b0000011, kind.funct3(), rd.index() as u32, rs1.index() as u32, offset)
+        }
+        Inst::Store { kind, rs1, rs2, offset } => {
+            enc_s(0b0100011, kind.funct3(), rs1.index() as u32, rs2.index() as u32, offset)
+        }
         Inst::OpImm { op, rd, rs1, imm } => {
             let (rd, rs1) = (rd.index() as u32, rs1.index() as u32);
             match op {
@@ -1279,8 +1362,20 @@ mod tests {
     #[test]
     fn fp_round_trip_samples() {
         let insts = [
-            Inst::FpOp { op: FpOp::Add, fmt: FpFmt::D, rd: FReg::Fa0, rs1: FReg::Fa1, rs2: FReg::Fa2 },
-            Inst::FpOp { op: FpOp::Sqrt, fmt: FpFmt::S, rd: FReg::Ft0, rs1: FReg::Ft1, rs2: FReg::Ft1 },
+            Inst::FpOp {
+                op: FpOp::Add,
+                fmt: FpFmt::D,
+                rd: FReg::Fa0,
+                rs1: FReg::Fa1,
+                rs2: FReg::Fa2,
+            },
+            Inst::FpOp {
+                op: FpOp::Sqrt,
+                fmt: FpFmt::S,
+                rd: FReg::Ft0,
+                rs1: FReg::Ft1,
+                rs2: FReg::Ft1,
+            },
             Inst::FpFma {
                 op: FmaOp::Madd,
                 fmt: FpFmt::D,
@@ -1289,8 +1384,20 @@ mod tests {
                 rs2: FReg::Fa2,
                 rs3: FReg::Fa3,
             },
-            Inst::FpCmp { cmp: FpCmp::Lt, fmt: FpFmt::D, rd: Reg::A0, rs1: FReg::Fa0, rs2: FReg::Fa1 },
-            Inst::FpCvtToInt { to: CvtInt::L, fmt: FpFmt::D, rd: Reg::A0, rs1: FReg::Fa0, rm: Rm::Rtz },
+            Inst::FpCmp {
+                cmp: FpCmp::Lt,
+                fmt: FpFmt::D,
+                rd: Reg::A0,
+                rs1: FReg::Fa0,
+                rs2: FReg::Fa1,
+            },
+            Inst::FpCvtToInt {
+                to: CvtInt::L,
+                fmt: FpFmt::D,
+                rd: Reg::A0,
+                rs1: FReg::Fa0,
+                rm: Rm::Rtz,
+            },
             Inst::FpCvtFromInt { from: CvtInt::W, fmt: FpFmt::D, rd: FReg::Fa0, rs1: Reg::A0 },
             Inst::FpCvtFmt { to: FpFmt::S, rd: FReg::Fa0, rs1: FReg::Fa1 },
             Inst::FpCvtFmt { to: FpFmt::D, rd: FReg::Fa0, rs1: FReg::Fa1 },

@@ -96,7 +96,8 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         Just(FpOp::Min),
         Just(FpOp::Max),
     ];
-    let fma = prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)];
+    let fma =
+        prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)];
     let cmp = prop_oneof![Just(FpCmp::Le), Just(FpCmp::Lt), Just(FpCmp::Eq)];
     let cvt = prop_oneof![Just(CvtInt::W), Just(CvtInt::Wu), Just(CvtInt::L), Just(CvtInt::Lu)];
     let rm = prop_oneof![Just(Rm::Rne), Just(Rm::Rtz)];
@@ -108,17 +109,37 @@ fn any_inst() -> impl Strategy<Value = Inst> {
             .prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
         (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|v| v * 2))
             .prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (br, any_reg(), any_reg(), (-2048i32..2048).prop_map(|v| v * 2))
             .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
-        (load, any_reg(), any_reg(), imm12())
-            .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
-        (store, any_reg(), any_reg(), imm12())
-            .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
-        (alu_rr.clone(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
-        (mul_op, any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        (load, any_reg(), any_reg(), imm12()).prop_map(|(kind, rd, rs1, offset)| Inst::Load {
+            kind,
+            rd,
+            rs1,
+            offset
+        }),
+        (store, any_reg(), any_reg(), imm12()).prop_map(|(kind, rs1, rs2, offset)| Inst::Store {
+            kind,
+            rs1,
+            rs2,
+            offset
+        }),
+        (alu_rr.clone(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (mul_op, any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         // OpImm: non-shift forms with 12-bit immediates
         (any_reg(), any_reg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImm {
             op: AluOp::Add,
@@ -151,8 +172,13 @@ fn any_inst() -> impl Strategy<Value = Inst> {
             .prop_map(|(fmt, rs1, rs2, offset)| Inst::FpStore { fmt, rs1, rs2, offset }),
         (fp_arith, any_fmt(), any_freg(), any_freg(), any_freg())
             .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpOp { op, fmt, rd, rs1, rs2 }),
-        (any_fmt(), any_freg(), any_freg())
-            .prop_map(|(fmt, rd, rs1)| Inst::FpOp { op: FpOp::Sqrt, fmt, rd, rs1, rs2: rs1 }),
+        (any_fmt(), any_freg(), any_freg()).prop_map(|(fmt, rd, rs1)| Inst::FpOp {
+            op: FpOp::Sqrt,
+            fmt,
+            rd,
+            rs1,
+            rs2: rs1
+        }),
         (fma, any_fmt(), any_freg(), any_freg(), any_freg(), any_freg())
             .prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 }),
         (cmp, any_fmt(), any_reg(), any_freg(), any_freg())
@@ -161,8 +187,16 @@ fn any_inst() -> impl Strategy<Value = Inst> {
             .prop_map(|(to, fmt, rd, rs1, rm)| Inst::FpCvtToInt { to, fmt, rd, rs1, rm }),
         (cvt, any_fmt(), any_freg(), any_reg())
             .prop_map(|(from, fmt, rd, rs1)| Inst::FpCvtFromInt { from, fmt, rd, rs1 }),
-        (any_fmt(), any_freg(), any_freg()).prop_map(|(to, rd, rs1)| Inst::FpCvtFmt { to, rd, rs1 }),
-        (any_fmt(), any_reg(), any_freg()).prop_map(|(fmt, rd, rs1)| Inst::FpMvToInt { fmt, rd, rs1 }),
+        (any_fmt(), any_freg(), any_freg()).prop_map(|(to, rd, rs1)| Inst::FpCvtFmt {
+            to,
+            rd,
+            rs1
+        }),
+        (any_fmt(), any_reg(), any_freg()).prop_map(|(fmt, rd, rs1)| Inst::FpMvToInt {
+            fmt,
+            rd,
+            rs1
+        }),
         (any_fmt(), any_freg(), any_reg()).prop_map(|(fmt, rd, rs1)| Inst::FpMvFromInt {
             fmt,
             rd,

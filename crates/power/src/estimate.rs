@@ -107,13 +107,12 @@ impl Estimator<'_> {
 
     fn regfile(&self, rf: MultiPortRegFile, reads: u64, writes: u64) -> PowerBreakdown {
         let p = &self.p;
-        let internal =
-            self.epc(reads) * rf.read_pj(p) + self.epc(writes) * rf.read_pj(p) * 1.2;
+        let internal = self.epc(reads) * rf.read_pj(p) + self.epc(writes) * rf.read_pj(p) * 1.2;
         // Every write broadcasts across the bypass network; the network's
         // clocked comparators also tick every cycle.
         let bypass_wire = rf.width as f64 * rf.read_ports as f64 * p.wire_bit_pj;
-        let switching = self.epc(writes) * bypass_wire
-            + rf.bypass_units() * 0.02 * p.clock_per_bit_pj;
+        let switching =
+            self.epc(writes) * bypass_wire + rf.bypass_units() * 0.02 * p.clock_per_bit_pj;
         PowerBreakdown {
             leakage_mw: rf.leakage_mw(p),
             internal_mw: self.to_mw(internal),
@@ -193,12 +192,11 @@ impl Estimator<'_> {
         // payload, precharges its wakeup comparators, and participates in
         // select every cycle — the paper's occupancy-correlated power
         // (Fig. 8). Entry writes/shifts are comparatively cheap.
-        let internal = ((self.epc(iq.writes) + self.epc(iq.collapse_writes))
-            * cam.write_pj(p)
-            * 0.15
-            + self.epc(iq.issued) * select_pj
-            + self.epc(iq.occupancy_sum) * cam.hold_pj(p) * 10.0)
-            * port_factor;
+        let internal =
+            ((self.epc(iq.writes) + self.epc(iq.collapse_writes)) * cam.write_pj(p) * 0.15
+                + self.epc(iq.issued) * select_pj
+                + self.epc(iq.occupancy_sum) * cam.hold_pj(p) * 10.0)
+                * port_factor;
         // Wakeup: each broadcast compares source tags of waiting entries.
         let switching = self.epc(iq.wakeup_cam_matches) * cam.compare_pj(p) * port_factor;
         PowerBreakdown {
@@ -225,8 +223,9 @@ impl Estimator<'_> {
                 let hold = self.epc(occ) * cam.hold_pj(p) * 10.0 * port_factor;
                 let write = self.epc(writes) * cam.write_pj(p) * 0.15 * port_factor;
                 // Wakeup compare energy distributed by slot residency.
-                let wake = self.epc(iq.wakeup_cam_matches) * cam.compare_pj(p) * port_factor
-                    * occ as f64 / total_occ as f64;
+                let wake =
+                    self.epc(iq.wakeup_cam_matches) * cam.compare_pj(p) * port_factor * occ as f64
+                        / total_occ as f64;
                 leak_per_slot + self.to_mw(hold + write + wake) * k.dynamic
             })
             .collect()
@@ -238,12 +237,11 @@ impl Estimator<'_> {
         let leakage = bits as f64 * p.leak_per_ff_bit_mw * 0.6;
         let access = ROB_ENTRY_BITS as f64 * p.sram_bit_access_pj * 2.0;
         let internal = (self.epc(self.stats.rob_writes) + self.epc(self.stats.rob_reads)) * access
-            + self.epc(self.stats.rob_occupancy_sum) * ROB_ENTRY_BITS as f64 * p.clock_per_bit_pj * 0.3;
-        PowerBreakdown {
-            leakage_mw: leakage,
-            internal_mw: self.to_mw(internal),
-            switching_mw: 0.0,
-        }
+            + self.epc(self.stats.rob_occupancy_sum)
+                * ROB_ENTRY_BITS as f64
+                * p.clock_per_bit_pj
+                * 0.3;
+        PowerBreakdown { leakage_mw: leakage, internal_mw: self.to_mw(internal), switching_mw: 0.0 }
     }
 
     fn branch_predictor(&self) -> PowerBreakdown {
@@ -256,16 +254,13 @@ impl Estimator<'_> {
             bits: (self.geom.cond_bits / self.geom.tables_per_lookup.max(1)).max(1),
             row_bits: 16,
         };
-        let btb = SramArray {
-            bits: self.geom.btb_bits.max(1),
-            row_bits: 57 * self.cfg.btb_ways as u64,
-        };
+        let btb =
+            SramArray { bits: self.geom.btb_bits.max(1), row_bits: 57 * self.cfg.btb_ways as u64 };
         let internal = self.epc(bp.table_reads) * table.access_pj(p)
             + self.epc(bp.updates) * table.access_pj(p) * 1.5
             + self.epc(bp.allocations) * table.access_pj(p) * 2.0
             + (self.epc(bp.btb_lookups) + self.epc(bp.btb_updates)) * btb.access_pj(p)
-            + (self.epc(bp.ras_pushes) + self.epc(bp.ras_pops))
-                * (64.0 * p.sram_bit_access_pj);
+            + (self.epc(bp.ras_pushes) + self.epc(bp.ras_pops)) * (64.0 * p.sram_bit_access_pj);
         // Index hashing / history folding toggles every lookup.
         let switching = self.epc(bp.lookups) * 128.0 * p.wire_bit_pj;
         PowerBreakdown {
@@ -287,11 +282,7 @@ impl Estimator<'_> {
                 * FB_ENTRY_BITS as f64
                 * p.clock_per_bit_pj
                 * 0.3;
-        PowerBreakdown {
-            leakage_mw: leakage,
-            internal_mw: self.to_mw(internal),
-            switching_mw: 0.0,
-        }
+        PowerBreakdown { leakage_mw: leakage, internal_mw: self.to_mw(internal), switching_mw: 0.0 }
     }
 
     fn lsu(&self) -> PowerBreakdown {
@@ -352,12 +343,7 @@ impl Estimator<'_> {
     }
 
     fn icache(&self) -> PowerBreakdown {
-        self.cache(
-            &self.cfg.icache,
-            &self.stats.icache,
-            32 * self.cfg.fetch_width as u64,
-            1,
-        )
+        self.cache(&self.cfg.icache, &self.stats.icache, 32 * self.cfg.fetch_width as u64, 1)
     }
 
     fn rest_of_tile(&self) -> PowerBreakdown {

@@ -150,23 +150,19 @@ impl PowerReport {
     /// # Panics
     ///
     /// Panics if a component appears twice.
-    pub fn new(entries: Vec<(Component, PowerBreakdown)>, int_issue_slot_mw: Vec<f64>) -> PowerReport {
+    pub fn new(
+        entries: Vec<(Component, PowerBreakdown)>,
+        int_issue_slot_mw: Vec<f64>,
+    ) -> PowerReport {
         for (i, (c, _)) in entries.iter().enumerate() {
-            assert!(
-                entries[i + 1..].iter().all(|(d, _)| d != c),
-                "duplicate component {c}"
-            );
+            assert!(entries[i + 1..].iter().all(|(d, _)| d != c), "duplicate component {c}");
         }
         PowerReport { entries, int_issue_slot_mw }
     }
 
     /// Power of one component (zero if absent).
     pub fn component(&self, c: Component) -> PowerBreakdown {
-        self.entries
-            .iter()
-            .find(|(d, _)| *d == c)
-            .map(|(_, p)| *p)
-            .unwrap_or_default()
+        self.entries.iter().find(|(d, _)| *d == c).map(|(_, p)| *p).unwrap_or_default()
     }
 
     /// Iterates `(component, breakdown)` in presentation order.
@@ -251,10 +247,7 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_component_rejected() {
         let _ = PowerReport::new(
-            vec![
-                (Component::Rob, pb(1.0, 0.0, 0.0)),
-                (Component::Rob, pb(2.0, 0.0, 0.0)),
-            ],
+            vec![(Component::Rob, pb(1.0, 0.0, 0.0)), (Component::Rob, pb(2.0, 0.0, 0.0))],
             vec![],
         );
     }

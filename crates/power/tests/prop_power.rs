@@ -98,11 +98,8 @@ fn leakage_ordering_medium_large_mega() {
     let l = zero(&BoomConfig::large());
     let g = zero(&BoomConfig::mega());
     for c in Component::ALL {
-        let (pm, pl, pg) = (
-            m.component(c).leakage_mw,
-            l.component(c).leakage_mw,
-            g.component(c).leakage_mw,
-        );
+        let (pm, pl, pg) =
+            (m.component(c).leakage_mw, l.component(c).leakage_mw, g.component(c).leakage_mw);
         assert!(pl >= pm - 1e-12, "{c}: Large {pl} < Medium {pm}");
         assert!(pg >= pl - 1e-12, "{c}: Mega {pg} < Large {pl}");
     }

@@ -28,7 +28,8 @@ pub fn bic(clustering: &Clustering, n: usize) -> f64 {
             continue;
         }
         let rj_f = rj as f64;
-        ll += rj_f * rj_f.ln() - rj_f * n_f.ln()
+        ll += rj_f * rj_f.ln()
+            - rj_f * n_f.ln()
             - rj_f * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
             - (rj_f - 1.0) * d / 2.0;
     }
@@ -81,10 +82,8 @@ mod tests {
         let profile = phased_profile(3, 8);
         let v = project(&profile, 8, 11);
         let ks: Vec<usize> = (1..=6).collect();
-        let scores: Vec<f64> = ks
-            .iter()
-            .map(|&k| bic(&kmeans_best_of(&v, k, 100, 8, 13), v.rows()))
-            .collect();
+        let scores: Vec<f64> =
+            ks.iter().map(|&k| bic(&kmeans_best_of(&v, k, 100, 8, 13), v.rows())).collect();
         let chosen = choose_k(&ks, &scores, 0.9);
         assert_eq!(chosen, 3, "scores: {scores:?}");
     }

@@ -92,7 +92,7 @@ pub fn kmeans(vectors: &ProjectedVectors, k: usize, max_iters: usize, seed: u64)
     for _ in 0..max_iters {
         // Assign.
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let v = vectors.row(i);
             let mut best = 0;
             let mut best_d = f64::INFINITY;
@@ -103,16 +103,15 @@ pub fn kmeans(vectors: &ProjectedVectors, k: usize, max_iters: usize, seed: u64)
                     best = c;
                 }
             }
-            if assignment[i] != best {
-                assignment[i] = best;
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
         // Update.
         let mut sums = vec![0.0f64; k * dim];
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignment[i];
+        for (i, &c) in assignment.iter().enumerate() {
             counts[c] += 1;
             for (s, x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(vectors.row(i)) {
                 *s += x;
@@ -123,15 +122,23 @@ pub fn kmeans(vectors: &ProjectedVectors, k: usize, max_iters: usize, seed: u64)
                 // Re-seed an empty cluster at the farthest point.
                 let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = dist2(vectors.row(a), &centroids[assignment[a] * dim..(assignment[a] + 1) * dim]);
-                        let db = dist2(vectors.row(b), &centroids[assignment[b] * dim..(assignment[b] + 1) * dim]);
-                        da.partial_cmp(&db).unwrap()
+                        let da = dist2(
+                            vectors.row(a),
+                            &centroids[assignment[a] * dim..(assignment[a] + 1) * dim],
+                        );
+                        let db = dist2(
+                            vectors.row(b),
+                            &centroids[assignment[b] * dim..(assignment[b] + 1) * dim],
+                        );
+                        da.total_cmp(&db)
                     })
-                    .unwrap();
+                    .expect("n >= 1 when a cluster is non-empty");
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(vectors.row(far));
                 changed = true;
             } else {
-                for (dst, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                for (dst, s) in
+                    centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim])
+                {
                     *dst = s / counts[c] as f64;
                 }
             }
@@ -157,7 +164,7 @@ pub fn kmeans_best_of(
 ) -> Clustering {
     (0..restarts.max(1))
         .map(|r| kmeans(vectors, k, max_iters, seed.wrapping_add(r as u64 * 0x9e37)))
-        .min_by(|a, b| a.sse.partial_cmp(&b.sse).unwrap())
+        .min_by(|a, b| a.sse.total_cmp(&b.sse))
         .expect("at least one restart")
 }
 

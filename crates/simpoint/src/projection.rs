@@ -56,7 +56,8 @@ pub fn project(profile: &BbvProfile, dim: usize, seed: u64) -> ProjectedVectors 
 
     // One deterministic row of the projection matrix per basic block.
     let block_row = |block: usize| -> Vec<f64> {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
     };
     let mut rows_cache: Vec<Option<Vec<f64>>> = vec![None; profile.dim.max(1)];

@@ -105,7 +105,8 @@ pub fn analyze(profile: &BbvProfile, config: &SimPointConfig) -> SimPointAnalysi
     let mut scores = Vec::new();
     let mut clusterings = Vec::new();
     for k in 1..=k_max {
-        let c = kmeans_best_of(&vectors, k, config.max_iters, config.restarts, config.seed + k as u64);
+        let c =
+            kmeans_best_of(&vectors, k, config.max_iters, config.restarts, config.seed + k as u64);
         ks.push(k);
         scores.push(bic(&c, n));
         clusterings.push(c);
@@ -126,13 +127,8 @@ pub fn analyze(profile: &BbvProfile, config: &SimPointConfig) -> SimPointAnalysi
                 continue;
             }
             cluster_insts += profile.intervals[i].len;
-            let d: f64 = vectors
-                .row(i)
-                .iter()
-                .zip(centroid)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
-            if best.map_or(true, |(_, bd)| d < bd) {
+            let d: f64 = vectors.row(i).iter().zip(centroid).map(|(x, y)| (x - y) * (x - y)).sum();
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -144,7 +140,7 @@ pub fn analyze(profile: &BbvProfile, config: &SimPointConfig) -> SimPointAnalysi
             });
         }
     }
-    points.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    points.sort_by(|a, b| b.weight.total_cmp(&a.weight));
 
     // Keep the highest-weight points until the coverage target is met.
     let mut selected = Vec::new();
@@ -186,12 +182,7 @@ mod tests {
             }
         }
         let total = intervals.iter().map(|i| i.len).sum();
-        BbvProfile {
-            intervals,
-            dim: phase_sizes.len(),
-            interval_size: 100,
-            total_insts: total,
-        }
+        BbvProfile { intervals, dim: phase_sizes.len(), interval_size: 100, total_insts: total }
     }
 
     #[test]

@@ -95,7 +95,13 @@ impl Cache {
     }
 
     /// Performs one access at `addr` on cycle `cycle`, updating `stats`.
-    pub fn access(&mut self, addr: u64, is_write: bool, cycle: u64, stats: &mut CacheStats) -> Access {
+    pub fn access(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        cycle: u64,
+        stats: &mut CacheStats,
+    ) -> Access {
         if is_write {
             stats.writes += 1;
         } else {
@@ -110,21 +116,13 @@ impl Cache {
 
         // A line with a refill in flight is not yet usable: merge with the
         // outstanding miss (tags were updated at allocation).
-        if let Some(m) = self
-            .mshrs
-            .iter()
-            .find(|m| m.line_addr == line_addr && m.done_at > cycle)
-        {
+        if let Some(m) = self.mshrs.iter().find(|m| m.line_addr == line_addr && m.done_at > cycle) {
             stats.misses += 1;
             return Access::Miss { ready_at: m.done_at.max(cycle + hit_latency) };
         }
 
         // Tag lookup.
-        if let Some(line) = self
-            .set_ways(set)
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.set_ways(set).iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = clock;
             if is_write {
                 line.dirty = true;
@@ -170,6 +168,12 @@ impl Cache {
     /// Number of MSHRs currently in flight.
     pub fn mshrs_in_flight(&self) -> usize {
         self.mshrs.len()
+    }
+
+    /// Outstanding refills as `(line_addr, done_at)` pairs (for the
+    /// pipeline watchdog's diagnostic snapshot).
+    pub fn mshr_states(&self) -> Vec<(u64, u64)> {
+        self.mshrs.iter().map(|m| (m.line_addr, m.done_at)).collect()
     }
 
     /// Invalidates everything (used between unrelated runs).

@@ -14,6 +14,9 @@ use crate::rob::{BranchInfo, DestPhys, Rob, RobEntry, SrcPhys, UopState};
 use crate::stats::Stats;
 use crate::trace::PipeTracer;
 use crate::uop::{classify, DestReg, ExecUnit, IqKind, SrcReg};
+use crate::watchdog::{
+    IssueQueueView, LsuView, MshrView, OldestEntryView, RobHeadView, WatchdogSnapshot,
+};
 use rv_isa::checkpoint::Checkpoint;
 use rv_isa::cpu::Cpu;
 use rv_isa::exec::{self, Loaded, Operands, Outcome};
@@ -100,6 +103,7 @@ pub struct Core {
     stats: Stats,
     exited: Option<u64>,
     last_commit_cycle: u64,
+    halt_commit: bool,
     tracer: Option<Box<PipeTracer>>,
     golden: Option<Box<Cpu>>,
     cosim_mismatch: Option<String>,
@@ -161,6 +165,7 @@ impl Core {
             stats,
             exited: None,
             last_commit_cycle: 0,
+            halt_commit: false,
             tracer: None,
             golden: None,
             cosim_mismatch: None,
@@ -189,8 +194,7 @@ impl Core {
             x[i] = self.prf_int.read(self.rrat_int.get(i));
             f[i] = self.prf_fp.read(self.rrat_fp.get(i));
         }
-        self.golden =
-            Some(Box::new(Cpu::from_state(self.fetch_pc, x, f, self.mem.clone(), 0)));
+        self.golden = Some(Box::new(Cpu::from_state(self.fetch_pc, x, f, self.mem.clone(), 0)));
     }
 
     /// The first lockstep divergence, if any (see
@@ -271,11 +275,8 @@ impl Core {
     /// (caches, predictors, rename maps) — the measurement boundary after a
     /// SimPoint warm-up.
     pub fn reset_stats(&mut self) {
-        self.stats = Stats::new(
-            self.cfg.int_issue_slots,
-            self.cfg.mem_issue_slots,
-            self.cfg.fp_issue_slots,
-        );
+        self.stats =
+            Stats::new(self.cfg.int_issue_slots, self.cfg.mem_issue_slots, self.cfg.fp_issue_slots);
     }
 
     /// Committed (architectural) value of integer register `r`.
@@ -318,6 +319,66 @@ impl Core {
         }
     }
 
+    /// Captures a structured diagnostic snapshot of the pipeline — the
+    /// watchdog report attached to `FlowError::CoreHung` when a detailed
+    /// simulation stops committing (see [`crate::watchdog`]).
+    ///
+    /// Cheap relative to a hang (it only reads existing state), and valid
+    /// at any time, not just after a hang.
+    pub fn dump_state(&self) -> WatchdogSnapshot {
+        let oldest_view = |iq: &IssueQueue| -> Option<OldestEntryView> {
+            let (_, seq) = *iq.candidates().first()?;
+            let e = self.rob.get(seq)?;
+            Some(OldestEntryView { seq, srcs_ready: self.srcs_ready(e), state: e.state })
+        };
+        WatchdogSnapshot {
+            cycle: self.cycle,
+            cycles_since_commit: self.cycle - self.last_commit_cycle,
+            retired: self.stats.retired,
+            fetch_pc: self.fetch_pc,
+            fetch_wedged: self.fetch_wedged,
+            fetch_buffer_len: self.fetch_buffer.len(),
+            redirect: self.redirect,
+            rob_len: self.rob.len(),
+            rob_capacity: self.rob.capacity(),
+            rob_head: self.rob.head().map(|h| RobHeadView {
+                seq: h.seq,
+                pc: h.pc,
+                inst: h.inst.to_string(),
+                state: h.state,
+                age_cycles: self.cycle.saturating_sub(h.dispatched_at),
+                srcs_ready: self.srcs_ready(h),
+            }),
+            issue_queues: [("int", &self.iq_int), ("mem", &self.iq_mem), ("fp", &self.iq_fp)]
+                .into_iter()
+                .map(|(name, iq)| IssueQueueView {
+                    name,
+                    occupancy: iq.len(),
+                    capacity: iq.capacity(),
+                    oldest: oldest_view(iq),
+                })
+                .collect(),
+            lsu: LsuView {
+                ldq_len: self.lsu.ldq_len(),
+                ldq_head_seq: self.lsu.ldq_head().map(|e| e.seq),
+                stq_len: self.lsu.stq_len(),
+                stq_head: self.lsu.stq_head().map(|e| (e.seq, e.addr)),
+            },
+            icache_mshrs: self
+                .icache
+                .mshr_states()
+                .into_iter()
+                .map(|(line_addr, done_at)| MshrView { line_addr, done_at })
+                .collect(),
+            dcache_mshrs: self
+                .dcache
+                .mshr_states()
+                .into_iter()
+                .map(|(line_addr, done_at)| MshrView { line_addr, done_at })
+                .collect(),
+        }
+    }
+
     /// Advances the pipeline by one cycle.
     pub fn step_cycle(&mut self) {
         self.cycle += 1;
@@ -339,7 +400,20 @@ impl Core {
     // Commit
     // ------------------------------------------------------------------
 
+    /// Fault injection: freezes the commit stage so the pipeline watchdog
+    /// fires deterministically after [`HANG_LIMIT`] cycles.
+    ///
+    /// Used by the flow supervisor's tests and by `boomflow --inject-hang`
+    /// to exercise hang detection and diagnostics on demand; it has no
+    /// effect on any normal simulation path.
+    pub fn inject_commit_stall(&mut self) {
+        self.halt_commit = true;
+    }
+
     fn commit(&mut self) {
+        if self.halt_commit {
+            return;
+        }
         for _ in 0..self.cfg.decode_width {
             let Some(head) = self.rob.head() else { break };
             if head.state != UopState::Done {
@@ -410,12 +484,11 @@ impl Core {
                             self.btb.update(e.pc, e.actual_next, BranchKind::Cond, &mut self.stats.bp);
                         }
                     }
-                    Inst::Jalr { .. } => {
+                    Inst::Jalr { .. }
                         // Train the BTB with the indirect target.
-                        if br.kind != BranchKind::Return {
+                        if br.kind != BranchKind::Return => {
                             self.btb.update(e.pc, e.actual_next, br.kind, &mut self.stats.bp);
                         }
-                    }
                     _ => {}
                 }
                 if e.mispredicted {
@@ -831,6 +904,7 @@ impl Core {
                 seq: 0, // assigned by the ROB
                 pc: f.pc,
                 inst: f.inst,
+                dispatched_at: self.cycle,
                 uop,
                 srcs,
                 dest,
@@ -888,8 +962,7 @@ impl Core {
         }
         match self.fetch_pending {
             None => {
-                match self.icache.access(self.fetch_pc, false, self.cycle, &mut self.stats.icache)
-                {
+                match self.icache.access(self.fetch_pc, false, self.cycle, &mut self.stats.icache) {
                     Access::Blocked => {}
                     acc => self.fetch_pending = acc.ready_at(),
                 }

@@ -109,12 +109,8 @@ impl IssueQueue {
 
     /// Waiting uops as `(physical_slot, seq)` pairs, oldest first.
     pub fn candidates(&self) -> Vec<(usize, u64)> {
-        let mut out: Vec<(usize, u64)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|seq| (i, seq)))
-            .collect();
+        let mut out: Vec<(usize, u64)> =
+            self.slots.iter().enumerate().filter_map(|(i, s)| s.map(|seq| (i, seq))).collect();
         // Collapsing queues are already age-ordered by position; the
         // non-collapsing queue's age picker sorts by sequence number.
         if self.kind == IssueQueueKind::NonCollapsing {
@@ -163,12 +159,12 @@ impl IssueQueue {
         match self.kind {
             IssueQueueKind::Collapsing => {
                 let before = self.slots.len();
-                self.slots.retain(|s| s.map_or(false, |x| x <= seq));
+                self.slots.retain(|s| s.is_some_and(|x| x <= seq));
                 squashed = before - self.slots.len();
             }
             IssueQueueKind::NonCollapsing => {
                 for s in &mut self.slots {
-                    if s.map_or(false, |x| x > seq) {
+                    if s.is_some_and(|x| x > seq) {
                         *s = None;
                         squashed += 1;
                     }

@@ -66,9 +66,11 @@ pub mod rob;
 pub mod stats;
 pub mod trace;
 pub mod uop;
+pub mod watchdog;
 
 pub use config::{BoomConfig, CacheParams, PredictorKind};
-pub use issue::IssueQueueKind;
 pub use core::{Core, RunResult};
+pub use issue::IssueQueueKind;
 pub use stats::Stats;
 pub use trace::PipeTracer;
+pub use watchdog::WatchdogSnapshot;

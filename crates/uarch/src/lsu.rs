@@ -86,6 +86,16 @@ impl Lsu {
         self.stq.len()
     }
 
+    /// The oldest load in the queue (program order), if any.
+    pub fn ldq_head(&self) -> Option<&LdqEntry> {
+        self.ldq.front()
+    }
+
+    /// The oldest store in the queue (program order), if any.
+    pub fn stq_head(&self) -> Option<&StqEntry> {
+        self.stq.front()
+    }
+
     /// Allocates a load-queue entry at dispatch; returns its index.
     ///
     /// # Panics
@@ -215,10 +225,7 @@ mod tests {
     #[test]
     fn partial_overlap_waits() {
         let (lsu, mut stats) = lsu_with_store(1, 0x100, 4, 0xAABBCCDD);
-        assert_eq!(
-            lsu.load_check(2, 0x102, 8, &mut stats),
-            LoadAction::WaitPartialOverlap
-        );
+        assert_eq!(lsu.load_check(2, 0x102, 8, &mut stats), LoadAction::WaitPartialOverlap);
     }
 
     #[test]

@@ -214,11 +214,11 @@ impl Tage {
     fn compute_meta(&self, pc: u64, ghist: u128) -> TageMeta {
         let mut meta = TageMeta { provider: -1, ..TageMeta::default() };
         meta.base_index = ((pc >> 2) as u32) & ((1 << self.base_bits) - 1);
-        for t in 0..TAGE_TABLES {
-            let hl = TAGE_HIST_LENS[t];
+        for (t, &hl) in TAGE_HIST_LENS.iter().enumerate() {
             let idx = (((pc >> 2) as u32) ^ fold(ghist, hl, self.table_bits))
                 & ((1 << self.table_bits) - 1);
-            let tag = ((((pc >> 2) as u32) ^ fold(ghist, hl, TAGE_TAG_BITS)
+            let tag = ((((pc >> 2) as u32)
+                ^ fold(ghist, hl, TAGE_TAG_BITS)
                 ^ (fold(ghist, hl, TAGE_TAG_BITS - 1) << 1))
                 & ((1 << TAGE_TAG_BITS) - 1)) as u16;
             meta.indices[t] = idx;
@@ -283,13 +283,7 @@ impl Tage {
     }
 
     /// Commit-time training with the prediction-time `meta`.
-    pub fn update(
-        &mut self,
-        pred: bool,
-        taken: bool,
-        meta: &TageMeta,
-        stats: &mut PredictorStats,
-    ) {
+    pub fn update(&mut self, pred: bool, taken: bool, meta: &TageMeta, stats: &mut PredictorStats) {
         stats.updates += 1;
         self.update_count += 1;
 
@@ -337,7 +331,7 @@ impl Tage {
         }
 
         // Periodic graceful aging of usefulness counters.
-        if self.update_count % TAGE_U_RESET_PERIOD == 0 {
+        if self.update_count.is_multiple_of(TAGE_U_RESET_PERIOD) {
             for table in &mut self.tables {
                 for e in table {
                     e.useful >>= 1;
@@ -348,7 +342,8 @@ impl Tage {
 
     /// Total storage bits (for the power model).
     pub fn storage_bits(&self) -> u64 {
-        let tagged = (TAGE_TABLES as u64) * (1u64 << self.table_bits) * (TAGE_TAG_BITS as u64 + 3 + 2);
+        let tagged =
+            (TAGE_TABLES as u64) * (1u64 << self.table_bits) * (TAGE_TAG_BITS as u64 + 3 + 2);
         let base = (1u64 << self.base_bits) * 2;
         tagged + base
     }
@@ -470,9 +465,7 @@ impl CondPredictor {
         match kind {
             crate::config::PredictorKind::Tage => CondPredictor::Tage(Tage::new(shift)),
             crate::config::PredictorKind::Gshare => CondPredictor::Gshare(Gshare::new(shift)),
-            crate::config::PredictorKind::Bimodal => {
-                CondPredictor::Bimodal(Bimodal::new(shift))
-            }
+            crate::config::PredictorKind::Bimodal => CondPredictor::Bimodal(Bimodal::new(shift)),
         }
     }
 

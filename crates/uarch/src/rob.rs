@@ -86,6 +86,8 @@ pub struct RobEntry {
     pub pc: u64,
     /// The instruction.
     pub inst: Inst,
+    /// Cycle at which the uop was dispatched (for watchdog age reporting).
+    pub dispatched_at: u64,
     /// Micro-op classification.
     pub uop: UopInfo,
     /// Renamed sources (parallel to `uop.srcs`).
@@ -140,6 +142,11 @@ impl Rob {
     /// True when dispatch must stall.
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
+    }
+
+    /// Total entries the ROB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The sequence number the next dispatched uop will receive.
@@ -221,6 +228,7 @@ mod tests {
             pc: 0x8000_0000,
             uop: classify(&inst),
             inst,
+            dispatched_at: 0,
             srcs: [None; 3],
             dest: DestPhys::None,
             state: UopState::Waiting,

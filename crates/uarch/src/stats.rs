@@ -247,10 +247,9 @@ impl Stats {
         self.fetch_buffer_reads += other.fetch_buffer_reads;
         self.fetch_buffer_occupancy_sum += other.fetch_buffer_occupancy_sum;
         self.decoded += other.decoded;
-        for (a, b) in [
-            (&mut self.int_rename, &other.int_rename),
-            (&mut self.fp_rename, &other.fp_rename),
-        ] {
+        for (a, b) in
+            [(&mut self.int_rename, &other.int_rename), (&mut self.fp_rename, &other.fp_rename)]
+        {
             a.map_writes += b.map_writes;
             a.map_reads += b.map_reads;
             a.freelist_pops += b.freelist_pops;

@@ -76,14 +76,10 @@ pub fn classify(inst: &Inst) -> UopInfo {
     use IqKind::*;
     let (iq, unit, srcs, dest): (IqKind, ExecUnit, [Option<SrcReg>; 3], Option<DestReg>) =
         match *inst {
-            Inst::Lui { rd, .. } | Inst::Auipc { rd, .. } => {
-                (Int, Alu, [None; 3], int_dest(rd))
-            }
+            Inst::Lui { rd, .. } | Inst::Auipc { rd, .. } => (Int, Alu, [None; 3], int_dest(rd)),
             Inst::Jal { rd, .. } => (Int, Alu, [None; 3], int_dest(rd)),
             Inst::Jalr { rd, rs1, .. } => (Int, Alu, [int_src(rs1), None, None], int_dest(rd)),
-            Inst::Branch { rs1, rs2, .. } => {
-                (Int, Alu, [int_src(rs1), int_src(rs2), None], None)
-            }
+            Inst::Branch { rs1, rs2, .. } => (Int, Alu, [int_src(rs1), int_src(rs2), None], None),
             Inst::Load { rd, rs1, .. } => (Mem, Agu, [int_src(rs1), None, None], int_dest(rd)),
             Inst::Store { rs1, rs2, .. } => (Mem, Agu, [int_src(rs1), int_src(rs2), None], None),
             Inst::OpImm { op: _, rd, rs1, .. } => {
@@ -96,7 +92,9 @@ pub fn classify(inst: &Inst) -> UopInfo {
                 let unit = if op.is_div() { Div } else { Mul };
                 (Int, unit, [int_src(rs1), int_src(rs2), None], int_dest(rd))
             }
-            Inst::FpLoad { rd, rs1, .. } => (Mem, Agu, [int_src(rs1), None, None], Some(DestReg::Fp(rd))),
+            Inst::FpLoad { rd, rs1, .. } => {
+                (Mem, Agu, [int_src(rs1), None, None], Some(DestReg::Fp(rd)))
+            }
             Inst::FpStore { rs1, rs2, .. } => {
                 (Mem, Agu, [int_src(rs1), Some(SrcReg::Fp(rs2)), None], None)
             }
@@ -106,11 +104,8 @@ pub fn classify(inst: &Inst) -> UopInfo {
                 } else {
                     Fpu
                 };
-                let rs2_src = if op == rv_isa::inst::FpOp::Sqrt {
-                    None
-                } else {
-                    Some(SrcReg::Fp(rs2))
-                };
+                let rs2_src =
+                    if op == rv_isa::inst::FpOp::Sqrt { None } else { Some(SrcReg::Fp(rs2)) };
                 (Fp, unit, [Some(SrcReg::Fp(rs1)), rs2_src, None], Some(DestReg::Fp(rd)))
             }
             Inst::FpFma { rd, rs1, rs2, rs3, .. } => (
@@ -119,12 +114,9 @@ pub fn classify(inst: &Inst) -> UopInfo {
                 [Some(SrcReg::Fp(rs1)), Some(SrcReg::Fp(rs2)), Some(SrcReg::Fp(rs3))],
                 Some(DestReg::Fp(rd)),
             ),
-            Inst::FpCmp { rd, rs1, rs2, .. } => (
-                Fp,
-                Fpu,
-                [Some(SrcReg::Fp(rs1)), Some(SrcReg::Fp(rs2)), None],
-                int_dest(rd),
-            ),
+            Inst::FpCmp { rd, rs1, rs2, .. } => {
+                (Fp, Fpu, [Some(SrcReg::Fp(rs1)), Some(SrcReg::Fp(rs2)), None], int_dest(rd))
+            }
             Inst::FpCvtToInt { rd, rs1, .. } => {
                 (Fp, Fpu, [Some(SrcReg::Fp(rs1)), None, None], int_dest(rd))
             }

@@ -6,12 +6,16 @@
 //! renaming, forwarding, memory ordering, misprediction squash/recovery,
 //! and cache timing against an independent architectural definition.
 
+// Test helpers may unwrap freely; `allow-unwrap-in-tests` only covers
+// `#[test]` fns, not the helpers integration tests share.
+#![allow(clippy::unwrap_used)]
+
 use boom_uarch::{BoomConfig, Core};
 use proptest::prelude::*;
 use rv_isa::asm::Assembler;
 use rv_isa::cpu::Cpu;
-use rv_isa::reg::Reg::{self, *};
 use rv_isa::reg::FReg;
+use rv_isa::reg::Reg::{self, *};
 
 /// Registers the generator is allowed to clobber freely.
 const SCRATCH: [Reg; 8] = [A0, A1, A2, A3, A4, T1, T2, T3];

@@ -200,7 +200,7 @@ mod tests {
         for x in [0u64, 1, 2, 3, 4, 15, 16, 17, 1 << 40, u64::MAX >> 2] {
             let r = isqrt(x);
             assert!(r * r <= x, "x={x}");
-            assert!((r + 1).checked_mul(r + 1).map_or(true, |sq| sq > x), "x={x}");
+            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > x), "x={x}");
         }
     }
 

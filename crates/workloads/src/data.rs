@@ -24,15 +24,7 @@ pub fn u32s(rng: &mut SmallRng, n: usize) -> Vec<u64> {
 
 /// `n` random bytes, restricted to lowercase letters and spaces (text-like).
 pub fn text(rng: &mut SmallRng, n: usize) -> Vec<u8> {
-    (0..n)
-        .map(|_| {
-            if rng.gen_ratio(1, 6) {
-                b' '
-            } else {
-                rng.gen_range(b'a'..=b'z')
-            }
-        })
-        .collect()
+    (0..n).map(|_| if rng.gen_ratio(1, 6) { b' ' } else { rng.gen_range(b'a'..=b'z') }).collect()
 }
 
 /// `n` doubles uniform in `(lo, hi)`.

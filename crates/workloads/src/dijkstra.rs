@@ -85,7 +85,7 @@ pub fn build(scale: Scale) -> Workload {
     a.addi(T1, T1, -1);
     a.bnez(T1, "init");
     a.sd(Zero, T0, -8); // last node: next = null
-    // src = (s4*7+3) % v ; nodes[src].dist = 0
+                        // src = (s4*7+3) % v ; nodes[src].dist = 0
     a.li(T0, 7);
     a.mul(T0, S4, T0);
     a.addi(T0, T0, 3);

@@ -37,7 +37,7 @@ fn emit_fft(a: &mut Assembler, prefix: &str, n: usize, tw_label: &str) {
     a.add(T0, S5, T0);
     a.fld(Fa0, T0, 0); // wr
     a.fld(Fa1, T0, 8); // wi
-    // element addresses: i1 = (k+j)*16, i2 = i1 + half*16
+                       // element addresses: i1 = (k+j)*16, i2 = i1 + half*16
     a.add(T1, S3, S4);
     a.slli(T1, T1, 4);
     a.add(T1, S0, T1); // &work[i1]
@@ -45,7 +45,7 @@ fn emit_fft(a: &mut Assembler, prefix: &str, n: usize, tw_label: &str) {
     a.add(T2, T1, T2); // &work[i2]
     a.fld(Fa2, T2, 0); // re2
     a.fld(Fa3, T2, 8); // im2
-    // tr = wr*re2 - wi*im2 ; ti = wr*im2 + wi*re2
+                       // tr = wr*re2 - wi*im2 ; ti = wr*im2 + wi*re2
     a.fmul_d(Fa4, Fa1, Fa3);
     a.fmsub_d(Fa4, Fa0, Fa2, Fa4);
     a.fmul_d(Fa5, Fa1, Fa2);

@@ -35,7 +35,9 @@ pub fn build(scale: Scale) -> Workload {
         for j in 0..n as usize {
             let mut acc = 0u64;
             for k in 0..n as usize {
-                acc = acc.wrapping_add(a_vals[i * n as usize + k].wrapping_mul(b_vals[k * n as usize + j]));
+                acc = acc.wrapping_add(
+                    a_vals[i * n as usize + k].wrapping_mul(b_vals[k * n as usize + j]),
+                );
             }
             c_vals[i * n as usize + j] = acc;
         }

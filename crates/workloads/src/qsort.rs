@@ -50,7 +50,7 @@ pub fn build(scale: Scale) -> Workload {
     a.li(S1, n as i64);
     a.la(S2, "qstack");
     a.li(S3, 0); // stack depth (pairs)
-    // push (0, n-1)
+                 // push (0, n-1)
     a.sd(Zero, S2, 0);
     a.addi(T0, S1, -1);
     a.sd(T0, S2, 8);

@@ -92,7 +92,7 @@ pub fn build(scale: Scale) -> Workload {
     a.label("pattern_loop");
     a.ld(S4, S2, 0); // plen
     a.addi(S5, S2, 8); // pattern bytes
-    // --- build the skip table: skip[b] = plen; then last-occurrence ---
+                       // --- build the skip table: skip[b] = plen; then last-occurrence ---
     a.la(S6, "skip");
     a.li(T0, 256);
     a.mv(T1, S6);

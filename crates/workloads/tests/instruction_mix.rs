@@ -3,6 +3,10 @@
 //! confined to FFT/iFFT/Qsort/Basicmath, memory intensity for Matmult,
 //! branchiness for Stringsearch, multiply pressure for Tarfind, ...).
 
+// Test helpers may unwrap freely; `allow-unwrap-in-tests` only covers
+// `#[test]` fns, not the helpers integration tests share.
+#![allow(clippy::unwrap_used)]
+
 use rv_isa::cpu::Cpu;
 use rv_isa::inst::Inst;
 use rv_workloads::{all, Scale};

@@ -16,7 +16,7 @@ use rv_workloads::{by_name, Scale};
 
 fn main() {
     let flow = FlowConfig::default();
-    let dijkstra = by_name("dijkstra", Scale::Small).unwrap();
+    let dijkstra = by_name("dijkstra", Scale::Small).expect("dijkstra is a registered workload");
 
     println!("--- Integer issue-queue sweep (LargeBOOM, Dijkstra) ---");
     println!("{:>6} {:>8} {:>12} {:>12}", "slots", "IPC", "IQ mW", "IPC/W");

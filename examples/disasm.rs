@@ -5,8 +5,8 @@
 //! cargo run --release --example disasm -- sha | head -40
 //! ```
 
-use rv_isa::inst::Inst;
 use rv_isa::decode;
+use rv_isa::inst::Inst;
 use rv_workloads::{by_name, Scale};
 use std::collections::BTreeMap;
 

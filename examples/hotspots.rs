@@ -17,10 +17,8 @@ fn main() {
     let flow = FlowConfig::default();
     for cfg in BoomConfig::all_three() {
         println!("=== {} ===", cfg.name);
-        let mut means: Vec<(Component, f64)> = Component::ANALYZED
-            .iter()
-            .map(|c| (*c, 0.0))
-            .collect();
+        let mut means: Vec<(Component, f64)> =
+            Component::ANALYZED.iter().map(|c| (*c, 0.0)).collect();
         let mut tile = 0.0;
         for w in &workloads {
             let r = run_simpoint_flow(&cfg, w, &flow).expect("flow failed");
@@ -34,10 +32,16 @@ fn main() {
             *acc /= n;
         }
         tile /= n;
-        means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        means.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("  mean tile power: {tile:.1} mW; hotspots:");
         for (rank, (c, mw)) in means.iter().take(5).enumerate() {
-            println!("  #{} {:<18} {:>6.2} mW ({:>4.1}% of tile)", rank + 1, c.name(), mw, 100.0 * mw / tile);
+            println!(
+                "  #{} {:<18} {:>6.2} mW ({:>4.1}% of tile)",
+                rank + 1,
+                c.name(),
+                mw,
+                100.0 * mw / tile
+            );
         }
         println!();
     }

@@ -25,19 +25,30 @@ fn main() {
 
     println!();
     println!("workload           : {} ({} dynamic instructions)", r.name, r.total_insts);
-    println!("simulation points  : {} x {} instructions ({:.0}% coverage)",
-             r.points.len(), r.interval_size, 100.0 * r.coverage);
+    println!(
+        "simulation points  : {} x {} instructions ({:.0}% coverage)",
+        r.points.len(),
+        r.interval_size,
+        100.0 * r.coverage
+    );
     println!("detailed-sim budget: {:.0}x smaller than full simulation", r.speedup);
     println!("IPC                : {:.2}", r.ipc);
     println!("BOOM tile power    : {:.2} mW @ 500 MHz", r.tile_power_mw());
     println!("performance/watt   : {:.1} IPC/W", r.perf_per_watt());
     println!();
-    println!("{:<18} {:>9} {:>9} {:>9} {:>9}", "component", "leak mW", "int mW", "switch mW", "total mW");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}",
+        "component", "leak mW", "int mW", "switch mW", "total mW"
+    );
     for c in Component::ALL {
         let p = r.power.component(c);
         println!(
             "{:<18} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            c.name(), p.leakage_mw, p.internal_mw, p.switching_mw, p.total_mw()
+            c.name(),
+            p.leakage_mw,
+            p.internal_mw,
+            p.switching_mw,
+            p.total_mw()
         );
     }
 }

@@ -11,14 +11,17 @@ fn flow_invariants_hold_for_every_workload() {
     let flow = FlowConfig::default();
     let cfg = BoomConfig::medium();
     for w in all(Scale::Test) {
-        let r = run_simpoint_flow(&cfg, &w, &flow)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = run_simpoint_flow(&cfg, &w, &flow).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(r.coverage >= 0.9, "{}: coverage {}", w.name, r.coverage);
         assert!(r.ipc > 0.1 && r.ipc < 4.0, "{}: ipc {}", w.name, r.ipc);
         let wsum: f64 = r.points.iter().map(|p| p.weight).sum();
         assert!((wsum - 1.0).abs() < 1e-9, "{}: weights sum {wsum}", w.name);
-        assert!(r.tile_power_mw() > 5.0 && r.tile_power_mw() < 100.0,
-            "{}: tile {} mW", w.name, r.tile_power_mw());
+        assert!(
+            r.tile_power_mw() > 5.0 && r.tile_power_mw() < 100.0,
+            "{}: tile {} mW",
+            w.name,
+            r.tile_power_mw()
+        );
         // At Test scale some workloads have so few intervals that SimPoint
         // cannot buy simulation time (it exists for *large* workloads);
         // the flow must still never blow the budget up by more than the
@@ -60,10 +63,8 @@ fn bigger_cores_are_faster_but_less_efficient_on_average() {
     let flow = FlowConfig::default();
     let workloads = all(Scale::Test);
     let mean = |cfg: &BoomConfig| -> (f64, f64) {
-        let rs: Vec<_> = workloads
-            .iter()
-            .map(|w| run_simpoint_flow(cfg, w, &flow).unwrap())
-            .collect();
+        let rs: Vec<_> =
+            workloads.iter().map(|w| run_simpoint_flow(cfg, w, &flow).unwrap()).collect();
         let n = rs.len() as f64;
         (
             rs.iter().map(|r| r.ipc).sum::<f64>() / n,

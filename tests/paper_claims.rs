@@ -5,6 +5,10 @@
 //! in tens of seconds; the bench harness re-checks the same claims at
 //! evaluation scale.
 
+// Test helpers may unwrap freely; `allow-unwrap-in-tests` only covers
+// `#[test]` fns, not the helpers integration tests share.
+#![allow(clippy::unwrap_used)]
+
 use boom_uarch::{BoomConfig, Core, PredictorKind};
 use boomflow::{run_simpoint_flow, FlowConfig, WorkloadResult};
 use rtl_power::{estimate_core, Component};
@@ -20,11 +24,7 @@ fn mean_component(cfg: &BoomConfig, c: Component) -> f64 {
     let total: f64 = ws
         .iter()
         .map(|w| {
-            run_simpoint_flow(cfg, w, &FlowConfig::default())
-                .unwrap()
-                .power
-                .component(c)
-                .total_mw()
+            run_simpoint_flow(cfg, w, &FlowConfig::default()).unwrap().power.component(c).total_mw()
         })
         .sum();
     total / ws.len() as f64
@@ -90,9 +90,13 @@ fn kt4_scheduler_is_second_hotspot() {
     let bp = mean_component(&cfg, Component::BranchPredictor);
     // Scheduler beats every non-BP analyzed component.
     for c in Component::ANALYZED {
-        if matches!(c, Component::IntIssue | Component::MemIssue | Component::FpIssue
-            | Component::BranchPredictor)
-        {
+        if matches!(
+            c,
+            Component::IntIssue
+                | Component::MemIssue
+                | Component::FpIssue
+                | Component::BranchPredictor
+        ) {
             continue;
         }
         let v = mean_component(&cfg, c);
@@ -110,10 +114,7 @@ fn kt4_dijkstra_occupancy_beats_sha() {
     let s = flow(&cfg, "sha");
     assert!(d.ipc < s.ipc, "dijkstra {:.2} vs sha {:.2}", d.ipc, s.ipc);
     let occ = |r: &WorkloadResult| -> f64 {
-        r.points
-            .iter()
-            .map(|p| p.weight * p.stats.int_iq.mean_occupancy(p.stats.cycles))
-            .sum()
+        r.points.iter().map(|p| p.weight * p.stats.int_iq.mean_occupancy(p.stats.cycles)).sum()
     };
     assert!(occ(&d) > occ(&s), "occupancy {:.1} vs {:.1}", occ(&d), occ(&s));
     let iq = |r: &WorkloadResult| r.power.component(Component::IntIssue).total_mw();

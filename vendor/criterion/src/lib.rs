@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `criterion` with this minimal benchmarking harness implementing the API
+//! the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::{default, sample_size, bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`,
+//! `Throughput::Elements`, `Bencher::iter`, and `black_box`.
+//!
+//! It reports mean wall-clock time per iteration (and element throughput
+//! when configured) without statistics, plots, or comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per benchmark iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure and counts iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to get a stable estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed batches.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.iters || start.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let mut line = format!("{id:<40} {:>12.3?}/iter ({} iters)", per, b.iters);
+    if let Some(t) = throughput {
+        let secs = per.as_secs_f64();
+        if secs > 0.0 {
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.2} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.2} MB/s", n as f64 / secs / 1e6));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many iterations to target per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&id.to_string(), &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("  {id}"), &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions and its driver configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_iters() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

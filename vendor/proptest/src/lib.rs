@@ -1,0 +1,406 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `proptest` with this minimal implementation of the API surface its
+//! property tests use: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` header), `Strategy`/`prop_map`, `Just`,
+//! numeric range strategies, tuple strategies, `any::<T>()`,
+//! `collection::vec`, `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! - cases are generated from a fixed per-case seed, so runs are fully
+//!   deterministic (no `PROPTEST_*` environment handling);
+//! - there is no shrinking — a failing case reports its panic directly;
+//! - `.proptest-regressions` files are ignored.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = (rng.next_u64() as u128) % span;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    let draw = (rng.next_u64() as u128) % span;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Object-safe view of a strategy, for `prop_oneof!` arms.
+    pub trait DynStrategy<T> {
+        /// Draws one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Uniform choice among heterogeneous strategies with one value type
+    /// (the result of `prop_oneof!`).
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<Rc<dyn DynStrategy<T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from already-boxed arms.
+        pub fn new(arms: Vec<Rc<dyn DynStrategy<T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Boxes one arm.
+        pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Rc<dyn DynStrategy<T>> {
+            Rc::new(s)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate_dyn(rng)
+        }
+    }
+
+    /// The strategy behind [`crate::arbitrary::any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Creates the strategy.
+        pub fn new() -> Any<T> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty => $body:expr),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $body;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_any! {
+        bool => |r| r.next_u64() & 1 == 1,
+        u8 => |r| r.next_u64() as u8,
+        u16 => |r| r.next_u64() as u16,
+        u32 => |r| r.next_u64() as u32,
+        u64 => |r| r.next_u64(),
+        u128 => |r| (r.next_u64() as u128) << 64 | r.next_u64() as u128,
+        usize => |r| r.next_u64() as usize,
+        i8 => |r| r.next_u64() as i8,
+        i16 => |r| r.next_u64() as i16,
+        i32 => |r| r.next_u64() as i32,
+        i64 => |r| r.next_u64() as i64,
+        i128 => |r| ((r.next_u64() as u128) << 64 | r.next_u64() as u128) as i128,
+        isize => |r| r.next_u64() as isize,
+        f64 => |r| f64::from_bits(r.next_u64()),
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Returns the canonical strategy for `T` (primitives only here).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy<Value = T>,
+    {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A size specification for [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic generator driving every test case (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for one (test, case) pair.
+        pub fn for_case(case: u32) -> TestRng {
+            TestRng { state: 0xB0F0_F10E_5EED_0000 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+        /// Accepted for upstream compatibility; unused.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64, max_shrink_iters: 0, max_global_rejects: 0 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Uniform choice among strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::arm($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property (fails the case on violation).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Ranges, tuples, maps, unions, and vecs all stay in bounds.
+        #[test]
+        fn combinators_stay_in_bounds(
+            x in 3u32..9,
+            y in -2048i32..=2047,
+            pair in (0u64..10, any::<bool>()),
+            v in crate::collection::vec(0usize..5, 1..8),
+            choice in prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|b| b)],
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2048..=2047).contains(&y));
+            prop_assert!(pair.0 < 10);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!((1..5).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0u64..1000);
+        let mut a = crate::test_runner::TestRng::for_case(3);
+        let mut b = crate::test_runner::TestRng::for_case(3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

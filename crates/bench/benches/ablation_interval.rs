@@ -8,7 +8,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_table;
-use boomflow::{run_full, run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rv_workloads::by_name;
 
@@ -16,7 +16,11 @@ fn main() {
     banner("Ablation: SimPoint interval size (Table II ratio discussion)");
     let cfg = BoomConfig::medium();
     let base = by_name("bitcount", BENCH_SCALE).unwrap();
-    let full = run_full(&cfg, &base).unwrap().ipc;
+    // Interval size is part of every artifact key, so the sweep's flow
+    // runs never share front-half work — but the full-run baseline is
+    // simulated once and reused by every row.
+    let store = ArtifactStore::new();
+    let full = store.full_run(&cfg, &base).unwrap().ipc;
     let header: Vec<String> =
         ["Interval", "ratio", "#SP", "Coverage", "Detailed insts", "Reduction", "IPC err"]
             .iter()
@@ -26,7 +30,8 @@ fn main() {
     for interval in [10_000u64, 25_000, 50_000, 100_000, 200_000] {
         let mut w = base.clone();
         w.interval_size = interval;
-        let r = run_simpoint_flow(&cfg, &w, &FlowConfig::default()).expect("flow");
+        let r =
+            run_simpoint_flow_with_store(&cfg, &w, &FlowConfig::default(), &store).expect("flow");
         let detailed: u64 = r.points.len() as u64 * interval;
         rows.push(vec![
             format!("{}k", interval / 1000),

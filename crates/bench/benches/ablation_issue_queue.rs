@@ -9,7 +9,7 @@
 
 use boom_uarch::{BoomConfig, IssueQueueKind};
 use boomflow::report::render_table;
-use boomflow::FlowConfig;
+use boomflow::{ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, run_config, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::all;
@@ -18,6 +18,9 @@ fn main() {
     banner("Ablation: collapsing vs non-collapsing issue queues (Key Takeaway #5)");
     let workloads = all(BENCH_SCALE);
     let flow = FlowConfig::default();
+    // The front half of the flow is configuration-independent, so one
+    // store lets all six variants share each workload's artifacts.
+    let store = ArtifactStore::new();
     let header: Vec<String> = [
         "Configuration",
         "collapse IQ mW",
@@ -31,11 +34,12 @@ fn main() {
     .collect();
     let mut rows = Vec::new();
     for base in BoomConfig::all_three() {
-        let coll = run_config(&base, &workloads, &flow);
+        let coll = run_config(&base, &workloads, &flow, &store);
         let nc = run_config(
             &base.clone().with_issue_queue(IssueQueueKind::NonCollapsing),
             &workloads,
             &flow,
+            &store,
         );
         let n = workloads.len() as f64;
         let iq_power = |rs: &[boomflow::WorkloadResult]| -> f64 {

@@ -6,7 +6,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_table;
-use boomflow::{run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::by_name;
@@ -14,6 +14,9 @@ use rv_workloads::by_name;
 fn main() {
     banner("Ablation: MSHRs and memory units (Key Takeaway #8)");
     let flow = FlowConfig::default();
+    // MSHR/memory-unit changes only touch detailed simulation; the sweep
+    // shares Matmult's front-half artifacts through one store.
+    let store = ArtifactStore::new();
     let matmult = by_name("matmult", BENCH_SCALE).unwrap();
     let header: Vec<String> =
         ["Mem units", "MSHRs", "Matmult IPC", "DCache mW", "Tile mW", "IPC/W"]
@@ -25,7 +28,7 @@ fn main() {
         let mut cfg = BoomConfig::mega();
         cfg.mem_issue_width = units;
         cfg.dcache.mshrs = mshrs;
-        let r = run_simpoint_flow(&cfg, &matmult, &flow).expect("flow");
+        let r = run_simpoint_flow_with_store(&cfg, &matmult, &flow, &store).expect("flow");
         rows.push(vec![
             units.to_string(),
             mshrs.to_string(),

@@ -7,7 +7,7 @@
 
 use boom_uarch::{BoomConfig, PredictorKind};
 use boomflow::report::render_table;
-use boomflow::FlowConfig;
+use boomflow::{ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, run_config, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::all;
@@ -16,6 +16,9 @@ fn main() {
     banner("Ablation: TAGE vs gshare vs bimodal (branch-predictor power, accuracy, IPC)");
     let workloads = all(BENCH_SCALE);
     let flow = FlowConfig::default();
+    // One store for the whole sweep: all nine (config, predictor)
+    // variants share each workload's profile/analysis/checkpoints.
+    let store = ArtifactStore::new();
     let header: Vec<String> = [
         "Configuration",
         "TAGE BP mW",
@@ -35,11 +38,19 @@ fn main() {
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for base in BoomConfig::all_three() {
-        let tage = run_config(&base, &workloads, &flow);
-        let gsh =
-            run_config(&base.clone().with_predictor(PredictorKind::Gshare), &workloads, &flow);
-        let bim =
-            run_config(&base.clone().with_predictor(PredictorKind::Bimodal), &workloads, &flow);
+        let tage = run_config(&base, &workloads, &flow, &store);
+        let gsh = run_config(
+            &base.clone().with_predictor(PredictorKind::Gshare),
+            &workloads,
+            &flow,
+            &store,
+        );
+        let bim = run_config(
+            &base.clone().with_predictor(PredictorKind::Bimodal),
+            &workloads,
+            &flow,
+            &store,
+        );
         let n = workloads.len() as f64;
         let bp = |rs: &[boomflow::WorkloadResult]| -> f64 {
             rs.iter().map(|r| r.power.component(Component::BranchPredictor).total_mw()).sum::<f64>()

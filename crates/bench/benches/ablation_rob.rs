@@ -9,7 +9,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_table;
-use boomflow::{run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::by_name;
@@ -17,6 +17,9 @@ use rv_workloads::by_name;
 fn main() {
     banner("Ablation: ROB sizing (Key Takeaway #6)");
     let flow = FlowConfig::default();
+    // The ROB size only affects detailed simulation, so the whole sweep
+    // shares one profile/analysis/checkpoint set per workload.
+    let store = ArtifactStore::new();
     let header: Vec<String> =
         ["ROB entries", "Matmult IPC", "Matmult ROB mW", "Sha IPC", "Sha ROB mW"]
             .iter()
@@ -28,8 +31,8 @@ fn main() {
     for rob in [32usize, 64, 96, 128, 192] {
         let mut cfg = BoomConfig::large();
         cfg.rob_entries = rob;
-        let t = run_simpoint_flow(&cfg, &matmult, &flow).expect("matmult flow");
-        let s = run_simpoint_flow(&cfg, &sha, &flow).expect("sha flow");
+        let t = run_simpoint_flow_with_store(&cfg, &matmult, &flow, &store).expect("matmult flow");
+        let s = run_simpoint_flow_with_store(&cfg, &sha, &flow, &store).expect("sha flow");
         rows.push(vec![
             rob.to_string(),
             format!("{:.2}", t.ipc),

@@ -7,7 +7,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_table;
-use boomflow::{run_full, run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rv_workloads::by_name;
 
@@ -15,9 +15,12 @@ fn main() {
     banner("Ablation: SimPoint warm-up length (cold-start error)");
     let cfg = BoomConfig::large();
     let names = ["matmult", "dijkstra", "sha", "tarfind"];
+    // Warm-up only keys the checkpoint stage, so one store profiles and
+    // clusters each workload once across the whole sweep.
+    let store = ArtifactStore::new();
     let fulls: Vec<f64> = names
         .iter()
-        .map(|n| run_full(&cfg, &by_name(n, BENCH_SCALE).unwrap()).unwrap().ipc)
+        .map(|n| store.full_run(&cfg, &by_name(n, BENCH_SCALE).unwrap()).unwrap().ipc)
         .collect();
 
     let mut header = vec!["Warm-up insts".to_string()];
@@ -27,8 +30,13 @@ fn main() {
         let flow = FlowConfig { warmup_insts: warmup, ..FlowConfig::default() };
         let mut row = vec![warmup.to_string()];
         for (name, full) in names.iter().zip(&fulls) {
-            let r =
-                run_simpoint_flow(&cfg, &by_name(name, BENCH_SCALE).unwrap(), &flow).expect("flow");
+            let r = run_simpoint_flow_with_store(
+                &cfg,
+                &by_name(name, BENCH_SCALE).unwrap(),
+                &flow,
+                &store,
+            )
+            .expect("flow");
             row.push(format!("{:+.1}%", 100.0 * (r.ipc - full) / full));
         }
         rows.push(row);

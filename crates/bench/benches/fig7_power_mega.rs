@@ -2,7 +2,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_component_power;
-use boomflow::FlowConfig;
+use boomflow::{ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, paper_mean_mw, run_config, BENCH_SCALE};
 use rtl_power::Component;
 use rv_workloads::all;
@@ -12,7 +12,8 @@ const CFG_INDEX: usize = 7 - 5;
 fn main() {
     banner("Fig. 7: per-component power (mW), MegaBOOM, all workloads");
     let cfg = BoomConfig::mega();
-    let results = run_config(&cfg, &all(BENCH_SCALE), &FlowConfig::default());
+    let results =
+        run_config(&cfg, &all(BENCH_SCALE), &FlowConfig::default(), &ArtifactStore::new());
     print!("{}", render_component_power(&results));
     println!();
     println!("Measured vs paper per-component means (MegaBOOM):");

@@ -7,15 +7,15 @@
 //! (Key Takeaway #4).
 
 use boom_uarch::BoomConfig;
-use boomflow::{run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rtl_power::PowerReport;
 use rv_workloads::by_name;
 
-fn slot_power(name: &str) -> (PowerReport, f64, f64) {
+fn slot_power(name: &str, store: &ArtifactStore) -> (PowerReport, f64, f64) {
     let w = by_name(name, BENCH_SCALE).expect("workload exists");
-    let r =
-        run_simpoint_flow(&BoomConfig::mega(), &w, &FlowConfig::default()).expect("flow succeeds");
+    let r = run_simpoint_flow_with_store(&BoomConfig::mega(), &w, &FlowConfig::default(), store)
+        .expect("flow succeeds");
     let occ: f64 =
         r.points.iter().map(|p| p.weight * p.stats.int_iq.mean_occupancy(p.stats.cycles)).sum();
     (r.power, r.ipc, occ)
@@ -23,8 +23,9 @@ fn slot_power(name: &str) -> (PowerReport, f64, f64) {
 
 fn main() {
     banner("Fig. 8: per-slot integer issue-queue power (mW), MegaBOOM");
-    let (dijkstra, d_ipc, d_occ) = slot_power("dijkstra");
-    let (sha, s_ipc, s_occ) = slot_power("sha");
+    let store = ArtifactStore::new();
+    let (dijkstra, d_ipc, d_occ) = slot_power("dijkstra", &store);
+    let (sha, s_ipc, s_occ) = slot_power("sha", &store);
     assert_eq!(dijkstra.int_issue_slot_mw.len(), 40, "MegaBOOM has 40 slots");
 
     println!("slot   Dijkstra      Sha");

@@ -8,7 +8,7 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::report::render_table;
-use boomflow::{run_full, run_simpoint_flow, FlowConfig};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig};
 use boomflow_bench::{banner, BENCH_SCALE};
 use rv_workloads::all;
 use std::time::Instant;
@@ -17,6 +17,10 @@ fn main() {
     banner("SimPoint speedup & accuracy vs full detailed simulation (MediumBOOM)");
     let cfg = BoomConfig::medium();
     let flow = FlowConfig::default();
+    // One store for the whole bench: the full-run baseline is simulated
+    // once per (config, workload) and the flow's front half once per
+    // workload, however many comparisons later benches add.
+    let store = ArtifactStore::new();
     let header: Vec<String> =
         ["Benchmark", "Full IPC", "SimPoint IPC", "IPC err", "Inst reduction", "Wall speedup"]
             .iter()
@@ -27,11 +31,11 @@ fn main() {
     let workloads = all(BENCH_SCALE);
     for w in &workloads {
         let t0 = Instant::now();
-        let full = run_full(&cfg, w).expect("full run");
+        let full = store.full_run(&cfg, w).expect("full run");
         let t_full = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let sp = run_simpoint_flow(&cfg, w, &flow).expect("simpoint flow");
+        let sp = run_simpoint_flow_with_store(&cfg, w, &flow, &store).expect("simpoint flow");
         let t_sp = t1.elapsed().as_secs_f64();
 
         let err = (sp.ipc - full.ipc).abs() / full.ipc;

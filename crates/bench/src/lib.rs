@@ -1,15 +1,21 @@
 //! Shared harness for the evaluation benches: runs the SimPoint flow for
 //! all eleven workloads on the three BOOM configurations (in parallel)
 //! and carries the paper's published reference numbers for comparison.
+//!
+//! Every bench shares one [`ArtifactStore`] per sweep, so the
+//! configuration-independent stages (profiling, clustering, checkpoint
+//! capture) run once per workload no matter how many configurations or
+//! parameter values the sweep visits.
 
 use boom_uarch::BoomConfig;
-use boomflow::{run_simpoint_flow, FlowConfig, WorkloadResult};
+use boomflow::{run_simpoint_flow_with_store, ArtifactStore, FlowConfig, WorkloadResult};
 use rtl_power::Component;
 use rv_workloads::{all, Scale, Workload};
 use std::thread;
 
 /// Runs the flow for every workload under one configuration, one thread
-/// per workload.
+/// per workload, sharing `store`'s memoized profiling / clustering /
+/// checkpoint artifacts with every other configuration run against it.
 ///
 /// # Panics
 ///
@@ -18,6 +24,7 @@ pub fn run_config(
     cfg: &BoomConfig,
     workloads: &[Workload],
     flow: &FlowConfig,
+    store: &ArtifactStore,
 ) -> Vec<WorkloadResult> {
     thread::scope(|s| {
         let handles: Vec<_> = workloads
@@ -26,7 +33,7 @@ pub fn run_config(
                 let cfg = cfg.clone();
                 let flow = flow.clone();
                 s.spawn(move || {
-                    run_simpoint_flow(&cfg, w, &flow)
+                    run_simpoint_flow_with_store(&cfg, w, &flow, store)
                         .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, cfg.name))
                 })
             })
@@ -35,14 +42,16 @@ pub fn run_config(
     })
 }
 
-/// Runs the flow for all eleven workloads on all three configurations.
+/// Runs the flow for all eleven workloads on all three configurations,
+/// profiling / clustering / checkpointing each workload exactly once.
 pub fn run_all(scale: Scale) -> Vec<(BoomConfig, Vec<WorkloadResult>)> {
     let workloads = all(scale);
     let flow = FlowConfig::default();
+    let store = ArtifactStore::new();
     BoomConfig::all_three()
         .into_iter()
         .map(|cfg| {
-            let results = run_config(&cfg, &workloads, &flow);
+            let results = run_config(&cfg, &workloads, &flow, &store);
             (cfg, results)
         })
         .collect()

@@ -1,0 +1,476 @@
+//! Staged, shareable artifacts of the SimPoint flow.
+//!
+//! The front half of the flow — functional profiling, phase analysis, and
+//! architectural checkpoint capture — is *configuration-independent* by
+//! construction: BBVs, cluster assignments, and architectural snapshots
+//! depend only on the workload and the flow parameters, never on the
+//! microarchitecture being evaluated (the same property the paper's
+//! Spike/gem5 artifacts exploit). A campaign over many configurations
+//! therefore needs each of those stages exactly once per workload.
+//!
+//! [`ArtifactStore`] memoizes the three stages behind a thread-safe,
+//! compute-exactly-once cache:
+//!
+//! * **Profile** — [`BbvProfile`], keyed by (program fingerprint,
+//!   interval size, profiling budget);
+//! * **SimPointAnalysis** — [`SimPointAnalysis`], keyed by the profile
+//!   key plus [`SimPointConfig::cache_fingerprint`];
+//! * **CheckpointSet** — [`CheckpointSet`], keyed by the analysis key
+//!   plus the warm-up length. Checkpoints are held behind [`Arc`]
+//!   ([`rv_isa::checkpoint::SharedCheckpoint`]) so the memory images are
+//!   shared — not cloned — across configurations and worker threads.
+//!
+//! A full-run baseline cache ([`ArtifactStore::full_run`]) rides along for
+//! the methodology benches that compare SimPoint against full detailed
+//! simulation: the baseline is (configuration, workload)-keyed and only
+//! ever simulated once per store.
+//!
+//! Every stage records compute/hit counters and wall-clock totals
+//! ([`CacheStats`]), which the campaign scheduler surfaces through
+//! [`CampaignReport`](crate::CampaignReport) — the reuse win is
+//! observable, not assumed.
+
+use crate::flow::{run_full, FlowConfig, FlowError, FullRunResult};
+use boom_uarch::BoomConfig;
+use rv_isa::bbv::BbvProfile;
+use rv_isa::checkpoint::{checkpoints_at_shared, SharedCheckpoint};
+use rv_workloads::Workload;
+use simpoint::{analyze, SimPointAnalysis};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cache key of a profiling artifact.
+type ProfileKey = (u64, u64, u64);
+/// Cache key of a phase-analysis artifact.
+type AnalysisKey = (ProfileKey, u64);
+/// Cache key of a checkpoint-set artifact.
+type CheckpointKey = (AnalysisKey, u64);
+/// Cache key of a full-run baseline.
+type FullRunKey = (u64, u64);
+
+/// A compute-exactly-once slot: concurrent callers of the same key block
+/// on the first computation and then share its result.
+type Slot<T> = Arc<OnceLock<Result<T, FlowError>>>;
+
+/// One selected simulation point, fully planned for detailed simulation:
+/// its checkpoint (shared, not cloned), warm-up length, and measurement
+/// window.
+#[derive(Clone, Debug)]
+pub struct PlannedPoint {
+    /// Index among the analysis' selected points.
+    pub sel_idx: usize,
+    /// Index of the represented interval in the BBV profile.
+    pub interval: usize,
+    /// Cluster weight (fraction of execution).
+    pub weight: f64,
+    /// Length of the measured interval in dynamic instructions.
+    pub interval_len: u64,
+    /// Warm-up instructions before the measured interval (clamped to the
+    /// checkpoint's position).
+    pub warmup: u64,
+    /// Architectural snapshot at (interval start − warm-up), shared
+    /// across every configuration that simulates this point.
+    pub checkpoint: SharedCheckpoint,
+}
+
+/// The complete configuration-independent front half of the flow for one
+/// (workload, flow-parameters) pair: profile, analysis, and one planned
+/// point per selected simulation point.
+#[derive(Clone, Debug)]
+pub struct CheckpointSet {
+    /// The BBV profile the analysis was derived from.
+    pub profile: Arc<BbvProfile>,
+    /// The phase analysis (selected points, weights, coverage, speedup).
+    pub analysis: Arc<SimPointAnalysis>,
+    /// Planned points in checkpoint-capture order (ascending position in
+    /// the dynamic instruction stream) — the order detailed simulation
+    /// and result assembly use.
+    pub points: Vec<PlannedPoint>,
+}
+
+/// Per-stage compute/hit counters and wall-clock totals of an
+/// [`ArtifactStore`] (monotonic; snapshot with [`ArtifactStore::stats`]).
+///
+/// "Computed" counts closure executions (cache misses that did the work);
+/// "hits" counts lookups served from the cache, including the store's own
+/// internal lookups (a checkpoint-set computation re-reads its profile
+/// and analysis through the cache).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Profiling passes executed.
+    pub profile_computed: u64,
+    /// Profiling lookups served from cache.
+    pub profile_hits: u64,
+    /// Phase analyses executed.
+    pub cluster_computed: u64,
+    /// Phase-analysis lookups served from cache.
+    pub cluster_hits: u64,
+    /// Checkpoint-capture passes executed.
+    pub checkpoint_computed: u64,
+    /// Checkpoint-set lookups served from cache.
+    pub checkpoint_hits: u64,
+    /// Full-run baselines simulated.
+    pub full_run_computed: u64,
+    /// Full-run lookups served from cache.
+    pub full_run_hits: u64,
+    /// Wall-clock spent profiling, in ms.
+    pub profile_ms: f64,
+    /// Wall-clock spent clustering, in ms.
+    pub cluster_ms: f64,
+    /// Wall-clock spent capturing checkpoints, in ms.
+    pub checkpoint_ms: f64,
+    /// Wall-clock spent in detailed point simulation, in ms (accumulated
+    /// across worker threads; not a cached stage).
+    pub detailed_ms: f64,
+    /// Wall-clock spent simulating full-run baselines, in ms.
+    pub full_run_ms: f64,
+}
+
+#[derive(Default)]
+struct Counters {
+    profile_computed: AtomicU64,
+    profile_hits: AtomicU64,
+    cluster_computed: AtomicU64,
+    cluster_hits: AtomicU64,
+    checkpoint_computed: AtomicU64,
+    checkpoint_hits: AtomicU64,
+    full_run_computed: AtomicU64,
+    full_run_hits: AtomicU64,
+    profile_us: AtomicU64,
+    cluster_us: AtomicU64,
+    checkpoint_us: AtomicU64,
+    detailed_us: AtomicU64,
+    full_run_us: AtomicU64,
+}
+
+/// Thread-safe memoization of the flow's configuration-independent
+/// stages, plus the full-run baseline cache and stage accounting.
+///
+/// One store per campaign (or per bench process) is the intended scope:
+/// artifacts live for the store's lifetime, and [`CacheStats`] then
+/// describes exactly that campaign's reuse.
+#[derive(Default)]
+pub struct ArtifactStore {
+    profiles: Mutex<HashMap<ProfileKey, Slot<Arc<BbvProfile>>>>,
+    analyses: Mutex<HashMap<AnalysisKey, Slot<Arc<SimPointAnalysis>>>>,
+    checkpoints: Mutex<HashMap<CheckpointKey, Slot<Arc<CheckpointSet>>>>,
+    full_runs: Mutex<HashMap<FullRunKey, Slot<Arc<FullRunResult>>>>,
+    counters: Counters,
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (the
+/// maps hold only completed insertions, so the state is always valid).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fetches `key` from `map`, computing it exactly once across threads:
+/// concurrent callers of an in-flight key block until the first
+/// computation finishes and then share its (cloned) result.
+fn memoize<K, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: K,
+    computed: &AtomicU64,
+    hits: &AtomicU64,
+    spent_us: &AtomicU64,
+    compute: impl FnOnce() -> Result<T, FlowError>,
+) -> Result<T, FlowError>
+where
+    K: Eq + Hash,
+    T: Clone,
+{
+    let slot = lock(map).entry(key).or_default().clone();
+    let mut ran = false;
+    let result = slot.get_or_init(|| {
+        ran = true;
+        let t0 = Instant::now();
+        let r = compute();
+        spent_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        r
+    });
+    if ran {
+        computed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+    result.clone()
+}
+
+impl ArtifactStore {
+    /// Creates an empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    fn profile_key(workload: &Workload, flow: &FlowConfig) -> ProfileKey {
+        (workload.program.fingerprint(), workload.interval_size, flow.max_profile_insts)
+    }
+
+    fn analysis_key(workload: &Workload, flow: &FlowConfig) -> AnalysisKey {
+        (Self::profile_key(workload, flow), flow.simpoint.cache_fingerprint())
+    }
+
+    fn checkpoint_key(workload: &Workload, flow: &FlowConfig) -> CheckpointKey {
+        (Self::analysis_key(workload, flow), flow.warmup_insts)
+    }
+
+    /// Stage 1 — the workload's BBV profile, computed at most once per
+    /// (program, interval size, profiling budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling failures (simulator fault, no exit, failed
+    /// self-verification); the error is cached and replayed to every
+    /// caller of the same key.
+    pub fn profile(
+        &self,
+        workload: &Workload,
+        flow: &FlowConfig,
+    ) -> Result<Arc<BbvProfile>, FlowError> {
+        let c = &self.counters;
+        memoize(
+            &self.profiles,
+            Self::profile_key(workload, flow),
+            &c.profile_computed,
+            &c.profile_hits,
+            &c.profile_us,
+            || crate::flow::profile(workload, flow.max_profile_insts).map(Arc::new),
+        )
+    }
+
+    /// Stage 2 — the SimPoint phase analysis over the workload's profile,
+    /// computed at most once per (profile, SimPoint config).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a profiling failure from stage 1.
+    pub fn analysis(
+        &self,
+        workload: &Workload,
+        flow: &FlowConfig,
+    ) -> Result<Arc<SimPointAnalysis>, FlowError> {
+        let c = &self.counters;
+        memoize(
+            &self.analyses,
+            Self::analysis_key(workload, flow),
+            &c.cluster_computed,
+            &c.cluster_hits,
+            &c.cluster_us,
+            || {
+                let bbv = self.profile(workload, flow)?;
+                Ok(Arc::new(analyze(&bbv, &flow.simpoint)))
+            },
+        )
+    }
+
+    /// Stage 3 — the planned checkpoint set: one architectural snapshot
+    /// per selected point at (interval start − warm-up), captured in a
+    /// single functional pass at most once per (analysis, warm-up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage 1/2 failures and checkpoint-capture simulator
+    /// faults.
+    pub fn checkpoints(
+        &self,
+        workload: &Workload,
+        flow: &FlowConfig,
+    ) -> Result<Arc<CheckpointSet>, FlowError> {
+        let c = &self.counters;
+        memoize(
+            &self.checkpoints,
+            Self::checkpoint_key(workload, flow),
+            &c.checkpoint_computed,
+            &c.checkpoint_hits,
+            &c.checkpoint_us,
+            || {
+                let profile = self.profile(workload, flow)?;
+                let analysis = self.analysis(workload, flow)?;
+                let starts = analysis.selected_starts(&profile);
+                // Capture at (interval start − warm-up), batched in one
+                // pass; the capture cursor only moves forward, so sort by
+                // position. This order is also the flow's point order.
+                let mut targets: Vec<(usize, u64, u64)> = starts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        let warm = flow.warmup_insts.min(s);
+                        (i, s - warm, warm)
+                    })
+                    .collect();
+                targets.sort_by_key(|&(_, at, _)| at);
+                let sorted: Vec<u64> = targets.iter().map(|&(_, at, _)| at).collect();
+                let checkpoints = checkpoints_at_shared(&workload.program, &sorted)?;
+                let points = targets
+                    .into_iter()
+                    .zip(checkpoints)
+                    .map(|((sel_idx, _, warmup), checkpoint)| {
+                        let sp = analysis.selected[sel_idx];
+                        PlannedPoint {
+                            sel_idx,
+                            interval: sp.interval,
+                            weight: sp.weight,
+                            interval_len: profile.intervals[sp.interval].len,
+                            warmup,
+                            checkpoint,
+                        }
+                    })
+                    .collect();
+                Ok(Arc::new(CheckpointSet { profile, analysis, points }))
+            },
+        )
+    }
+
+    /// Full-detailed-simulation baseline for one (configuration,
+    /// workload), simulated at most once per store — the methodology
+    /// benches compare many SimPoint variants against this single run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run_full`] failures.
+    pub fn full_run(
+        &self,
+        cfg: &BoomConfig,
+        workload: &Workload,
+    ) -> Result<Arc<FullRunResult>, FlowError> {
+        let c = &self.counters;
+        let key = (config_fingerprint(cfg), workload.program.fingerprint());
+        memoize(
+            &self.full_runs,
+            key,
+            &c.full_run_computed,
+            &c.full_run_hits,
+            &c.full_run_us,
+            || run_full(cfg, workload).map(Arc::new),
+        )
+    }
+
+    /// Adds detailed-simulation wall-clock (one point's attempt span) to
+    /// the stage accounting.
+    pub(crate) fn charge_detailed_us(&self, us: u64) {
+        self.counters.detailed_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-stage counters and wall-clock totals.
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        let ms = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1000.0;
+        CacheStats {
+            profile_computed: c.profile_computed.load(Ordering::Relaxed),
+            profile_hits: c.profile_hits.load(Ordering::Relaxed),
+            cluster_computed: c.cluster_computed.load(Ordering::Relaxed),
+            cluster_hits: c.cluster_hits.load(Ordering::Relaxed),
+            checkpoint_computed: c.checkpoint_computed.load(Ordering::Relaxed),
+            checkpoint_hits: c.checkpoint_hits.load(Ordering::Relaxed),
+            full_run_computed: c.full_run_computed.load(Ordering::Relaxed),
+            full_run_hits: c.full_run_hits.load(Ordering::Relaxed),
+            profile_ms: ms(&c.profile_us),
+            cluster_ms: ms(&c.cluster_us),
+            checkpoint_ms: ms(&c.checkpoint_us),
+            detailed_ms: ms(&c.detailed_us),
+            full_run_ms: ms(&c.full_run_us),
+        }
+    }
+}
+
+/// Stable fingerprint of a configuration for full-run baseline keying.
+/// `BoomConfig`'s `Debug` rendering covers every field, so hashing it
+/// distinguishes ablation variants that share a preset name.
+fn config_fingerprint(cfg: &BoomConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_workloads::{by_name, Scale};
+    use simpoint::SimPointConfig;
+
+    fn quick_flow() -> FlowConfig {
+        FlowConfig {
+            simpoint: SimPointConfig { max_k: 4, restarts: 1, ..SimPointConfig::default() },
+            warmup_insts: 500,
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn stages_compute_once_and_then_hit() {
+        let store = ArtifactStore::new();
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let flow = quick_flow();
+        let a = store.checkpoints(&w, &flow).unwrap();
+        let b = store.checkpoints(&w, &flow).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the artifact");
+        let s = store.stats();
+        assert_eq!(s.profile_computed, 1);
+        assert_eq!(s.cluster_computed, 1);
+        assert_eq!(s.checkpoint_computed, 1);
+        assert_eq!(s.checkpoint_hits, 1);
+        // Checkpoints are shared allocations, not clones.
+        for p in &a.points {
+            assert!(Arc::strong_count(&p.checkpoint) >= 1);
+        }
+    }
+
+    #[test]
+    fn distinct_warmups_share_profile_and_analysis() {
+        let store = ArtifactStore::new();
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let f1 = quick_flow();
+        let f2 = FlowConfig { warmup_insts: 100, ..quick_flow() };
+        store.checkpoints(&w, &f1).unwrap();
+        store.checkpoints(&w, &f2).unwrap();
+        let s = store.stats();
+        assert_eq!(s.profile_computed, 1, "warm-up must not invalidate the profile");
+        assert_eq!(s.cluster_computed, 1, "warm-up must not invalidate the analysis");
+        assert_eq!(s.checkpoint_computed, 2, "warm-up is part of the checkpoint key");
+    }
+
+    #[test]
+    fn profiling_errors_are_cached_and_replayed() {
+        use rv_isa::asm::Assembler;
+        use rv_isa::reg::Reg::*;
+        let mut a = Assembler::new();
+        a.li(A0, 9);
+        a.exit();
+        let broken = Workload {
+            name: "broken",
+            suite: rv_workloads::Suite::MiBench,
+            program: a.assemble().unwrap(),
+            interval_size: 100,
+        };
+        let store = ArtifactStore::new();
+        for _ in 0..2 {
+            match store.profile(&broken, &quick_flow()) {
+                Err(FlowError::SelfCheckFailed(9)) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = store.stats();
+        assert_eq!(s.profile_computed, 1, "the failing profile must not be re-run");
+        assert_eq!(s.profile_hits, 1);
+    }
+
+    #[test]
+    fn full_run_baseline_is_cached_per_config() {
+        let store = ArtifactStore::new();
+        let w = by_name("bitcount", Scale::Test).unwrap();
+        let medium = BoomConfig::medium();
+        let a = store.full_run(&medium, &w).unwrap();
+        let b = store.full_run(&medium, &w).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        store.full_run(&BoomConfig::large(), &w).unwrap();
+        let s = store.stats();
+        assert_eq!(s.full_run_computed, 2);
+        assert_eq!(s.full_run_hits, 1);
+    }
+}

@@ -2,17 +2,21 @@
 //! analysis flow.
 //!
 //! ```text
-//! boomflow [--workload NAME|all] [--config medium|large|mega|all]
+//! boomflow [--workload NAME[,NAME...]|all] [--config medium|large|mega|all]
 //!          [--scale test|small|full] [--predictor tage|gshare]
 //!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
-//!          [--retries N] [--cycle-budget N]
+//!          [--retries N] [--cycle-budget N] [--jobs N]
 //! ```
 //!
-//! The matrix is run under the fault-tolerant supervisor: a hang or panic
-//! in one (configuration, workload) cell is reported — including the
-//! pipeline watchdog's diagnostic snapshot — and the remaining cells
-//! still run. The process exits non-zero only if some cell failed after
-//! per-point retries.
+//! The matrix is run under the fault-tolerant supervisor as a staged
+//! campaign: the configuration-independent stages (profiling, SimPoint
+//! clustering, checkpoint capture) run exactly once per workload and are
+//! shared across every configuration, then detailed simulation of the
+//! individual points is spread over `--jobs` worker threads (default:
+//! all cores). A hang or panic in one (configuration, workload) cell is
+//! reported — including the pipeline watchdog's diagnostic snapshot —
+//! and the remaining cells still run. The process exits non-zero only if
+//! some cell failed after per-point retries.
 //!
 //! Examples:
 //!
@@ -25,7 +29,8 @@
 use boom_uarch::{BoomConfig, IssueQueueKind, PredictorKind};
 use boomflow::report::render_table;
 use boomflow::{
-    run_full, supervise_matrix, FaultInjection, FlowConfig, RetryPolicy, WorkloadResult,
+    default_jobs, run_full, supervise_matrix_with, CampaignOptions, FaultInjection, FlowConfig,
+    RetryPolicy, WorkloadResult,
 };
 use rtl_power::Component;
 use rv_workloads::{all, by_name, Scale, Workload};
@@ -41,16 +46,17 @@ struct Args {
     warmup: u64,
     retries: u32,
     cycle_budget: Option<u64>,
+    jobs: usize,
     /// Hidden: freeze commit on simulation point N (watchdog demo/tests).
     inject_hang: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: boomflow [--workload NAME|all] [--config medium|large|mega|all]\n\
+        "usage: boomflow [--workload NAME[,NAME...]|all] [--config medium|large|mega|all]\n\
          \x20               [--scale test|small|full] [--predictor tage|gshare]\n\
          \x20               [--iq collapsing|noncollapsing] [--full] [--warmup N]\n\
-         \x20               [--retries N] [--cycle-budget N]\n\
+         \x20               [--retries N] [--cycle-budget N] [--jobs N]\n\
          workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
          \x20          patricia matmult sha tarfind"
     );
@@ -68,6 +74,7 @@ fn parse_args() -> Args {
         warmup: 5_000,
         retries: RetryPolicy::default().max_attempts,
         cycle_budget: None,
+        jobs: default_jobs(),
         inject_hang: None,
     };
     let mut it = std::env::args().skip(1);
@@ -104,6 +111,12 @@ fn parse_args() -> Args {
             "--cycle-budget" => {
                 args.cycle_budget = Some(value().parse().unwrap_or_else(|_| usage()))
             }
+            "--jobs" | "-j" => {
+                args.jobs = value().parse().unwrap_or_else(|_| usage());
+                if args.jobs == 0 {
+                    usage()
+                }
+            }
             // Hidden fault-injection flag: exercises the watchdog and the
             // supervisor's quarantine path on a live run.
             "--inject-hang" => args.inject_hang = Some(value().parse().unwrap_or_else(|_| usage())),
@@ -127,13 +140,12 @@ fn configs(sel: &str, predictor: PredictorKind, iq: IssueQueueKind) -> Vec<BoomC
 
 fn workloads(sel: &str, scale: Scale) -> Vec<Workload> {
     if sel == "all" {
-        all(scale)
-    } else {
-        match by_name(sel, scale) {
-            Some(w) => vec![w],
-            None => usage(),
-        }
+        return all(scale);
     }
+    sel.split(',')
+        .filter(|n| !n.is_empty())
+        .map(|n| by_name(n, scale).unwrap_or_else(|| usage()))
+        .collect()
 }
 
 fn print_result(r: &WorkloadResult) {
@@ -215,12 +227,14 @@ fn main() {
         return;
     }
 
-    let report = supervise_matrix(&cfgs, &ws, &flow);
+    let opts = CampaignOptions { jobs: args.jobs };
+    let report = supervise_matrix_with(&cfgs, &ws, &flow, &opts);
     for cell in &report.cells {
         if let Ok(r) = &cell.outcome {
             print_result(r);
         }
     }
+    print!("\n{}", report.stage_summary());
     if let Some(log) = report.failure_log() {
         eprint!("\n{log}");
     }

@@ -1,4 +1,11 @@
-//! The SimPoint → checkpoint → detailed-simulation → power flow.
+//! The staged SimPoint pipeline:
+//! `Profile → SimPointAnalysis → CheckpointSet → DetailedSim → Power`.
+//!
+//! The first three stages are configuration-independent and memoized by
+//! [`ArtifactStore`](crate::artifacts::ArtifactStore) — a campaign over
+//! many configurations computes them exactly once per workload
+//! ([`run_simpoint_flow_with_store`]); [`run_simpoint_flow`] is the
+//! one-shot form with a private store.
 //!
 //! Detailed simulation is where model bugs and pathological checkpoints
 //! surface, so every per-point simulation runs under supervision: panics
@@ -7,8 +14,10 @@
 //! that fail every attempt are quarantined — the surviving points'
 //! weights are re-normalized and the loss is reported in
 //! [`WorkloadResult::degradation`]. See [`crate::supervisor`] for the
-//! policy types and the campaign-level driver.
+//! policy types and [`crate::scheduler`] for the campaign-level driver
+//! that schedules points across cells.
 
+use crate::artifacts::{ArtifactStore, CheckpointSet, PlannedPoint};
 use crate::supervisor::{
     panic_message, renormalized, Degradation, FailureKind, FaultInjection, PointFailure,
     RetryPolicy,
@@ -16,10 +25,9 @@ use crate::supervisor::{
 use boom_uarch::{BoomConfig, Core, Stats, WatchdogSnapshot};
 use rtl_power::{estimate_core, PowerReport};
 use rv_isa::bbv::{BbvCollector, BbvProfile};
-use rv_isa::checkpoint::{checkpoints_at, Checkpoint};
 use rv_isa::cpu::{Cpu, SimError, StopReason};
 use rv_workloads::Workload;
-use simpoint::{analyze, SimPointAnalysis, SimPointConfig};
+use simpoint::SimPointConfig;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -54,12 +62,18 @@ impl Default for FlowConfig {
 }
 
 /// Error from the flow.
-#[derive(Debug)]
+///
+/// Clonable so memoizing stores can replay a cached stage failure to
+/// every (configuration, workload) cell that shares the artifact.
+#[derive(Clone, Debug)]
 pub enum FlowError {
     /// The functional simulator faulted.
     Sim(SimError),
     /// The workload did not exit within the profiling budget.
     NoExit,
+    /// The phase analysis selected no simulation points (an empty or
+    /// degenerate profile), so there is nothing to simulate.
+    NoPointsSelected,
     /// The workload exited non-zero (failed its self-verification).
     SelfCheckFailed(u64),
     /// The detailed core hung (model bug or invalid checkpoint) and no
@@ -98,6 +112,9 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Sim(e) => write!(f, "functional simulation failed: {e}"),
             FlowError::NoExit => write!(f, "workload did not exit within the profiling budget"),
+            FlowError::NoPointsSelected => {
+                write!(f, "phase analysis selected no simulation points")
+            }
             FlowError::SelfCheckFailed(code) => {
                 write!(f, "workload failed self-verification (exit code {code})")
             }
@@ -220,7 +237,8 @@ pub fn profile(workload: &Workload, max_insts: u64) -> Result<BbvProfile, FlowEr
     }
 }
 
-/// Runs the complete SimPoint flow for one configuration and workload.
+/// Runs the complete SimPoint flow for one configuration and workload,
+/// with a private single-use [`ArtifactStore`].
 ///
 /// Per-point failures (panics, hangs, budget overruns) are retried per
 /// [`FlowConfig::retry`] and quarantined points are dropped with the
@@ -237,65 +255,97 @@ pub fn run_simpoint_flow(
     workload: &Workload,
     flow: &FlowConfig,
 ) -> Result<WorkloadResult, FlowError> {
-    // 1. Profile + 2. phase analysis.
-    let bbv = profile(workload, flow.max_profile_insts)?;
-    let analysis: SimPointAnalysis = analyze(&bbv, &flow.simpoint);
+    run_simpoint_flow_with_store(cfg, workload, flow, &ArtifactStore::new())
+}
 
-    // 3. Checkpoints at (interval start − warm-up), batched in one pass.
-    let starts = analysis.selected_starts(&bbv);
-    let mut targets: Vec<(usize, u64, u64)> = starts
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| {
-            let warm = flow.warmup_insts.min(s);
-            (i, s - warm, warm)
-        })
-        .collect();
-    targets.sort_by_key(|&(_, at, _)| at);
-    let sorted_points: Vec<u64> = targets.iter().map(|&(_, at, _)| at).collect();
-    let checkpoints = checkpoints_at(&workload.program, &sorted_points)?;
+/// [`run_simpoint_flow`] against a shared [`ArtifactStore`]: the
+/// profiling, phase-analysis, and checkpoint stages are fetched from (or
+/// computed into) the store, so evaluating many configurations of the
+/// same workload runs the configuration-independent front half exactly
+/// once.
+///
+/// # Errors
+///
+/// As [`run_simpoint_flow`].
+pub fn run_simpoint_flow_with_store(
+    cfg: &BoomConfig,
+    workload: &Workload,
+    flow: &FlowConfig,
+    store: &ArtifactStore,
+) -> Result<WorkloadResult, FlowError> {
+    // Stages 1–3 (configuration-independent, memoized).
+    let set = store.checkpoints(workload, flow)?;
 
-    // 4 + 5. Detailed simulation and power per point — the points are
-    // independent (the paper runs them as separate RTL-simulator jobs),
-    // so simulate them in parallel, each under its own supervision.
-    let outcomes: Vec<Result<(PointResult, u32), PointFailure>> = std::thread::scope(|s| {
-        let handles: Vec<_> = targets
+    // Stages 4 + 5: detailed simulation and power per point — the points
+    // are independent (the paper runs them as separate RTL-simulator
+    // jobs), so simulate them in parallel, each under its own
+    // supervision.
+    let outcomes: Vec<PointOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = set
+            .points
             .iter()
-            .zip(&checkpoints)
-            .map(|((sel_idx, _, warm), ck)| {
-                let sp = analysis.selected[*sel_idx];
-                let interval_len = bbv.intervals[sp.interval].len;
-                let task = PointTask {
-                    sel_idx: *sel_idx,
-                    warmup: *warm,
-                    interval_len,
-                    interval: sp.interval,
-                    weight: sp.weight,
-                };
-                let handle = s
-                    .spawn(move || run_point_supervised(cfg, ck, &task, &flow.retry, &flow.inject));
-                (task, handle)
-            })
+            .map(|p| s.spawn(move || run_point_timed(cfg, p, &flow.retry, &flow.inject, store)))
             .collect();
-        handles
-            .into_iter()
-            .map(|(task, h)| {
+        set.points
+            .iter()
+            .zip(handles)
+            .map(|(p, h)| {
                 // The worker already isolates panics with `catch_unwind`;
                 // a failed join means something unwound outside it, which
                 // is still a quarantinable failure, not a reason to abort.
-                h.join().unwrap_or_else(|payload| {
-                    Err(PointFailure {
-                        simpoint: task.sel_idx,
-                        interval: task.interval,
-                        weight: task.weight,
-                        attempts: 1,
-                        kind: FailureKind::Panicked { message: panic_message(payload.as_ref()) },
-                    })
-                })
+                h.join().unwrap_or_else(|payload| Err(escaped_panic(p, payload.as_ref())))
             })
             .collect()
     });
 
+    assemble_workload_result(&cfg.name, workload, &set, outcomes)
+}
+
+/// Outcome of one planned point's supervised detailed simulation: the
+/// measurement and the attempts it took, or the quarantine record.
+pub(crate) type PointOutcome = Result<(PointResult, u32), PointFailure>;
+
+/// The quarantine record for a panic that escaped per-point isolation
+/// (e.g. a worker thread that died outside `catch_unwind`).
+pub(crate) fn escaped_panic(
+    point: &PlannedPoint,
+    payload: &(dyn std::any::Any + Send),
+) -> PointFailure {
+    PointFailure {
+        simpoint: point.sel_idx,
+        interval: point.interval,
+        weight: point.weight,
+        attempts: 1,
+        kind: FailureKind::Panicked { message: panic_message(payload) },
+    }
+}
+
+/// [`run_point_supervised`] plus stage accounting: the attempt span is
+/// charged to the store's detailed-simulation wall-clock total.
+pub(crate) fn run_point_timed(
+    cfg: &BoomConfig,
+    point: &PlannedPoint,
+    retry: &RetryPolicy,
+    inject: &FaultInjection,
+    store: &ArtifactStore,
+) -> PointOutcome {
+    let t0 = Instant::now();
+    let r = run_point_supervised(cfg, point, retry, inject);
+    store.charge_detailed_us(t0.elapsed().as_micros() as u64);
+    r
+}
+
+/// Quarantines failed points, re-normalizes the survivors' weights, and
+/// aggregates the weighted IPC and power into the final
+/// [`WorkloadResult`]. `outcomes` must be in `set.points` order — the
+/// order is part of the result's contract, so sequential and parallel
+/// campaigns produce identical reports.
+pub(crate) fn assemble_workload_result(
+    config_name: &str,
+    workload: &Workload,
+    set: &CheckpointSet,
+    outcomes: Vec<PointOutcome>,
+) -> Result<WorkloadResult, FlowError> {
     let mut points: Vec<PointResult> = Vec::with_capacity(outcomes.len());
     let mut failed: Vec<PointFailure> = Vec::new();
     let mut retries: u32 = 0;
@@ -314,7 +364,7 @@ pub fn run_simpoint_flow(
 
     // Quarantine: drop the failed points and re-normalize the survivors'
     // weights so the weighted averages below stay well-formed.
-    let mut coverage = analysis.selected_coverage();
+    let mut coverage = set.analysis.selected_coverage();
     let degradation = if failed.is_empty() && retries == 0 {
         None
     } else {
@@ -322,9 +372,9 @@ pub fn run_simpoint_flow(
         let Some(renorm) = renormalized(&weights) else {
             // Nothing survived: escalate the first failure.
             let Some(first) = failed.into_iter().next() else {
-                // Unreachable in practice (no points selected at all), but
-                // degrade honestly rather than panic.
-                return Err(FlowError::NoExit);
+                // Retries without failures or survivors means the plan had
+                // no points at all; degrade honestly rather than panic.
+                return Err(FlowError::NoPointsSelected);
             };
             return Err(first.into_flow_error());
         };
@@ -336,6 +386,10 @@ pub fn run_simpoint_flow(
         coverage *= surviving / (surviving + lost_weight);
         Some(Degradation { failed, lost_weight, retries })
     };
+    if points.is_empty() && degradation.is_none() {
+        // Nothing was planned: the analysis selected no points.
+        return Err(FlowError::NoPointsSelected);
+    }
 
     // Weighted aggregation.
     let ipc = points.iter().map(|p| p.weight * p.ipc).sum();
@@ -344,26 +398,16 @@ pub fn run_simpoint_flow(
 
     Ok(WorkloadResult {
         name: workload.name,
-        config: cfg.name.clone(),
+        config: config_name.to_string(),
         ipc,
         power,
         points,
-        total_insts: bbv.total_insts,
+        total_insts: set.profile.total_insts,
         interval_size: workload.interval_size,
         coverage,
-        speedup: analysis.speedup(),
+        speedup: set.analysis.speedup(),
         degradation,
     })
-}
-
-/// Everything one point's worker needs besides the checkpoint.
-#[derive(Clone, Copy, Debug)]
-struct PointTask {
-    sel_idx: usize,
-    warmup: u64,
-    interval_len: u64,
-    interval: usize,
-    weight: f64,
 }
 
 /// Runs one point under supervision: panics caught, budget enforced,
@@ -372,8 +416,7 @@ struct PointTask {
 /// quarantine record.
 fn run_point_supervised(
     cfg: &BoomConfig,
-    ck: &Checkpoint,
-    task: &PointTask,
+    task: &PlannedPoint,
     retry: &RetryPolicy,
     inject: &FaultInjection,
 ) -> Result<(PointResult, u32), PointFailure> {
@@ -383,7 +426,7 @@ fn run_point_supervised(
     let mut last: Option<FailureKind> = None;
     for attempt in 1..=max_attempts {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            simulate_point(cfg, ck, warmup, task, cycle_budget, retry.wall_clock, inject)
+            simulate_point(cfg, warmup, task, cycle_budget, retry.wall_clock, inject)
         }));
         match result {
             Ok(Ok(p)) => return Ok((p, attempt)),
@@ -464,18 +507,17 @@ fn run_budgeted(core: &mut Core, insts: u64, budget: &mut Budget) -> Result<(), 
     Ok(())
 }
 
-/// Restores a checkpoint into the detailed core, warms it up, measures one
-/// interval, and estimates power.
+/// Restores the point's (shared) checkpoint into the detailed core, warms
+/// it up, measures one interval, and estimates power.
 fn simulate_point(
     cfg: &BoomConfig,
-    ck: &Checkpoint,
     warmup: u64,
-    task: &PointTask,
+    task: &PlannedPoint,
     cycle_budget: Option<u64>,
     wall_budget: Option<Duration>,
     inject: &FaultInjection,
 ) -> Result<PointResult, FailureKind> {
-    let mut core = Core::from_checkpoint(cfg.clone(), ck);
+    let mut core = Core::from_checkpoint(cfg.clone(), &task.checkpoint);
     if inject.hangs(task.sel_idx) {
         core.inject_commit_stall();
     }

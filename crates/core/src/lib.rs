@@ -24,6 +24,15 @@
 //! contributions (Fig. 9), IPC (Fig. 10), performance-per-watt (Fig. 11),
 //! and the SimPoint speedup (§IV-A).
 //!
+//! The flow is staged: stages 1–3 depend only on the workload and the
+//! [`FlowConfig`], not on the BOOM configuration, so an [`ArtifactStore`]
+//! memoizes them per workload and a multi-configuration campaign
+//! ([`supervise_matrix`], `boomflow --config all`) profiles, clusters,
+//! and checkpoints each workload exactly once. Detailed simulation is
+//! scheduled point-by-point across the whole configuration × workload
+//! matrix on a bounded work-stealing pool (`--jobs N`,
+//! [`CampaignOptions`]).
+//!
 //! ```no_run
 //! use boomflow::{run_simpoint_flow, FlowConfig};
 //! use boom_uarch::BoomConfig;
@@ -37,12 +46,19 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod artifacts;
 pub mod flow;
 pub mod report;
+pub mod scheduler;
 pub mod supervisor;
 
-pub use flow::{run_full, run_simpoint_flow, FlowConfig, FlowError, FullRunResult, WorkloadResult};
+pub use artifacts::{ArtifactStore, CacheStats, CheckpointSet, PlannedPoint};
+pub use flow::{
+    run_full, run_simpoint_flow, run_simpoint_flow_with_store, FlowConfig, FlowError,
+    FullRunResult, WorkloadResult,
+};
+pub use scheduler::{default_jobs, CampaignOptions};
 pub use supervisor::{
-    supervise_matrix, CampaignReport, CellFailure, CellResult, Degradation, FailureKind,
-    FaultInjection, PointFailure, RetryPolicy,
+    supervise_campaign, supervise_matrix, supervise_matrix_with, CampaignReport, CampaignStats,
+    CellFailure, CellResult, Degradation, FailureKind, FaultInjection, PointFailure, RetryPolicy,
 };

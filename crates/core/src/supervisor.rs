@@ -22,14 +22,19 @@
 //! * [`supervise_matrix`] — the campaign driver: every (configuration,
 //!   workload) cell is isolated behind `catch_unwind`, failures are
 //!   collected into a structured [`CampaignReport`], and the caller decides
-//!   the process exit code from [`CampaignReport::all_ok`].
+//!   the process exit code from [`CampaignReport::all_ok`]. Cells share
+//!   the configuration-independent stage artifacts through an
+//!   [`ArtifactStore`] and their simulation points are drained by the
+//!   bounded work-stealing pool in [`crate::scheduler`]
+//!   ([`CampaignOptions::jobs`]).
 
-use crate::flow::{run_simpoint_flow, FlowConfig, FlowError, WorkloadResult};
+use crate::artifacts::{ArtifactStore, CacheStats};
+use crate::flow::{FlowConfig, FlowError, WorkloadResult};
 use crate::report::render_table;
+use crate::scheduler::{run_campaign, CampaignOptions};
 use boom_uarch::{BoomConfig, WatchdogSnapshot};
 use rv_workloads::Workload;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// Retry and budget policy for one simulation point's detailed simulation.
@@ -254,12 +259,29 @@ impl fmt::Display for CellFailure {
     }
 }
 
+/// Per-stage accounting of one campaign: how many worker threads it ran
+/// with, how long it took end to end, and the artifact store's per-stage
+/// compute/hit counters and wall-clock totals — the observable form of
+/// the reuse win (a 3-configuration campaign shows one profile / cluster
+/// / checkpoint computation per workload and two cache hits each).
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignStats {
+    /// Worker threads the point pool ran with.
+    pub jobs: usize,
+    /// End-to-end campaign wall-clock, in ms.
+    pub wall_ms: f64,
+    /// Stage compute/hit counters and per-stage wall-clock totals.
+    pub cache: CacheStats,
+}
+
 /// Aggregate of a supervised campaign over a configuration × workload
 /// matrix.
 #[derive(Debug)]
 pub struct CampaignReport {
     /// One entry per cell, in (configuration-major) run order.
     pub cells: Vec<CellResult>,
+    /// Scheduler and artifact-reuse accounting for this campaign.
+    pub stats: CampaignStats,
 }
 
 impl CampaignReport {
@@ -327,34 +349,86 @@ impl CampaignReport {
         }
         Some(out)
     }
+
+    /// Renders the per-stage wall-clock / cache accounting the CLI prints
+    /// after a campaign — the observable form of the artifact-reuse win.
+    pub fn stage_summary(&self) -> String {
+        let s = &self.stats;
+        let c = &s.cache;
+        let header: Vec<String> =
+            ["Stage", "Computed", "Cache hits", "Wall ms"].iter().map(|h| h.to_string()).collect();
+        let row = |stage: &str, computed: u64, hits: u64, ms: f64| {
+            vec![stage.to_string(), computed.to_string(), hits.to_string(), format!("{ms:.1}")]
+        };
+        let mut rows = vec![
+            row("Profile", c.profile_computed, c.profile_hits, c.profile_ms),
+            row("Clustering", c.cluster_computed, c.cluster_hits, c.cluster_ms),
+            row("Checkpoints", c.checkpoint_computed, c.checkpoint_hits, c.checkpoint_ms),
+            vec![
+                "Detailed sim".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{:.1}", c.detailed_ms),
+            ],
+        ];
+        if c.full_run_computed + c.full_run_hits > 0 {
+            rows.push(row("Full-run base", c.full_run_computed, c.full_run_hits, c.full_run_ms));
+        }
+        format!(
+            "Campaign: {} cell(s), {} job(s), {:.0} ms wall\n{}",
+            self.cells.len(),
+            s.jobs,
+            s.wall_ms,
+            render_table(&header, &rows)
+        )
+    }
 }
 
-/// Runs the supervised campaign over every (configuration, workload) cell.
+/// Runs the supervised campaign over every (configuration, workload) cell
+/// with the default scheduler options (one worker per available core).
 ///
 /// Each cell is isolated behind `catch_unwind`: a panic anywhere in one
 /// cell's flow — profiling, clustering, checkpointing, or a detailed-
 /// simulation worker that escaped per-point isolation — is recorded as
 /// that cell's [`CellFailure`] and the remaining cells still run. Within a
-/// cell, per-point failures are already retried and quarantined by
-/// [`run_simpoint_flow`], so a cell fails only when profiling fails or
-/// every point of the workload fails after retries.
+/// cell, per-point failures are already retried and quarantined by the
+/// point supervisor, so a cell fails only when profiling fails or every
+/// point of the workload fails after retries.
+///
+/// The configuration-independent stages (profile, analysis, checkpoints)
+/// are computed exactly once per workload and shared across every
+/// configuration through a campaign-private [`ArtifactStore`]; use
+/// [`supervise_campaign`] to supply the store (and scheduler options)
+/// yourself.
 pub fn supervise_matrix(
     cfgs: &[BoomConfig],
     workloads: &[Workload],
     flow: &FlowConfig,
 ) -> CampaignReport {
-    let mut cells = Vec::with_capacity(cfgs.len() * workloads.len());
-    for cfg in cfgs {
-        for w in workloads {
-            let outcome = match catch_unwind(AssertUnwindSafe(|| run_simpoint_flow(cfg, w, flow))) {
-                Ok(Ok(r)) => Ok(Box::new(r)),
-                Ok(Err(e)) => Err(CellFailure::Flow(e)),
-                Err(payload) => Err(CellFailure::Panicked(panic_message(payload.as_ref()))),
-            };
-            cells.push(CellResult { config: cfg.name.clone(), workload: w.name, outcome });
-        }
-    }
-    CampaignReport { cells }
+    supervise_matrix_with(cfgs, workloads, flow, &CampaignOptions::default())
+}
+
+/// [`supervise_matrix`] with explicit scheduler options (`--jobs`).
+pub fn supervise_matrix_with(
+    cfgs: &[BoomConfig],
+    workloads: &[Workload],
+    flow: &FlowConfig,
+    opts: &CampaignOptions,
+) -> CampaignReport {
+    supervise_campaign(cfgs, workloads, flow, &ArtifactStore::new(), opts)
+}
+
+/// [`supervise_matrix`] against a caller-owned [`ArtifactStore`]: reuse
+/// the store across campaigns (e.g. ablation sweeps over the same
+/// workloads) to share the front half of the flow between them too.
+pub fn supervise_campaign(
+    cfgs: &[BoomConfig],
+    workloads: &[Workload],
+    flow: &FlowConfig,
+    store: &ArtifactStore,
+    opts: &CampaignOptions,
+) -> CampaignReport {
+    run_campaign(cfgs, workloads, flow, store, opts)
 }
 
 /// Extracts a human-readable message from a panic payload.

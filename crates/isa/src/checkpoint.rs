@@ -9,6 +9,15 @@
 use crate::cpu::{Cpu, SimError};
 use crate::mem::Memory;
 use crate::program::Program;
+use std::sync::Arc;
+
+/// A checkpoint shared across consumers without cloning its memory image.
+///
+/// Checkpoints are configuration-independent: the same architectural
+/// snapshot seeds the detailed model for *every* microarchitectural
+/// configuration, so campaign drivers hold them behind `Arc` and hand the
+/// same allocation to many worker threads.
+pub type SharedCheckpoint = Arc<Checkpoint>;
 
 /// A complete architectural snapshot at an instruction boundary.
 #[derive(Clone, Debug)]
@@ -74,6 +83,24 @@ pub fn checkpoints_at(program: &Program, points: &[u64]) -> Result<Vec<Checkpoin
         out.push(Checkpoint::capture(&cpu));
     }
     Ok(out)
+}
+
+/// [`checkpoints_at`], but each checkpoint is returned behind an [`Arc`]
+/// so campaign drivers can share one capture pass across every
+/// configuration and worker thread without cloning memory images.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`checkpoints_at`].
+///
+/// # Panics
+///
+/// Panics if `points` is not sorted ascending.
+pub fn checkpoints_at_shared(
+    program: &Program,
+    points: &[u64],
+) -> Result<Vec<SharedCheckpoint>, SimError> {
+    Ok(checkpoints_at(program, points)?.into_iter().map(Arc::new).collect())
 }
 
 #[cfg(test)]

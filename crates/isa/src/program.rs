@@ -57,6 +57,25 @@ impl Program {
         self.symbols.get(name).copied()
     }
 
+    /// Stable content fingerprint (FNV-1a over the image and load
+    /// geometry), used as a cache key by artifact stores: two programs
+    /// with the same fingerprint execute identically, so profiling and
+    /// checkpoint artifacts derived from one are valid for the other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.base.to_le_bytes());
+        eat(&(self.text_len as u64).to_le_bytes());
+        eat(&self.stack_top.to_le_bytes());
+        eat(&self.image);
+        h
+    }
+
     /// Copies the image into `mem` at its base address.
     pub fn load(&self, mem: &mut Memory) {
         mem.write_bytes(self.base, &self.image);

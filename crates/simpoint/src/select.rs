@@ -40,6 +40,32 @@ impl Default for SimPointConfig {
     }
 }
 
+impl SimPointConfig {
+    /// Stable fingerprint over every field that influences the analysis
+    /// result (FNV-1a; floats hashed by bit pattern). Two configs with the
+    /// same fingerprint produce identical [`SimPointAnalysis`] artifacts
+    /// for the same profile, so memoizing stores use this as a cache key.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let words = [
+            self.max_k as u64,
+            self.projected_dim as u64,
+            self.bic_threshold.to_bits(),
+            self.restarts as u64,
+            self.max_iters as u64,
+            self.seed,
+            self.coverage.to_bits(),
+        ];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
 /// One chosen simulation point.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimPoint {

@@ -1,0 +1,207 @@
+//! Staged-pipeline and campaign-scheduler tests: artifact reuse across
+//! configurations, compute-exactly-once under concurrency, and the
+//! determinism contract between sequential and parallel campaigns.
+
+// Test helpers unwrap freely: a failed unwrap is exactly a test failure.
+#![allow(clippy::unwrap_used)]
+
+use boom_uarch::BoomConfig;
+use boomflow::{
+    run_simpoint_flow, run_simpoint_flow_with_store, supervise_campaign, supervise_matrix_with,
+    ArtifactStore, CampaignOptions, CampaignReport, FlowConfig, WorkloadResult,
+};
+use rtl_power::Component;
+use rv_workloads::{by_name, Scale, Workload};
+use simpoint::SimPointConfig;
+use std::sync::Arc;
+
+fn quick_flow() -> FlowConfig {
+    FlowConfig {
+        simpoint: SimPointConfig { max_k: 6, restarts: 2, ..SimPointConfig::default() },
+        warmup_insts: 1_000,
+        max_profile_insts: 500_000_000,
+        ..FlowConfig::default()
+    }
+}
+
+fn test_workloads() -> Vec<Workload> {
+    vec![by_name("bitcount", Scale::Test).unwrap(), by_name("dijkstra", Scale::Test).unwrap()]
+}
+
+/// Exact (bit-level) equality of everything a `WorkloadResult` reports.
+/// The flow is deterministic, so caching and scheduling must not perturb
+/// a single bit of the output.
+fn assert_results_identical(a: &WorkloadResult, b: &WorkloadResult, what: &str) {
+    assert_eq!(a.name, b.name, "{what}: workload name");
+    assert_eq!(a.config, b.config, "{what}: config name");
+    assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{what}: ipc {} vs {}", a.ipc, b.ipc);
+    assert_eq!(a.total_insts, b.total_insts, "{what}: total_insts");
+    assert_eq!(a.interval_size, b.interval_size, "{what}: interval_size");
+    assert_eq!(a.coverage.to_bits(), b.coverage.to_bits(), "{what}: coverage");
+    assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{what}: speedup");
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
+    for (i, (pa, pb)) in a.points.iter().zip(&b.points).enumerate() {
+        assert_eq!(pa.interval, pb.interval, "{what}: point {i} interval");
+        assert_eq!(pa.weight.to_bits(), pb.weight.to_bits(), "{what}: point {i} weight");
+        assert_eq!(pa.ipc.to_bits(), pb.ipc.to_bits(), "{what}: point {i} ipc");
+    }
+    for c in Component::ALL {
+        assert_eq!(
+            a.power.component(c).total_mw().to_bits(),
+            b.power.component(c).total_mw().to_bits(),
+            "{what}: {} power",
+            c.name()
+        );
+    }
+    assert_eq!(a.degradation.is_some(), b.degradation.is_some(), "{what}: degradation presence");
+    if let (Some(da), Some(db)) = (&a.degradation, &b.degradation) {
+        assert_eq!(da.failed.len(), db.failed.len(), "{what}: failed count");
+        assert_eq!(da.retries, db.retries, "{what}: retries");
+        assert_eq!(da.lost_weight.to_bits(), db.lost_weight.to_bits(), "{what}: lost weight");
+    }
+}
+
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.cells.len(), b.cells.len(), "cell count");
+    for (i, (ca, cb)) in a.cells.iter().zip(&b.cells).enumerate() {
+        assert_eq!(ca.config, cb.config, "cell {i} config order");
+        assert_eq!(ca.workload, cb.workload, "cell {i} workload order");
+        match (&ca.outcome, &cb.outcome) {
+            (Ok(ra), Ok(rb)) => assert_results_identical(ra, rb, &format!("cell {i}")),
+            (Err(ea), Err(eb)) => {
+                assert_eq!(ea.to_string(), eb.to_string(), "cell {i} error")
+            }
+            _ => panic!("cell {i}: one run succeeded and the other failed"),
+        }
+    }
+}
+
+/// Satellite: a run through a warm store must be bit-identical to a cold
+/// (uncached) run — memoization changes cost, never content.
+#[test]
+fn cached_and_uncached_flows_are_identical() {
+    let w = by_name("bitcount", Scale::Test).unwrap();
+    let cfg = BoomConfig::medium();
+    let flow = quick_flow();
+
+    let uncached = run_simpoint_flow(&cfg, &w, &flow).unwrap();
+    let store = ArtifactStore::new();
+    let cold = run_simpoint_flow_with_store(&cfg, &w, &flow, &store).unwrap();
+    let warm = run_simpoint_flow_with_store(&cfg, &w, &flow, &store).unwrap();
+
+    assert_results_identical(&uncached, &cold, "uncached vs cold");
+    assert_results_identical(&cold, &warm, "cold vs warm");
+    let s = store.stats();
+    assert_eq!(s.profile_computed, 1, "warm run must reuse the profile");
+    assert_eq!(s.checkpoint_computed, 1, "warm run must reuse the checkpoints");
+    assert!(s.checkpoint_hits >= 1);
+}
+
+/// Satellite: concurrent cells racing on the same artifact key block on
+/// one computation and share its result.
+#[test]
+fn concurrent_cells_compute_artifacts_exactly_once() {
+    let store = ArtifactStore::new();
+    let w = by_name("bitcount", Scale::Test).unwrap();
+    let flow = quick_flow();
+    let sets: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            (0..8).map(|_| s.spawn(|| store.checkpoints(&w, &flow).unwrap())).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for set in &sets[1..] {
+        assert!(Arc::ptr_eq(&sets[0], set), "all callers must share one artifact");
+    }
+    let s = store.stats();
+    assert_eq!(s.profile_computed, 1);
+    assert_eq!(s.cluster_computed, 1);
+    assert_eq!(s.checkpoint_computed, 1);
+    assert_eq!(s.checkpoint_hits, 7);
+}
+
+/// Acceptance: a 3-configuration campaign performs profiling, clustering,
+/// and checkpointing exactly once per workload.
+#[test]
+fn three_config_campaign_computes_front_half_once_per_workload() {
+    let cfgs = BoomConfig::all_three();
+    let workloads = test_workloads();
+    let store = ArtifactStore::new();
+    let report =
+        supervise_campaign(&cfgs, &workloads, &quick_flow(), &store, &CampaignOptions { jobs: 2 });
+    assert!(report.all_ok(), "{:?}", report.failure_log());
+    assert_eq!(report.cells.len(), cfgs.len() * workloads.len());
+
+    let s = store.stats();
+    let n = workloads.len() as u64;
+    assert_eq!(s.profile_computed, n, "one profiling pass per workload");
+    assert_eq!(s.cluster_computed, n, "one phase analysis per workload");
+    assert_eq!(s.checkpoint_computed, n, "one checkpoint capture per workload");
+    assert_eq!(report.stats.cache, s, "report must carry the store's stats");
+    assert_eq!(report.stats.jobs, 2);
+    assert!(report.stats.cache.detailed_ms > 0.0, "detailed sim time must be recorded");
+    assert!(!report.stage_summary().is_empty());
+}
+
+/// Acceptance: a parallel campaign's report is identical in content and
+/// ordering to the sequential one — for clean runs and for runs that
+/// degrade under fault injection.
+#[test]
+fn parallel_campaign_report_matches_sequential() {
+    let cfgs = BoomConfig::all_three();
+    let workloads = test_workloads();
+    let flow = quick_flow();
+    let sequential = supervise_matrix_with(&cfgs, &workloads, &flow, &CampaignOptions { jobs: 1 });
+    let parallel = supervise_matrix_with(&cfgs, &workloads, &flow, &CampaignOptions { jobs: 4 });
+    assert!(sequential.all_ok());
+    assert_reports_identical(&sequential, &parallel);
+
+    // Configuration-major order: workloads iterate fastest.
+    let mut expect = Vec::new();
+    for cfg in &cfgs {
+        for w in &workloads {
+            expect.push((cfg.name.clone(), w.name));
+        }
+    }
+    let got: Vec<_> = sequential.cells.iter().map(|c| (c.config.clone(), c.workload)).collect();
+    assert_eq!(got, expect, "cells must stay in configuration-major order");
+}
+
+/// A broken workload fails its whole column — once per workload, not once
+/// per cell — while every other cell still runs, under any job count.
+#[test]
+fn parallel_campaign_isolates_failing_workload_column() {
+    use rv_isa::asm::Assembler;
+    use rv_isa::reg::Reg::*;
+    let mut a = Assembler::new();
+    a.li(A0, 7);
+    a.exit();
+    let broken = Workload {
+        name: "broken",
+        suite: rv_workloads::Suite::MiBench,
+        program: a.assemble().unwrap(),
+        interval_size: 100,
+    };
+    let healthy = by_name("bitcount", Scale::Test).unwrap();
+    let cfgs = BoomConfig::all_three();
+    let store = ArtifactStore::new();
+    let report = supervise_campaign(
+        &cfgs,
+        &[broken, healthy],
+        &quick_flow(),
+        &store,
+        &CampaignOptions { jobs: 3 },
+    );
+    assert_eq!(report.cells.len(), 6);
+    assert_eq!(report.failed().count(), 3, "the broken workload fails in every configuration");
+    for cell in &report.cells {
+        match cell.workload {
+            "broken" => {
+                let err = cell.outcome.as_ref().unwrap_err().to_string();
+                assert!(err.contains("self-verification"), "{err}");
+            }
+            _ => assert!(cell.outcome.is_ok(), "healthy cells must survive"),
+        }
+    }
+    // The failing profile ran once and its error replayed to all cells.
+    assert_eq!(store.stats().profile_computed, 2, "one pass each for broken and healthy");
+}

@@ -1,0 +1,122 @@
+//! Simulator throughput: functional-sim MIPS (plain and profiling) and
+//! detailed-sim cycles/sec, per workload.
+//!
+//! Unlike the figure benches, this bench tracks the *simulator's own*
+//! speed — the quantity the predecoded-image and flat-memory fast paths
+//! optimize. It writes `BENCH_throughput.json` at the workspace root so
+//! the perf trajectory is comparable across PRs, and CI uploads the file
+//! as an artifact from the perf-smoke job.
+
+use boom_uarch::{BoomConfig, Core};
+use boomflow_bench::banner;
+use rv_isa::bbv::BbvCollector;
+use rv_isa::cpu::Cpu;
+use rv_workloads::{by_name, Scale, Workload};
+use std::time::{Duration, Instant};
+
+/// Workloads timed by the bench (one integer-heavy, one memory-heavy).
+const WORKLOADS: [&str; 2] = ["bitcount", "dijkstra"];
+
+/// Minimum wall-clock per measurement; repetitions accumulate until the
+/// budget is met so short workloads still give stable rates.
+const MIN_WALL: Duration = Duration::from_millis(300);
+
+/// Accumulates (work units, seconds) over repetitions of `run` until
+/// [`MIN_WALL`] is spent, then returns units/second.
+fn rate(mut run: impl FnMut() -> u64) -> f64 {
+    // One untimed warm-up repetition (page faults, caches).
+    run();
+    let mut units = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < MIN_WALL {
+        units += run();
+    }
+    units as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct Row {
+    workload: &'static str,
+    /// Functional simulation, no hooks (the full-run stage).
+    functional_mips: f64,
+    /// Functional simulation feeding the BBV collector (the profiling
+    /// stage).
+    profiling_mips: f64,
+    /// Detailed (cycle-level) simulation on MediumBOOM.
+    detailed_kcps: f64,
+    /// Detailed-simulation instruction throughput, for reference.
+    detailed_kips: f64,
+}
+
+fn measure(w: &Workload) -> Row {
+    let functional = rate(|| {
+        let mut cpu = Cpu::new(&w.program);
+        cpu.run(u64::MAX).expect("functional run");
+        cpu.instret()
+    });
+    let profiling = rate(|| {
+        let mut cpu = Cpu::new(&w.program);
+        let mut c = BbvCollector::for_program(w.interval_size, &w.program);
+        cpu.run_with(u64::MAX, |r| c.observe(r)).expect("profiling run");
+        let profile = c.finish();
+        profile.total_insts
+    });
+    let cfg = BoomConfig::medium();
+    let cycles = rate(|| {
+        let mut core = Core::new(cfg.clone(), &w.program);
+        let r = core.run(u64::MAX);
+        assert!(r.exited, "detailed run must exit");
+        r.cycles
+    });
+    let detailed_kips = {
+        let mut core = Core::new(cfg.clone(), &w.program);
+        let t0 = Instant::now();
+        let r = core.run(u64::MAX);
+        r.retired as f64 / t0.elapsed().as_secs_f64() / 1e3
+    };
+    Row {
+        workload: w.name,
+        functional_mips: functional / 1e6,
+        profiling_mips: profiling / 1e6,
+        detailed_kcps: cycles / 1e3,
+        detailed_kips,
+    }
+}
+
+fn main() {
+    banner("Simulator throughput (functional MIPS, profiling MIPS, detailed kcycles/s)");
+    let rows: Vec<Row> = WORKLOADS
+        .iter()
+        .map(|name| measure(&by_name(name, Scale::Small).expect("known workload")))
+        .collect();
+
+    println!(
+        "{:<14} {:>16} {:>15} {:>17} {:>15}",
+        "Workload", "Functional MIPS", "Profiling MIPS", "Detailed kcyc/s", "Detailed kips"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>16.1} {:>15.1} {:>17.0} {:>15.0}",
+            r.workload, r.functional_mips, r.profiling_mips, r.detailed_kcps, r.detailed_kips
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"functional_mips\": {:.2}, \
+                 \"profiling_mips\": {:.2}, \"detailed_kcycles_per_sec\": {:.1}, \
+                 \"detailed_kinsts_per_sec\": {:.1}}}",
+                r.workload, r.functional_mips, r.profiling_mips, r.detailed_kcps, r.detailed_kips
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": \"small\",\n  \"detailed_config\": \"MediumBOOM\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("\nWrote {path}");
+}

@@ -228,7 +228,7 @@ impl WorkloadResult {
 /// Fails if the program faults, never exits, or fails self-verification.
 pub fn profile(workload: &Workload, max_insts: u64) -> Result<BbvProfile, FlowError> {
     let mut cpu = Cpu::new(&workload.program);
-    let mut collector = BbvCollector::new(workload.interval_size);
+    let mut collector = BbvCollector::for_program(workload.interval_size, &workload.program);
     let stop = cpu.run_with(max_insts, |r| collector.observe(r))?;
     match stop {
         StopReason::Exited(0) => Ok(collector.finish()),

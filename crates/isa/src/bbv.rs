@@ -8,10 +8,11 @@
 //! `simpoint` crate clusters these vectors to find program phases.
 
 use crate::cpu::Retired;
+use crate::program::Program;
 use std::collections::HashMap;
 
 /// One profiling interval: a sparse basic-block weight vector.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Interval {
     /// Sparse `(block_id, dynamic_instruction_weight)` pairs, id-sorted.
     pub weights: Vec<(usize, u64)>,
@@ -20,7 +21,7 @@ pub struct Interval {
 }
 
 /// A complete BBV profile of one program execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BbvProfile {
     /// Per-interval sparse vectors, in execution order.
     pub intervals: Vec<Interval>,
@@ -34,18 +35,51 @@ pub struct BbvProfile {
 
 impl BbvProfile {
     /// Instruction index (into the dynamic stream) where `interval` begins.
+    ///
+    /// O(interval) per call; when mapping many intervals, use
+    /// [`BbvProfile::interval_starts`] once instead.
     pub fn interval_start(&self, interval: usize) -> u64 {
         self.intervals[..interval].iter().map(|iv| iv.len).sum()
+    }
+
+    /// Instruction index where each interval begins — one prefix-sum pass
+    /// over the interval lengths, so mapping every selected SimPoint back
+    /// to its dynamic position is linear instead of quadratic.
+    pub fn interval_starts(&self) -> Vec<u64> {
+        let mut starts = Vec::with_capacity(self.intervals.len());
+        let mut acc = 0u64;
+        for iv in &self.intervals {
+            starts.push(acc);
+            acc += iv.len;
+        }
+        starts
     }
 }
 
 /// Streaming BBV collector; feed every [`Retired`] instruction to
 /// [`BbvCollector::observe`], then call [`BbvCollector::finish`].
+///
+/// Block ids are assigned in first-seen order of each block's *ending*
+/// pc (unique per static block: a block has exactly one terminating
+/// instruction), so the resulting [`BbvProfile`] is identical whether
+/// the id table is the dense text-indexed one installed by
+/// [`BbvCollector::for_program`] or the pure-HashMap fallback of
+/// [`BbvCollector::new`].
 #[derive(Debug)]
 pub struct BbvCollector {
     interval_size: u64,
-    block_ids: HashMap<u64, usize>,
-    current: HashMap<usize, u64>,
+    /// Base address of the dense id table (the program's text base).
+    base: u64,
+    /// Dense block-id table indexed by text word, `u32::MAX` = unassigned.
+    text_ids: Vec<u32>,
+    /// Fallback ids for block-ending pcs outside the table (and the
+    /// synthetic truncated-block key, `u64::MAX`).
+    extra_ids: HashMap<u64, u32>,
+    next_id: u32,
+    /// Current interval's running weight per block id.
+    counts: Vec<u64>,
+    /// Ids with a nonzero count this interval.
+    touched: Vec<u32>,
     intervals: Vec<Interval>,
     block_len: u64,
     interval_len: u64,
@@ -54,7 +88,8 @@ pub struct BbvCollector {
 impl BbvCollector {
     /// Creates a collector with the given interval size (dynamic
     /// instructions per interval; the paper uses 1M–2M, scaled workloads
-    /// here typically use 10k–100k).
+    /// here typically use 10k–100k). Block ids resolve through a HashMap;
+    /// prefer [`BbvCollector::for_program`] on hot paths.
     ///
     /// # Panics
     ///
@@ -63,12 +98,67 @@ impl BbvCollector {
         assert!(interval_size > 0, "interval size must be positive");
         BbvCollector {
             interval_size,
-            block_ids: HashMap::new(),
-            current: HashMap::new(),
+            base: 0,
+            text_ids: Vec::new(),
+            extra_ids: HashMap::new(),
+            next_id: 0,
+            counts: Vec::new(),
+            touched: Vec::new(),
             intervals: Vec::new(),
             block_len: 0,
             interval_len: 0,
         }
+    }
+
+    /// Creates a collector whose block-id table is a dense vector indexed
+    /// by `program` text word, so the per-block bookkeeping on the hot
+    /// retirement path is two vector indexes instead of two HashMap ops.
+    /// Produces a profile identical to [`BbvCollector::new`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_size` is zero.
+    pub fn for_program(interval_size: u64, program: &Program) -> BbvCollector {
+        let mut c = BbvCollector::new(interval_size);
+        c.base = program.base();
+        c.text_ids = vec![u32::MAX; program.inst_count()];
+        c
+    }
+
+    /// Id of the block ending at `pc`, assigned in first-seen order.
+    #[inline]
+    fn block_id(&mut self, pc: u64) -> u32 {
+        let off = pc.wrapping_sub(self.base);
+        if off & 3 == 0 {
+            if let Some(slot) = self.text_ids.get_mut((off >> 2) as usize) {
+                if *slot == u32::MAX {
+                    *slot = self.next_id;
+                    self.next_id += 1;
+                }
+                return *slot;
+            }
+        }
+        if let Some(&id) = self.extra_ids.get(&pc) {
+            id
+        } else {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.extra_ids.insert(pc, id);
+            id
+        }
+    }
+
+    /// Adds `weight` to block `id` in the current interval.
+    #[inline]
+    fn bump(&mut self, id: u32, weight: u64) {
+        let idx = id as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if self.counts[idx] == 0 {
+            self.touched.push(id);
+        }
+        self.counts[idx] += weight;
     }
 
     /// Records one retired instruction.
@@ -77,11 +167,9 @@ impl BbvCollector {
         self.block_len += 1;
         self.interval_len += 1;
         if r.ends_basic_block() {
-            // Identify the block by its *ending* pc: unique per static block
-            // because a block has exactly one terminating instruction.
-            let next_id = self.block_ids.len();
-            let id = *self.block_ids.entry(r.pc).or_insert(next_id);
-            *self.current.entry(id).or_insert(0) += self.block_len;
+            let id = self.block_id(r.pc);
+            let weight = self.block_len;
+            self.bump(id, weight);
             self.block_len = 0;
             if self.interval_len >= self.interval_size {
                 self.flush_interval();
@@ -90,28 +178,34 @@ impl BbvCollector {
     }
 
     fn flush_interval(&mut self) {
-        let mut weights: Vec<(usize, u64)> = self.current.drain().collect();
-        weights.sort_unstable_by_key(|&(id, _)| id);
+        self.touched.sort_unstable();
+        let mut weights = Vec::with_capacity(self.touched.len());
+        for &id in &self.touched {
+            let idx = id as usize;
+            weights.push((idx, std::mem::take(&mut self.counts[idx])));
+        }
+        self.touched.clear();
         self.intervals.push(Interval { weights, len: self.interval_len });
         self.interval_len = 0;
     }
 
     /// Finalizes the profile, flushing any partial last interval.
     pub fn finish(mut self) -> BbvProfile {
-        // Attribute a trailing partial block to a synthetic block id keyed
-        // by block start (rare: only when the run was truncated mid-block).
+        // Attribute a trailing partial block to a synthetic block id (rare:
+        // only when the run was truncated mid-block). `u64::MAX` can never
+        // collide with a real ending pc nor alias into the dense table.
         if self.block_len > 0 {
-            let next_id = self.block_ids.len();
-            let id = *self.block_ids.entry(u64::MAX).or_insert(next_id);
-            *self.current.entry(id).or_insert(0) += self.block_len;
+            let id = self.block_id(u64::MAX);
+            let weight = self.block_len;
+            self.bump(id, weight);
         }
-        if !self.current.is_empty() || self.interval_len > 0 {
+        if !self.touched.is_empty() || self.interval_len > 0 {
             self.flush_interval();
         }
         let total_insts = self.intervals.iter().map(|iv| iv.len).sum();
         BbvProfile {
             intervals: self.intervals,
-            dim: self.block_ids.len(),
+            dim: self.next_id as usize,
             interval_size: self.interval_size,
             total_insts,
         }
@@ -202,6 +296,45 @@ mod tests {
         // only attributed at their ends) and < size + max block length.
         for iv in &prof.intervals[..prof.intervals.len() - 1] {
             assert!(iv.len >= 128 && iv.len < 160, "interval len {}", iv.len);
+        }
+    }
+
+    #[test]
+    fn dense_and_fallback_collectors_agree() {
+        let mut a = Assembler::new();
+        a.li(T0, 400);
+        a.label("l");
+        a.addi(A0, A0, 3);
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "l");
+        a.exit();
+        let p = a.assemble().unwrap();
+        let run = |mut c: BbvCollector| {
+            let mut cpu = Cpu::new(&p);
+            cpu.run_with(100_000_000, |r| c.observe(r)).unwrap();
+            c.finish()
+        };
+        let dense = run(BbvCollector::for_program(100, &p));
+        let fallback = run(BbvCollector::new(100));
+        assert_eq!(dense, fallback);
+    }
+
+    #[test]
+    fn interval_starts_are_prefix_sums() {
+        let prof = profile_of(
+            |a| {
+                a.li(T0, 1000);
+                a.label("l");
+                a.addi(T0, T0, -1);
+                a.bnez(T0, "l");
+                a.exit();
+            },
+            128,
+        );
+        let starts = prof.interval_starts();
+        assert_eq!(starts.len(), prof.intervals.len());
+        for (i, &s) in starts.iter().enumerate() {
+            assert_eq!(s, prof.interval_start(i));
         }
     }
 

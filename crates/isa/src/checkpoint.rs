@@ -7,6 +7,7 @@
 //! cycle-level out-of-order model in `boom-uarch`.
 
 use crate::cpu::{Cpu, SimError};
+use crate::image::SharedImage;
 use crate::mem::Memory;
 use crate::program::Program;
 use std::sync::Arc;
@@ -32,6 +33,10 @@ pub struct Checkpoint {
     pub mem: Memory,
     /// Dynamic instruction count at which the snapshot was taken.
     pub instret: u64,
+    /// Predecoded text image carried from the captured CPU (an `Arc`
+    /// share, not a copy), so every simulator seeded from this
+    /// checkpoint keeps the fast fetch path.
+    pub image: Option<SharedImage>,
 }
 
 impl Checkpoint {
@@ -43,17 +48,23 @@ impl Checkpoint {
             f: *cpu.fregs(),
             mem: cpu.mem.clone(),
             instret: cpu.instret(),
+            image: cpu.image().cloned(),
         }
     }
 
-    /// Restores this snapshot into a fresh functional CPU.
+    /// Restores this snapshot into a fresh functional CPU (re-attaching
+    /// the predecoded image, if the captured CPU had one).
     pub fn restore(&self) -> Cpu {
-        Cpu::from_state(self.pc, self.x, self.f, self.mem.clone(), self.instret)
+        let mut cpu = Cpu::from_state(self.pc, self.x, self.f, self.mem.clone(), self.instret);
+        if let Some(image) = &self.image {
+            cpu.attach_image(image.clone());
+        }
+        cpu
     }
 
     /// Approximate in-memory footprint in bytes (for reporting).
     pub fn size_bytes(&self) -> usize {
-        self.mem.page_count() * 4096 + 2 * 32 * 8 + 16
+        self.mem.footprint_bytes() + 2 * 32 * 8 + 16
     }
 }
 

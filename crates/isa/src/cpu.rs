@@ -6,11 +6,13 @@
 //! and as the golden model for co-simulation against the out-of-order core.
 
 use crate::exec::{self, Loaded, Operands, Outcome};
-use crate::inst::{decode, Inst};
+use crate::image::SharedImage;
+use crate::inst::{decode, Inst, LoadKind, StoreKind};
 use crate::mem::Memory;
 use crate::program::Program;
 use crate::reg::{FReg, Reg};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a [`Cpu::run`] call stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -106,6 +108,17 @@ pub struct Cpu {
     pub mem: Memory,
     instret: u64,
     console: Vec<u8>,
+    /// Predecoded text (the hot fetch path); `None` falls back to
+    /// fetch + decode from memory on every step.
+    image: Option<SharedImage>,
+    /// Cached image range for the store-side SMC guard (both zero when
+    /// no image is attached, so the guard never fires).
+    text_base: u64,
+    text_end: u64,
+    /// Bumped whenever `image` changes (attach, detach, SMC
+    /// invalidation) so [`Cpu::run_with`] knows its hoisted view of the
+    /// image table is stale and must be re-derived.
+    image_epoch: u64,
 }
 
 impl Cpu {
@@ -120,16 +133,61 @@ impl Cpu {
             mem,
             instret: 0,
             console: Vec::new(),
+            image: None,
+            text_base: 0,
+            text_end: 0,
+            image_epoch: 0,
         };
         cpu.set_x(Reg::Sp, program.stack_top());
+        cpu.attach_image(program.decoded_image());
         cpu
     }
 
     /// Creates a CPU from raw architectural state (used by checkpoints).
+    /// No predecoded image is attached; use [`Cpu::attach_image`] to
+    /// restore the fast fetch path.
     pub fn from_state(pc: u64, x: [u64; 32], f: [u64; 32], mem: Memory, instret: u64) -> Cpu {
-        let mut cpu = Cpu { pc, x, f, mem, instret, console: Vec::new() };
+        let mut cpu = Cpu {
+            pc,
+            x,
+            f,
+            mem,
+            instret,
+            console: Vec::new(),
+            image: None,
+            text_base: 0,
+            text_end: 0,
+            image_epoch: 0,
+        };
         cpu.x[0] = 0;
         cpu
+    }
+
+    /// Attaches a predecoded text image, enabling the fast fetch path.
+    ///
+    /// The image must agree with this CPU's memory contents over its
+    /// range (it normally comes from the same [`Program`] that memory was
+    /// loaded from, possibly via a checkpoint); execution results are
+    /// identical with or without it.
+    pub fn attach_image(&mut self, image: SharedImage) {
+        self.text_base = image.base();
+        self.text_end = image.end();
+        self.image = Some(image);
+        self.image_epoch += 1;
+    }
+
+    /// Detaches the predecoded image, forcing fetch + decode from memory
+    /// on every step (the reference path; used by equivalence tests).
+    pub fn detach_image(&mut self) {
+        self.image = None;
+        self.text_base = 0;
+        self.text_end = 0;
+        self.image_epoch += 1;
+    }
+
+    /// The attached predecoded image, if any (checkpoints carry it along).
+    pub fn image(&self) -> Option<&SharedImage> {
+        self.image.as_ref()
     }
 
     /// Current program counter.
@@ -190,14 +248,121 @@ impl Cpu {
     /// # Errors
     ///
     /// Returns [`SimError`] on an illegal instruction or unsupported syscall.
+    #[inline]
     pub fn step(&mut self) -> Result<Retired, SimError> {
         let pc = self.pc;
-        let word = self.mem.fetch(pc);
-        let inst = decode(word).map_err(|_| SimError::IllegalInst { pc, word })?;
-        self.execute(pc, inst)
+        let inst = match self.image.as_ref().and_then(|image| image.lookup(pc)) {
+            Some(inst) => inst,
+            None => {
+                let word = self.mem.fetch(pc);
+                decode(word).map_err(|_| SimError::IllegalInst { pc, word })?
+            }
+        };
+        match self.execute_hot(pc, inst) {
+            Some(r) => {
+                self.pc = r.next_pc;
+                self.instret += 1;
+                Ok(r)
+            }
+            None => self.execute_generic(pc, inst),
+        }
     }
 
-    fn execute(&mut self, pc: u64, inst: Inst) -> Result<Retired, SimError> {
+    /// Executes the hot integer variants with a single dispatch on the
+    /// instruction, calling the same semantic helpers (`exec::alu`,
+    /// `exec::load_result`-equivalent extensions, `BrCond::eval`) as the
+    /// generic path — this fuses the operand-read / compute / outcome /
+    /// destination matches into one, and the lockstep co-simulation
+    /// tests in `boom-uarch` (core: generic `exec::compute`; golden
+    /// model: this path) cross-check the two on every workload.
+    ///
+    /// Returns `None` for everything else (FP, ecall, …), which callers
+    /// route to [`Cpu::execute_generic`]. The hot arms cannot fault and
+    /// do **not** touch `self.pc` / `self.instret`: [`Cpu::run_with`]
+    /// carries both in locals so the inter-instruction dependency is a
+    /// register, not a store/load round trip — callers own the
+    /// write-back.
+    #[inline]
+    fn execute_hot(&mut self, pc: u64, inst: Inst) -> Option<Retired> {
+        let mut next_pc = pc.wrapping_add(4);
+        match inst {
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = exec::alu(op, self.x(rs1), imm as i64 as u64);
+                self.set_x(rd, v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = exec::alu(op, self.x(rs1), self.x(rs2));
+                self.set_x(rd, v);
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                let v = exec::muldiv(op, self.x(rs1), self.x(rs2));
+                self.set_x(rd, v);
+            }
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                if cond.eval(self.x(rs1), self.x(rs2)) {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                }
+            }
+            Inst::Load { kind, rd, rs1, offset } => {
+                let addr = self.x(rs1).wrapping_add(offset as i64 as u64);
+                // Dispatch on `kind` once: the constant size folds into
+                // `Memory::read`'s width match and the sign extension
+                // happens inline, matching `exec::load_result` exactly.
+                let v = match kind {
+                    LoadKind::B => self.mem.read(addr, 1) as i8 as i64 as u64,
+                    LoadKind::H => self.mem.read(addr, 2) as i16 as i64 as u64,
+                    LoadKind::W => self.mem.read(addr, 4) as i32 as i64 as u64,
+                    LoadKind::D => self.mem.read(addr, 8),
+                    LoadKind::Bu => self.mem.read(addr, 1),
+                    LoadKind::Hu => self.mem.read(addr, 2),
+                    LoadKind::Wu => self.mem.read(addr, 4),
+                };
+                self.set_x(rd, v);
+            }
+            Inst::Store { kind, rs1, rs2, offset } => {
+                let addr = self.x(rs1).wrapping_add(offset as i64 as u64);
+                let data = self.x(rs2);
+                // As with loads, dispatch on `kind` once so the width is
+                // a constant in each `Memory::write` call.
+                let size = match kind {
+                    StoreKind::B => {
+                        self.mem.write(addr, 1, data);
+                        1
+                    }
+                    StoreKind::H => {
+                        self.mem.write(addr, 2, data);
+                        2
+                    }
+                    StoreKind::W => {
+                        self.mem.write(addr, 4, data);
+                        4
+                    }
+                    StoreKind::D => {
+                        self.mem.write(addr, 8, data);
+                        8
+                    }
+                };
+                if addr < self.text_end && addr.wrapping_add(size) > self.text_base {
+                    self.invalidate_text(addr, size);
+                }
+            }
+            Inst::Jal { rd, offset } => {
+                self.set_x(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as i64 as u64);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                // Read `rs1` before linking: `jalr ra, ra, 0` must jump to
+                // the old value.
+                let target = self.x(rs1).wrapping_add(offset as i64 as u64) & !1;
+                self.set_x(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            _ => return None,
+        }
+        Some(Retired { pc, inst, next_pc, exited: None })
+    }
+
+    fn execute_generic(&mut self, pc: u64, inst: Inst) -> Result<Retired, SimError> {
         let ops = self.operands(&inst);
         let mut next_pc = pc.wrapping_add(4);
         let mut exited = None;
@@ -211,7 +376,12 @@ impl Cpu {
                     Loaded::Fp(v) => self.write_fp_dest(pc, &inst, v)?,
                 }
             }
-            Outcome::Store { addr, size, data } => self.mem.write(addr, size, data),
+            Outcome::Store { addr, size, data } => {
+                self.mem.write(addr, size, data);
+                if addr < self.text_end && addr.wrapping_add(size) > self.text_base {
+                    self.invalidate_text(addr, size);
+                }
+            }
             Outcome::Branch { taken, target } => {
                 if taken {
                     next_pc = target;
@@ -237,6 +407,17 @@ impl Cpu {
         self.pc = next_pc;
         self.instret += 1;
         Ok(Retired { pc, inst, next_pc, exited })
+    }
+
+    /// Self-modifying code: a store hit the text range, so the stale
+    /// predecoded slots must answer `None` from now on. Copy-on-write:
+    /// other sharers of the image keep the pristine version.
+    #[cold]
+    fn invalidate_text(&mut self, addr: u64, size: u64) {
+        if let Some(image) = &mut self.image {
+            Arc::make_mut(image).invalidate(addr, size);
+            self.image_epoch += 1;
+        }
     }
 
     #[inline]
@@ -345,17 +526,86 @@ impl Cpu {
         max_insts: u64,
         mut hook: impl FnMut(&Retired),
     ) -> Result<StopReason, SimError> {
-        for _ in 0..max_insts {
-            let r = self.step()?;
-            hook(&r);
-            if let Some(code) = r.exited {
-                return Ok(StopReason::Exited(code));
+        let mut remaining = max_insts;
+        // The two hot per-instruction dependencies live in locals:
+        //
+        //  * `pc` (and a pending `instret` delta in `done`) — carrying
+        //    them in registers instead of `self` fields turns the
+        //    inter-instruction dependency into a register move rather
+        //    than a store/load round trip. `self.pc`/`self.instret` are
+        //    stale inside the loop and synced on every exit path and
+        //    around the generic-path calls (which maintain them
+        //    directly).
+        //  * the image table — `guard` keeps the allocation alive while
+        //    `base`/`slots` sit in registers, reducing the fetch to a
+        //    subtract, an alignment mask, and one indexed load.
+        //    `image_epoch` says when the hoisted view went stale (SMC
+        //    invalidation swaps the Arc via copy-on-write), in which
+        //    case the outer loop re-derives it.
+        let mut pc = self.pc;
+        let mut done = 0u64;
+        'reimage: loop {
+            let guard = self.image.clone();
+            let epoch = self.image_epoch;
+            let (base, slots) = guard.as_ref().map_or((0, &[][..]), |i| (i.base(), i.slots()));
+            while remaining > 0 {
+                remaining -= 1;
+                let off = pc.wrapping_sub(base);
+                let slot = if off & 3 == 0 {
+                    slots.get((off >> 2) as usize).copied().flatten()
+                } else {
+                    None
+                };
+                let inst = match slot {
+                    Some(inst) => inst,
+                    None => {
+                        let word = self.mem.fetch(pc);
+                        match decode(word) {
+                            Ok(inst) => inst,
+                            Err(_) => {
+                                self.pc = pc;
+                                self.instret += done;
+                                return Err(SimError::IllegalInst { pc, word });
+                            }
+                        }
+                    }
+                };
+                let r = match self.execute_hot(pc, inst) {
+                    Some(r) => {
+                        done += 1;
+                        r
+                    }
+                    None => {
+                        // Generic path: hand the architectural counters
+                        // back to `self` (execute_generic faults with
+                        // `self.pc` at the failing instruction and
+                        // advances pc/instret itself on success).
+                        self.pc = pc;
+                        self.instret += done;
+                        done = 0;
+                        self.execute_generic(pc, inst)?
+                    }
+                };
+                pc = r.next_pc;
+                hook(&r);
+                if let Some(code) = r.exited {
+                    self.pc = pc;
+                    self.instret += done;
+                    return Ok(StopReason::Exited(code));
+                }
+                if matches!(r.inst, Inst::Ebreak) {
+                    self.pc = pc;
+                    self.instret += done;
+                    return Ok(StopReason::Breakpoint);
+                }
+                if self.image_epoch != epoch {
+                    continue 'reimage;
+                }
             }
-            if matches!(r.inst, Inst::Ebreak) {
-                return Ok(StopReason::Breakpoint);
-            }
+            self.pc = pc;
+            self.instret += done;
+            return Ok(StopReason::InstLimit);
         }
-        Ok(StopReason::InstLimit)
     }
 }
 

@@ -1,0 +1,165 @@
+//! Predecoded instruction images — the hot-loop fast path shared by the
+//! functional simulator and the cycle-level front end.
+//!
+//! Both simulation kernels used to re-decode every dynamic instruction
+//! from raw memory words. A [`DecodedImage`] decodes the text segment
+//! *once* at program load into a dense table indexed by
+//! `(pc - base) / 4`, and is handed out behind [`Arc`] so every CPU,
+//! core, checkpoint, and worker thread in a campaign shares a single
+//! decode of each program (the same reuse gem5 gets from its cached
+//! static instructions).
+//!
+//! The contract (see DESIGN.md "Hot loops"):
+//!
+//! * **Coverage** — exactly the text segment `[base, base + 4·len)`.
+//!   [`DecodedImage::lookup`] answers `None` for any PC outside that
+//!   range, misaligned, or whose word did not decode at build time;
+//!   callers then fall back to a raw fetch + [`decode`], preserving
+//!   error semantics exactly.
+//! * **Self-modifying code** — a store that overlaps the text range must
+//!   call [`DecodedImage::invalidate`] (via `Arc::make_mut`, so sharers
+//!   with unmodified memories keep the pristine image). Invalidated
+//!   slots answer `None`, which routes those PCs back through the
+//!   memory-accurate fallback path forever after — golden-model
+//!   semantics stay exact.
+
+use crate::inst::{decode, Inst};
+use std::sync::Arc;
+
+/// A program's text segment, decoded once into a dense instruction table.
+#[derive(Clone, Debug)]
+pub struct DecodedImage {
+    base: u64,
+    /// One slot per text word; `None` means "decode from memory" (the
+    /// word was illegal at build time, or a store invalidated it).
+    insts: Vec<Option<Inst>>,
+}
+
+/// A decoded image shared across simulators and worker threads.
+pub type SharedImage = Arc<DecodedImage>;
+
+impl DecodedImage {
+    /// Decodes `text` (little-endian instruction words loaded at `base`)
+    /// into a dense table. Words that fail to decode get `None` slots so
+    /// executing them still reports the exact illegal word via the
+    /// fallback path.
+    pub fn decode_text(base: u64, text: &[u8]) -> DecodedImage {
+        let insts = text
+            .chunks_exact(4)
+            .map(|w| decode(u32::from_le_bytes([w[0], w[1], w[2], w[3]])).ok())
+            .collect();
+        DecodedImage { base, insts }
+    }
+
+    /// First address covered by the image.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One-past-the-last address covered by the image.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + (self.insts.len() as u64) * 4
+    }
+
+    /// Number of instruction slots.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the image covers no words.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The raw slot table, one entry per text word. Hot loops hoist this
+    /// slice (plus [`DecodedImage::base`]) into locals so the per-step
+    /// lookup is a subtract, a mask, and one indexed load — see
+    /// `Cpu::run_with`.
+    #[inline]
+    pub fn slots(&self) -> &[Option<Inst>] {
+        &self.insts
+    }
+
+    /// The predecoded instruction at `pc`, or `None` when `pc` is out of
+    /// range, misaligned, or its slot was invalidated — callers must
+    /// then fetch and [`decode`] from memory.
+    #[inline(always)]
+    pub fn lookup(&self, pc: u64) -> Option<Inst> {
+        let off = pc.wrapping_sub(self.base);
+        if off & 3 == 0 {
+            if let Some(slot) = self.insts.get((off >> 2) as usize) {
+                return *slot;
+            }
+        }
+        None
+    }
+
+    /// Self-modifying-code guard: marks every word overlapping the byte
+    /// range `[addr, addr + size)` as requiring a fresh decode from
+    /// memory. Callers detect the overlap with [`DecodedImage::base`] /
+    /// [`DecodedImage::end`] before paying for this (rare) path.
+    pub fn invalidate(&mut self, addr: u64, size: u64) {
+        let end = addr.saturating_add(size.max(1));
+        let n = self.insts.len();
+        let first = ((addr.saturating_sub(self.base) / 4) as usize).min(n);
+        let last = ((end.saturating_sub(self.base)).div_ceil(4) as usize).min(n);
+        for slot in &mut self.insts[first..last] {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::encode;
+    use crate::reg::Reg;
+
+    fn sample_image() -> DecodedImage {
+        let words: Vec<u32> = vec![
+            encode(Inst::OpImm { op: crate::inst::AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }),
+            encode(Inst::Ecall),
+            0xFFFF_FFFF, // does not decode
+        ];
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        DecodedImage::decode_text(0x8000_0000, &bytes)
+    }
+
+    #[test]
+    fn lookup_covers_exactly_the_text_range() {
+        let img = sample_image();
+        assert_eq!(img.base(), 0x8000_0000);
+        assert_eq!(img.end(), 0x8000_000C);
+        assert!(img.lookup(0x8000_0000).is_some());
+        assert!(matches!(img.lookup(0x8000_0004), Some(Inst::Ecall)));
+        assert!(img.lookup(0x8000_0008).is_none(), "illegal word has no entry");
+        assert!(img.lookup(0x8000_000C).is_none(), "one past the end");
+        assert!(img.lookup(0x7FFF_FFFC).is_none(), "below base");
+        assert!(img.lookup(0x8000_0002).is_none(), "misaligned");
+    }
+
+    #[test]
+    fn invalidate_clears_overlapping_words_only() {
+        let mut img = sample_image();
+        // A one-byte store into the middle of word 1.
+        img.invalidate(0x8000_0005, 1);
+        assert!(img.lookup(0x8000_0000).is_some(), "word 0 untouched");
+        assert!(img.lookup(0x8000_0004).is_none(), "word 1 invalidated");
+
+        // An 8-byte store straddling words 0-1 of a fresh image.
+        let mut img = sample_image();
+        img.invalidate(0x8000_0002, 8);
+        assert!(img.lookup(0x8000_0000).is_none());
+        assert!(img.lookup(0x8000_0004).is_none());
+    }
+
+    #[test]
+    fn invalidate_outside_range_is_harmless() {
+        let mut img = sample_image();
+        img.invalidate(0x1000, 8);
+        img.invalidate(u64::MAX - 4, 8);
+        assert!(img.lookup(0x8000_0000).is_some());
+    }
+}

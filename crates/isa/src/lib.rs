@@ -14,7 +14,10 @@
 //! * [`exec`] — pure instruction semantics shared by the functional simulator
 //!   *and* the cycle-level out-of-order core model (`boom-uarch`), so that
 //!   golden-model co-simulation agrees by construction.
-//! * [`mem::Memory`] — a sparse, paged physical memory.
+//! * [`mem::Memory`] — a physical memory with a contiguous flat fast-path
+//!   region (program image + stack) backed by sparse overflow pages.
+//! * [`image::DecodedImage`] — the text segment predecoded once at load,
+//!   shared behind `Arc` by every simulator and worker thread.
 //! * [`cpu::Cpu`] — a fast functional (architectural) simulator with syscall
 //!   handling, run-length control, and instruction retirement hooks.
 //! * [`asm::Assembler`] — a label-resolving macro-assembler DSL used to write
@@ -52,6 +55,7 @@ pub mod bbv;
 pub mod checkpoint;
 pub mod cpu;
 pub mod exec;
+pub mod image;
 pub mod inst;
 pub mod mem;
 pub mod program;

@@ -1,5 +1,13 @@
-//! Sparse, paged physical memory shared by the functional and cycle-level
-//! simulators.
+//! Physical memory shared by the functional and cycle-level simulators:
+//! a contiguous flat fast-path region backed by sparse overflow pages.
+//!
+//! [`Program::load`](crate::program::Program::load) reserves one flat
+//! region covering the program image and the stack — the footprint of
+//! every bundled workload — so the hot read/write/fetch routines reduce
+//! to a bounds check plus a slice copy. Accesses outside the region fall
+//! back to 4 KiB overflow pages (with a one-entry last-page cache), which
+//! preserves the sparse 64-bit address space and the zeroed-DRAM
+//! convention: reads of untouched memory return zero everywhere.
 
 use std::collections::HashMap;
 
@@ -7,17 +15,95 @@ use std::collections::HashMap;
 pub const PAGE_SIZE: u64 = 4096;
 const PAGE_MASK: u64 = PAGE_SIZE - 1;
 
+/// Upper bound on the flat region (guards against absurd reservations;
+/// the bundled workloads need 16 MiB).
+const FLAT_MAX: u64 = 64 * 1024 * 1024;
+
+/// Minimum *allocation* size for the flat buffer (its logical length is
+/// unaffected). Sized just above glibc's mmap-threshold cap (32 MiB) so
+/// `alloc_zeroed` is always served by fresh `mmap` pages — the kernel
+/// hands them out pre-zeroed, making a 16 MiB reservation cost
+/// microseconds instead of a ~0.8 ms memset of recycled heap memory.
+/// Virtual-only: untouched pages never become resident, and a fresh CPU
+/// per SimPoint is the common case in campaigns. On allocators without
+/// the heuristic this degrades to a slightly larger memset, nothing
+/// worse.
+const FLAT_ALLOC_FLOOR: usize = 33 * 1024 * 1024;
+
 type Page = [u8; PAGE_SIZE as usize];
 
-/// A sparse 64-bit physical address space backed by 4 KiB pages.
+/// A sparse 64-bit physical address space: one contiguous flat region for
+/// the program's footprint, 4 KiB overflow pages everywhere else.
 ///
 /// Reads of untouched memory return zero, matching the zeroed-DRAM
 /// convention the bare-metal workloads rely on. All accesses are
-/// little-endian and may be misaligned (split accesses fall back to a
-/// byte-wise path).
-#[derive(Clone, Default, Debug)]
+/// little-endian and may be misaligned (accesses that straddle the flat
+/// boundary or a page boundary fall back to a byte-wise path).
+#[derive(Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<Page>>,
+    /// Base address of the flat region (page-aligned); meaningless while
+    /// `flat` is empty.
+    flat_base: u64,
+    /// Flat backing store for `[flat_base, flat_base + flat.len())`.
+    /// A `Vec` so the allocation can be padded to [`FLAT_ALLOC_FLOOR`]
+    /// while the logical length stays the reserved size (clones copy
+    /// only the logical length).
+    flat: Vec<u8>,
+    /// Overflow page table: page number → index into `page_store`.
+    page_index: HashMap<u64, u32>,
+    /// Page storage; indices stay stable so `last_page` and clones remain
+    /// valid (pages migrated into the flat region are orphaned in place).
+    page_store: Vec<Box<Page>>,
+    /// One-entry cache `(page_number, page_store index)` for the last
+    /// overflow page touched by a `&mut` access.
+    last_page: (u64, u32),
+}
+
+/// Sentinel page number that can never match a real address (addresses
+/// divide by `PAGE_SIZE`, so `u64::MAX` is unreachable).
+const NO_PAGE: (u64, u32) = (u64::MAX, 0);
+
+impl Clone for Memory {
+    /// Clones with a *sparse* copy of the flat region: the fresh buffer
+    /// comes back from the kernel already zeroed (see
+    /// [`FLAT_ALLOC_FLOOR`]), so all-zero source pages are skipped
+    /// rather than copied. Checkpoints clone one `Memory` per SimPoint;
+    /// skipping untouched pages keeps each clone's resident size at the
+    /// workload's real footprint instead of the full flat reservation.
+    fn clone(&self) -> Memory {
+        let flat = if self.flat.is_empty() {
+            Vec::new()
+        } else {
+            let mut flat = vec![0u8; self.flat.len().max(FLAT_ALLOC_FLOOR)];
+            flat.truncate(self.flat.len());
+            const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+            for (i, chunk) in self.flat.chunks(PAGE_SIZE as usize).enumerate() {
+                if chunk != &ZERO_PAGE[..chunk.len()] {
+                    flat[i * PAGE_SIZE as usize..][..chunk.len()].copy_from_slice(chunk);
+                }
+            }
+            flat
+        };
+        Memory {
+            flat_base: self.flat_base,
+            flat,
+            page_index: self.page_index.clone(),
+            page_store: self.page_store.clone(),
+            last_page: self.last_page,
+        }
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            flat_base: 0,
+            flat: Vec::new(),
+            page_index: HashMap::new(),
+            page_store: Vec::new(),
+            last_page: NO_PAGE,
+        }
+    }
 }
 
 impl Memory {
@@ -26,29 +112,107 @@ impl Memory {
         Memory::default()
     }
 
-    /// Number of distinct pages that have been written.
-    pub fn page_count(&self) -> usize {
-        self.pages.len()
+    /// One past the last flat-region address (equals `flat_base` when no
+    /// region is reserved).
+    #[inline]
+    fn flat_end(&self) -> u64 {
+        self.flat_base + self.flat.len() as u64
     }
 
-    /// Iterates over `(page_base_address, page_bytes)` for all touched pages.
+    /// Reserves a zero-filled flat backing region covering `[start, end)`
+    /// (page-aligned outward, capped at 64 MiB). Existing overflow pages
+    /// inside the region migrate into it, so this is safe to call after
+    /// writes. A second call is a no-op: the single region is sized for
+    /// the program footprint at load and never moves, which keeps clones
+    /// and checkpoints layout-compatible.
+    pub fn reserve_flat(&mut self, start: u64, end: u64) {
+        if !self.flat.is_empty() || end <= start {
+            return;
+        }
+        let start = start & !PAGE_MASK;
+        let end = end.checked_add(PAGE_MASK).map_or(!PAGE_MASK, |e| e & !PAGE_MASK);
+        let len = (end - start).min(FLAT_MAX);
+        self.flat_base = start;
+        // `vec![0; n]` lowers to `alloc_zeroed`; padding the request past
+        // FLAT_ALLOC_FLOOR keeps it on the untouched-mmap path (see the
+        // constant's doc comment). `truncate` only adjusts the length.
+        let mut flat = vec![0u8; (len as usize).max(FLAT_ALLOC_FLOOR)];
+        flat.truncate(len as usize);
+        self.flat = flat;
+        // Migrate overlapping overflow pages; their `page_store` slots are
+        // orphaned (not freed) so other indices stay valid.
+        let first_pn = start / PAGE_SIZE;
+        let last_pn = first_pn + len / PAGE_SIZE;
+        for pn in first_pn..last_pn {
+            if let Some(idx) = self.page_index.remove(&pn) {
+                let dst = ((pn - first_pn) * PAGE_SIZE) as usize;
+                self.flat[dst..dst + PAGE_SIZE as usize]
+                    .copy_from_slice(&self.page_store[idx as usize][..]);
+            }
+        }
+        self.last_page = NO_PAGE;
+    }
+
+    /// Number of distinct overflow pages that have been written (the flat
+    /// region is not counted).
+    pub fn page_count(&self) -> usize {
+        self.page_index.len()
+    }
+
+    /// Total bytes of backing storage (flat region + overflow pages).
+    pub fn footprint_bytes(&self) -> usize {
+        self.flat.len() + self.page_index.len() * PAGE_SIZE as usize
+    }
+
+    /// Iterates over `(page_base_address, page_bytes)` for all backed
+    /// pages: the flat region in page-sized chunks, then overflow pages.
     pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.pages.iter().map(|(k, v)| (k * PAGE_SIZE, &v[..]))
+        let flat = self
+            .flat
+            .chunks_exact(PAGE_SIZE as usize)
+            .enumerate()
+            .map(move |(i, chunk)| (self.flat_base + i as u64 * PAGE_SIZE, chunk));
+        let overflow = self
+            .page_index
+            .iter()
+            .map(|(pn, &idx)| (pn * PAGE_SIZE, &self.page_store[idx as usize][..]));
+        flat.chain(overflow)
     }
 
     #[inline]
     fn page(&self, addr: u64) -> Option<&Page> {
-        self.pages.get(&(addr / PAGE_SIZE)).map(|p| &**p)
+        let pn = addr / PAGE_SIZE;
+        if self.last_page.0 == pn {
+            return Some(&self.page_store[self.last_page.1 as usize]);
+        }
+        self.page_index.get(&pn).map(|&idx| &*self.page_store[idx as usize])
     }
 
     #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut Page {
-        self.pages.entry(addr / PAGE_SIZE).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+        let pn = addr / PAGE_SIZE;
+        if self.last_page.0 != pn {
+            let idx = match self.page_index.get(&pn) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.page_store.len() as u32;
+                    self.page_store.push(Box::new([0; PAGE_SIZE as usize]));
+                    self.page_index.insert(pn, idx);
+                    idx
+                }
+            };
+            self.last_page = (pn, idx);
+        }
+        &mut self.page_store[self.last_page.1 as usize]
     }
 
     /// Reads one byte.
     #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
+        let off = addr.wrapping_sub(self.flat_base);
+        if off < self.flat.len() as u64 {
+            return self.flat[off as usize];
+        }
         match self.page(addr) {
             Some(p) => p[(addr & PAGE_MASK) as usize],
             None => 0,
@@ -58,24 +222,51 @@ impl Memory {
     /// Writes one byte.
     #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let off = addr.wrapping_sub(self.flat_base);
+        if off < self.flat.len() as u64 {
+            self.flat[off as usize] = value;
+            return;
+        }
         self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
     }
 
-    /// Reads `N` little-endian bytes starting at `addr` into a u64.
+    /// Reads `size` little-endian bytes starting at `addr` into a u64.
     #[inline]
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        let off = addr & PAGE_MASK;
-        if off + size <= PAGE_SIZE {
-            let Some(p) = self.page(addr) else { return 0 };
+        let off = addr.wrapping_sub(self.flat_base);
+        let flen = self.flat.len() as u64;
+        if off < flen && size <= flen - off {
             let off = off as usize;
+            // Fixed-width loads per size (a runtime-length copy_from_slice
+            // would lower to an actual memcpy call on this hot path).
+            return match size {
+                1 => u64::from(self.flat[off]),
+                2 => u64::from(u16::from_le_bytes(
+                    self.flat[off..off + 2].try_into().unwrap_or_default(),
+                )),
+                4 => u64::from(u32::from_le_bytes(
+                    self.flat[off..off + 4].try_into().unwrap_or_default(),
+                )),
+                _ => u64::from_le_bytes(self.flat[off..off + 8].try_into().unwrap_or_default()),
+            };
+        }
+        self.read_overflow(addr, size)
+    }
+
+    fn read_overflow(&self, addr: u64, size: u64) -> u64 {
+        let in_page = addr & PAGE_MASK;
+        let overlaps_flat = addr < self.flat_end() && addr.wrapping_add(size) > self.flat_base;
+        if !overlaps_flat && in_page + size <= PAGE_SIZE {
+            let Some(p) = self.page(addr) else { return 0 };
+            let off = in_page as usize;
             let mut buf = [0u8; 8];
             buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
             u64::from_le_bytes(buf)
         } else {
             let mut v = 0u64;
             for i in 0..size {
-                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
             }
             v
         }
@@ -85,14 +276,32 @@ impl Memory {
     #[inline]
     pub fn write(&mut self, addr: u64, size: u64, value: u64) {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        let off = addr & PAGE_MASK;
-        if off + size <= PAGE_SIZE {
-            let p = self.page_mut(addr);
+        let off = addr.wrapping_sub(self.flat_base);
+        let flen = self.flat.len() as u64;
+        if off < flen && size <= flen - off {
             let off = off as usize;
+            // Fixed-width stores per size, as in [`Memory::read`].
+            match size {
+                1 => self.flat[off] = value as u8,
+                2 => self.flat[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                4 => self.flat[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+                _ => self.flat[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            }
+            return;
+        }
+        self.write_overflow(addr, size, value);
+    }
+
+    fn write_overflow(&mut self, addr: u64, size: u64, value: u64) {
+        let in_page = addr & PAGE_MASK;
+        let overlaps_flat = addr < self.flat_end() && addr.wrapping_add(size) > self.flat_base;
+        if !overlaps_flat && in_page + size <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            let off = in_page as usize;
             p[off..off + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
         } else {
             for i in 0..size {
-                self.write_u8(addr + i, (value >> (8 * i)) as u8);
+                self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
             }
         }
     }
@@ -109,10 +318,24 @@ impl Memory {
         let mut addr = addr;
         let mut rest = bytes;
         while !rest.is_empty() {
-            let off = (addr & PAGE_MASK) as usize;
-            let room = (PAGE_SIZE as usize) - off;
-            let n = room.min(rest.len());
-            self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            let fo = addr.wrapping_sub(self.flat_base);
+            let flen = self.flat.len() as u64;
+            let n = if fo < flen {
+                let n = rest.len().min((flen - fo) as usize);
+                let fo = fo as usize;
+                self.flat[fo..fo + n].copy_from_slice(&rest[..n]);
+                n
+            } else {
+                let off = (addr & PAGE_MASK) as usize;
+                let mut room = PAGE_SIZE as usize - off;
+                if addr < self.flat_base {
+                    // Stop at the flat region so the next chunk lands in it.
+                    room = room.min((self.flat_base - addr) as usize);
+                }
+                let n = room.min(rest.len());
+                self.page_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+                n
+            };
             addr += n as u64;
             rest = &rest[n..];
         }
@@ -120,7 +343,7 @@ impl Memory {
 
     /// Copies `len` bytes out of memory starting at `addr`.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+        (0..len as u64).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
     }
 }
 
@@ -164,5 +387,102 @@ mod tests {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         m.write_bytes(PAGE_SIZE - 100, &data);
         assert_eq!(m.read_bytes(PAGE_SIZE - 100, data.len()), data);
+    }
+
+    #[test]
+    fn flat_region_round_trip() {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + 2 * PAGE_SIZE);
+        assert_eq!(m.read(0x8000_0000, 8), 0, "flat region starts zeroed");
+        m.write(0x8000_0008, 8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read(0x8000_0008, 8), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.page_count(), 0, "flat writes allocate no overflow pages");
+        assert_eq!(m.footprint_bytes(), 2 * PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn accesses_straddling_the_flat_boundary() {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + PAGE_SIZE);
+        // Starts 4 bytes below the flat base, ends 4 bytes inside it.
+        m.write(0x8000_0000 - 4, 8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read(0x8000_0000 - 4, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read(0x8000_0000, 4), 0xAABB_CCDD);
+        // Starts 4 bytes before the flat end, ends 4 bytes past it.
+        let end = 0x8000_0000 + PAGE_SIZE;
+        m.write(end - 4, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(end - 4, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(end, 4), 0x1122_3344);
+        assert_eq!(m.page_count(), 2, "both sides spill into overflow pages");
+    }
+
+    #[test]
+    fn reserve_flat_migrates_existing_pages() {
+        let mut m = Memory::new();
+        m.write(0x8000_0010, 8, 0xDEAD_BEEF_1234_5678);
+        m.write(0x7FFF_FFF8, 8, 0x0BAD_CAFE_0BAD_CAFE); // below the region
+        assert_eq!(m.page_count(), 2);
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + PAGE_SIZE);
+        assert_eq!(m.read(0x8000_0010, 8), 0xDEAD_BEEF_1234_5678, "page content migrated");
+        assert_eq!(m.read(0x7FFF_FFF8, 8), 0x0BAD_CAFE_0BAD_CAFE, "outside page untouched");
+        assert_eq!(m.page_count(), 1, "migrated page left the overflow table");
+    }
+
+    #[test]
+    fn reserve_flat_is_idempotent_and_capped() {
+        let mut m = Memory::new();
+        m.reserve_flat(0, u64::MAX);
+        assert_eq!(m.footprint_bytes() as u64, FLAT_MAX, "reservation capped");
+        let before = m.footprint_bytes();
+        m.reserve_flat(0x9000_0000, 0xA000_0000);
+        assert_eq!(m.footprint_bytes(), before, "second reservation is a no-op");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + PAGE_SIZE);
+        m.write(0x8000_0000, 8, 1);
+        m.write(0x1000, 8, 2); // overflow page
+        let mut c = m.clone();
+        c.write(0x8000_0000, 8, 3);
+        c.write(0x1000, 8, 4);
+        c.write(0x2000, 8, 5); // new page only in the clone
+        assert_eq!(m.read(0x8000_0000, 8), 1);
+        assert_eq!(m.read(0x1000, 8), 2);
+        assert_eq!(m.read(0x2000, 8), 0);
+        assert_eq!(c.read(0x8000_0000, 8), 3);
+        assert_eq!(c.read(0x1000, 8), 4);
+        assert_eq!(c.read(0x2000, 8), 5);
+    }
+
+    #[test]
+    fn sparse_clone_reproduces_every_flat_byte() {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + 8 * PAGE_SIZE);
+        // Scattered writes, including across a page boundary and in the
+        // last page, with zero pages in between (which the sparse clone
+        // skips).
+        m.write(0x8000_0000, 8, 0x0102_0304_0506_0708);
+        m.write(0x8000_0000 + PAGE_SIZE - 3, 8, 0x1111_2222_3333_4444);
+        m.write(0x8000_0000 + 7 * PAGE_SIZE + 8, 4, 0xDEAD_BEEF);
+        let c = m.clone();
+        for pn in 0..8 {
+            for off in (0..PAGE_SIZE).step_by(8) {
+                let addr = 0x8000_0000 + pn * PAGE_SIZE + off;
+                assert_eq!(m.read(addr, 8), c.read(addr, 8), "mismatch at {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn pages_iterator_covers_flat_and_overflow() {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + 2 * PAGE_SIZE);
+        m.write(0x1000, 1, 7);
+        let mut bases: Vec<u64> = m.pages().map(|(b, _)| b).collect();
+        bases.sort_unstable();
+        assert_eq!(bases, vec![0x1000, 0x8000_0000, 0x8000_0000 + PAGE_SIZE]);
+        assert!(m.pages().all(|(_, p)| p.len() == PAGE_SIZE as usize));
     }
 }

@@ -1,7 +1,9 @@
 //! Loadable program images produced by the assembler.
 
+use crate::image::{DecodedImage, SharedImage};
 use crate::mem::Memory;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A position-fixed, bare-metal program image (text followed by data).
 ///
@@ -14,6 +16,10 @@ pub struct Program {
     image: Vec<u8>,
     symbols: HashMap<String, u64>,
     stack_top: u64,
+    /// Text segment predecoded on first use (clones share the `Arc`);
+    /// excluded from [`Program::fingerprint`] — it is a pure function of
+    /// the other fields.
+    decoded: OnceLock<SharedImage>,
 }
 
 impl Program {
@@ -24,7 +30,7 @@ impl Program {
         symbols: HashMap<String, u64>,
         stack_top: u64,
     ) -> Program {
-        Program { base, text_len, image, symbols, stack_top }
+        Program { base, text_len, image, symbols, stack_top, decoded: OnceLock::new() }
     }
 
     /// Load address of the first text byte; also the entry point.
@@ -76,9 +82,25 @@ impl Program {
         h
     }
 
-    /// Copies the image into `mem` at its base address.
+    /// Copies the image into `mem` at its base address, first reserving a
+    /// contiguous flat region covering the image and the stack so the hot
+    /// read/write paths skip the overflow page table entirely.
     pub fn load(&self, mem: &mut Memory) {
+        let image_end = self.base + self.image.len() as u64;
+        mem.reserve_flat(self.base, self.stack_top.max(image_end));
         mem.write_bytes(self.base, &self.image);
+    }
+
+    /// The text segment predecoded into a dense instruction table,
+    /// computed once per program and shared behind [`Arc`] by every
+    /// simulator (functional CPUs, detailed cores, checkpoints, worker
+    /// threads).
+    pub fn decoded_image(&self) -> SharedImage {
+        self.decoded
+            .get_or_init(|| {
+                Arc::new(DecodedImage::decode_text(self.base, &self.image[..self.text_len]))
+            })
+            .clone()
     }
 
     /// Number of static instructions in the text section.

@@ -102,9 +102,12 @@ impl SimPointAnalysis {
     }
 
     /// Dynamic-instruction index at which each selected point's interval
-    /// begins, given the profile it was derived from.
+    /// begins, given the profile it was derived from. The profile's
+    /// interval starts are prefix-summed once, so this is linear in the
+    /// profile size rather than quadratic.
     pub fn selected_starts(&self, profile: &BbvProfile) -> Vec<u64> {
-        self.selected.iter().map(|p| profile.interval_start(p.interval)).collect()
+        let starts = profile.interval_starts();
+        self.selected.iter().map(|p| starts[p.interval]).collect()
     }
 
     /// The simulated-instruction budget: `selected.len() × interval_size`,

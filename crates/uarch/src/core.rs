@@ -20,11 +20,13 @@ use crate::watchdog::{
 use rv_isa::checkpoint::Checkpoint;
 use rv_isa::cpu::Cpu;
 use rv_isa::exec::{self, Loaded, Operands, Outcome};
+use rv_isa::image::SharedImage;
 use rv_isa::inst::{decode, Inst};
 use rv_isa::mem::Memory;
 use rv_isa::program::Program;
 use rv_isa::reg::{FReg, Reg};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Exit syscall number (`a7` value) recognized at commit.
 const SYS_EXIT: u64 = 93;
@@ -107,6 +109,14 @@ pub struct Core {
     tracer: Option<Box<PipeTracer>>,
     golden: Option<Box<Cpu>>,
     cosim_mismatch: Option<String>,
+
+    /// Predecoded text (the fast fetch path); `None` falls back to
+    /// fetch + decode from architectural memory.
+    image: Option<SharedImage>,
+    /// Cached image range for the commit-side SMC guard (both zero when
+    /// no image is attached, so the guard never fires).
+    text_base: u64,
+    text_end: u64,
 }
 
 impl Core {
@@ -118,6 +128,7 @@ impl Core {
         let mut core = Core::from_raw(cfg, mem, program.entry());
         let sp_phys = core.rat_int.get(Reg::Sp.index());
         core.prf_int.poke(sp_phys, program.stack_top());
+        core.set_image(program.decoded_image());
         core
     }
 
@@ -130,7 +141,28 @@ impl Core {
             core.prf_int.poke(core.rat_int.get(i), ck.x[i]);
             core.prf_fp.poke(core.rat_fp.get(i), ck.f[i]);
         }
+        if let Some(image) = &ck.image {
+            core.set_image(image.clone());
+        }
         core
+    }
+
+    /// Installs a predecoded text image, enabling the fast fetch path.
+    /// The image must agree with architectural memory over its range;
+    /// cycle-by-cycle behavior is identical with or without it.
+    fn set_image(&mut self, image: SharedImage) {
+        self.text_base = image.base();
+        self.text_end = image.end();
+        self.image = Some(image);
+    }
+
+    /// A committed store hit the text range: drop the stale predecoded
+    /// slots (copy-on-write, so other sharers keep the pristine image).
+    #[cold]
+    fn invalidate_text(&mut self, addr: u64, size: u64) {
+        if let Some(image) = &mut self.image {
+            Arc::make_mut(image).invalidate(addr, size);
+        }
     }
 
     fn from_raw(cfg: BoomConfig, mem: Memory, entry: u64) -> Core {
@@ -169,6 +201,9 @@ impl Core {
             tracer: None,
             golden: None,
             cosim_mismatch: None,
+            image: None,
+            text_base: 0,
+            text_end: 0,
             mem,
             cfg,
         }
@@ -194,7 +229,11 @@ impl Core {
             x[i] = self.prf_int.read(self.rrat_int.get(i));
             f[i] = self.prf_fp.read(self.rrat_fp.get(i));
         }
-        self.golden = Some(Box::new(Cpu::from_state(self.fetch_pc, x, f, self.mem.clone(), 0)));
+        let mut golden = Cpu::from_state(self.fetch_pc, x, f, self.mem.clone(), 0);
+        if let Some(image) = &self.image {
+            golden.attach_image(image.clone());
+        }
+        self.golden = Some(Box::new(golden));
     }
 
     /// The first lockstep divergence, if any (see
@@ -428,6 +467,14 @@ impl Core {
                     Access::Blocked => break, // retry next cycle (MSHRs full)
                     _ => {
                         self.mem.write(addr, size, data);
+                        // Self-modifying code: memory only changes at
+                        // commit, which is exactly when a fetch of the
+                        // patched words could first observe new bytes —
+                        // so invalidating here keeps cycle behavior
+                        // identical to the decode-from-memory path.
+                        if addr < self.text_end && addr.wrapping_add(size) > self.text_base {
+                            self.invalidate_text(addr, size);
+                        }
                     }
                 }
             }
@@ -987,13 +1034,19 @@ impl Core {
             if self.fetch_buffer.len() >= self.cfg.fetch_buffer_entries {
                 break;
             }
-            let word = self.mem.fetch(pc);
-            let Ok(inst) = decode(word) else {
-                // Wrong-path garbage (or program past its end): freeze the
-                // front end until a redirect arrives.
-                self.fetch_wedged = true;
-                self.fetch_pc = pc;
-                return;
+            let predecoded = self.image.as_ref().and_then(|i| i.lookup(pc));
+            let inst = match predecoded {
+                Some(inst) => inst,
+                None => match decode(self.mem.fetch(pc)) {
+                    Ok(inst) => inst,
+                    Err(_) => {
+                        // Wrong-path garbage (or program past its end):
+                        // freeze the front end until a redirect arrives.
+                        self.fetch_wedged = true;
+                        self.fetch_pc = pc;
+                        return;
+                    }
+                },
             };
 
             let mut fetched = FetchedInst {

@@ -1,0 +1,164 @@
+//! Predecode-equivalence suite: the predecoded-image fast path must be a
+//! pure speedup. Across every bundled workload, the fast path has to
+//! retire a bit-identical `Retired` stream and produce an identical
+//! `BbvProfile` versus the decode-per-step reference path — including
+//! under self-modifying code, where stores into the text segment must
+//! invalidate stale predecoded slots on both the functional CPU and the
+//! detailed core.
+
+// Test helpers may unwrap freely; `allow-unwrap-in-tests` only covers
+// `#[test]` fns, not the helpers integration tests share.
+#![allow(clippy::unwrap_used)]
+
+use boom_uarch::{BoomConfig, Core};
+use rv_isa::asm::Assembler;
+use rv_isa::bbv::{BbvCollector, BbvProfile};
+use rv_isa::checkpoint::Checkpoint;
+use rv_isa::cpu::{Cpu, StopReason};
+use rv_isa::inst::encode;
+use rv_isa::program::Program;
+use rv_isa::reg::Reg::*;
+use rv_workloads::{all, by_name, Scale};
+use std::sync::Arc;
+
+/// One retired instruction, reduced to comparable bits.
+type Event = (u64, u32, u64, Option<u64>);
+
+/// Runs `cpu` to completion, recording the retired stream and a BBV
+/// profile through `collector`.
+fn run_recorded(
+    mut cpu: Cpu,
+    mut collector: BbvCollector,
+) -> (Vec<Event>, BbvProfile, StopReason, Cpu) {
+    let mut stream = Vec::new();
+    let stop = cpu
+        .run_with(u64::MAX, |r| {
+            stream.push((r.pc, encode(r.inst), r.next_pc, r.exited));
+            collector.observe(r);
+        })
+        .expect("run failed");
+    (stream, collector.finish(), stop, cpu)
+}
+
+#[test]
+fn fast_path_matches_reference_on_every_workload() {
+    for w in all(Scale::Test) {
+        // Fast: predecoded image (attached by Cpu::new) + dense collector.
+        let fast_cpu = Cpu::new(&w.program);
+        assert!(fast_cpu.image().is_some(), "{}: Cpu::new must attach the image", w.name);
+        let (fast_stream, fast_prof, fast_stop, fast_cpu) =
+            run_recorded(fast_cpu, BbvCollector::for_program(w.interval_size, &w.program));
+
+        // Reference: decode-per-step + HashMap collector.
+        let mut ref_cpu = Cpu::new(&w.program);
+        ref_cpu.detach_image();
+        let (ref_stream, ref_prof, ref_stop, ref_cpu) =
+            run_recorded(ref_cpu, BbvCollector::new(w.interval_size));
+
+        assert_eq!(fast_stop, ref_stop, "{}: stop reason", w.name);
+        assert_eq!(fast_stream.len(), ref_stream.len(), "{}: stream length", w.name);
+        if let Some(i) = (0..fast_stream.len()).find(|&i| fast_stream[i] != ref_stream[i]) {
+            panic!(
+                "{}: retired streams diverge at instruction {i}: fast {:x?} vs reference {:x?}",
+                w.name, fast_stream[i], ref_stream[i]
+            );
+        }
+        assert_eq!(fast_prof, ref_prof, "{}: BBV profile", w.name);
+        assert_eq!(fast_cpu.xregs(), ref_cpu.xregs(), "{}: final integer registers", w.name);
+        assert_eq!(fast_cpu.fregs(), ref_cpu.fregs(), "{}: final FP registers", w.name);
+        assert_eq!(fast_cpu.console(), ref_cpu.console(), "{}: console output", w.name);
+    }
+}
+
+/// A program that patches its own text: it copies the `donor`
+/// instruction (`addi a0, a0, 2`) over the `site` instruction
+/// (`addi a0, a0, 1`) before executing it, then exits with code `a0`.
+/// Correct SMC handling yields exit code 2; a stale predecoded slot
+/// would yield 1. `delay_iters` inserts a countdown loop between the
+/// patch and the site so that, on the detailed core, the store commits
+/// before the post-loop fetch of `site` (the functional CPU needs none).
+fn smc_program(delay_iters: i64) -> Program {
+    let mut a = Assembler::new();
+    a.j("start");
+    a.label("donor");
+    a.addi(A0, A0, 2);
+    a.label("start");
+    a.la(T0, "donor");
+    a.lw(T1, T0, 0);
+    a.la(T2, "site");
+    a.sw(T1, T2, 0);
+    if delay_iters > 0 {
+        a.li(T3, delay_iters);
+        a.label("delay");
+        a.addi(T3, T3, -1);
+        a.bnez(T3, "delay");
+    }
+    a.label("site");
+    a.addi(A0, A0, 1);
+    a.exit();
+    a.assemble().unwrap()
+}
+
+#[test]
+fn smc_invalidation_keeps_functional_semantics_exact() {
+    let p = smc_program(0);
+
+    let (fast_stream, fast_prof, fast_stop, _) =
+        run_recorded(Cpu::new(&p), BbvCollector::for_program(64, &p));
+    let mut ref_cpu = Cpu::new(&p);
+    ref_cpu.detach_image();
+    let (ref_stream, ref_prof, ref_stop, _) = run_recorded(ref_cpu, BbvCollector::new(64));
+
+    assert_eq!(fast_stop, StopReason::Exited(2), "patched instruction must execute");
+    assert_eq!(ref_stop, StopReason::Exited(2));
+    assert_eq!(fast_stream, ref_stream, "SMC retired streams");
+    assert_eq!(fast_prof, ref_prof, "SMC BBV profiles");
+}
+
+#[test]
+fn smc_invalidation_holds_on_the_detailed_core_under_lockstep() {
+    // The delay loop is far longer than the ROB, so the patching store
+    // commits long before the front end re-fetches `site` after the
+    // loop-exit mispredict.
+    let p = smc_program(400);
+    let mut core = Core::new(BoomConfig::medium(), &p);
+    core.attach_golden_model();
+    let r = core.run(10_000_000);
+    assert!(r.exited && !r.hung, "core run: {r:?}");
+    assert_eq!(r.exit_code, Some(2), "patched instruction must execute on the core");
+    assert_eq!(core.cosim_mismatch(), None, "lockstep golden model diverged");
+}
+
+#[test]
+fn checkpoints_carry_the_shared_image() {
+    let w = by_name("bitcount", Scale::Test).unwrap();
+    let mut cpu = Cpu::new(&w.program);
+    cpu.run(1_000).unwrap();
+    let ck = Checkpoint::capture(&cpu);
+
+    let image = ck.image.as_ref().expect("checkpoint must carry the image");
+    assert!(
+        Arc::ptr_eq(image, &w.program.decoded_image()),
+        "checkpoint image must be a share of the program's, not a copy"
+    );
+
+    // A restored CPU keeps the fast path and behaves exactly like a
+    // restored reference CPU with the image detached.
+    let mut restored = ck.restore();
+    assert!(restored.image().is_some(), "restore must re-attach the image");
+    let mut reference = ck.restore();
+    reference.detach_image();
+    let s1 = restored.run(u64::MAX).unwrap();
+    let s2 = reference.run(u64::MAX).unwrap();
+    assert_eq!(s1, s2);
+    assert_eq!(restored.xregs(), reference.xregs());
+    assert_eq!(restored.instret(), reference.instret());
+
+    // A detailed core seeded from the checkpoint also inherits the image;
+    // lockstep co-simulation confirms it agrees with the golden model.
+    let mut core = Core::from_checkpoint(BoomConfig::medium(), &ck);
+    core.attach_golden_model();
+    let r = core.run(500_000_000);
+    assert!(r.exited && !r.hung, "core-from-checkpoint run: {r:?}");
+    assert_eq!(core.cosim_mismatch(), None, "lockstep golden model diverged");
+}

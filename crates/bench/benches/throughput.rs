@@ -2,10 +2,13 @@
 //! detailed-sim cycles/sec, per workload.
 //!
 //! Unlike the figure benches, this bench tracks the *simulator's own*
-//! speed — the quantity the predecoded-image and flat-memory fast paths
-//! optimize. It writes `BENCH_throughput.json` at the workspace root so
-//! the perf trajectory is comparable across PRs, and CI uploads the file
-//! as an artifact from the perf-smoke job.
+//! speed — the quantity the predecoded-image, flat-memory, and
+//! scoreboard-wakeup fast paths optimize. It writes
+//! `BENCH_throughput.json` at the workspace root so the perf trajectory
+//! is comparable across PRs: the `rows` array keeps the original
+//! MediumBOOM schema (CI's perf-smoke regression gate compares those
+//! rows against the committed baseline), and the `detailed` array covers
+//! the full config × workload matrix the paper's campaign sweeps.
 
 use boom_uarch::{BoomConfig, Core};
 use boomflow_bench::banner;
@@ -14,12 +17,25 @@ use rv_isa::cpu::Cpu;
 use rv_workloads::{by_name, Scale, Workload};
 use std::time::{Duration, Instant};
 
-/// Workloads timed by the bench (one integer-heavy, one memory-heavy).
-const WORKLOADS: [&str; 2] = ["bitcount", "dijkstra"];
+/// Workloads timed by the bench (integer-heavy, sort/pointer-heavy,
+/// memory-heavy, and hash-heavy — one per broad behavior class).
+const WORKLOADS: [&str; 4] = ["bitcount", "qsort", "dijkstra", "sha"];
+
+/// Detailed-simulation configs, smallest to largest.
+const CONFIGS: [&str; 3] = ["MediumBOOM", "LargeBOOM", "MegaBOOM"];
 
 /// Minimum wall-clock per measurement; repetitions accumulate until the
 /// budget is met so short workloads still give stable rates.
 const MIN_WALL: Duration = Duration::from_millis(300);
+
+fn config_by_name(name: &str) -> BoomConfig {
+    match name {
+        "MediumBOOM" => BoomConfig::medium(),
+        "LargeBOOM" => BoomConfig::large(),
+        "MegaBOOM" => BoomConfig::mega(),
+        other => panic!("unknown config {other}"),
+    }
+}
 
 /// Accumulates (work units, seconds) over repetitions of `run` until
 /// [`MIN_WALL`] is spent, then returns units/second.
@@ -47,6 +63,36 @@ struct Row {
     detailed_kips: f64,
 }
 
+/// One cell of the detailed config × workload matrix.
+struct DetailedRow {
+    config: &'static str,
+    workload: &'static str,
+    detailed_kcps: f64,
+    detailed_kips: f64,
+}
+
+/// Times detailed simulation of `w` under `cfg`, returning
+/// (kcycles/sec, kinsts/sec) from one accumulating measurement so the
+/// two rates describe the same repetitions.
+fn measure_detailed(cfg: &BoomConfig, w: &Workload) -> (f64, f64) {
+    let run = || {
+        let mut core = Core::new(cfg.clone(), &w.program);
+        let r = core.run(u64::MAX);
+        assert!(r.exited, "detailed run must exit");
+        (r.cycles, r.retired)
+    };
+    run(); // warm-up
+    let (mut cycles, mut insts) = (0u64, 0u64);
+    let t0 = Instant::now();
+    while t0.elapsed() < MIN_WALL {
+        let (c, i) = run();
+        cycles += c;
+        insts += i;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (cycles as f64 / secs / 1e3, insts as f64 / secs / 1e3)
+}
+
 fn measure(w: &Workload) -> Row {
     let functional = rate(|| {
         let mut cpu = Cpu::new(&w.program);
@@ -61,33 +107,21 @@ fn measure(w: &Workload) -> Row {
         profile.total_insts
     });
     let cfg = BoomConfig::medium();
-    let cycles = rate(|| {
-        let mut core = Core::new(cfg.clone(), &w.program);
-        let r = core.run(u64::MAX);
-        assert!(r.exited, "detailed run must exit");
-        r.cycles
-    });
-    let detailed_kips = {
-        let mut core = Core::new(cfg.clone(), &w.program);
-        let t0 = Instant::now();
-        let r = core.run(u64::MAX);
-        r.retired as f64 / t0.elapsed().as_secs_f64() / 1e3
-    };
+    let (detailed_kcps, detailed_kips) = measure_detailed(&cfg, w);
     Row {
         workload: w.name,
         functional_mips: functional / 1e6,
         profiling_mips: profiling / 1e6,
-        detailed_kcps: cycles / 1e3,
+        detailed_kcps,
         detailed_kips,
     }
 }
 
 fn main() {
     banner("Simulator throughput (functional MIPS, profiling MIPS, detailed kcycles/s)");
-    let rows: Vec<Row> = WORKLOADS
-        .iter()
-        .map(|name| measure(&by_name(name, Scale::Small).expect("known workload")))
-        .collect();
+    let workloads: Vec<Workload> =
+        WORKLOADS.iter().map(|name| by_name(name, Scale::Small).expect("known workload")).collect();
+    let rows: Vec<Row> = workloads.iter().map(measure).collect();
 
     println!(
         "{:<14} {:>16} {:>15} {:>17} {:>15}",
@@ -98,6 +132,25 @@ fn main() {
             "{:<14} {:>16.1} {:>15.1} {:>17.0} {:>15.0}",
             r.workload, r.functional_mips, r.profiling_mips, r.detailed_kcps, r.detailed_kips
         );
+    }
+
+    let mut detailed: Vec<DetailedRow> = Vec::new();
+    println!(
+        "\n{:<12} {:<14} {:>17} {:>15}",
+        "Config", "Workload", "Detailed kcyc/s", "Detailed kips"
+    );
+    for config in CONFIGS {
+        let cfg = config_by_name(config);
+        for w in &workloads {
+            let (kcps, kips) = measure_detailed(&cfg, w);
+            println!("{:<12} {:<14} {:>17.0} {:>15.0}", config, w.name, kcps, kips);
+            detailed.push(DetailedRow {
+                config,
+                workload: w.name,
+                detailed_kcps: kcps,
+                detailed_kips: kips,
+            });
+        }
     }
 
     let json_rows: Vec<String> = rows
@@ -111,10 +164,21 @@ fn main() {
             )
         })
         .collect();
+    let json_detailed: Vec<String> = detailed
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"config\": \"{}\", \"workload\": \"{}\", \
+                 \"detailed_kcycles_per_sec\": {:.1}, \"detailed_kinsts_per_sec\": {:.1}}}",
+                d.config, d.workload, d.detailed_kcps, d.detailed_kips
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"scale\": \"small\",\n  \"detailed_config\": \"MediumBOOM\",\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+         \"rows\": [\n{}\n  ],\n  \"detailed\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+        json_detailed.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

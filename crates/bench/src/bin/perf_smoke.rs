@@ -1,0 +1,285 @@
+//! CI perf-smoke gate: compares a freshly generated `BENCH_throughput.json`
+//! against the committed copy and fails when any detailed-core row regresses
+//! by more than the threshold (default 30%).
+//!
+//! The threshold is deliberately loose: shared CI runners are noisy, and the
+//! point of this gate is to catch the order-of-magnitude mistakes (an
+//! accidental debug build, a hot-loop allocation creeping back in), not to
+//! police single-digit drift. Functional/profiling MIPS are informational
+//! only — the detailed core is the target the hot-loop work optimizes, so
+//! `detailed_kcycles_per_sec` is the only guarded metric.
+//!
+//! The JSON is read with a purpose-built extractor rather than a JSON crate:
+//! the workspace vendors no serializer (see Cargo.toml), and the bench file
+//! format is a flat, known shape that a scanner handles in ~60 lines.
+//!
+//! Usage: `perf_smoke <committed.json> <fresh.json> [--threshold <pct>]`
+
+use std::process::ExitCode;
+
+/// One guarded measurement: a (config, workload) cell's detailed throughput.
+#[derive(Debug, Clone, PartialEq)]
+struct PerfRow {
+    config: String,
+    workload: String,
+    kcycles_per_sec: f64,
+}
+
+/// Returns the text of the `[...]` array following `"key"`, brackets
+/// excluded, or `None` when the key is absent.
+fn find_array<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let open = rest.find('[')?;
+    let body = &rest[open + 1..];
+    let mut depth = 1usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits an array body into its top-level `{...}` objects.
+fn objects(array_body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in array_body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i + 1;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&array_body[start..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Extracts the string value of `"key": "value"` within an object body.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj[start..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123.4` within an object body.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls every guarded row out of a `BENCH_throughput.json` body.
+///
+/// Prefers the per-config `detailed` array; files from before that array
+/// existed fall back to the MediumBOOM `rows` table, with the config name
+/// taken from the top-level `detailed_config` field.
+fn extract_rows(json: &str) -> Vec<PerfRow> {
+    if let Some(body) = find_array(json, "detailed") {
+        return objects(body)
+            .iter()
+            .filter_map(|o| {
+                Some(PerfRow {
+                    config: str_field(o, "config")?,
+                    workload: str_field(o, "workload")?,
+                    kcycles_per_sec: num_field(o, "detailed_kcycles_per_sec")?,
+                })
+            })
+            .collect();
+    }
+    let config = str_field(json, "detailed_config").unwrap_or_else(|| "MediumBOOM".to_string());
+    find_array(json, "rows")
+        .map(|body| {
+            objects(body)
+                .iter()
+                .filter_map(|o| {
+                    Some(PerfRow {
+                        config: config.clone(),
+                        workload: str_field(o, "workload")?,
+                        kcycles_per_sec: num_field(o, "detailed_kcycles_per_sec")?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares fresh rows against the committed baseline; returns the list of
+/// human-readable failures. Cells present on only one side are skipped (the
+/// bench matrix may grow or shrink across commits without breaking CI).
+fn regressions(committed: &[PerfRow], fresh: &[PerfRow], threshold_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in committed {
+        let Some(new) =
+            fresh.iter().find(|r| r.config == base.config && r.workload == base.workload)
+        else {
+            continue;
+        };
+        let floor = base.kcycles_per_sec * (1.0 - threshold_pct / 100.0);
+        if new.kcycles_per_sec < floor {
+            failures.push(format!(
+                "{}/{}: {:.1} kcyc/s vs committed {:.1} (floor {:.1}, -{:.1}%)",
+                base.config,
+                base.workload,
+                new.kcycles_per_sec,
+                base.kcycles_per_sec,
+                floor,
+                (1.0 - new.kcycles_per_sec / base.kcycles_per_sec) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut threshold = 30.0;
+    let mut paths = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold =
+                it.next().and_then(|s| s.parse().ok()).expect("--threshold takes a percentage");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: perf_smoke <committed.json> <fresh.json> [--threshold <pct>]");
+        return ExitCode::from(2);
+    };
+
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let committed = extract_rows(&read(committed_path));
+    let fresh = extract_rows(&read(fresh_path));
+    if committed.is_empty() || fresh.is_empty() {
+        eprintln!(
+            "perf_smoke: no comparable rows (committed: {}, fresh: {})",
+            committed.len(),
+            fresh.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let failures = regressions(&committed, &fresh, threshold);
+    println!(
+        "perf_smoke: {} committed row(s), {} fresh row(s), threshold {threshold}%",
+        committed.len(),
+        fresh.len()
+    );
+    if failures.is_empty() {
+        println!("perf_smoke: OK — no detailed-throughput regression beyond {threshold}%");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf_smoke: REGRESSION {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURRENT: &str = r#"{
+      "scale": "small",
+      "detailed_config": "MediumBOOM",
+      "rows": [
+        {"workload": "Bitcount", "functional_mips": 237.4, "detailed_kcycles_per_sec": 5849.8, "detailed_kinsts_per_sec": 8976.5}
+      ],
+      "detailed": [
+        {"config": "MediumBOOM", "workload": "Bitcount", "detailed_kcycles_per_sec": 5736.8, "detailed_kinsts_per_sec": 8803.0},
+        {"config": "LargeBOOM", "workload": "Qsort", "detailed_kcycles_per_sec": 3570.3, "detailed_kinsts_per_sec": 3822.3}
+      ]
+    }"#;
+
+    const LEGACY: &str = r#"{
+      "scale": "small",
+      "detailed_config": "MediumBOOM",
+      "rows": [
+        {"workload": "Bitcount", "functional_mips": 241.5, "detailed_kcycles_per_sec": 3718.7, "detailed_kinsts_per_sec": 5628.1},
+        {"workload": "Dijkstra", "functional_mips": 224.7, "detailed_kcycles_per_sec": 1794.4, "detailed_kinsts_per_sec": 2981.4}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_detailed_array() {
+        let rows = extract_rows(CURRENT);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].config, "MediumBOOM");
+        assert_eq!(rows[0].workload, "Bitcount");
+        assert!((rows[0].kcycles_per_sec - 5736.8).abs() < 1e-9);
+        assert_eq!(rows[1].config, "LargeBOOM");
+        assert_eq!(rows[1].workload, "Qsort");
+    }
+
+    #[test]
+    fn falls_back_to_rows_for_legacy_files() {
+        let rows = extract_rows(LEGACY);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.config == "MediumBOOM"));
+        assert!((rows[1].kcycles_per_sec - 1794.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_splits_pass_from_fail() {
+        let base = vec![PerfRow {
+            config: "MediumBOOM".into(),
+            workload: "Bitcount".into(),
+            kcycles_per_sec: 1000.0,
+        }];
+        let ok = vec![PerfRow { kcycles_per_sec: 701.0, ..base[0].clone() }];
+        let bad = vec![PerfRow { kcycles_per_sec: 699.0, ..base[0].clone() }];
+        assert!(regressions(&base, &ok, 30.0).is_empty());
+        assert_eq!(regressions(&base, &bad, 30.0).len(), 1);
+    }
+
+    #[test]
+    fn unmatched_cells_are_skipped() {
+        let base = vec![PerfRow {
+            config: "MegaBOOM".into(),
+            workload: "Sha".into(),
+            kcycles_per_sec: 1000.0,
+        }];
+        let fresh = vec![PerfRow {
+            config: "MediumBOOM".into(),
+            workload: "Sha".into(),
+            kcycles_per_sec: 1.0,
+        }];
+        assert!(regressions(&base, &fresh, 30.0).is_empty());
+    }
+
+    #[test]
+    fn number_parsing_stops_at_delimiters() {
+        assert_eq!(num_field(r#""x": 12.5, "y": 3"#, "x"), Some(12.5));
+        assert_eq!(num_field(r#""y": -3}"#, "y"), Some(-3.0));
+        assert_eq!(num_field(r#""z": "not a number""#, "z"), None);
+    }
+}

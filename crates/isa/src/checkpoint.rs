@@ -41,12 +41,20 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Snapshots a functional CPU.
+    ///
+    /// The captured memory image is immediately frozen into
+    /// copy-on-write mode ([`Memory::freeze_flat`]): a checkpoint seeds
+    /// one simulator per (config, SimPoint) work item, and freezing makes
+    /// each of those per-consumer `mem.clone()` calls O(dirty pages)
+    /// instead of a copy of the whole workload footprint.
     pub fn capture(cpu: &Cpu) -> Checkpoint {
+        let mut mem = cpu.mem.clone();
+        mem.freeze_flat();
         Checkpoint {
             pc: cpu.pc(),
             x: *cpu.xregs(),
             f: *cpu.fregs(),
-            mem: cpu.mem.clone(),
+            mem,
             instret: cpu.instret(),
             image: cpu.image().cloned(),
         }
@@ -170,6 +178,25 @@ mod tests {
         let cks = checkpoints_at(&p, &[1_000_000]).unwrap();
         // The loop runs 1000 iterations * 3 insts + prologue/epilogue.
         assert!(cks[0].instret < 4000);
+    }
+
+    #[test]
+    fn captured_memory_is_frozen_and_restores_identically() {
+        let p = counting_program();
+        let mut cpu = Cpu::new(&p);
+        cpu.run(500).unwrap();
+        let ck = Checkpoint::capture(&cpu);
+        assert!(ck.mem.is_frozen(), "capture freezes the image for CoW sharing");
+        // Two restores diverge independently and match a never-frozen run.
+        let mut a = ck.restore();
+        let mut b = ck.restore();
+        let ra = a.run(u64::MAX).unwrap();
+        let rb = b.run(u64::MAX).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.xregs(), b.xregs());
+        let mut reference = Cpu::new(&p);
+        reference.run(u64::MAX).unwrap();
+        assert_eq!(a.xregs(), reference.xregs());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! convention: reads of untouched memory return zero everywhere.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Size of one backing page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
@@ -57,11 +58,58 @@ pub struct Memory {
     /// One-entry cache `(page_number, page_store index)` for the last
     /// overflow page touched by a `&mut` access.
     last_page: (u64, u32),
+    /// Copy-on-write base for the flat region. `None` is *owned* mode:
+    /// `flat` is authoritative and accesses behave exactly as before CoW
+    /// existed. [`Memory::freeze_flat`] moves the flat contents behind
+    /// this `Arc`; from then on `flat` is a same-length local overlay and
+    /// only pages whose bit is set in `cow_dirty` have been copied into
+    /// it. Checkpoints freeze once after capture so every per-SimPoint
+    /// clone shares the base instead of copying the whole footprint.
+    cow_base: Option<Arc<Vec<u8>>>,
+    /// One bit per flat page (only meaningful in CoW mode): set ⇒ the
+    /// page lives in `flat`, clear ⇒ read it from `cow_base`.
+    cow_dirty: Vec<u64>,
 }
 
 /// Sentinel page number that can never match a real address (addresses
 /// divide by `PAGE_SIZE`, so `u64::MAX` is unreachable).
 const NO_PAGE: (u64, u32) = (u64::MAX, 0);
+
+/// Allocates a zero-filled flat buffer of logical length `len`, padded to
+/// [`FLAT_ALLOC_FLOOR`] so `alloc_zeroed` stays on the untouched-mmap
+/// path (see the constant's doc comment).
+fn zeroed_flat(len: usize) -> Vec<u8> {
+    let mut flat = vec![0u8; len.max(FLAT_ALLOC_FLOOR)];
+    flat.truncate(len);
+    flat
+}
+
+/// Iterator over the set bit positions (page indices) of a dirty bitmap.
+struct DirtyPages<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> DirtyPages<'a> {
+    fn new(words: &'a [u64]) -> DirtyPages<'a> {
+        DirtyPages { words, word_idx: 0, current: words.first().copied().unwrap_or(0) }
+    }
+}
+
+impl Iterator for DirtyPages<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
 
 impl Clone for Memory {
     /// Clones with a *sparse* copy of the flat region: the fresh buffer
@@ -73,9 +121,20 @@ impl Clone for Memory {
     fn clone(&self) -> Memory {
         let flat = if self.flat.is_empty() {
             Vec::new()
+        } else if self.cow_base.is_some() {
+            // CoW mode: the shared base carries the image; only pages
+            // dirtied since the freeze live in `flat`, so the clone
+            // copies those and nothing else. Cost is O(dirty pages +
+            // bitmap), independent of the workload footprint.
+            let mut flat = zeroed_flat(self.flat.len());
+            for page in DirtyPages::new(&self.cow_dirty) {
+                let off = page * PAGE_SIZE as usize;
+                flat[off..off + PAGE_SIZE as usize]
+                    .copy_from_slice(&self.flat[off..off + PAGE_SIZE as usize]);
+            }
+            flat
         } else {
-            let mut flat = vec![0u8; self.flat.len().max(FLAT_ALLOC_FLOOR)];
-            flat.truncate(self.flat.len());
+            let mut flat = zeroed_flat(self.flat.len());
             const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
             for (i, chunk) in self.flat.chunks(PAGE_SIZE as usize).enumerate() {
                 if chunk != &ZERO_PAGE[..chunk.len()] {
@@ -90,6 +149,8 @@ impl Clone for Memory {
             page_index: self.page_index.clone(),
             page_store: self.page_store.clone(),
             last_page: self.last_page,
+            cow_base: self.cow_base.clone(),
+            cow_dirty: self.cow_dirty.clone(),
         }
     }
 }
@@ -102,6 +163,8 @@ impl Default for Memory {
             page_index: HashMap::new(),
             page_store: Vec::new(),
             last_page: NO_PAGE,
+            cow_base: None,
+            cow_dirty: Vec::new(),
         }
     }
 }
@@ -136,9 +199,7 @@ impl Memory {
         // `vec![0; n]` lowers to `alloc_zeroed`; padding the request past
         // FLAT_ALLOC_FLOOR keeps it on the untouched-mmap path (see the
         // constant's doc comment). `truncate` only adjusts the length.
-        let mut flat = vec![0u8; (len as usize).max(FLAT_ALLOC_FLOOR)];
-        flat.truncate(len as usize);
-        self.flat = flat;
+        self.flat = zeroed_flat(len as usize);
         // Migrate overlapping overflow pages; their `page_store` slots are
         // orphaned (not freed) so other indices stay valid.
         let first_pn = start / PAGE_SIZE;
@@ -151,6 +212,84 @@ impl Memory {
             }
         }
         self.last_page = NO_PAGE;
+    }
+
+    /// Converts the flat region from owned to copy-on-write: the current
+    /// contents move behind a shared `Arc` and `flat` becomes an all-zero
+    /// same-length overlay with an empty dirty bitmap. Subsequent clones
+    /// share the base and copy only pages dirtied after the freeze, so a
+    /// clone's cost is O(dirty pages) instead of O(footprint).
+    ///
+    /// Reads and writes behave identically before and after freezing
+    /// (writes materialize the touched page from the base first), so
+    /// freezing a checkpoint's memory cannot change simulation results.
+    /// A no-op when already frozen or when no flat region exists.
+    pub fn freeze_flat(&mut self) {
+        if self.cow_base.is_some() || self.flat.is_empty() {
+            return;
+        }
+        let len = self.flat.len();
+        let base = std::mem::replace(&mut self.flat, zeroed_flat(len));
+        self.cow_dirty = vec![0u64; len.div_ceil(PAGE_SIZE as usize).div_ceil(64)];
+        self.cow_base = Some(Arc::new(base));
+    }
+
+    /// Whether the flat region is in copy-on-write mode (see
+    /// [`Memory::freeze_flat`]).
+    pub fn is_frozen(&self) -> bool {
+        self.cow_base.is_some()
+    }
+
+    /// Number of flat pages copied out of the CoW base by writes since
+    /// the freeze (0 in owned mode).
+    pub fn dirty_page_count(&self) -> usize {
+        self.cow_dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    #[inline]
+    fn page_is_dirty(&self, page: usize) -> bool {
+        (self.cow_dirty[page / 64] >> (page % 64)) & 1 != 0
+    }
+
+    /// Ensures every flat page overlapping `[off, off + len)` (flat
+    /// offsets) is materialized in the local overlay; only called in CoW
+    /// mode. The already-dirty case (the steady state) stays inline; the
+    /// once-per-page copy is out of line.
+    #[inline]
+    fn materialize(&mut self, off: u64, len: u64) {
+        let first = (off / PAGE_SIZE) as usize;
+        let last = ((off + len - 1) / PAGE_SIZE) as usize;
+        for page in first..=last {
+            if !self.page_is_dirty(page) {
+                self.copy_page_from_base(page);
+            }
+        }
+    }
+
+    #[cold]
+    fn copy_page_from_base(&mut self, page: usize) {
+        let Some(base) = &self.cow_base else { return };
+        let b = page * PAGE_SIZE as usize;
+        let e = (b + PAGE_SIZE as usize).min(base.len());
+        self.flat[b..e].copy_from_slice(&base[b..e]);
+        self.cow_dirty[page / 64] |= 1 << (page % 64);
+    }
+
+    /// The buffer holding the authoritative copy of the flat page that
+    /// contains flat offset `off` (local overlay if dirty or owned, the
+    /// shared base otherwise).
+    #[inline]
+    fn flat_src(&self, off: u64) -> &[u8] {
+        match &self.cow_base {
+            None => &self.flat,
+            Some(base) => {
+                if self.page_is_dirty((off / PAGE_SIZE) as usize) {
+                    &self.flat
+                } else {
+                    base
+                }
+            }
+        }
     }
 
     /// Number of distinct overflow pages that have been written (the flat
@@ -167,11 +306,14 @@ impl Memory {
     /// Iterates over `(page_base_address, page_bytes)` for all backed
     /// pages: the flat region in page-sized chunks, then overflow pages.
     pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        let flat = self
-            .flat
-            .chunks_exact(PAGE_SIZE as usize)
-            .enumerate()
-            .map(move |(i, chunk)| (self.flat_base + i as u64 * PAGE_SIZE, chunk));
+        // In CoW mode each flat page reads from whichever buffer is
+        // authoritative for it (reserve_flat page-aligns the region, so
+        // chunks are always full pages).
+        let flat = (0..self.flat.len() / PAGE_SIZE as usize).map(move |i| {
+            let off = i as u64 * PAGE_SIZE;
+            let src = self.flat_src(off);
+            (self.flat_base + off, &src[off as usize..off as usize + PAGE_SIZE as usize])
+        });
         let overflow = self
             .page_index
             .iter()
@@ -211,7 +353,7 @@ impl Memory {
     pub fn read_u8(&self, addr: u64) -> u8 {
         let off = addr.wrapping_sub(self.flat_base);
         if off < self.flat.len() as u64 {
-            return self.flat[off as usize];
+            return self.flat_src(off)[off as usize];
         }
         match self.page(addr) {
             Some(p) => p[(addr & PAGE_MASK) as usize],
@@ -224,6 +366,9 @@ impl Memory {
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let off = addr.wrapping_sub(self.flat_base);
         if off < self.flat.len() as u64 {
+            if self.cow_base.is_some() {
+                self.materialize(off, 1);
+            }
             self.flat[off as usize] = value;
             return;
         }
@@ -237,18 +382,28 @@ impl Memory {
         let off = addr.wrapping_sub(self.flat_base);
         let flen = self.flat.len() as u64;
         if off < flen && size <= flen - off {
+            // In CoW mode a page-straddling access may span a dirty and a
+            // clean page; fall back to the byte-wise path for those.
+            if self.cow_base.is_some() && (off & PAGE_MASK) + size > PAGE_SIZE {
+                let mut v = 0u64;
+                for i in 0..size {
+                    v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+                }
+                return v;
+            }
+            let src = self.flat_src(off);
             let off = off as usize;
             // Fixed-width loads per size (a runtime-length copy_from_slice
             // would lower to an actual memcpy call on this hot path).
             return match size {
-                1 => u64::from(self.flat[off]),
-                2 => u64::from(u16::from_le_bytes(
-                    self.flat[off..off + 2].try_into().unwrap_or_default(),
-                )),
-                4 => u64::from(u32::from_le_bytes(
-                    self.flat[off..off + 4].try_into().unwrap_or_default(),
-                )),
-                _ => u64::from_le_bytes(self.flat[off..off + 8].try_into().unwrap_or_default()),
+                1 => u64::from(src[off]),
+                2 => {
+                    u64::from(u16::from_le_bytes(src[off..off + 2].try_into().unwrap_or_default()))
+                }
+                4 => {
+                    u64::from(u32::from_le_bytes(src[off..off + 4].try_into().unwrap_or_default()))
+                }
+                _ => u64::from_le_bytes(src[off..off + 8].try_into().unwrap_or_default()),
             };
         }
         self.read_overflow(addr, size)
@@ -279,6 +434,9 @@ impl Memory {
         let off = addr.wrapping_sub(self.flat_base);
         let flen = self.flat.len() as u64;
         if off < flen && size <= flen - off {
+            if self.cow_base.is_some() {
+                self.materialize(off, size);
+            }
             let off = off as usize;
             // Fixed-width stores per size, as in [`Memory::read`].
             match size {
@@ -322,6 +480,9 @@ impl Memory {
             let flen = self.flat.len() as u64;
             let n = if fo < flen {
                 let n = rest.len().min((flen - fo) as usize);
+                if self.cow_base.is_some() {
+                    self.materialize(fo, n as u64);
+                }
                 let fo = fo as usize;
                 self.flat[fo..fo + n].copy_from_slice(&rest[..n]);
                 n
@@ -473,6 +634,117 @@ mod tests {
                 assert_eq!(m.read(addr, 8), c.read(addr, 8), "mismatch at {addr:#x}");
             }
         }
+    }
+
+    /// A scattered-content memory used by the CoW tests.
+    fn seeded() -> Memory {
+        let mut m = Memory::new();
+        m.reserve_flat(0x8000_0000, 0x8000_0000 + 4 * PAGE_SIZE);
+        m.write(0x8000_0000, 8, 0x0102_0304_0506_0708);
+        m.write(0x8000_0000 + PAGE_SIZE - 3, 8, 0x1111_2222_3333_4444);
+        m.write(0x8000_0000 + 3 * PAGE_SIZE + 8, 4, 0xDEAD_BEEF);
+        m.write(0x1000, 8, 0xABCD); // overflow page
+        m
+    }
+
+    #[test]
+    fn freeze_preserves_every_byte() {
+        let owned = seeded();
+        let mut frozen = seeded();
+        frozen.freeze_flat();
+        assert!(frozen.is_frozen() && !owned.is_frozen());
+        for off in (0..4 * PAGE_SIZE).step_by(4) {
+            let addr = 0x8000_0000 + off;
+            assert_eq!(owned.read(addr, 4), frozen.read(addr, 4), "mismatch at {addr:#x}");
+        }
+        assert_eq!(frozen.read(0x1000, 8), 0xABCD);
+        assert_eq!(frozen.footprint_bytes(), owned.footprint_bytes());
+    }
+
+    #[test]
+    fn frozen_clones_share_the_base_and_write_independently() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let mut a = m.clone();
+        let mut b = m.clone();
+        assert_eq!(a.dirty_page_count(), 0, "fresh clone has no private pages");
+        a.write(0x8000_0000, 8, 111);
+        b.write(0x8000_0000, 8, 222);
+        assert_eq!(m.read(0x8000_0000, 8), 0x0102_0304_0506_0708);
+        assert_eq!(a.read(0x8000_0000, 8), 111);
+        assert_eq!(b.read(0x8000_0000, 8), 222);
+        assert_eq!(a.dirty_page_count(), 1);
+        // Reads around the written word still come from the base.
+        assert_eq!(a.read(0x8000_0000 + PAGE_SIZE - 3, 8), 0x1111_2222_3333_4444);
+    }
+
+    #[test]
+    fn cow_write_materializes_the_rest_of_the_page() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let mut c = m.clone();
+        // Write one byte into page 0: the other bytes of that page must
+        // be copied from the base, not zeroed.
+        c.write_u8(0x8000_0000 + 100, 7);
+        assert_eq!(c.read(0x8000_0000, 8), 0x0102_0304_0506_0708);
+        assert_eq!(c.read_u8(0x8000_0000 + 100), 7);
+    }
+
+    #[test]
+    fn cow_straddling_access_spans_dirty_and_clean_pages() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let mut c = m.clone();
+        let boundary = 0x8000_0000 + PAGE_SIZE;
+        // Dirty page 1 only; page 0 stays in the base. The seeded value
+        // straddles the 0/1 boundary, so a read mixes both sources.
+        c.write(boundary + 16, 8, 1);
+        assert_eq!(c.read(0x8000_0000 + PAGE_SIZE - 3, 8), 0x1111_2222_3333_4444);
+        // A straddling write must materialize both pages.
+        let mut d = m.clone();
+        d.write(boundary - 4, 8, 0x9999_8888_7777_6666);
+        assert_eq!(d.read(boundary - 4, 8), 0x9999_8888_7777_6666);
+        assert_eq!(d.dirty_page_count(), 2);
+        assert_eq!(d.read(0x8000_0000, 8), 0x0102_0304_0506_0708, "rest of page 0 intact");
+    }
+
+    #[test]
+    fn cow_clone_of_a_dirty_clone_carries_private_pages() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let mut a = m.clone();
+        a.write(0x8000_0000 + 2 * PAGE_SIZE, 8, 0xFEED);
+        let b = a.clone();
+        assert_eq!(b.read(0x8000_0000 + 2 * PAGE_SIZE, 8), 0xFEED);
+        assert_eq!(b.read(0x8000_0000, 8), 0x0102_0304_0506_0708);
+        assert_eq!(b.dirty_page_count(), 1);
+    }
+
+    #[test]
+    fn frozen_pages_iterator_matches_owned() {
+        let owned = seeded();
+        let mut frozen = seeded();
+        frozen.freeze_flat();
+        let collect = |m: &Memory| {
+            let mut v: Vec<(u64, Vec<u8>)> = m.pages().map(|(b, p)| (b, p.to_vec())).collect();
+            v.sort_by_key(|(b, _)| *b);
+            v
+        };
+        assert_eq!(collect(&owned), collect(&frozen));
+        // Dirtied pages show their private contents.
+        let mut c = frozen.clone();
+        c.write(0x8000_0000, 8, 42);
+        let pages = collect(&c);
+        assert_eq!(u64::from_le_bytes(pages[1].1[..8].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn freeze_is_idempotent() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let base = m.cow_base.clone().unwrap();
+        m.freeze_flat();
+        assert!(Arc::ptr_eq(&base, m.cow_base.as_ref().unwrap()));
     }
 
     #[test]

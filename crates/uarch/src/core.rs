@@ -10,10 +10,10 @@ use crate::issue::IssueQueue;
 use crate::lsu::{LoadAction, Lsu};
 use crate::predictor::{BranchKind, Btb, CondPredictor, PredMeta, Ras};
 use crate::regfile::{PhysRegFile, Rat};
-use crate::rob::{BranchInfo, DestPhys, Rob, RobEntry, SrcPhys, UopState};
+use crate::rob::{BranchInfo, DestPhys, Rob, RobEntry, SquashedUop, SrcPhys, UopState};
 use crate::stats::Stats;
 use crate::trace::PipeTracer;
-use crate::uop::{classify, DestReg, ExecUnit, IqKind, SrcReg};
+use crate::uop::{classify, DestReg, ExecUnit, IqKind, SrcReg, UopInfo};
 use crate::watchdog::{
     IssueQueueView, LsuView, MshrView, OldestEntryView, RobHeadView, WatchdogSnapshot,
 };
@@ -25,11 +25,17 @@ use rv_isa::inst::{decode, Inst};
 use rv_isa::mem::Memory;
 use rv_isa::program::Program;
 use rv_isa::reg::{FReg, Reg};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 /// Exit syscall number (`a7` value) recognized at commit.
 const SYS_EXIT: u64 = 93;
+
+/// Calendar-ring horizon for completion events, in cycles. Power of two,
+/// comfortably above every modeled latency (memory is 40 cycles); events
+/// scheduled further out spill to the overflow heap.
+const WB_RING: usize = 128;
 /// Cycles without a commit before the core reports itself hung.
 const HANG_LIMIT: u64 = 100_000;
 
@@ -110,6 +116,31 @@ pub struct Core {
     golden: Option<Box<Cpu>>,
     cosim_mismatch: Option<String>,
 
+    /// Completion events: one is scheduled per transition into
+    /// [`UopState::Executing`], and writeback drains only the events due
+    /// this cycle instead of scanning the whole ROB. Events land in a
+    /// calendar ring of per-cycle buckets (`wb_ring[done_at % WB_RING]`) —
+    /// every modeled latency is far below the ring horizon, so the
+    /// min-heap `wb_overflow` exists only as a correctness backstop.
+    /// Events for squashed uops go stale in place; writeback re-validates
+    /// against the ROB entry's state when they surface (seqs are reused
+    /// after a squash, so a stale event can name a live entry — the
+    /// state/`done_at` check makes processing idempotent).
+    wb_ring: Vec<Vec<u64>>,
+    wb_overflow: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Scratch for the issue stage's ready list (reused every cycle).
+    scratch_ready: Vec<(usize, u64)>,
+    /// Scratch for the issue stage's remove set (reused every cycle).
+    scratch_remove: Vec<usize>,
+    /// Scratch for squashed-uop records (reused across mispredicts).
+    scratch_squash: Vec<SquashedUop>,
+    /// Branch bookkeeping for in-flight control-flow uops, indexed by
+    /// `seq % rob_entries`. Live seqs span less than one ROB capacity,
+    /// so each in-flight uop owns a unique slot; keeping this out of
+    /// [`RobEntry`] shrinks the per-dispatch copy that dominates the
+    /// commit/dispatch profile.
+    branch_info: Vec<BranchInfo>,
+
     /// Predecoded text (the fast fetch path); `None` falls back to
     /// fetch + decode from architectural memory.
     image: Option<SharedImage>,
@@ -117,6 +148,11 @@ pub struct Core {
     /// no image is attached, so the guard never fires).
     text_base: u64,
     text_end: u64,
+    /// Micro-op metadata classified once per text word at image install,
+    /// so dispatch reads a table instead of re-classifying each dynamic
+    /// instruction. `None` slots (illegal words, SMC invalidations) fall
+    /// back to [`classify`] on the freshly fetched instruction.
+    uop_table: Vec<Option<UopInfo>>,
 }
 
 impl Core {
@@ -153,6 +189,7 @@ impl Core {
     fn set_image(&mut self, image: SharedImage) {
         self.text_base = image.base();
         self.text_end = image.end();
+        self.uop_table = image.slots().iter().map(|s| s.as_ref().map(classify)).collect();
         self.image = Some(image);
     }
 
@@ -162,6 +199,15 @@ impl Core {
     fn invalidate_text(&mut self, addr: u64, size: u64) {
         if let Some(image) = &mut self.image {
             Arc::make_mut(image).invalidate(addr, size);
+            // Keep the uop table in lockstep with the image: stale slots
+            // must route through the fallback classify path too.
+            let end = addr.saturating_add(size.max(1));
+            let n = self.uop_table.len();
+            let first = ((addr.saturating_sub(self.text_base) / 4) as usize).min(n);
+            let last = ((end.saturating_sub(self.text_base)).div_ceil(4) as usize).min(n);
+            for slot in &mut self.uop_table[first..last] {
+                *slot = None;
+            }
         }
     }
 
@@ -193,6 +239,21 @@ impl Core {
             dcache: Cache::new(cfg.dcache, cfg.mem_latency),
             div_free_at: 0,
             fdiv_free_at: 0,
+            wb_ring: vec![Vec::new(); WB_RING],
+            wb_overflow: BinaryHeap::new(),
+            scratch_ready: Vec::new(),
+            scratch_remove: Vec::new(),
+            scratch_squash: Vec::new(),
+            branch_info: vec![
+                BranchInfo {
+                    pred_next: 0,
+                    pred_taken: false,
+                    pre_hist: 0,
+                    meta: None,
+                    kind: BranchKind::Jump,
+                };
+                cfg.rob_entries
+            ],
             cycle: 0,
             stats,
             exited: None,
@@ -204,6 +265,7 @@ impl Core {
             image: None,
             text_base: 0,
             text_end: 0,
+            uop_table: Vec::new(),
             mem,
             cfg,
         }
@@ -343,11 +405,13 @@ impl Core {
         let start_retired = self.stats.retired;
         let start_cycles = self.stats.cycles;
         self.last_commit_cycle = self.cycle;
-        while self.exited.is_none()
-            && self.stats.retired - start_retired < max_insts
-            && self.cycle - self.last_commit_cycle < HANG_LIMIT
-        {
-            self.step_cycle();
+        // A tracer cannot attach or detach mid-run, so the branch hoists
+        // out of the loop and the untraced common case runs a monomorphic
+        // loop with every `if let Some(tracer)` compiled away.
+        if self.tracer.is_some() {
+            self.run_loop::<true>(start_retired, max_insts);
+        } else {
+            self.run_loop::<false>(start_retired, max_insts);
         }
         RunResult {
             exited: self.exited.is_some(),
@@ -355,6 +419,15 @@ impl Core {
             retired: self.stats.retired - start_retired,
             cycles: self.stats.cycles - start_cycles,
             hung: self.exited.is_none() && self.cycle - self.last_commit_cycle >= HANG_LIMIT,
+        }
+    }
+
+    fn run_loop<const TRACED: bool>(&mut self, start_retired: u64, max_insts: u64) {
+        while self.exited.is_none()
+            && self.stats.retired - start_retired < max_insts
+            && self.cycle - self.last_commit_cycle < HANG_LIMIT
+        {
+            self.step_cycle_impl::<TRACED>();
         }
     }
 
@@ -420,17 +493,25 @@ impl Core {
 
     /// Advances the pipeline by one cycle.
     pub fn step_cycle(&mut self) {
+        if self.tracer.is_some() {
+            self.step_cycle_impl::<true>();
+        } else {
+            self.step_cycle_impl::<false>();
+        }
+    }
+
+    fn step_cycle_impl<const TRACED: bool>(&mut self) {
         self.cycle += 1;
         self.stats.cycles += 1;
-        self.commit();
+        self.commit::<TRACED>();
         if self.exited.is_some() {
             return;
         }
-        self.writeback();
-        self.issue(IqKind::Int);
-        self.issue(IqKind::Mem);
-        self.issue(IqKind::Fp);
-        self.dispatch();
+        self.writeback::<TRACED>();
+        self.issue::<TRACED>(IqKind::Int);
+        self.issue::<TRACED>(IqKind::Mem);
+        self.issue::<TRACED>(IqKind::Fp);
+        self.dispatch::<TRACED>();
         self.fetch();
         self.tick();
     }
@@ -449,7 +530,7 @@ impl Core {
         self.halt_commit = true;
     }
 
-    fn commit(&mut self) {
+    fn commit<const TRACED: bool>(&mut self) {
         if self.halt_commit {
             return;
         }
@@ -478,13 +559,24 @@ impl Core {
                     }
                 }
             }
-            let e = self.rob.pop_head();
+            // Copy out the handful of fields commit consumes, then drop
+            // the head in place — the ~240-byte entry never moves.
+            let head = self.rob.head().expect("head checked above");
+            let (seq, pc, inst, dest) = (head.seq, head.pc, head.inst, head.dest);
+            let (actual_next, taken, mispredicted) =
+                (head.actual_next, head.taken, head.mispredicted);
+            let has_ldq = head.ldq_idx.is_some();
+            // Cold path: lockstep checking wants the whole entry.
+            let golden_entry = self.golden.is_some().then(|| head.clone());
+            self.rob.drop_head();
             self.stats.rob_reads += 1;
             self.last_commit_cycle = self.cycle;
-            if let Some(t) = &mut self.tracer {
-                t.commit(self.cycle, e.seq);
+            if TRACED {
+                if let Some(t) = &mut self.tracer {
+                    t.commit(self.cycle, seq);
+                }
             }
-            if self.golden.is_some() {
+            if let Some(e) = golden_entry {
                 self.lockstep_check(&e);
                 if self.cosim_mismatch.is_some() {
                     self.exited = Some(u64::MAX - 1); // cosim-failure sentinel
@@ -492,7 +584,7 @@ impl Core {
                 }
             }
 
-            match e.dest {
+            match dest {
                 DestPhys::Int { arch, new, prev } => {
                     self.rrat_int.set(arch, new);
                     self.prf_int.release(prev);
@@ -506,47 +598,51 @@ impl Core {
                 DestPhys::None => {}
             }
 
-            if e.inst.is_store() {
-                self.lsu.commit_store(e.seq);
+            if inst.is_store() {
+                self.lsu.commit_store(seq);
             }
-            if e.ldq_idx.is_some() {
-                self.lsu.commit_load(e.seq);
+            if has_ldq {
+                self.lsu.commit_load(seq);
             }
 
-            if let Some(br) = e.branch {
-                match e.inst {
+            // Dispatch fills the side table exactly when the instruction
+            // is control flow, so this gate matches the old
+            // `Option<BranchInfo>` field.
+            if inst.is_control_flow() {
+                let br = self.branch_info[(seq as usize) % self.cfg.rob_entries];
+                match inst {
                     Inst::Branch { .. } => {
                         self.stats.branches += 1;
                         if let Some(meta) = &br.meta {
                             self.pred.update(
-                                e.pc,
+                                pc,
                                 br.pre_hist,
                                 br.pred_taken,
-                                e.taken,
+                                taken,
                                 meta,
                                 &mut self.stats.bp,
                             );
                         }
-                        if e.taken {
-                            self.btb.update(e.pc, e.actual_next, BranchKind::Cond, &mut self.stats.bp);
+                        if taken {
+                            self.btb.update(pc, actual_next, BranchKind::Cond, &mut self.stats.bp);
                         }
                     }
                     Inst::Jalr { .. }
                         // Train the BTB with the indirect target.
                         if br.kind != BranchKind::Return => {
-                            self.btb.update(e.pc, e.actual_next, br.kind, &mut self.stats.bp);
+                            self.btb.update(pc, actual_next, br.kind, &mut self.stats.bp);
                         }
                     _ => {}
                 }
-                if e.mispredicted {
+                if mispredicted {
                     self.stats.mispredicts += 1;
                 }
-                if needs_snapshot(&e.inst) {
+                if needs_snapshot(&inst) {
                     self.br_inflight -= 1;
                 }
             }
 
-            if matches!(e.inst, Inst::Ecall) {
+            if matches!(inst, Inst::Ecall) {
                 let a7 = self.arch_x(Reg::A7);
                 if a7 == SYS_EXIT {
                     self.exited = Some(self.arch_x(Reg::A0));
@@ -555,7 +651,7 @@ impl Core {
                 // model (workloads only use the exit convention in
                 // measured regions).
             }
-            if matches!(e.inst, Inst::Ebreak) {
+            if matches!(inst, Inst::Ebreak) {
                 self.exited = Some(u64::MAX); // breakpoint sentinel
             }
             self.stats.retired += 1;
@@ -569,18 +665,48 @@ impl Core {
     // Writeback / branch resolution
     // ------------------------------------------------------------------
 
-    fn writeback(&mut self) {
-        let completing: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| matches!(e.state, UopState::Executing { done_at } if done_at <= self.cycle))
-            .map(|e| e.seq)
-            .collect();
+    /// Schedules a completion event (transition to `Executing`): into the
+    /// calendar ring when within the horizon, the overflow heap otherwise.
+    #[inline]
+    fn schedule_wb(&mut self, done_at: u64, seq: u64) {
+        if done_at.wrapping_sub(self.cycle) < WB_RING as u64 {
+            self.wb_ring[(done_at as usize) & (WB_RING - 1)].push(seq);
+        } else {
+            self.wb_overflow.push(Reverse((done_at, seq)));
+        }
+    }
 
-        for seq in completing {
-            // A squash triggered by an older completing branch may have
-            // removed this entry.
+    fn writeback<const TRACED: bool>(&mut self) {
+        // Drain this cycle's event bucket instead of scanning the ROB.
+        // Same-cycle events process in ascending seq order, matching the
+        // old oldest-first ROB walk (buckets aren't push-ordered, so sort;
+        // they hold a handful of entries at most). Events can be stale two
+        // ways — the entry was squashed (seq no longer in flight, or a
+        // *reincarnated* entry now owns the seq after `squash_after` reset
+        // `next_seq`), or a duplicate event for an already-written-back
+        // entry — so an event is acted on only when its entry is
+        // `Executing` with a due completion time. Every live Executing
+        // entry has an event at exactly its `done_at`, so none are missed.
+        let idx = (self.cycle as usize) & (WB_RING - 1);
+        let mut due = std::mem::take(&mut self.wb_ring[idx]);
+        while let Some(&Reverse((done_at, seq))) = self.wb_overflow.peek() {
+            if done_at > self.cycle {
+                break;
+            }
+            self.wb_overflow.pop();
+            due.push(seq);
+        }
+        if due.is_empty() {
+            self.wb_ring[idx] = due;
+            return;
+        }
+        due.sort_unstable();
+        for &seq in &due {
             let Some(e) = self.rob.get(seq) else { continue };
+            match e.state {
+                UopState::Executing { done_at } if done_at <= self.cycle => {}
+                _ => continue,
+            }
             let pc = e.pc;
             let inst = e.inst;
             let dest = e.dest;
@@ -599,12 +725,12 @@ impl Core {
                     DestPhys::Int { new, .. } => {
                         self.prf_int.write(new, v);
                         self.stats.irf_writes += 1;
-                        self.broadcast_wakeup();
+                        self.broadcast_wakeup(SrcPhys::Int(new));
                     }
                     DestPhys::Fp { new, .. } => {
                         self.prf_fp.write(new, v);
                         self.stats.frf_writes += 1;
-                        self.broadcast_wakeup();
+                        self.broadcast_wakeup(SrcPhys::Fp(new));
                     }
                     DestPhys::None => {}
                 }
@@ -624,31 +750,37 @@ impl Core {
                 };
                 e.actual_next = actual_next;
                 e.taken = taken;
-                let br = e.branch.expect("control-flow uop carries branch info");
+                let br = self.branch_info[(seq as usize) % self.cfg.rob_entries];
                 if actual_next != br.pred_next {
                     e.mispredicted = true;
                     let new_ghist = match inst {
                         Inst::Branch { .. } => (br.pre_hist << 1) | (taken as u128),
                         _ => br.pre_hist,
                     };
-                    self.squash_after(seq, actual_next, new_ghist);
+                    self.squash_after::<TRACED>(seq, actual_next, new_ghist);
                 }
             }
         }
+        due.clear();
+        self.wb_ring[idx] = due;
     }
 
-    fn broadcast_wakeup(&mut self) {
-        self.iq_int.wakeup_broadcast(&mut self.stats.int_iq);
-        self.iq_mem.wakeup_broadcast(&mut self.stats.mem_iq);
-        self.iq_fp.wakeup_broadcast(&mut self.stats.fp_iq);
+    fn broadcast_wakeup(&mut self, written: SrcPhys) {
+        self.iq_int.wakeup_broadcast(written, &mut self.stats.int_iq);
+        self.iq_mem.wakeup_broadcast(written, &mut self.stats.mem_iq);
+        self.iq_fp.wakeup_broadcast(written, &mut self.stats.fp_iq);
     }
 
-    fn squash_after(&mut self, seq: u64, resume_pc: u64, new_ghist: u128) {
-        let squashed = self.rob.squash_after(seq);
+    fn squash_after<const TRACED: bool>(&mut self, seq: u64, resume_pc: u64, new_ghist: u128) {
+        let mut squashed = std::mem::take(&mut self.scratch_squash);
+        squashed.clear();
+        self.rob.squash_after_brief(seq, &mut squashed);
         self.stats.squashed += squashed.len() as u64;
-        if let Some(t) = &mut self.tracer {
-            for e in &squashed {
-                t.squash(self.cycle, e.seq);
+        if TRACED {
+            if let Some(t) = &mut self.tracer {
+                for e in &squashed {
+                    t.squash(self.cycle, e.seq);
+                }
             }
         }
         for e in &squashed {
@@ -678,33 +810,61 @@ impl Core {
         self.fetch_wedged = false;
         self.ghist = new_ghist;
         self.redirect = Some((resume_pc, self.cycle + self.cfg.redirect_penalty));
+        squashed.clear();
+        self.scratch_squash = squashed;
     }
 
     // ------------------------------------------------------------------
     // Issue / execute
     // ------------------------------------------------------------------
 
-    fn issue(&mut self, kind: IqKind) {
-        let (entries, width): (Vec<(usize, u64)>, usize) = match kind {
-            IqKind::Int => (self.iq_int.candidates(), self.cfg.int_issue_width),
-            IqKind::Mem => (self.iq_mem.candidates(), self.cfg.mem_issue_width),
-            IqKind::Fp => (self.iq_fp.candidates(), self.cfg.fp_issue_width),
+    fn issue<const TRACED: bool>(&mut self, kind: IqKind) {
+        // No entry can select this cycle: skipping the stage entirely is
+        // observationally identical (an empty scan touches no stats).
+        let any_ready = match kind {
+            IqKind::Int => self.iq_int.has_ready(),
+            IqKind::Mem => self.iq_mem.has_ready(),
+            IqKind::Fp => self.iq_fp.has_ready(),
         };
-        let mut remove: Vec<usize> = Vec::new();
+        if !any_ready {
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        let mut remove = std::mem::take(&mut self.scratch_remove);
+        ready.clear();
+        remove.clear();
+        let width = match kind {
+            IqKind::Int => {
+                self.iq_int.ready_candidates_into(&mut ready);
+                self.cfg.int_issue_width
+            }
+            IqKind::Mem => {
+                self.iq_mem.ready_candidates_into(&mut ready);
+                self.cfg.mem_issue_width
+            }
+            IqKind::Fp => {
+                self.iq_fp.ready_candidates_into(&mut ready);
+                self.cfg.fp_issue_width
+            }
+        };
         let mut ports = 0usize;
-        for &(pos, seq) in entries.iter() {
+        for &(pos, seq) in ready.iter() {
             if ports >= width {
                 break;
             }
-            let e = self.rob.get(seq).expect("issue-queue entries are in flight");
-            if e.state != UopState::Waiting || !self.srcs_ready(e) {
-                continue;
-            }
+            // The scoreboard only surfaces entries whose sources have all
+            // broadcast, so no per-candidate readiness poll is needed.
+            debug_assert!({
+                let e = self.rob.get(seq).expect("issue-queue entries are in flight");
+                e.state == UopState::Waiting && self.srcs_ready(e)
+            });
             match self.try_start(seq) {
                 Start::Started => {
-                    if let Some(t) = &mut self.tracer {
-                        t.issue(self.cycle, seq);
-                        t.execute(self.cycle, seq);
+                    if TRACED {
+                        if let Some(t) = &mut self.tracer {
+                            t.issue(self.cycle, seq);
+                            t.execute(self.cycle, seq);
+                        }
                     }
                     remove.push(pos);
                     ports += 1;
@@ -722,6 +882,8 @@ impl Core {
             IqKind::Mem => self.iq_mem.remove_slots(&remove, &mut self.stats.mem_iq),
             IqKind::Fp => self.iq_fp.remove_slots(&remove, &mut self.stats.fp_iq),
         }
+        self.scratch_ready = ready;
+        self.scratch_remove = remove;
     }
 
     fn srcs_ready(&self, e: &RobEntry) -> bool {
@@ -797,9 +959,11 @@ impl Core {
                     }
                     ExecUnit::Agu => unreachable!(),
                 };
+                let done_at = self.cycle + latency;
                 let e = self.rob.get_mut(seq).expect("in flight");
                 e.outcome = Some(outcome);
-                e.state = UopState::Executing { done_at: self.cycle + latency };
+                e.state = UopState::Executing { done_at };
+                self.schedule_wb(done_at, seq);
                 Start::Started
             }
             ExecUnit::Agu => {
@@ -807,9 +971,11 @@ impl Core {
                 match outcome {
                     Outcome::Store { addr, size, data } => {
                         self.lsu.resolve_store(seq, addr, size, data);
+                        let done_at = self.cycle + 1;
                         let e = self.rob.get_mut(seq).expect("in flight");
                         e.outcome = Some(outcome);
-                        e.state = UopState::Executing { done_at: self.cycle + 1 };
+                        e.state = UopState::Executing { done_at };
+                        self.schedule_wb(done_at, seq);
                         Start::Started
                     }
                     Outcome::Load { addr, unit } => {
@@ -818,10 +984,12 @@ impl Core {
                                 Start::Replay
                             }
                             LoadAction::Forward { data } => {
+                                let done_at = self.cycle + 1;
                                 let e = self.rob.get_mut(seq).expect("in flight");
                                 e.outcome = Some(outcome);
                                 e.load_value = Some(exec::load_result(unit, data));
-                                e.state = UopState::Executing { done_at: self.cycle + 1 };
+                                e.state = UopState::Executing { done_at };
+                                self.schedule_wb(done_at, seq);
                                 Start::Started
                             }
                             LoadAction::Access => {
@@ -840,6 +1008,7 @@ impl Core {
                                         e.outcome = Some(outcome);
                                         e.load_value = Some(exec::load_result(unit, raw));
                                         e.state = UopState::Executing { done_at: ready };
+                                        self.schedule_wb(ready, seq);
                                         Start::Started
                                     }
                                 }
@@ -856,10 +1025,24 @@ impl Core {
     // Decode / rename / dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self) {
+    /// Micro-op metadata for `pc`, from the precomputed table when the pc
+    /// is a live predecoded slot; otherwise classified from the fetched
+    /// instruction (identical result — the table is just memoization).
+    #[inline]
+    fn uop_for(&self, pc: u64, inst: &Inst) -> UopInfo {
+        let off = pc.wrapping_sub(self.text_base);
+        if off & 3 == 0 {
+            if let Some(Some(u)) = self.uop_table.get((off >> 2) as usize) {
+                return *u;
+            }
+        }
+        classify(inst)
+    }
+
+    fn dispatch<const TRACED: bool>(&mut self) {
         for _ in 0..self.cfg.decode_width {
             let Some(f) = self.fetch_buffer.front().copied() else { break };
-            let uop = classify(&f.inst);
+            let uop = self.uop_for(f.pc, &f.inst);
 
             // All resource checks happen before any state changes.
             if self.rob.is_full() {
@@ -895,17 +1078,27 @@ impl Core {
             self.stats.fetch_buffer_reads += 1;
             self.stats.decoded += 1;
 
-            // Rename sources.
+            // Rename sources, probing the busy table once per source so
+            // the issue-queue entry starts with an exact pending mask.
             let mut srcs: [Option<SrcPhys>; 3] = [None; 3];
+            let mut pending: u8 = 0;
             for (slot, s) in uop.srcs.iter().enumerate() {
                 srcs[slot] = match s {
                     Some(SrcReg::Int(r)) => {
                         self.stats.int_rename.map_reads += 1;
-                        Some(SrcPhys::Int(self.rat_int.get(r.index())))
+                        let p = self.rat_int.get(r.index());
+                        if !self.prf_int.is_ready(p) {
+                            pending |= 1 << slot;
+                        }
+                        Some(SrcPhys::Int(p))
                     }
                     Some(SrcReg::Fp(r)) => {
                         self.stats.fp_rename.map_reads += 1;
-                        Some(SrcPhys::Fp(self.rat_fp.get(r.index())))
+                        let p = self.rat_fp.get(r.index());
+                        if !self.prf_fp.is_ready(p) {
+                            pending |= 1 << slot;
+                        }
+                        Some(SrcPhys::Fp(p))
                     }
                     None => None,
                 };
@@ -939,14 +1132,6 @@ impl Core {
                 self.stats.fp_rename.snapshot_writes += 1;
             }
 
-            let branch = f.inst.is_control_flow().then(|| BranchInfo {
-                pred_next: f.pred_next,
-                pred_taken: f.pred_taken,
-                pre_hist: f.pre_hist,
-                meta: f.meta,
-                kind: f.kind.unwrap_or(BranchKind::Jump),
-            });
-
             let entry = RobEntry {
                 seq: 0, // assigned by the ROB
                 pc: f.pc,
@@ -956,7 +1141,6 @@ impl Core {
                 srcs,
                 dest,
                 state: UopState::Waiting,
-                branch,
                 actual_next: f.pc.wrapping_add(4),
                 taken: false,
                 mispredicted: false,
@@ -966,9 +1150,23 @@ impl Core {
                 load_value: None,
             };
             let seq = self.rob.push(entry);
+            if f.inst.is_control_flow() {
+                // Branch bookkeeping lives in a seq-indexed side table
+                // (live seqs span less than one ROB capacity, so the
+                // modular slot is unique while the uop is in flight).
+                self.branch_info[(seq as usize) % self.cfg.rob_entries] = BranchInfo {
+                    pred_next: f.pred_next,
+                    pred_taken: f.pred_taken,
+                    pre_hist: f.pre_hist,
+                    meta: f.meta,
+                    kind: f.kind.unwrap_or(BranchKind::Jump),
+                };
+            }
             self.stats.rob_writes += 1;
-            if let Some(t) = &mut self.tracer {
-                t.dispatch(self.cycle, seq, f.pc, &f.inst);
+            if TRACED {
+                if let Some(t) = &mut self.tracer {
+                    t.dispatch(self.cycle, seq, f.pc, &f.inst);
+                }
             }
 
             if f.inst.is_load() {
@@ -980,9 +1178,9 @@ impl Core {
             }
 
             match uop.iq {
-                IqKind::Int => self.iq_int.insert(seq, &mut self.stats.int_iq),
-                IqKind::Mem => self.iq_mem.insert(seq, &mut self.stats.mem_iq),
-                IqKind::Fp => self.iq_fp.insert(seq, &mut self.stats.fp_iq),
+                IqKind::Int => self.iq_int.insert(seq, srcs, pending, &mut self.stats.int_iq),
+                IqKind::Mem => self.iq_mem.insert(seq, srcs, pending, &mut self.stats.mem_iq),
+                IqKind::Fp => self.iq_fp.insert(seq, srcs, pending, &mut self.stats.fp_iq),
             }
         }
     }

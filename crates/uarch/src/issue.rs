@@ -12,8 +12,59 @@
 //!
 //! The queue tracks per-slot occupancy and write counts so the power model
 //! can reproduce the paper's Fig. 8 (per-slot power of Dijkstra vs Sha).
+//!
+//! # Layout
+//!
+//! Every *activity counter* of the collapsing queue — insert position,
+//! shift count, per-slot writes and residency — is a function of logical
+//! (age-order) positions only, never of where entries sit in host memory.
+//! That licenses a ring-buffer representation: logical position `i` lives
+//! at physical index `(head + i) & mask`, so issuing the oldest entry is
+//! a head bump instead of memmoving the whole queue, and a mid-queue
+//! removal shifts whichever side of the hole is shorter. The modeled
+//! collapse energy (`collapse_writes`, `slot_writes`) is still charged
+//! from the logical positions, so the power inputs are bit-identical to
+//! the naive shift-everything layout. Entries are packed 24-byte records
+//! (seq + three one-word source tags + pending mask), and a cached ready
+//! count lets the issue stage skip queues with nothing to select.
 
+use crate::regfile::PReg;
+use crate::rob::SrcPhys;
 use crate::stats::IssueQueueStats;
+
+/// A renamed source packed into one word: 0 = no source, otherwise a
+/// valid bit, a register-class bit, and the physical register index —
+/// so the wakeup CAM compares one integer per source slot.
+const SRC_NONE: u32 = 0;
+
+#[inline]
+fn pack_src(src: Option<SrcPhys>) -> u32 {
+    match src {
+        None => SRC_NONE,
+        Some(SrcPhys::Int(p)) => 0x8000_0000 | u32::from(p),
+        Some(SrcPhys::Fp(p)) => 0x8001_0000 | u32::from(p),
+    }
+}
+
+#[inline]
+fn unpack_src(tag: u32) -> Option<SrcPhys> {
+    if tag == SRC_NONE {
+        None
+    } else if tag & 0x1_0000 != 0 {
+        Some(SrcPhys::Fp((tag & 0xFFFF) as PReg))
+    } else {
+        Some(SrcPhys::Int((tag & 0xFFFF) as PReg))
+    }
+}
+
+/// One issue-queue entry: a uop's identity, its renamed sources as CAM
+/// tags, and which of them are still outstanding.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    seq: u64,
+    tags: [u32; 3],
+    pending: u8,
+}
 
 /// Which issue-queue implementation a core uses (Key Takeaway #5 ablation).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -29,14 +80,26 @@ pub enum IssueQueueKind {
 /// An issue queue holding uop sequence numbers.
 ///
 /// Both implementations expose the same interface: [`IssueQueue::candidates`]
-/// yields `(physical_slot, seq)` pairs oldest-first, and
-/// [`IssueQueue::remove_slots`] removes issued entries by physical slot.
+/// yields `(slot, seq)` pairs oldest-first — logical age positions for the
+/// collapsing flavour, physical slots for the non-collapsing one — and
+/// [`IssueQueue::remove_slots`] removes issued entries by those indices.
 #[derive(Clone, Debug)]
 pub struct IssueQueue {
     kind: IssueQueueKind,
-    /// Collapsing: dense, index 0 = oldest. Non-collapsing: fixed slots.
-    slots: Vec<Option<u64>>,
+    /// Collapsing: a ring sized to the next power of two, where logical
+    /// position `i` lives at `(head + i) & mask`. Non-collapsing: exactly
+    /// `capacity` fixed slots gated by `valid`.
+    slots: Vec<Slot>,
+    /// Slot validity (non-collapsing only).
+    valid: Vec<bool>,
+    /// Ring origin (collapsing only).
+    head: usize,
+    /// Ring index mask (collapsing only).
+    mask: usize,
     occupied: usize,
+    /// Occupied entries whose pending mask is clear — lets the issue
+    /// stage skip the ready scan entirely when nothing can select.
+    ready: usize,
     capacity: usize,
 }
 
@@ -48,11 +111,26 @@ impl IssueQueue {
 
     /// Creates a queue of the given implementation kind.
     pub fn with_kind(kind: IssueQueueKind, capacity: usize) -> IssueQueue {
-        let slots = match kind {
-            IssueQueueKind::Collapsing => Vec::with_capacity(capacity),
-            IssueQueueKind::NonCollapsing => vec![None; capacity],
+        let storage = match kind {
+            IssueQueueKind::Collapsing => capacity.next_power_of_two().max(1),
+            IssueQueueKind::NonCollapsing => capacity,
         };
-        IssueQueue { kind, slots, occupied: 0, capacity }
+        IssueQueue {
+            kind,
+            slots: vec![Slot::default(); storage],
+            valid: vec![false; storage],
+            head: 0,
+            mask: storage - 1,
+            occupied: 0,
+            ready: 0,
+            capacity,
+        }
+    }
+
+    /// Physical ring index of logical (age) position `i` (collapsing).
+    #[inline]
+    fn ring(&self, i: usize) -> usize {
+        (self.head + i) & self.mask
     }
 
     /// The implementation flavour.
@@ -75,52 +153,102 @@ impl IssueQueue {
         self.occupied >= self.capacity
     }
 
+    /// True when at least one occupied entry has a clear pending mask.
+    #[inline]
+    pub fn has_ready(&self) -> bool {
+        self.ready != 0
+    }
+
     /// Queue capacity in slots.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Inserts a dispatched uop.
+    /// Inserts a dispatched uop with its renamed sources and the pending
+    /// bitmask computed against the busy table at dispatch (bit `i` set ⇒
+    /// source slot `i` is still waiting for its value).
     ///
     /// # Panics
     ///
     /// Panics if the queue is full (dispatch must check [`IssueQueue::is_full`]).
-    pub fn insert(&mut self, seq: u64, stats: &mut IssueQueueStats) {
+    pub fn insert(
+        &mut self,
+        seq: u64,
+        srcs: [Option<SrcPhys>; 3],
+        pending: u8,
+        stats: &mut IssueQueueStats,
+    ) {
         assert!(!self.is_full(), "issue queue overflow");
-        let pos = match self.kind {
-            IssueQueueKind::Collapsing => {
-                self.slots.push(Some(seq));
-                self.slots.len() - 1
-            }
+        let slot =
+            Slot { seq, tags: [pack_src(srcs[0]), pack_src(srcs[1]), pack_src(srcs[2])], pending };
+        let (pos, idx) = match self.kind {
+            IssueQueueKind::Collapsing => (self.occupied, self.ring(self.occupied)),
             IssueQueueKind::NonCollapsing => {
-                let pos = self
-                    .slots
-                    .iter()
-                    .position(|s| s.is_none())
-                    .expect("a free slot exists when not full");
-                self.slots[pos] = Some(seq);
-                pos
+                let idx =
+                    self.valid.iter().position(|v| !v).expect("a free slot exists when not full");
+                (idx, idx)
             }
         };
+        self.slots[idx] = slot;
+        self.valid[idx] = true;
         self.occupied += 1;
+        self.ready += usize::from(pending == 0);
         stats.writes += 1;
         stats.slot_writes[pos] += 1;
     }
 
-    /// Waiting uops as `(physical_slot, seq)` pairs, oldest first.
+    /// Waiting uops as `(slot, seq)` pairs, oldest first (allocates;
+    /// diagnostics/tests only — the issue stage uses
+    /// [`IssueQueue::ready_candidates_into`]).
     pub fn candidates(&self) -> Vec<(usize, u64)> {
-        let mut out: Vec<(usize, u64)> =
-            self.slots.iter().enumerate().filter_map(|(i, s)| s.map(|seq| (i, seq))).collect();
-        // Collapsing queues are already age-ordered by position; the
-        // non-collapsing queue's age picker sorts by sequence number.
-        if self.kind == IssueQueueKind::NonCollapsing {
-            out.sort_unstable_by_key(|&(_, seq)| seq);
+        match self.kind {
+            IssueQueueKind::Collapsing => {
+                (0..self.occupied).map(|i| (i, self.slots[self.ring(i)].seq)).collect()
+            }
+            IssueQueueKind::NonCollapsing => {
+                // The age-ordered select network: oldest sequence first.
+                let mut out: Vec<(usize, u64)> = (0..self.capacity)
+                    .filter(|&i| self.valid[i])
+                    .map(|i| (i, self.slots[i].seq))
+                    .collect();
+                out.sort_unstable_by_key(|&(_, seq)| seq);
+                out
+            }
         }
-        out
     }
 
-    /// Removes the issued entries at the given physical slots (ascending),
-    /// counting collapse shifts for the collapsing flavour.
+    /// Appends the *ready* waiting uops (pending mask clear) to `out` as
+    /// `(slot, seq)` pairs, oldest first. The issue stage walks only
+    /// these — readiness was already resolved by wakeup broadcasts, so no
+    /// register-file or ROB lookups happen here.
+    pub fn ready_candidates_into(&self, out: &mut Vec<(usize, u64)>) {
+        if self.ready == 0 {
+            return;
+        }
+        match self.kind {
+            IssueQueueKind::Collapsing => {
+                for i in 0..self.occupied {
+                    let s = &self.slots[self.ring(i)];
+                    if s.pending == 0 {
+                        out.push((i, s.seq));
+                    }
+                }
+            }
+            IssueQueueKind::NonCollapsing => {
+                let from = out.len();
+                for i in 0..self.capacity {
+                    if self.valid[i] && self.slots[i].pending == 0 {
+                        out.push((i, self.slots[i].seq));
+                    }
+                }
+                out[from..].sort_unstable_by_key(|&(_, seq)| seq);
+            }
+        }
+    }
+
+    /// Removes the issued entries at the given slots (ascending; logical
+    /// positions for the collapsing flavour), charging collapse shifts
+    /// exactly as the shift-everything hardware would pay them.
     ///
     /// # Panics
     ///
@@ -130,26 +258,43 @@ impl IssueQueue {
         match self.kind {
             IssueQueueKind::Collapsing => {
                 for &pos in slots.iter().rev() {
-                    assert!(self.slots[pos].is_some(), "removing an empty slot");
-                    self.slots.remove(pos);
-                    // Every entry that was above `pos` shifts down one slot.
-                    let shifted = self.slots.len() - pos;
-                    stats.collapse_writes += shifted as u64;
-                    for target in pos..self.slots.len() {
+                    assert!(pos < self.occupied, "removing an empty slot");
+                    self.ready -= usize::from(self.slots[self.ring(pos)].pending == 0);
+                    // Modeled energy: entries logically above `pos` each
+                    // shift down one slot, regardless of how the host
+                    // representation fills the hole.
+                    let after = self.occupied - 1 - pos;
+                    stats.collapse_writes += after as u64;
+                    for target in pos..self.occupied - 1 {
                         stats.slot_writes[target] += 1;
                     }
                     stats.issued += 1;
+                    // Host movement: close the hole from the shorter side.
+                    if pos <= after {
+                        for j in (0..pos).rev() {
+                            let (dst, src) = (self.ring(j + 1), self.ring(j));
+                            self.slots[dst] = self.slots[src];
+                        }
+                        self.head = (self.head + 1) & self.mask;
+                    } else {
+                        for j in pos..self.occupied - 1 {
+                            let (dst, src) = (self.ring(j), self.ring(j + 1));
+                            self.slots[dst] = self.slots[src];
+                        }
+                    }
+                    self.occupied -= 1;
                 }
             }
             IssueQueueKind::NonCollapsing => {
                 for &pos in slots {
-                    assert!(self.slots[pos].is_some(), "removing an empty slot");
-                    self.slots[pos] = None;
+                    assert!(self.valid[pos], "removing an empty slot");
+                    self.valid[pos] = false;
+                    self.ready -= usize::from(self.slots[pos].pending == 0);
                     stats.issued += 1;
                 }
+                self.occupied -= slots.len();
             }
         }
-        self.occupied -= slots.len();
     }
 
     /// Drops every entry younger than (strictly after) `seq`; returns the
@@ -158,37 +303,114 @@ impl IssueQueue {
         let mut squashed = 0;
         match self.kind {
             IssueQueueKind::Collapsing => {
-                let before = self.slots.len();
-                self.slots.retain(|s| s.is_some_and(|x| x <= seq));
-                squashed = before - self.slots.len();
+                // Dispatch order means squashed entries are normally a
+                // suffix; trim it first, then compact any stragglers.
+                while self.occupied > 0 && self.slots[self.ring(self.occupied - 1)].seq > seq {
+                    self.occupied -= 1;
+                    self.ready -= usize::from(self.slots[self.ring(self.occupied)].pending == 0);
+                    squashed += 1;
+                }
+                let mut keep = 0;
+                for i in 0..self.occupied {
+                    let s = self.slots[self.ring(i)];
+                    if s.seq <= seq {
+                        if keep != i {
+                            let dst = self.ring(keep);
+                            self.slots[dst] = s;
+                        }
+                        keep += 1;
+                    } else {
+                        squashed += 1;
+                        self.ready -= usize::from(s.pending == 0);
+                    }
+                }
+                self.occupied = keep;
             }
             IssueQueueKind::NonCollapsing => {
-                for s in &mut self.slots {
-                    if s.is_some_and(|x| x > seq) {
-                        *s = None;
+                for i in 0..self.capacity {
+                    if self.valid[i] && self.slots[i].seq > seq {
+                        self.valid[i] = false;
+                        self.ready -= usize::from(self.slots[i].pending == 0);
                         squashed += 1;
                     }
                 }
+                self.occupied -= squashed;
             }
         }
-        self.occupied -= squashed;
         squashed
     }
 
     /// Per-cycle bookkeeping: occupancy sums and per-slot residency.
+    /// Collapsing residency is by logical position, so no entry data is
+    /// read at all — only `occupied` matters.
     pub fn tick(&self, stats: &mut IssueQueueStats) {
         stats.occupancy_sum += self.occupied as u64;
-        for (i, s) in self.slots.iter().enumerate() {
-            if s.is_some() {
-                stats.slot_occupancy[i] += 1;
+        match self.kind {
+            IssueQueueKind::Collapsing => {
+                for slot in &mut stats.slot_occupancy[..self.occupied] {
+                    *slot += 1;
+                }
+            }
+            IssueQueueKind::NonCollapsing => {
+                for i in 0..self.capacity {
+                    if self.valid[i] {
+                        stats.slot_occupancy[i] += 1;
+                    }
+                }
             }
         }
     }
 
     /// Records a wakeup broadcast: every waiting entry compares its source
-    /// tags against the completing destination (CAM match energy).
-    pub fn wakeup_broadcast(&self, stats: &mut IssueQueueStats) {
+    /// tags against the completing destination (CAM match energy), and
+    /// matching entries clear the corresponding pending bit — the
+    /// scoreboard update that replaces per-cycle readiness polling.
+    pub fn wakeup_broadcast(&mut self, written: SrcPhys, stats: &mut IssueQueueStats) {
         stats.wakeup_cam_matches += self.occupied as u64;
+        if self.ready == self.occupied {
+            return; // nothing is waiting on any source
+        }
+        let target = pack_src(Some(written));
+        match self.kind {
+            IssueQueueKind::Collapsing => {
+                for i in 0..self.occupied {
+                    let idx = self.ring(i);
+                    let s = &mut self.slots[idx];
+                    if s.pending != 0 {
+                        let hit = u8::from(s.tags[0] == target)
+                            | (u8::from(s.tags[1] == target) << 1)
+                            | (u8::from(s.tags[2] == target) << 2);
+                        let np = s.pending & !hit;
+                        s.pending = np;
+                        self.ready += usize::from(np == 0);
+                    }
+                }
+            }
+            IssueQueueKind::NonCollapsing => {
+                for i in 0..self.capacity {
+                    let s = &mut self.slots[i];
+                    if s.pending != 0 && self.valid[i] {
+                        let hit = u8::from(s.tags[0] == target)
+                            | (u8::from(s.tags[1] == target) << 1)
+                            | (u8::from(s.tags[2] == target) << 2);
+                        let np = s.pending & !hit;
+                        s.pending = np;
+                        self.ready += usize::from(np == 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The renamed sources of the entry at `slot` (diagnostics/tests;
+    /// logical position for the collapsing flavour).
+    pub fn slot_srcs(&self, slot: usize) -> [Option<SrcPhys>; 3] {
+        let idx = match self.kind {
+            IssueQueueKind::Collapsing => self.ring(slot),
+            IssueQueueKind::NonCollapsing => slot,
+        };
+        let t = &self.slots[idx].tags;
+        [unpack_src(t[0]), unpack_src(t[1]), unpack_src(t[2])]
     }
 }
 
@@ -204,12 +426,24 @@ mod tests {
         q.candidates().iter().map(|&(_, s)| s).collect()
     }
 
+    /// Insert with no sources (ready immediately) — most structural tests
+    /// don't care about the wakeup scoreboard.
+    fn ins(q: &mut IssueQueue, seq: u64, s: &mut IssueQueueStats) {
+        q.insert(seq, [None; 3], 0, s);
+    }
+
+    fn ready_seqs(q: &IssueQueue) -> Vec<u64> {
+        let mut out = Vec::new();
+        q.ready_candidates_into(&mut out);
+        out.iter().map(|&(_, s)| s).collect()
+    }
+
     #[test]
     fn insert_and_age_order() {
         let (mut q, mut s) = queue_and_stats(4);
-        q.insert(10, &mut s);
-        q.insert(11, &mut s);
-        q.insert(12, &mut s);
+        ins(&mut q, 10, &mut s);
+        ins(&mut q, 11, &mut s);
+        ins(&mut q, 12, &mut s);
         assert_eq!(seqs(&q), vec![10, 11, 12]);
         assert_eq!(s.writes, 3);
         assert_eq!(s.slot_writes, vec![1, 1, 1, 0]);
@@ -219,7 +453,7 @@ mod tests {
     fn remove_collapses_and_counts_shifts() {
         let (mut q, mut s) = queue_and_stats(4);
         for seq in 0..4 {
-            q.insert(seq, &mut s);
+            ins(&mut q, seq, &mut s);
         }
         // Issue the oldest: 3 entries shift down.
         q.remove_slots(&[0], &mut s);
@@ -233,7 +467,7 @@ mod tests {
     fn remove_multiple_slots() {
         let (mut q, mut s) = queue_and_stats(8);
         for seq in 0..6 {
-            q.insert(seq, &mut s);
+            ins(&mut q, seq, &mut s);
         }
         q.remove_slots(&[1, 4], &mut s);
         assert_eq!(seqs(&q), vec![0, 2, 3, 5]);
@@ -241,10 +475,26 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_across_sustained_insert_remove() {
+        let (mut q, mut s) = queue_and_stats(4);
+        // Far more operations than the ring size, always removing the
+        // oldest: exercises head wrap-around.
+        for seq in 0..64u64 {
+            ins(&mut q, seq, &mut s);
+            if q.len() == 3 {
+                let head = q.candidates()[0];
+                assert_eq!(head.1, seq - 2, "oldest survives in age order");
+                q.remove_slots(&[head.0], &mut s);
+            }
+        }
+        assert_eq!(seqs(&q), vec![62, 63]);
+    }
+
+    #[test]
     fn squash_drops_younger_only() {
         let (mut q, mut s) = queue_and_stats(8);
         for seq in [5, 7, 9, 11] {
-            q.insert(seq, &mut s);
+            ins(&mut q, seq, &mut s);
         }
         let n = q.squash_after(7);
         assert_eq!(n, 2);
@@ -252,10 +502,21 @@ mod tests {
     }
 
     #[test]
+    fn squash_compacts_out_of_order_entries() {
+        let (mut q, mut s) = queue_and_stats(8);
+        for seq in [4, 9, 2, 7] {
+            ins(&mut q, seq, &mut s);
+        }
+        let n = q.squash_after(4);
+        assert_eq!(n, 2);
+        assert_eq!(seqs(&q), vec![4, 2], "insertion order kept for survivors");
+    }
+
+    #[test]
     fn tick_accumulates_per_slot_occupancy() {
         let (mut q, mut s) = queue_and_stats(4);
-        q.insert(1, &mut s);
-        q.insert(2, &mut s);
+        ins(&mut q, 1, &mut s);
+        ins(&mut q, 2, &mut s);
         q.tick(&mut s);
         q.tick(&mut s);
         assert_eq!(s.occupancy_sum, 4);
@@ -266,8 +527,8 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let (mut q, mut s) = queue_and_stats(1);
-        q.insert(1, &mut s);
-        q.insert(2, &mut s);
+        ins(&mut q, 1, &mut s);
+        ins(&mut q, 2, &mut s);
     }
 
     // ---- non-collapsing flavour ------------------------------------
@@ -280,12 +541,12 @@ mod tests {
     fn non_collapsing_reuses_freed_slots_without_shifts() {
         let (mut q, mut s) = nc_queue(4);
         for seq in 0..4 {
-            q.insert(seq, &mut s);
+            ins(&mut q, seq, &mut s);
         }
         q.remove_slots(&[1], &mut s);
         assert_eq!(s.collapse_writes, 0, "no shifts in a non-collapsing queue");
         // Next insert lands in the freed slot 1.
-        q.insert(9, &mut s);
+        ins(&mut q, 9, &mut s);
         assert_eq!(s.slot_writes[1], 2);
         // Age order is by sequence, not position.
         assert_eq!(seqs(&q), vec![0, 2, 3, 9]);
@@ -296,15 +557,15 @@ mod tests {
     fn non_collapsing_squash_and_occupancy() {
         let (mut q, mut s) = nc_queue(4);
         for seq in [3, 8, 5, 10] {
-            q.insert(seq, &mut s);
+            ins(&mut q, seq, &mut s);
         }
         assert_eq!(q.squash_after(5), 2);
         assert_eq!(q.len(), 2);
         q.tick(&mut s);
         assert_eq!(s.occupancy_sum, 2);
         // Slots 1 and 3 (which held 8 and 10) are free again.
-        q.insert(11, &mut s);
-        q.insert(12, &mut s);
+        ins(&mut q, 11, &mut s);
+        ins(&mut q, 12, &mut s);
         assert!(q.is_full());
     }
 
@@ -315,13 +576,84 @@ mod tests {
         for seq in [4, 1, 7, 2] {
             // (Sequence numbers arrive in dispatch order in the core, but
             // the queue must not depend on that.)
-            c.insert(seq, &mut cs);
-            n.insert(seq, &mut ns);
+            ins(&mut c, seq, &mut cs);
+            ins(&mut n, seq, &mut ns);
         }
         // Collapsing preserves insertion order; non-collapsing sorts by
         // seq. For in-order dispatch these coincide; assert the
         // non-collapsing one is truly age-sorted.
         let ages: Vec<u64> = n.candidates().iter().map(|&(_, s)| s).collect();
         assert_eq!(ages, vec![1, 2, 4, 7]);
+    }
+
+    // ---- wakeup scoreboard ------------------------------------------
+
+    #[test]
+    fn pending_entries_wake_on_matching_broadcast() {
+        let (mut q, mut s) = queue_and_stats(4);
+        q.insert(1, [Some(SrcPhys::Int(40)), Some(SrcPhys::Int(41)), None], 0b11, &mut s);
+        ins(&mut q, 2, &mut s);
+        assert_eq!(ready_seqs(&q), vec![2], "two-source entry starts pending");
+        q.wakeup_broadcast(SrcPhys::Int(40), &mut s);
+        assert_eq!(ready_seqs(&q), vec![2], "one source still outstanding");
+        q.wakeup_broadcast(SrcPhys::Int(41), &mut s);
+        assert_eq!(ready_seqs(&q), vec![1, 2], "both woken, age order kept");
+        assert_eq!(s.wakeup_cam_matches, 4, "each broadcast CAMs all occupied entries");
+    }
+
+    #[test]
+    fn broadcast_distinguishes_register_classes() {
+        let (mut q, mut s) = queue_and_stats(4);
+        q.insert(1, [Some(SrcPhys::Fp(40)), None, None], 0b1, &mut s);
+        q.wakeup_broadcast(SrcPhys::Int(40), &mut s);
+        assert!(ready_seqs(&q).is_empty(), "int broadcast must not wake an fp source");
+        q.wakeup_broadcast(SrcPhys::Fp(40), &mut s);
+        assert_eq!(ready_seqs(&q), vec![1]);
+    }
+
+    #[test]
+    fn one_broadcast_clears_every_matching_slot() {
+        let (mut q, mut s) = queue_and_stats(4);
+        // Same preg feeds both sources (e.g. `add a0, t0, t0`).
+        q.insert(3, [Some(SrcPhys::Int(50)), Some(SrcPhys::Int(50)), None], 0b11, &mut s);
+        q.wakeup_broadcast(SrcPhys::Int(50), &mut s);
+        assert_eq!(ready_seqs(&q), vec![3]);
+    }
+
+    #[test]
+    fn ready_candidates_sorted_by_age_in_non_collapsing() {
+        let (mut q, mut s) = nc_queue(4);
+        for seq in [4, 1, 7, 2] {
+            ins(&mut q, seq, &mut s);
+        }
+        q.remove_slots(&[1], &mut s); // free slot 1 (held seq 1)
+        q.insert(9, [Some(SrcPhys::Int(60)), None, None], 0b1, &mut s); // lands in slot 1
+        assert_eq!(ready_seqs(&q), vec![2, 4, 7], "pending entry excluded");
+        q.wakeup_broadcast(SrcPhys::Int(60), &mut s);
+        assert_eq!(ready_seqs(&q), vec![2, 4, 7, 9], "age-sorted after wakeup");
+    }
+
+    #[test]
+    fn src_tags_round_trip_through_packing() {
+        let (mut q, mut s) = queue_and_stats(4);
+        let srcs = [Some(SrcPhys::Int(7)), Some(SrcPhys::Fp(7)), None];
+        q.insert(1, srcs, 0b11, &mut s);
+        assert_eq!(q.slot_srcs(0), srcs);
+    }
+
+    #[test]
+    fn ready_count_tracks_squash_and_removal() {
+        let (mut q, mut s) = queue_and_stats(8);
+        ins(&mut q, 1, &mut s);
+        q.insert(2, [Some(SrcPhys::Int(40)), None, None], 0b1, &mut s);
+        ins(&mut q, 3, &mut s);
+        assert!(q.has_ready());
+        q.remove_slots(&[0, 2], &mut s); // both ready entries issue
+        assert!(!q.has_ready(), "only the pending entry remains");
+        q.wakeup_broadcast(SrcPhys::Int(40), &mut s);
+        assert!(q.has_ready());
+        q.squash_after(0);
+        assert!(!q.has_ready());
+        assert!(q.is_empty());
     }
 }

@@ -120,12 +120,17 @@ impl Lsu {
     }
 
     /// Records a store's resolved address and data (at execute).
+    ///
+    /// Queue seqs are strictly increasing (in-order dispatch; squashes
+    /// drop a suffix), so the entry is found by binary search instead of
+    /// a linear scan.
     pub fn resolve_store(&mut self, seq: u64, addr: u64, size: u64, data: u64) {
-        let e = self
+        debug_assert!(self.stq.iter().zip(self.stq.iter().skip(1)).all(|(a, b)| a.seq < b.seq));
+        let pos = self
             .stq
-            .iter_mut()
-            .find(|e| e.seq == seq)
+            .binary_search_by_key(&seq, |e| e.seq)
             .expect("resolving a store that is in the STQ");
+        let e = &mut self.stq[pos];
         e.addr = Some(addr);
         e.size = size;
         e.data = data;
@@ -136,7 +141,10 @@ impl Lsu {
     pub fn load_check(&self, seq: u64, addr: u64, size: u64, stats: &mut Stats) -> LoadAction {
         stats.stq_searches += 1;
         // Walk older stores youngest-first so forwarding picks the latest.
-        for st in self.stq.iter().rev().filter(|st| st.seq < seq) {
+        // Seqs are strictly increasing, so the older stores are exactly the
+        // prefix before the partition point — no per-entry seq filter.
+        let older = self.stq.partition_point(|st| st.seq < seq);
+        for st in self.stq.range(..older).rev() {
             match st.addr {
                 None => return LoadAction::WaitOrdering,
                 Some(st_addr) => {
@@ -163,6 +171,16 @@ impl Lsu {
 
     /// Removes the committed store (head-of-queue by program order).
     pub fn commit_store(&mut self, seq: u64) -> StqEntry {
+        // Stores commit in order, so the entry is the queue head; the
+        // linear fallback only exists for out-of-order test harness use.
+        if self.stq.front().is_some_and(|e| e.seq == seq) {
+            return self.stq.pop_front().expect("front checked");
+        }
+        self.commit_store_slow(seq)
+    }
+
+    #[cold]
+    fn commit_store_slow(&mut self, seq: u64) -> StqEntry {
         let pos = self
             .stq
             .iter()
@@ -174,6 +192,15 @@ impl Lsu {
 
     /// Removes the committed load.
     pub fn commit_load(&mut self, seq: u64) {
+        if self.ldq.front().is_some_and(|e| e.seq == seq) {
+            self.ldq.pop_front();
+        } else {
+            self.commit_load_slow(seq);
+        }
+    }
+
+    #[cold]
+    fn commit_load_slow(&mut self, seq: u64) {
         if let Some(pos) = self.ldq.iter().position(|e| e.seq == seq) {
             debug_assert_eq!(pos, 0, "loads commit in order");
             self.ldq.remove(pos);

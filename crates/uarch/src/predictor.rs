@@ -185,14 +185,27 @@ pub struct Tage {
 }
 
 fn fold(hist: u128, len: u32, bits: u32) -> u32 {
-    let mask = if len >= 128 { u128::MAX } else { (1u128 << len) - 1 };
-    let mut h = hist & mask;
-    let mut out = 0u32;
-    while h != 0 {
-        out ^= (h as u32) & ((1 << bits) - 1);
-        h >>= bits;
+    // All deployed history lengths fit in 64 bits, where shifting is a
+    // single machine op; fall back to the wide path only beyond that.
+    if len <= 64 {
+        let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mut h = (hist as u64) & mask;
+        let mut out = 0u32;
+        while h != 0 {
+            out ^= (h as u32) & ((1 << bits) - 1);
+            h >>= bits;
+        }
+        out
+    } else {
+        let mask = if len >= 128 { u128::MAX } else { (1u128 << len) - 1 };
+        let mut h = hist & mask;
+        let mut out = 0u32;
+        while h != 0 {
+            out ^= (h as u32) & ((1 << bits) - 1);
+            h >>= bits;
+        }
+        out
     }
-    out
 }
 
 impl Tage {

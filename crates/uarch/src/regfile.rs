@@ -8,10 +8,16 @@
 pub type PReg = u16;
 
 /// One class (integer or FP) of physical registers.
+///
+/// The busy table is a bitset keyed by physical register (one `u64` word
+/// per 64 pregs): the issue scoreboard probes it once per renamed source
+/// at dispatch, so the whole table for a BOOM-sized file fits in one or
+/// two cache lines.
 #[derive(Clone, Debug)]
 pub struct PhysRegFile {
     vals: Vec<u64>,
-    ready: Vec<bool>,
+    /// Ready bits, one per physical register (bit set ⇒ value produced).
+    ready: Vec<u64>,
     free: Vec<PReg>,
 }
 
@@ -24,15 +30,9 @@ impl PhysRegFile {
     /// Panics if `total < 33` (at least one register must be renameable).
     pub fn new(total: usize) -> PhysRegFile {
         assert!(total >= 33, "need more physical than architectural registers");
-        PhysRegFile {
-            vals: vec![0; total],
-            ready: {
-                let mut r = vec![false; total];
-                r[..32].fill(true);
-                r
-            },
-            free: (32..total as PReg).rev().collect(),
-        }
+        let mut ready = vec![0u64; total.div_ceil(64)];
+        ready[0] = u64::from(u32::MAX); // pregs 0..32 start ready
+        PhysRegFile { vals: vec![0; total], ready, free: (32..total as PReg).rev().collect() }
     }
 
     /// Number of physical registers.
@@ -53,7 +53,7 @@ impl PhysRegFile {
     /// Allocates a register (marked not-ready), or `None` if exhausted.
     pub fn alloc(&mut self) -> Option<PReg> {
         let p = self.free.pop()?;
-        self.ready[p as usize] = false;
+        self.ready[p as usize / 64] &= !(1u64 << (p % 64));
         Some(p)
     }
 
@@ -64,7 +64,7 @@ impl PhysRegFile {
     /// Panics (debug) if the register is already free.
     pub fn release(&mut self, p: PReg) {
         debug_assert!(!self.free.contains(&p), "double free of p{p}");
-        self.ready[p as usize] = true;
+        self.ready[p as usize / 64] |= 1u64 << (p % 64);
         self.free.push(p);
     }
 
@@ -78,7 +78,7 @@ impl PhysRegFile {
     #[inline]
     pub fn write(&mut self, p: PReg, v: u64) {
         self.vals[p as usize] = v;
-        self.ready[p as usize] = true;
+        self.ready[p as usize / 64] |= 1u64 << (p % 64);
     }
 
     /// Sets a value without changing readiness (checkpoint restore).
@@ -89,7 +89,7 @@ impl PhysRegFile {
     /// Whether the register's value has been produced.
     #[inline]
     pub fn is_ready(&self, p: PReg) -> bool {
-        self.ready[p as usize]
+        (self.ready[p as usize / 64] >> (p % 64)) & 1 != 0
     }
 }
 

@@ -96,8 +96,6 @@ pub struct RobEntry {
     pub dest: DestPhys,
     /// Pipeline state.
     pub state: UopState,
-    /// Branch bookkeeping (control-flow uops only).
-    pub branch: Option<BranchInfo>,
     /// Resolved next pc (set at execute for control flow; `pc+4` otherwise).
     pub actual_next: u64,
     /// Resolved direction (conditional branches).
@@ -196,22 +194,67 @@ impl Rob {
         e
     }
 
+    /// Removes the oldest entry without returning it — the commit stage
+    /// copies the few fields it needs out of [`Rob::head`] first, so the
+    /// full entry never moves (entries are plain data with no `Drop`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn drop_head(&mut self) {
+        self.entries.pop_front().expect("commit from empty ROB");
+        self.head_seq += 1;
+    }
+
     /// Removes every entry younger than `seq` (exclusive), youngest first,
     /// returning them for rename rollback.
     pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
+        let mut squashed = Vec::new();
+        self.squash_after_into(seq, &mut squashed);
+        squashed
+    }
+
+    /// [`Rob::squash_after`] into a caller-provided buffer (appended,
+    /// youngest first) — the core reuses one scratch vector across
+    /// mispredicts so recovery allocates nothing in steady state.
+    pub fn squash_after_into(&mut self, seq: u64, out: &mut Vec<RobEntry>) {
         let keep = (seq + 1).saturating_sub(self.head_seq) as usize;
-        let mut squashed = Vec::with_capacity(self.entries.len().saturating_sub(keep));
         while self.entries.len() > keep {
-            squashed.push(self.entries.pop_back().expect("non-empty"));
+            out.push(self.entries.pop_back().expect("non-empty"));
         }
         self.next_seq = self.head_seq + self.entries.len() as u64;
-        squashed
+    }
+
+    /// [`Rob::squash_after`] reduced to the fields recovery actually
+    /// needs — the hot-path variant, so a mispredict shuffles ~40-byte
+    /// records instead of full entries.
+    pub fn squash_after_brief(&mut self, seq: u64, out: &mut Vec<SquashedUop>) {
+        let keep = (seq + 1).saturating_sub(self.head_seq) as usize;
+        while self.entries.len() > keep {
+            let e = self.entries.back().expect("non-empty");
+            out.push(SquashedUop { seq: e.seq, inst: e.inst, dest: e.dest });
+            self.entries.pop_back();
+        }
+        self.next_seq = self.head_seq + self.entries.len() as u64;
     }
 
     /// Iterates over in-flight entries, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
         self.entries.iter()
     }
+}
+
+/// What misprediction recovery needs to know about a squashed uop:
+/// its identity (trace records), its instruction (branch-snapshot
+/// accounting), and its renamed destination (rename rollback).
+#[derive(Clone, Copy, Debug)]
+pub struct SquashedUop {
+    /// The squashed uop's sequence number.
+    pub seq: u64,
+    /// The squashed instruction.
+    pub inst: Inst,
+    /// Renamed destination to unwind.
+    pub dest: DestPhys,
 }
 
 #[cfg(test)]
@@ -232,7 +275,6 @@ mod tests {
             srcs: [None; 3],
             dest: DestPhys::None,
             state: UopState::Waiting,
-            branch: None,
             actual_next: 0,
             taken: false,
             mispredicted: false,

@@ -217,6 +217,90 @@ impl Stats {
         }
     }
 
+    /// A stable 64-bit FNV-1a fingerprint over *every* counter in the
+    /// record (cycles, retired, and all per-component activity, including
+    /// the per-slot issue-queue vectors), in a fixed canonical order.
+    ///
+    /// Two runs produce the same fingerprint iff their timing and power
+    /// inputs are bit-identical — the regression tests pin hot-loop
+    /// refactors of the detailed core against committed golden values.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        put(self.cycles);
+        put(self.retired);
+        put(self.branches);
+        put(self.mispredicts);
+        put(self.squashed);
+        for c in [&self.icache, &self.dcache] {
+            put(c.reads);
+            put(c.writes);
+            put(c.misses);
+            put(c.mshr_allocs);
+            put(c.mshr_occupancy_sum);
+            put(c.writebacks);
+        }
+        put(self.bp.lookups);
+        put(self.bp.table_reads);
+        put(self.bp.updates);
+        put(self.bp.allocations);
+        put(self.bp.btb_lookups);
+        put(self.bp.btb_updates);
+        put(self.bp.ras_pushes);
+        put(self.bp.ras_pops);
+        put(self.fetch_buffer_writes);
+        put(self.fetch_buffer_reads);
+        put(self.fetch_buffer_occupancy_sum);
+        put(self.decoded);
+        for r in [&self.int_rename, &self.fp_rename] {
+            put(r.map_writes);
+            put(r.map_reads);
+            put(r.freelist_pops);
+            put(r.freelist_pushes);
+            put(r.snapshot_writes);
+        }
+        put(self.irf_reads);
+        put(self.irf_writes);
+        put(self.frf_reads);
+        put(self.frf_writes);
+        for q in [&self.int_iq, &self.mem_iq, &self.fp_iq] {
+            put(q.writes);
+            put(q.collapse_writes);
+            put(q.issued);
+            put(q.wakeup_cam_matches);
+            put(q.occupancy_sum);
+            put(q.slot_occupancy.len() as u64);
+            for &s in &q.slot_occupancy {
+                put(s);
+            }
+            for &s in &q.slot_writes {
+                put(s);
+            }
+        }
+        put(self.rob_writes);
+        put(self.rob_reads);
+        put(self.rob_occupancy_sum);
+        put(self.ldq_writes);
+        put(self.stq_writes);
+        put(self.stq_searches);
+        put(self.forwards);
+        put(self.lsu_occupancy_sum);
+        put(self.alu_ops);
+        put(self.mul_ops);
+        put(self.div_ops);
+        put(self.fpu_ops);
+        put(self.fdiv_ops);
+        put(self.agu_ops);
+        h
+    }
+
     /// Merges another run's counters into this one (used to accumulate
     /// across SimPoint intervals *before* weighting; weighted merges are
     /// done on power/IPC numbers instead).

@@ -7,6 +7,12 @@
 //! [`crate::Core::take_trace`]; the resulting file opens directly in
 //! Konata and shows dispatch/issue/execute/commit per instruction,
 //! including wrong-path instructions flushed by mispredictions.
+//!
+//! Tracing is the one per-cycle hook the hot loop pays for, so the core
+//! monomorphizes its pipeline stages on a `const TRACED: bool` decided
+//! once per run: untraced campaigns execute a variant where every call
+//! into this module is compiled out, and attaching a tracer selects the
+//! instrumented variant with identical cycle behaviour.
 
 use rv_isa::inst::Inst;
 use std::collections::HashMap;

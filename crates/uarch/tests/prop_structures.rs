@@ -127,8 +127,8 @@ proptest! {
         let mut next_seq = 0u64;
         for &insert in &ops {
             if insert && !coll.is_full() {
-                coll.insert(next_seq, &mut cs);
-                nc.insert(next_seq, &mut ns);
+                coll.insert(next_seq, [None; 3], 0, &mut cs);
+                nc.insert(next_seq, [None; 3], 0, &mut ns);
                 next_seq += 1;
             } else if !coll.is_empty() {
                 let c_head = coll.candidates()[0];

@@ -1,0 +1,76 @@
+//! Golden-fingerprint regression tests for the detailed core.
+//!
+//! Each case runs a workload to completion on one BOOM configuration and
+//! compares `Stats::fingerprint()` — a canonical hash over the final
+//! cycle count, committed-instruction count, and every per-component
+//! activity counter — against a committed golden value captured before
+//! the allocation-free hot-loop overhaul. Any change to timing or to the
+//! power-model activity inputs (CAM searches, collapse shifts, RF port
+//! counts, ...) moves the hash, so these tests pin the "bit-identical"
+//! claim that lets hot-loop refactors land without re-validating the
+//! paper's figures.
+//!
+//! To re-capture goldens after an *intentional* model change, run with
+//! `--nocapture` and copy the printed table into `GOLDEN`.
+
+use boom_uarch::{BoomConfig, Core};
+use rv_workloads::{by_name, Scale};
+
+/// (config name, workload, golden fingerprint) — captured on the seed
+/// poll-based core, Scale::Test, full run to exit.
+const GOLDEN: [(&str, &str, u64); 6] = [
+    ("medium", "bitcount", 0x828e_42cf_8749_bf2a),
+    ("medium", "dijkstra", 0x5b5e_dc63_0790_cf44),
+    ("large", "bitcount", 0x58c5_fc8e_5344_4bb4),
+    ("large", "dijkstra", 0x393f_9d45_61f9_00d0),
+    ("mega", "bitcount", 0x3bea_1766_f4d7_73aa),
+    ("mega", "dijkstra", 0x8b6c_b37d_163c_a301),
+];
+
+fn config(name: &str) -> BoomConfig {
+    match name {
+        "medium" => BoomConfig::medium(),
+        "large" => BoomConfig::large(),
+        "mega" => BoomConfig::mega(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+fn run_fingerprint(cfg: &str, workload: &str) -> u64 {
+    let w = by_name(workload, Scale::Test).expect("known workload");
+    let mut core = Core::new(config(cfg), &w.program);
+    let r = core.run(500_000_000);
+    assert!(r.exited && !r.hung, "{cfg}/{workload}: {r:?}");
+    assert_eq!(r.exit_code, Some(0), "{cfg}/{workload} failed self-verification");
+    core.stats().fingerprint()
+}
+
+#[test]
+fn detailed_core_fingerprints_match_goldens() {
+    let mut failures = Vec::new();
+    for (cfg, workload, golden) in GOLDEN {
+        let got = run_fingerprint(cfg, workload);
+        println!("    (\"{cfg}\", \"{workload}\", {got:#018x}),");
+        if got != golden {
+            failures.push(format!(
+                "{cfg}/{workload}: fingerprint {got:#018x} != golden {golden:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "activity fingerprints drifted from committed goldens (timing or \
+         power inputs changed):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The fingerprint must be a pure function of the run — two identical
+/// runs hash identically (guards against accidentally hashing wall-clock
+/// or allocation-dependent state).
+#[test]
+fn fingerprint_is_deterministic() {
+    let a = run_fingerprint("medium", "bitcount");
+    let b = run_fingerprint("medium", "bitcount");
+    assert_eq!(a, b);
+}

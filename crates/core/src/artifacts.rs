@@ -30,14 +30,18 @@
 //! [`CampaignReport`](crate::CampaignReport) — the reuse win is
 //! observable, not assumed.
 
+use crate::diskcache::{CacheStage, DiskCache, DiskFaultInjection, DiskLookup};
 use crate::flow::{run_full, FlowConfig, FlowError, FullRunResult};
+use crate::sync::lock;
 use boom_uarch::BoomConfig;
 use rv_isa::bbv::BbvProfile;
-use rv_isa::checkpoint::{checkpoints_at_shared, SharedCheckpoint};
+use rv_isa::checkpoint::{checkpoints_at_shared, Checkpoint, SharedCheckpoint};
+use rv_isa::codec::{fnv1a, ByteReader, ByteWriter, CodecError};
 use rv_workloads::Workload;
 use simpoint::{analyze, SimPointAnalysis};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -127,6 +131,17 @@ pub struct CacheStats {
     pub detailed_ms: f64,
     /// Wall-clock spent simulating full-run baselines, in ms.
     pub full_run_ms: f64,
+    /// Stage fills served from the disk cache (validated loads).
+    pub disk_hits: u64,
+    /// Disk-cache lookups that found no entry.
+    pub disk_misses: u64,
+    /// Artifacts persisted to the disk cache.
+    pub disk_writes: u64,
+    /// Disk entries that failed validation and were quarantined.
+    pub disk_quarantined: u64,
+    /// Cached stage *errors* replayed to later callers — the failure
+    /// context is the original compute's, not the replaying cell's.
+    pub error_replays: u64,
 }
 
 #[derive(Default)]
@@ -144,6 +159,11 @@ struct Counters {
     checkpoint_us: AtomicU64,
     detailed_us: AtomicU64,
     full_run_us: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_quarantined: AtomicU64,
+    error_replays: AtomicU64,
 }
 
 /// Thread-safe memoization of the flow's configuration-independent
@@ -159,24 +179,27 @@ pub struct ArtifactStore {
     checkpoints: Mutex<HashMap<CheckpointKey, Slot<Arc<CheckpointSet>>>>,
     full_runs: Mutex<HashMap<FullRunKey, Slot<Arc<FullRunResult>>>>,
     counters: Counters,
-}
-
-/// Locks a mutex, recovering the guard if a previous holder panicked (the
-/// maps hold only completed insertions, so the state is always valid).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Optional crash-safe disk tier behind the in-memory memo maps.
+    disk: Option<DiskCache>,
 }
 
 /// Fetches `key` from `map`, computing it exactly once across threads:
 /// concurrent callers of an in-flight key block until the first
 /// computation finishes and then share its (cloned) result.
+///
+/// `compute` additionally reports whether the fill was served by the
+/// disk tier, so disk loads are counted as disk hits rather than
+/// computations; in-memory replays of a cached *error* are tallied in
+/// `error_replays` — the failure context stays attributed to the
+/// original compute.
 fn memoize<K, T>(
     map: &Mutex<HashMap<K, Slot<T>>>,
     key: K,
     computed: &AtomicU64,
     hits: &AtomicU64,
+    error_replays: &AtomicU64,
     spent_us: &AtomicU64,
-    compute: impl FnOnce() -> Result<T, FlowError>,
+    compute: impl FnOnce() -> (Result<T, FlowError>, bool),
 ) -> Result<T, FlowError>
 where
     K: Eq + Hash,
@@ -184,25 +207,58 @@ where
 {
     let slot = lock(map).entry(key).or_default().clone();
     let mut ran = false;
+    let mut from_disk = false;
     let result = slot.get_or_init(|| {
         ran = true;
         let t0 = Instant::now();
-        let r = compute();
+        let (r, disk) = compute();
+        from_disk = disk;
         spent_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         r
     });
     if ran {
-        computed.fetch_add(1, Ordering::Relaxed);
+        if !from_disk {
+            computed.fetch_add(1, Ordering::Relaxed);
+        }
     } else {
         hits.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            error_replays.fetch_add(1, Ordering::Relaxed);
+        }
     }
     result.clone()
 }
 
 impl ArtifactStore {
-    /// Creates an empty store.
+    /// Creates an empty, memory-only store.
     pub fn new() -> ArtifactStore {
         ArtifactStore::default()
+    }
+
+    /// Creates a store backed by a crash-safe disk cache at `dir`
+    /// (created if needed): stage artifacts are persisted on compute and
+    /// served from disk on later runs, under the same fingerprint keys
+    /// the in-memory maps use. Corrupt entries are quarantined and
+    /// recomputed, never trusted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_disk_cache(dir: &Path) -> std::io::Result<ArtifactStore> {
+        Self::with_disk_cache_injected(dir, DiskFaultInjection::default())
+    }
+
+    /// [`ArtifactStore::with_disk_cache`] with deterministic I/O fault
+    /// injection, for tests and CI drills of the recovery paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_disk_cache_injected(
+        dir: &Path,
+        faults: DiskFaultInjection,
+    ) -> std::io::Result<ArtifactStore> {
+        Ok(ArtifactStore { disk: Some(DiskCache::open(dir, faults)?), ..ArtifactStore::default() })
     }
 
     fn profile_key(workload: &Workload, flow: &FlowConfig) -> ProfileKey {
@@ -215,6 +271,54 @@ impl ArtifactStore {
 
     fn checkpoint_key(workload: &Workload, flow: &FlowConfig) -> CheckpointKey {
         (Self::analysis_key(workload, flow), flow.warmup_insts)
+    }
+
+    /// Runs a stage fill through the disk tier: validated disk entries
+    /// short-circuit the compute, anything else (miss, quarantine, or an
+    /// undecodable payload) recomputes and persists the result. The bool
+    /// reports whether the value came from disk. Stage *errors* are never
+    /// persisted — only successful artifacts are worth replaying across
+    /// processes.
+    fn with_disk<T>(
+        &self,
+        stage: CacheStage,
+        key: u64,
+        name: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
+        encode: impl FnOnce(&T) -> Vec<u8>,
+        compute: impl FnOnce() -> Result<T, FlowError>,
+    ) -> (Result<T, FlowError>, bool) {
+        let Some(disk) = &self.disk else {
+            return (compute(), false);
+        };
+        let c = &self.counters;
+        match disk.load(stage, key, name) {
+            DiskLookup::Hit(bytes) => match decode(&bytes) {
+                Ok(t) => {
+                    c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(t), true);
+                }
+                Err(_) => {
+                    // Checksum passed but the payload does not decode
+                    // (format drift): quarantine like any corruption.
+                    disk.quarantine_entry(stage, name);
+                    c.disk_quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            DiskLookup::Miss => {
+                c.disk_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            DiskLookup::Quarantined => {
+                c.disk_quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let result = compute();
+        if let Ok(t) = &result {
+            if disk.store(stage, key, name, &encode(t)).is_ok() {
+                c.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (result, false)
     }
 
     /// Stage 1 — the workload's BBV profile, computed at most once per
@@ -231,13 +335,33 @@ impl ArtifactStore {
         flow: &FlowConfig,
     ) -> Result<Arc<BbvProfile>, FlowError> {
         let c = &self.counters;
+        let key = Self::profile_key(workload, flow);
         memoize(
             &self.profiles,
-            Self::profile_key(workload, flow),
+            key,
             &c.profile_computed,
             &c.profile_hits,
+            &c.error_replays,
             &c.profile_us,
-            || crate::flow::profile(workload, flow.max_profile_insts).map(Arc::new),
+            || {
+                self.with_disk(
+                    CacheStage::Profile,
+                    hash_words(&[key.0, key.1, key.2]),
+                    &format!("{:016x}-{}-{}", key.0, key.1, key.2),
+                    |bytes| {
+                        let mut r = ByteReader::new(bytes);
+                        let p = BbvProfile::decode(&mut r)?;
+                        r.finish()?;
+                        Ok(Arc::new(p))
+                    },
+                    |p| {
+                        let mut w = ByteWriter::new();
+                        p.encode(&mut w);
+                        w.into_bytes()
+                    },
+                    || crate::flow::profile(workload, flow.max_profile_insts).map(Arc::new),
+                )
+            },
         )
     }
 
@@ -253,15 +377,35 @@ impl ArtifactStore {
         flow: &FlowConfig,
     ) -> Result<Arc<SimPointAnalysis>, FlowError> {
         let c = &self.counters;
+        let key = Self::analysis_key(workload, flow);
         memoize(
             &self.analyses,
-            Self::analysis_key(workload, flow),
+            key,
             &c.cluster_computed,
             &c.cluster_hits,
+            &c.error_replays,
             &c.cluster_us,
             || {
-                let bbv = self.profile(workload, flow)?;
-                Ok(Arc::new(analyze(&bbv, &flow.simpoint)))
+                self.with_disk(
+                    CacheStage::Analysis,
+                    hash_words(&[key.0 .0, key.0 .1, key.0 .2, key.1]),
+                    &format!("{:016x}-{}-{}-{:016x}", key.0 .0, key.0 .1, key.0 .2, key.1),
+                    |bytes| {
+                        let mut r = ByteReader::new(bytes);
+                        let a = SimPointAnalysis::decode(&mut r)?;
+                        r.finish()?;
+                        Ok(Arc::new(a))
+                    },
+                    |a| {
+                        let mut w = ByteWriter::new();
+                        a.encode(&mut w);
+                        w.into_bytes()
+                    },
+                    || {
+                        let bbv = self.profile(workload, flow)?;
+                        Ok(Arc::new(analyze(&bbv, &flow.simpoint)))
+                    },
+                )
             },
         )
     }
@@ -280,46 +424,82 @@ impl ArtifactStore {
         flow: &FlowConfig,
     ) -> Result<Arc<CheckpointSet>, FlowError> {
         let c = &self.counters;
+        let key = Self::checkpoint_key(workload, flow);
         memoize(
             &self.checkpoints,
-            Self::checkpoint_key(workload, flow),
+            key,
             &c.checkpoint_computed,
             &c.checkpoint_hits,
+            &c.error_replays,
             &c.checkpoint_us,
             || {
-                let profile = self.profile(workload, flow)?;
-                let analysis = self.analysis(workload, flow)?;
-                let starts = analysis.selected_starts(&profile);
-                // Capture at (interval start − warm-up), batched in one
-                // pass; the capture cursor only moves forward, so sort by
-                // position. This order is also the flow's point order.
-                let mut targets: Vec<(usize, u64, u64)> = starts
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &s)| {
-                        let warm = flow.warmup_insts.min(s);
-                        (i, s - warm, warm)
-                    })
-                    .collect();
-                targets.sort_by_key(|&(_, at, _)| at);
-                let sorted: Vec<u64> = targets.iter().map(|&(_, at, _)| at).collect();
-                let checkpoints = checkpoints_at_shared(&workload.program, &sorted)?;
-                let points = targets
-                    .into_iter()
-                    .zip(checkpoints)
-                    .map(|((sel_idx, _, warmup), checkpoint)| {
-                        let sp = analysis.selected[sel_idx];
-                        PlannedPoint {
-                            sel_idx,
-                            interval: sp.interval,
-                            weight: sp.weight,
-                            interval_len: profile.intervals[sp.interval].len,
-                            warmup,
-                            checkpoint,
-                        }
-                    })
-                    .collect();
-                Ok(Arc::new(CheckpointSet { profile, analysis, points }))
+                // Both the disk-decode and the compute path need the
+                // (cached) front stages: the set embeds them, and the
+                // disk entry stores only the planned points.
+                let profile = match self.profile(workload, flow) {
+                    Ok(p) => p,
+                    Err(e) => return (Err(e), false),
+                };
+                let analysis = match self.analysis(workload, flow) {
+                    Ok(a) => a,
+                    Err(e) => return (Err(e), false),
+                };
+                let (dec_profile, dec_analysis) = (profile.clone(), analysis.clone());
+                let ((pk, ik, bk), sk) = key.0;
+                self.with_disk(
+                    CacheStage::Checkpoints,
+                    hash_words(&[pk, ik, bk, sk, key.1]),
+                    &format!("{pk:016x}-{ik}-{bk}-{sk:016x}-{}", key.1),
+                    move |bytes| {
+                        let mut r = ByteReader::new(bytes);
+                        let points = decode_points(&mut r)?;
+                        r.finish()?;
+                        Ok(Arc::new(CheckpointSet {
+                            profile: dec_profile,
+                            analysis: dec_analysis,
+                            points,
+                        }))
+                    },
+                    |set| {
+                        let mut w = ByteWriter::new();
+                        encode_points(&mut w, &set.points);
+                        w.into_bytes()
+                    },
+                    move || {
+                        let starts = analysis.selected_starts(&profile);
+                        // Capture at (interval start − warm-up), batched
+                        // in one pass; the capture cursor only moves
+                        // forward, so sort by position. This order is
+                        // also the flow's point order.
+                        let mut targets: Vec<(usize, u64, u64)> = starts
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &s)| {
+                                let warm = flow.warmup_insts.min(s);
+                                (i, s - warm, warm)
+                            })
+                            .collect();
+                        targets.sort_by_key(|&(_, at, _)| at);
+                        let sorted: Vec<u64> = targets.iter().map(|&(_, at, _)| at).collect();
+                        let checkpoints = checkpoints_at_shared(&workload.program, &sorted)?;
+                        let points = targets
+                            .into_iter()
+                            .zip(checkpoints)
+                            .map(|((sel_idx, _, warmup), checkpoint)| {
+                                let sp = analysis.selected[sel_idx];
+                                PlannedPoint {
+                                    sel_idx,
+                                    interval: sp.interval,
+                                    weight: sp.weight,
+                                    interval_len: profile.intervals[sp.interval].len,
+                                    warmup,
+                                    checkpoint,
+                                }
+                            })
+                            .collect();
+                        Ok(Arc::new(CheckpointSet { profile, analysis, points }))
+                    },
+                )
             },
         )
     }
@@ -343,8 +523,9 @@ impl ArtifactStore {
             key,
             &c.full_run_computed,
             &c.full_run_hits,
+            &c.error_replays,
             &c.full_run_us,
-            || run_full(cfg, workload).map(Arc::new),
+            || (run_full(cfg, workload).map(Arc::new), false),
         )
     }
 
@@ -372,20 +553,62 @@ impl ArtifactStore {
             checkpoint_ms: ms(&c.checkpoint_us),
             detailed_ms: ms(&c.detailed_us),
             full_run_ms: ms(&c.full_run_us),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            disk_misses: c.disk_misses.load(Ordering::Relaxed),
+            disk_writes: c.disk_writes.load(Ordering::Relaxed),
+            disk_quarantined: c.disk_quarantined.load(Ordering::Relaxed),
+            error_replays: c.error_replays.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Stable fingerprint of a configuration for full-run baseline keying.
+/// FNV-1a over a word sequence — the disk-cache key hash of a composite
+/// in-memory key.
+fn hash_words(words: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Serializes the planned points of a [`CheckpointSet`] (the profile and
+/// analysis have their own disk entries and are re-attached on load).
+fn encode_points(w: &mut ByteWriter, points: &[PlannedPoint]) {
+    w.put_usize(points.len());
+    for p in points {
+        w.put_usize(p.sel_idx);
+        w.put_usize(p.interval);
+        w.put_f64(p.weight);
+        w.put_u64(p.interval_len);
+        w.put_u64(p.warmup);
+        p.checkpoint.encode(w);
+    }
+}
+
+/// Decodes the planned points written by [`encode_points`], re-wrapping
+/// each checkpoint in a fresh [`Arc`] for cross-thread sharing.
+fn decode_points(r: &mut ByteReader<'_>) -> Result<Vec<PlannedPoint>, CodecError> {
+    let n = r.seq_len(40)?;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sel_idx = r.usize()?;
+        let interval = r.usize()?;
+        let weight = r.f64()?;
+        let interval_len = r.u64()?;
+        let warmup = r.u64()?;
+        let checkpoint = Arc::new(Checkpoint::decode(r)?);
+        points.push(PlannedPoint { sel_idx, interval, weight, interval_len, warmup, checkpoint });
+    }
+    Ok(points)
+}
+
+/// Stable fingerprint of a configuration for full-run baseline keying
+/// (also part of the campaign journal's matrix fingerprint).
 /// `BoomConfig`'s `Debug` rendering covers every field, so hashing it
 /// distinguishes ablation variants that share a preset name.
-fn config_fingerprint(cfg: &BoomConfig) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{cfg:?}").bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+pub(crate) fn config_fingerprint(cfg: &BoomConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //!          [--scale test|small|full] [--predictor tage|gshare]
 //!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
 //!          [--retries N] [--cycle-budget N] [--jobs N]
+//!          [--cache-dir DIR] [--journal FILE [--resume]] [--report-out FILE]
 //! ```
 //!
 //! The matrix is run under the fault-tolerant supervisor as a staged
@@ -18,23 +19,35 @@
 //! and the remaining cells still run. The process exits non-zero only if
 //! some cell failed after per-point retries.
 //!
+//! With `--cache-dir` the configuration-independent artifacts are also
+//! persisted to a checksummed on-disk cache and reused by later runs.
+//! With `--journal` every completed point is appended to a write-ahead
+//! journal; after a crash, re-running with `--resume` replays the
+//! finished points and only simulates the rest, producing a report
+//! byte-identical (`--report-out`) to an uninterrupted run.
+//!
 //! Examples:
 //!
 //! ```sh
 //! cargo run --release -p boomflow --bin boomflow -- --workload sha --config mega
 //! cargo run --release -p boomflow --bin boomflow -- --workload all --config all --scale full
 //! cargo run --release -p boomflow --bin boomflow -- --workload dijkstra --full
+//! cargo run --release -p boomflow --bin boomflow -- --cache-dir .boomflow-cache \
+//!     --journal campaign.bfj --resume --report-out report.txt
 //! ```
 
 use boom_uarch::{BoomConfig, IssueQueueKind, PredictorKind};
 use boomflow::report::render_table;
 use boomflow::{
-    default_jobs, run_full, supervise_matrix_with, CampaignOptions, FaultInjection, FlowConfig,
-    RetryPolicy, WorkloadResult,
+    campaign_fingerprint, default_jobs, run_full, supervise_campaign, ArtifactStore, CacheStage,
+    CampaignJournal, CampaignOptions, DiskFaultInjection, FaultInjection, FlowConfig,
+    JournalReplay, RetryPolicy, WorkloadResult,
 };
 use rtl_power::Component;
 use rv_workloads::{all, by_name, Scale, Workload};
+use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Args {
     workload: String,
@@ -47,8 +60,18 @@ struct Args {
     retries: u32,
     cycle_budget: Option<u64>,
     jobs: usize,
+    cache_dir: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    report_out: Option<PathBuf>,
     /// Hidden: freeze commit on simulation point N (watchdog demo/tests).
     inject_hang: Option<usize>,
+    /// Hidden: tear the next disk-cache write of this stage.
+    inject_torn_write: Option<CacheStage>,
+    /// Hidden: corrupt the next disk-cache write of this stage.
+    inject_corrupt: Option<CacheStage>,
+    /// Hidden: abort the process after journaling N fresh points.
+    inject_kill_after: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -57,6 +80,8 @@ fn usage() -> ! {
          \x20               [--scale test|small|full] [--predictor tage|gshare]\n\
          \x20               [--iq collapsing|noncollapsing] [--full] [--warmup N]\n\
          \x20               [--retries N] [--cycle-budget N] [--jobs N]\n\
+         \x20               [--cache-dir DIR] [--journal FILE [--resume]]\n\
+         \x20               [--report-out FILE]\n\
          workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
          \x20          patricia matmult sha tarfind"
     );
@@ -75,7 +100,14 @@ fn parse_args() -> Args {
         retries: RetryPolicy::default().max_attempts,
         cycle_budget: None,
         jobs: default_jobs(),
+        cache_dir: None,
+        journal: None,
+        resume: false,
+        report_out: None,
         inject_hang: None,
+        inject_torn_write: None,
+        inject_corrupt: None,
+        inject_kill_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,9 +149,24 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
-            // Hidden fault-injection flag: exercises the watchdog and the
-            // supervisor's quarantine path on a live run.
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value())),
+            "--journal" => args.journal = Some(PathBuf::from(value())),
+            "--resume" => args.resume = true,
+            "--report-out" => args.report_out = Some(PathBuf::from(value())),
+            // Hidden fault-injection flags: exercise the watchdog /
+            // quarantine path, the disk-cache corruption handling, and
+            // the journal resume protocol on a live run.
             "--inject-hang" => args.inject_hang = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--inject-torn-write" => {
+                args.inject_torn_write =
+                    Some(CacheStage::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--inject-corrupt" => {
+                args.inject_corrupt = Some(CacheStage::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--inject-kill-after" => {
+                args.inject_kill_after = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -195,7 +242,11 @@ fn main() {
             cycle_budget: args.cycle_budget,
             ..RetryPolicy::default()
         },
-        inject: FaultInjection { hang_point: args.inject_hang, ..FaultInjection::default() },
+        inject: FaultInjection {
+            hang_point: args.inject_hang,
+            kill_after_points: args.inject_kill_after,
+            ..FaultInjection::default()
+        },
         ..FlowConfig::default()
     };
     let cfgs = configs(&args.config, args.predictor, args.iq);
@@ -227,8 +278,63 @@ fn main() {
         return;
     }
 
-    let opts = CampaignOptions { jobs: args.jobs };
-    let report = supervise_matrix_with(&cfgs, &ws, &flow, &opts);
+    // Disk-backed artifact store. The I/O fault injectors only make
+    // sense against a real cache directory.
+    let faults = DiskFaultInjection {
+        torn_write: args.inject_torn_write,
+        corrupt_write: args.inject_corrupt,
+    };
+    if args.cache_dir.is_none() && (faults.torn_write.is_some() || faults.corrupt_write.is_some()) {
+        eprintln!("boomflow: --inject-torn-write/--inject-corrupt require --cache-dir");
+        exit(2);
+    }
+    let store = match &args.cache_dir {
+        None => ArtifactStore::new(),
+        Some(dir) => ArtifactStore::with_disk_cache_injected(dir, faults).unwrap_or_else(|e| {
+            eprintln!("boomflow: cannot open cache dir {}: {e}", dir.display());
+            exit(2);
+        }),
+    };
+
+    // Resumable campaign journal, keyed by the campaign fingerprint so a
+    // journal from a different matrix or flow setup is refused.
+    if args.resume && args.journal.is_none() {
+        eprintln!("boomflow: --resume requires --journal");
+        exit(2);
+    }
+    let mut journal: Option<Arc<CampaignJournal>> = None;
+    let mut replay: Option<Arc<JournalReplay>> = None;
+    if let Some(path) = &args.journal {
+        let fp = campaign_fingerprint(&cfgs, &ws, &flow);
+        if args.resume && path.exists() {
+            match CampaignJournal::resume(path, fp) {
+                Ok((j, r)) => {
+                    eprintln!(
+                        "boomflow: resuming, {} completed point(s) replayed from {}",
+                        r.len(),
+                        path.display()
+                    );
+                    journal = Some(Arc::new(j));
+                    replay = Some(Arc::new(r));
+                }
+                Err(e) => {
+                    eprintln!("boomflow: cannot resume journal {}: {e}", path.display());
+                    exit(2);
+                }
+            }
+        } else {
+            match CampaignJournal::create(path, fp) {
+                Ok(j) => journal = Some(Arc::new(j)),
+                Err(e) => {
+                    eprintln!("boomflow: cannot create journal {}: {e}", path.display());
+                    exit(2);
+                }
+            }
+        }
+    }
+
+    let opts = CampaignOptions { jobs: args.jobs, journal, replay };
+    let report = supervise_campaign(&cfgs, &ws, &flow, &store, &opts);
     for cell in &report.cells {
         if let Ok(r) = &cell.outcome {
             print_result(r);
@@ -237,6 +343,12 @@ fn main() {
     print!("\n{}", report.stage_summary());
     if let Some(log) = report.failure_log() {
         eprint!("\n{log}");
+    }
+    if let Some(path) = &args.report_out {
+        if let Err(e) = std::fs::write(path, report.render_deterministic()) {
+            eprintln!("boomflow: cannot write report {}: {e}", path.display());
+            exit(1);
+        }
     }
     if !report.all_ok() {
         exit(1);

@@ -1,0 +1,343 @@
+//! Crash-safe on-disk artifact cache primitives.
+//!
+//! The [`ArtifactStore`](crate::ArtifactStore) persists the three
+//! configuration-independent stage artifacts (profile, analysis,
+//! checkpoint set) through this module. The file format and the
+//! durability invariants are documented in `DESIGN.md`; in short:
+//!
+//! * **Atomic visibility** — artifacts are written to a `.tmp` sibling
+//!   and `rename`d into place, so a reader never observes a half-written
+//!   cache entry under its final name. A crash mid-write leaves only a
+//!   stale `.tmp` file, which is ignored.
+//! * **Self-validation** — every file carries a magic/version header, the
+//!   stage tag, the 64-bit cache key, a payload length, and a trailing
+//!   FNV-1a checksum over everything before it. Torn tails, bit flips,
+//!   and key collisions are all detected on load.
+//! * **Quarantine, never trust** — a file that fails any check is renamed
+//!   to `<name>.corrupt` and reported as [`DiskLookup::Quarantined`]; the
+//!   caller recomputes. A corrupt cache can cost time, never correctness.
+//!
+//! [`DiskFaultInjection`] deterministically produces exactly the failure
+//! modes the format defends against (torn writes, checksum corruption),
+//! so tests and CI exercise the recovery paths rather than assuming them.
+
+use rv_isa::codec::fnv1a;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// File magic of a cache entry ("BoomFlow Artifact Cache").
+const MAGIC: &[u8; 4] = b"BFAC";
+/// On-disk format version; bump on any layout change.
+const VERSION: u32 = 1;
+/// Header bytes before the payload: magic + version + stage + key + len.
+const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8;
+/// Trailing checksum bytes after the payload.
+const TRAILER_LEN: usize = 8;
+
+/// Which cached stage a disk entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStage {
+    /// Stage 1 — BBV profile.
+    Profile,
+    /// Stage 2 — SimPoint phase analysis.
+    Analysis,
+    /// Stage 3 — planned checkpoint set.
+    Checkpoints,
+}
+
+impl CacheStage {
+    /// One-byte stage tag stored in the file header.
+    fn tag(self) -> u8 {
+        match self {
+            CacheStage::Profile => 1,
+            CacheStage::Analysis => 2,
+            CacheStage::Checkpoints => 3,
+        }
+    }
+
+    /// File-name prefix of entries of this stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStage::Profile => "profile",
+            CacheStage::Analysis => "analysis",
+            CacheStage::Checkpoints => "checkpoints",
+        }
+    }
+
+    /// Parses a CLI stage name (`profile` / `analysis` / `checkpoints`).
+    pub fn parse(s: &str) -> Option<CacheStage> {
+        match s {
+            "profile" => Some(CacheStage::Profile),
+            "analysis" => Some(CacheStage::Analysis),
+            "checkpoints" => Some(CacheStage::Checkpoints),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic I/O fault injection for the disk cache, threaded in via
+/// [`ArtifactStore::with_disk_cache_injected`](crate::ArtifactStore::with_disk_cache_injected).
+///
+/// Each armed fault fires exactly once (the first write of the matching
+/// stage) and then disarms, so a test can corrupt one entry, observe the
+/// quarantine-and-recompute path, and still see the healed store work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskFaultInjection {
+    /// Truncate the first write of this stage mid-payload (simulates a
+    /// crash between `write` and `rename` that somehow got renamed — the
+    /// worst torn-write case).
+    pub torn_write: Option<CacheStage>,
+    /// Flip one payload bit in the first write of this stage (the
+    /// checksum no longer matches).
+    pub corrupt_write: Option<CacheStage>,
+}
+
+/// Outcome of a disk-cache lookup.
+#[derive(Debug)]
+pub enum DiskLookup {
+    /// A validated payload (header and checksum verified).
+    Hit(Vec<u8>),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but failed validation and was renamed to
+    /// `<name>.corrupt`; the caller must recompute.
+    Quarantined,
+}
+
+/// One directory of self-validating, atomically-replaced artifact files.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    torn_write: Option<(CacheStage, AtomicBool)>,
+    corrupt_write: Option<(CacheStage, AtomicBool)>,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path, faults: DiskFaultInjection) -> io::Result<DiskCache> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            torn_write: faults.torn_write.map(|s| (s, AtomicBool::new(true))),
+            corrupt_write: faults.corrupt_write.map(|s| (s, AtomicBool::new(true))),
+        })
+    }
+
+    /// Path of the entry for (`stage`, `name`). `name` is a short
+    /// hex-fingerprint string derived from the stage's cache key.
+    fn path(&self, stage: CacheStage, name: &str) -> PathBuf {
+        self.dir.join(format!("{}-{name}.bfa", stage.name()))
+    }
+
+    /// Whether the one-shot fault for `stage` should fire now.
+    fn fire(slot: &Option<(CacheStage, AtomicBool)>, stage: CacheStage) -> bool {
+        matches!(slot, Some((s, armed)) if *s == stage && armed.swap(false, Ordering::Relaxed))
+    }
+
+    /// Loads and validates the entry for (`stage`, `key`, `name`).
+    ///
+    /// Every failure mode — unreadable file, short file, bad magic or
+    /// version, stage/key mismatch, bad payload length, checksum mismatch
+    /// — quarantines the file and returns [`DiskLookup::Quarantined`].
+    pub fn load(&self, stage: CacheStage, key: u64, name: &str) -> DiskLookup {
+        let path = self.path(stage, name);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskLookup::Miss,
+            Err(_) => {
+                self.quarantine(&path);
+                return DiskLookup::Quarantined;
+            }
+        };
+        match validate(&bytes, stage, key) {
+            Some(payload) => DiskLookup::Hit(payload.to_vec()),
+            None => {
+                self.quarantine(&path);
+                DiskLookup::Quarantined
+            }
+        }
+    }
+
+    /// Atomically stores `payload` as the entry for (`stage`, `key`,
+    /// `name`): full file assembled in memory, written to a `.tmp`
+    /// sibling, flushed, then renamed over the final name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the caller treats a failed store as
+    /// "cache unavailable", never as a flow error.
+    pub fn store(&self, stage: CacheStage, key: u64, name: &str, payload: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(stage.tag());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        if Self::fire(&self.corrupt_write, stage) {
+            // Flip one bit in the middle of the payload *after* the
+            // checksum is sealed, modeling silent media corruption the
+            // checksum must catch.
+            let idx = (HEADER_LEN + payload.len() / 2).min(bytes.len() - 1);
+            bytes[idx] ^= 0x10;
+        }
+        if Self::fire(&self.torn_write, stage) {
+            // Worst-case torn write: a half-length file under the final
+            // name, as if the rename survived a crash the data did not.
+            bytes.truncate(bytes.len() / 2);
+        }
+        let path = self.path(stage, name);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+
+    /// Quarantines the entry for (`stage`, `name`) — used by the store
+    /// when a checksum-valid payload fails to decode (format drift).
+    pub(crate) fn quarantine_entry(&self, stage: CacheStage, name: &str) {
+        let path = self.path(stage, name);
+        self.quarantine(&path);
+    }
+
+    /// Renames a failed entry to `<name>.corrupt` (replacing any previous
+    /// quarantined copy) so it is preserved for inspection but never
+    /// consulted again.
+    fn quarantine(&self, path: &Path) {
+        let target = path.with_extension("corrupt");
+        let _ = fs::remove_file(&target);
+        let _ = fs::rename(path, &target);
+    }
+}
+
+/// Validates a raw cache file against the expected stage and key,
+/// returning the payload slice when everything checks out.
+fn validate(bytes: &[u8], stage: CacheStage, key: u64) -> Option<&[u8]> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+    let stored = u64::from_le_bytes(trailer.try_into().ok()?);
+    if fnv1a(body) != stored {
+        return None;
+    }
+    if &body[0..4] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(body[4..8].try_into().ok()?) != VERSION {
+        return None;
+    }
+    if body[8] != stage.tag() {
+        return None;
+    }
+    if u64::from_le_bytes(body[9..17].try_into().ok()?) != key {
+        return None;
+    }
+    let len = u64::from_le_bytes(body[17..25].try_into().ok()?);
+    let payload = &body[HEADER_LEN..];
+    if len != payload.len() as u64 {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("boomflow-diskcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = scratch("roundtrip");
+        let cache = DiskCache::open(&dir, DiskFaultInjection::default()).unwrap();
+        cache.store(CacheStage::Profile, 0xABCD, "k1", b"payload bytes").unwrap();
+        match cache.load(CacheStage::Profile, 0xABCD, "k1") {
+            DiskLookup::Hit(p) => assert_eq!(p, b"payload bytes"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss() {
+        let dir = scratch("miss");
+        let cache = DiskCache::open(&dir, DiskFaultInjection::default()).unwrap();
+        assert!(matches!(cache.load(CacheStage::Analysis, 1, "none"), DiskLookup::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_stage_key_or_flipped_bit_quarantines() {
+        let dir = scratch("validate");
+        let cache = DiskCache::open(&dir, DiskFaultInjection::default()).unwrap();
+        // Stage mismatch (same file name probed under another stage would
+        // be a different path, so corrupt the key instead).
+        cache.store(CacheStage::Profile, 7, "k", b"data").unwrap();
+        assert!(matches!(cache.load(CacheStage::Profile, 8, "k"), DiskLookup::Quarantined));
+        assert!(matches!(cache.load(CacheStage::Profile, 7, "k"), DiskLookup::Miss));
+        assert!(dir.join("profile-k.corrupt").exists(), "bad file must be preserved");
+
+        // A flipped payload bit fails the checksum.
+        cache.store(CacheStage::Profile, 7, "k", b"data").unwrap();
+        let path = dir.join("profile-k.bfa");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load(CacheStage::Profile, 7, "k"), DiskLookup::Quarantined));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_quarantines() {
+        let dir = scratch("trunc");
+        let cache = DiskCache::open(&dir, DiskFaultInjection::default()).unwrap();
+        cache.store(CacheStage::Checkpoints, 3, "k", b"0123456789").unwrap();
+        let path = dir.join("checkpoints-k.bfa");
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                matches!(cache.load(CacheStage::Checkpoints, 3, "k"), DiskLookup::Quarantined),
+                "cut at {cut} must quarantine"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_fire_once_and_self_heal() {
+        let dir = scratch("faults");
+        let faults = DiskFaultInjection {
+            torn_write: Some(CacheStage::Profile),
+            corrupt_write: Some(CacheStage::Analysis),
+        };
+        let cache = DiskCache::open(&dir, faults).unwrap();
+        cache.store(CacheStage::Profile, 1, "a", b"torn").unwrap();
+        assert!(matches!(cache.load(CacheStage::Profile, 1, "a"), DiskLookup::Quarantined));
+        cache.store(CacheStage::Analysis, 2, "b", b"flipped").unwrap();
+        assert!(matches!(cache.load(CacheStage::Analysis, 2, "b"), DiskLookup::Quarantined));
+        // Second writes are clean: the faults disarmed.
+        cache.store(CacheStage::Profile, 1, "a", b"torn").unwrap();
+        cache.store(CacheStage::Analysis, 2, "b", b"flipped").unwrap();
+        assert!(matches!(cache.load(CacheStage::Profile, 1, "a"), DiskLookup::Hit(_)));
+        assert!(matches!(cache.load(CacheStage::Analysis, 2, "b"), DiskLookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -47,16 +47,21 @@
 
 #![warn(missing_docs)]
 pub mod artifacts;
+pub mod diskcache;
 pub mod flow;
+pub mod journal;
 pub mod report;
 pub mod scheduler;
 pub mod supervisor;
+pub(crate) mod sync;
 
 pub use artifacts::{ArtifactStore, CacheStats, CheckpointSet, PlannedPoint};
+pub use diskcache::{CacheStage, DiskFaultInjection};
 pub use flow::{
     run_full, run_simpoint_flow, run_simpoint_flow_with_store, FlowConfig, FlowError,
     FullRunResult, WorkloadResult,
 };
+pub use journal::{campaign_fingerprint, CampaignJournal, JournalError, JournalReplay};
 pub use scheduler::{default_jobs, CampaignOptions};
 pub use supervisor::{
     supervise_campaign, supervise_matrix, supervise_matrix_with, CampaignReport, CampaignStats,

@@ -22,11 +22,14 @@ use crate::artifacts::{ArtifactStore, CheckpointSet};
 use crate::flow::{
     assemble_workload_result, escaped_panic, run_point_timed, FlowConfig, FlowError, PointOutcome,
 };
+use crate::journal::{CampaignJournal, JournalReplay};
 use crate::supervisor::{panic_message, CampaignReport, CampaignStats, CellFailure, CellResult};
+use crate::sync::lock;
 use boom_uarch::BoomConfig;
 use rv_workloads::Workload;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -36,11 +39,17 @@ pub struct CampaignOptions {
     /// Worker threads draining the point pool (≥ 1). `1` reproduces the
     /// sequential driver exactly.
     pub jobs: usize,
+    /// Write-ahead journal receiving every completed point, enabling
+    /// `--resume` after a crash. `None` disables journaling.
+    pub journal: Option<Arc<CampaignJournal>>,
+    /// Outcomes recovered from a previous run's journal; matching
+    /// points are replayed instead of re-simulated.
+    pub replay: Option<Arc<JournalReplay>>,
 }
 
 impl Default for CampaignOptions {
     fn default() -> CampaignOptions {
-        CampaignOptions { jobs: default_jobs() }
+        CampaignOptions { jobs: default_jobs(), journal: None, replay: None }
     }
 }
 
@@ -104,6 +113,23 @@ pub(crate) fn run_campaign(
         .map(|set| set.as_ref().map_or(0, |s| s.points.len()))
         .map(|n| (0..n).map(|_| OnceLock::new()).collect())
         .collect();
+
+    // Replay: points already journaled by an interrupted run fill their
+    // slots up front (including quarantined failures, so weight
+    // re-normalization matches the original run exactly) and never
+    // enter the work pool. Stale indices from a torn journal that
+    // somehow passed validation are simply out of range and ignored.
+    let mut replayed: u64 = 0;
+    if let Some(replay) = &opts.replay {
+        for (&(c_idx, p_idx), outcome) in &replay.outcomes {
+            if let Some(slot) = slots.get(c_idx).and_then(|cell| cell.get(p_idx)) {
+                if slot.set(outcome.clone()).is_ok() {
+                    replayed += 1;
+                }
+            }
+        }
+    }
+
     let point_tasks: Vec<(usize, usize)> = sets
         .iter()
         .enumerate()
@@ -111,10 +137,12 @@ pub(crate) fn run_campaign(
             let n = set.as_ref().map_or(0, |s| s.points.len());
             (0..n).map(move |p_idx| (c_idx, p_idx))
         })
+        .filter(|&(c_idx, p_idx)| slots[c_idx][p_idx].get().is_none())
         .collect();
     {
         let slots = &slots;
         let sets = &sets;
+        let completed = &AtomicU64::new(0);
         run_tasks(jobs, point_tasks, |(c_idx, p_idx)| {
             let (cfg, _) = cells[c_idx];
             let Some(set) = &sets[c_idx] else { return };
@@ -125,7 +153,18 @@ pub(crate) fn run_campaign(
                 Ok(o) => o,
                 Err(payload) => Err(escaped_panic(point, payload.as_ref())),
             };
+            if let Some(journal) = &opts.journal {
+                journal.append(c_idx, p_idx, &outcome);
+            }
             let _ = slots[c_idx][p_idx].set(outcome);
+            // Fault injection: die *after* journaling N fresh points,
+            // exactly as an OOM kill or power cut would — the journal
+            // holds the completed work, the process holds nothing.
+            if let Some(kill_after) = flow.inject.kill_after_points {
+                if completed.fetch_add(1, Ordering::Relaxed) + 1 >= kill_after {
+                    std::process::abort();
+                }
+            }
         });
     }
 
@@ -161,15 +200,13 @@ pub(crate) fn run_campaign(
         results.push(CellResult { config: cfg.name.clone(), workload: workload.name, outcome });
     }
 
-    let stats =
-        CampaignStats { jobs, wall_ms: t0.elapsed().as_secs_f64() * 1000.0, cache: store.stats() };
+    let stats = CampaignStats {
+        jobs,
+        wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+        cache: store.stats(),
+        replayed_points: replayed,
+    };
     CampaignReport { cells: results, stats }
-}
-
-/// Locks a queue, recovering from a poisoned lock (queues hold only
-/// whole tasks, so the state is always valid).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs every task on a bounded work-stealing pool of `jobs` workers.

@@ -87,6 +87,11 @@ pub struct FaultInjection {
     /// Panic inside this point's worker thread (exercises the
     /// `catch_unwind` isolation path).
     pub panic_point: Option<usize>,
+    /// Abort the whole process after this many freshly simulated points
+    /// have been journaled — a deterministic stand-in for an OOM kill or
+    /// power cut, used by the campaign-resume tests and the CI smoke
+    /// job. Replayed points do not count.
+    pub kill_after_points: Option<u64>,
 }
 
 impl FaultInjection {
@@ -272,6 +277,8 @@ pub struct CampaignStats {
     pub wall_ms: f64,
     /// Stage compute/hit counters and per-stage wall-clock totals.
     pub cache: CacheStats,
+    /// Points replayed from a resume journal instead of re-simulated.
+    pub replayed_points: u64,
 }
 
 /// Aggregate of a supervised campaign over a configuration × workload
@@ -374,13 +381,96 @@ impl CampaignReport {
         if c.full_run_computed + c.full_run_hits > 0 {
             rows.push(row("Full-run base", c.full_run_computed, c.full_run_hits, c.full_run_ms));
         }
-        format!(
+        let mut out = format!(
             "Campaign: {} cell(s), {} job(s), {:.0} ms wall\n{}",
             self.cells.len(),
             s.jobs,
             s.wall_ms,
             render_table(&header, &rows)
-        )
+        );
+        if c.disk_hits + c.disk_misses + c.disk_writes + c.disk_quarantined > 0 {
+            out.push_str(&format!(
+                "Disk cache: {} hit(s), {} miss(es), {} write(s), {} quarantined\n",
+                c.disk_hits, c.disk_misses, c.disk_writes, c.disk_quarantined
+            ));
+        }
+        if c.error_replays > 0 {
+            out.push_str(&format!("Cached errors replayed: {}\n", c.error_replays));
+        }
+        if s.replayed_points > 0 {
+            out.push_str(&format!("Journal: {} point(s) replayed\n", s.replayed_points));
+        }
+        out
+    }
+
+    /// Renders the campaign's *outcome* — every cell's result down to
+    /// per-point float bit patterns and activity fingerprints — with no
+    /// wall-clock, scheduling, or cache-locality information, so an
+    /// interrupted-and-resumed campaign and an uninterrupted one (at any
+    /// `--jobs`) produce byte-identical output. Written by
+    /// `boomflow --report-out` and diffed by the CI resume smoke job.
+    pub fn render_deterministic(&self) -> String {
+        fn fb(v: f64) -> String {
+            format!("{v:.6}[{:016x}]", v.to_bits())
+        }
+        let mut out = format!("cells {}\n", self.cells.len());
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(r) => {
+                    out.push_str(&format!("cell {} {} ok\n", c.config, c.workload));
+                    out.push_str(&format!(
+                        "  ipc {} coverage {} speedup {} total_insts {} interval {}\n",
+                        fb(r.ipc),
+                        fb(r.coverage),
+                        fb(r.speedup),
+                        r.total_insts,
+                        r.interval_size
+                    ));
+                    for (comp, b) in r.power.iter() {
+                        out.push_str(&format!(
+                            "  power {:?} {} {} {}\n",
+                            comp,
+                            fb(b.leakage_mw),
+                            fb(b.internal_mw),
+                            fb(b.switching_mw)
+                        ));
+                    }
+                    for (slot, mw) in r.power.int_issue_slot_mw.iter().enumerate() {
+                        out.push_str(&format!("  slot {slot} {}\n", fb(*mw)));
+                    }
+                    for p in &r.points {
+                        out.push_str(&format!(
+                            "  point interval {} weight {} ipc {} stats {:016x}\n",
+                            p.interval,
+                            fb(p.weight),
+                            fb(p.ipc),
+                            p.stats.fingerprint()
+                        ));
+                    }
+                    if let Some(d) = &r.degradation {
+                        out.push_str(&format!(
+                            "  degraded lost {} retries {}\n",
+                            fb(d.lost_weight),
+                            d.retries
+                        ));
+                        for pf in &d.failed {
+                            out.push_str(&format!(
+                                "  quarantined {} interval {} weight {} attempts {}: {}\n",
+                                pf.simpoint,
+                                pf.interval,
+                                fb(pf.weight),
+                                pf.attempts,
+                                pf.kind
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    out.push_str(&format!("cell {} {} failed: {e}\n", c.config, c.workload));
+                }
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,35 @@
+//! Poison-recovering synchronization helpers shared by the artifact
+//! store, the campaign scheduler, and the journal.
+//!
+//! The supervisor already isolates per-point panics with `catch_unwind`,
+//! but a panic while a worker holds a shared mutex would poison it and
+//! cascade a single failure into every other in-flight point. Every
+//! protected structure in this crate holds only *completed* insertions
+//! (memo maps of finished slots, queues of whole tasks, an append-only
+//! journal file handle), so the state is valid even when a previous
+//! holder panicked — recovering the guard is always safe.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(41);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison the mutex");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned(), "the mutex must actually be poisoned");
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 42);
+    }
+}

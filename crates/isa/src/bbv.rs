@@ -7,6 +7,7 @@
 //! per-block execution weights (block executions × block length). The
 //! `simpoint` crate clusters these vectors to find program phases.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::cpu::Retired;
 use crate::program::Program;
 use std::collections::HashMap;
@@ -53,6 +54,48 @@ impl BbvProfile {
             acc += iv.len;
         }
         starts
+    }
+
+    /// Serializes the profile for the disk artifact cache.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.dim);
+        w.put_u64(self.interval_size);
+        w.put_u64(self.total_insts);
+        w.put_usize(self.intervals.len());
+        for iv in &self.intervals {
+            w.put_u64(iv.len);
+            w.put_usize(iv.weights.len());
+            for &(id, weight) in &iv.weights {
+                w.put_usize(id);
+                w.put_u64(weight);
+            }
+        }
+    }
+
+    /// Decodes a profile produced by [`BbvProfile::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a length field the buffer cannot
+    /// hold (bit flip) — never a panic or an oversized allocation.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<BbvProfile, CodecError> {
+        let dim = r.usize()?;
+        let interval_size = r.u64()?;
+        let total_insts = r.u64()?;
+        let n = r.seq_len(16)?;
+        let mut intervals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.u64()?;
+            let k = r.seq_len(16)?;
+            let mut weights = Vec::with_capacity(k);
+            for _ in 0..k {
+                let id = r.usize()?;
+                let weight = r.u64()?;
+                weights.push((id, weight));
+            }
+            intervals.push(Interval { weights, len });
+        }
+        Ok(BbvProfile { intervals, dim, interval_size, total_insts })
     }
 }
 
@@ -335,6 +378,33 @@ mod tests {
         assert_eq!(starts.len(), prof.intervals.len());
         for (i, &s) in starts.iter().enumerate() {
             assert_eq!(s, prof.interval_start(i));
+        }
+    }
+
+    #[test]
+    fn profile_encode_decode_round_trips_exactly() {
+        let prof = profile_of(
+            |a| {
+                a.li(T0, 800);
+                a.label("l");
+                a.addi(A0, A0, 1);
+                a.addi(T0, T0, -1);
+                a.bnez(T0, "l");
+                a.exit();
+            },
+            100,
+        );
+        let mut w = ByteWriter::new();
+        prof.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = BbvProfile::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, prof);
+        // Every strict prefix is corrupt, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(BbvProfile::decode(&mut r).and_then(|_| r.finish()).is_err());
         }
     }
 

@@ -6,9 +6,10 @@
 //! boundary. Checkpoints restore into the functional simulator or seed the
 //! cycle-level out-of-order model in `boom-uarch`.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::cpu::{Cpu, SimError};
-use crate::image::SharedImage;
-use crate::mem::Memory;
+use crate::image::{DecodedImage, SharedImage};
+use crate::mem::{Memory, FLAT_MAX};
 use crate::program::Program;
 use std::sync::Arc;
 
@@ -73,6 +74,65 @@ impl Checkpoint {
     /// Approximate in-memory footprint in bytes (for reporting).
     pub fn size_bytes(&self) -> usize {
         self.mem.footprint_bytes() + 2 * 32 * 8 + 16
+    }
+
+    /// Serializes the snapshot for the disk artifact cache.
+    ///
+    /// The predecoded text image is *not* written out instruction by
+    /// instruction: its bytes are already present in the memory image, so
+    /// only its geometry (base, byte length) is recorded and
+    /// [`Checkpoint::decode`] re-predecodes those bytes — the restored
+    /// checkpoint is semantically identical and keeps the fast fetch path.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.pc);
+        for &x in &self.x {
+            w.put_u64(x);
+        }
+        for &f in &self.f {
+            w.put_u64(f);
+        }
+        w.put_u64(self.instret);
+        self.mem.encode(w);
+        match &self.image {
+            None => w.put_bool(false),
+            Some(img) => {
+                w.put_bool(true);
+                w.put_u64(img.base());
+                w.put_u64(img.len() as u64 * 4);
+            }
+        }
+    }
+
+    /// Decodes a snapshot produced by [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on any truncation, bad tag, or absurd length — the
+    /// cache layer treats every such error as corruption and recomputes.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Checkpoint, CodecError> {
+        let pc = r.u64()?;
+        let mut x = [0u64; 32];
+        for slot in &mut x {
+            *slot = r.u64()?;
+        }
+        let mut f = [0u64; 32];
+        for slot in &mut f {
+            *slot = r.u64()?;
+        }
+        let instret = r.u64()?;
+        let mem = Memory::decode(r)?;
+        let image = if r.bool()? {
+            let base = r.u64()?;
+            let len = r.u64()?;
+            if len == 0 || len % 4 != 0 || len > FLAT_MAX {
+                return Err(CodecError::Invalid("image geometry"));
+            }
+            let text = mem.read_bytes(base, len as usize);
+            Some(Arc::new(DecodedImage::decode_text(base, &text)))
+        } else {
+            None
+        };
+        Ok(Checkpoint { pc, x, f, mem, instret, image })
     }
 }
 
@@ -197,6 +257,53 @@ mod tests {
         let mut reference = Cpu::new(&p);
         reference.run(u64::MAX).unwrap();
         assert_eq!(a.xregs(), reference.xregs());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_resumes_identically() {
+        let p = counting_program();
+        let mut cpu = Cpu::new(&p);
+        cpu.attach_image(p.decoded_image());
+        cpu.run(500).unwrap();
+        let ck = Checkpoint::capture(&cpu);
+        assert!(ck.image.is_some(), "capture carries the predecoded image");
+
+        let mut w = ByteWriter::new();
+        ck.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = Checkpoint::decode(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(decoded.pc, ck.pc);
+        assert_eq!(decoded.x, ck.x);
+        assert_eq!(decoded.f, ck.f);
+        assert_eq!(decoded.instret, ck.instret);
+        assert!(decoded.image.is_some(), "image geometry restores the fast path");
+        assert!(decoded.mem.is_frozen(), "decoded memory stays CoW-shareable");
+
+        let mut a = ck.restore();
+        let mut b = decoded.restore();
+        let ra = a.run(u64::MAX).unwrap();
+        let rb = b.run(u64::MAX).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.xregs(), b.xregs());
+        assert_eq!(a.instret(), b.instret());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_image_geometry() {
+        let p = counting_program();
+        let ck = checkpoints_at(&p, &[100]).unwrap().remove(0);
+        let mut w = ByteWriter::new();
+        ck.encode(&mut w);
+        let bytes = w.into_bytes();
+        // Every strict prefix must fail, never panic or mis-decode.
+        for cut in (0..bytes.len()).step_by(97) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let res = Checkpoint::decode(&mut r).and_then(|_| r.finish());
+            assert!(res.is_err(), "cut at {cut} must not decode");
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Minimal byte-level codec for crash-safe artifact persistence.
+//!
+//! The disk-backed artifact cache and the campaign journal (see the
+//! `boomflow` crate) serialize profiles, analyses, and checkpoints with
+//! this codec instead of a general serialization framework: every value
+//! is written little-endian in a fixed field order, floats are stored by
+//! bit pattern (so a round trip is bit-identical, which the resume tests
+//! diff on), and every length read from an untrusted buffer is validated
+//! against the bytes actually present before anything is allocated — a
+//! bit-flipped length field must yield [`CodecError`], never an
+//! allocation bomb or a panic.
+
+use std::fmt;
+
+/// Why a serialized artifact failed to decode.
+///
+/// Decoders treat both variants the same way — the artifact is corrupt
+/// and must be quarantined and recomputed — but the distinction makes
+/// the fault-injection tests precise about *what* the reader detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete (torn write).
+    Truncated,
+    /// A structurally invalid value: bad tag, absurd length, non-UTF-8
+    /// string, or trailing bytes (bit flip or format drift).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated artifact"),
+            CodecError::Invalid(what) => write!(f, "invalid artifact ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash — the workspace's standard fingerprint/checksum
+/// primitive (the same constants every cache key in the flow uses).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian append-only buffer writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` by exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-size fields).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.put_raw(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Cursor reader over a serialized artifact.
+///
+/// Every accessor validates against the remaining bytes before touching
+/// them; decoding a corrupt buffer yields [`CodecError`], never a panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a `usize` stored as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer;
+    /// [`CodecError::Invalid`] when the value does not fit `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// Reads an `f64` by exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool (strictly 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on any other byte value.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool tag")),
+        }
+    }
+
+    /// Reads an element count whose elements occupy at least
+    /// `min_elem_bytes` each, rejecting counts the remaining buffer
+    /// cannot possibly hold — the guard that turns a bit-flipped length
+    /// into [`CodecError`] instead of a gigabyte allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the count cannot fit in the bytes
+    /// that remain.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u64`-length-prefixed byte slice.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the prefix exceeds the bytes that
+    /// remain.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.seq_len(1)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on non-UTF-8 contents.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Invalid("utf-8"))
+    }
+
+    /// Asserts the buffer was fully consumed — decoders call this last so
+    /// a value followed by garbage is rejected, not silently accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Invalid("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f64(-0.0); // distinguishable from +0.0 only by bits
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_bytes(b"hello");
+        w.put_str("wörld");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.str().unwrap(), "wörld");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_prefix() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let ok = r.u64().and_then(|_| r.bytes().map(|b| b.to_vec()));
+            assert!(ok.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // length prefix far beyond the buffer
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.bytes(), Err(CodecError::Truncated));
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.seq_len(8), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_bytes_are_invalid() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(CodecError::Invalid(_))));
+        let r = ByteReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_values() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -53,6 +53,7 @@
 pub mod asm;
 pub mod bbv;
 pub mod checkpoint;
+pub mod codec;
 pub mod cpu;
 pub mod exec;
 pub mod image;

@@ -9,6 +9,7 @@
 //! preserves the sparse 64-bit address space and the zeroed-DRAM
 //! convention: reads of untouched memory return zero everywhere.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -17,8 +18,9 @@ pub const PAGE_SIZE: u64 = 4096;
 const PAGE_MASK: u64 = PAGE_SIZE - 1;
 
 /// Upper bound on the flat region (guards against absurd reservations;
-/// the bundled workloads need 16 MiB).
-const FLAT_MAX: u64 = 64 * 1024 * 1024;
+/// the bundled workloads need 16 MiB). Also the sanity cap the artifact
+/// decoders apply to serialized flat-region and image lengths.
+pub(crate) const FLAT_MAX: u64 = 64 * 1024 * 1024;
 
 /// Minimum *allocation* size for the flat buffer (its logical length is
 /// unaffected). Sized just above glibc's mmap-threshold cap (32 MiB) so
@@ -506,6 +508,74 @@ impl Memory {
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         (0..len as u64).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
     }
+
+    /// The flat region as `(base, one-past-end)`, or `None` when no
+    /// region has been reserved.
+    pub fn flat_range(&self) -> Option<(u64, u64)> {
+        if self.flat.is_empty() {
+            None
+        } else {
+            Some((self.flat_base, self.flat_end()))
+        }
+    }
+
+    /// Serializes the full memory state: the flat-region geometry, the
+    /// freeze flag, and every non-zero backed page. Zero pages are
+    /// skipped — reads of unbacked memory return zero anyway, so the
+    /// decoded memory reads identically at every address.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_bool(self.is_frozen());
+        match self.flat_range() {
+            None => w.put_bool(false),
+            Some((base, end)) => {
+                w.put_bool(true);
+                w.put_u64(base);
+                w.put_u64(end - base);
+            }
+        }
+        const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+        let mut pages: Vec<(u64, &[u8])> =
+            self.pages().filter(|&(_, p)| p != &ZERO_PAGE[..]).collect();
+        pages.sort_by_key(|&(base, _)| base);
+        w.put_usize(pages.len());
+        for (base, bytes) in pages {
+            w.put_u64(base);
+            w.put_raw(bytes);
+        }
+    }
+
+    /// Decodes a memory serialized by [`Memory::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a structurally invalid buffer
+    /// (absurd flat length, page count beyond the bytes present).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Memory, CodecError> {
+        let frozen = r.bool()?;
+        let mut mem = Memory::new();
+        if r.bool()? {
+            let base = r.u64()?;
+            let len = r.u64()?;
+            let end = base.checked_add(len).ok_or(CodecError::Invalid("flat range"))?;
+            if len == 0 || len > FLAT_MAX {
+                return Err(CodecError::Invalid("flat length"));
+            }
+            mem.reserve_flat(base, end);
+            if mem.flat_range() != Some((base, end)) {
+                return Err(CodecError::Invalid("flat geometry"));
+            }
+        }
+        let n = r.seq_len(8 + PAGE_SIZE as usize)?;
+        for _ in 0..n {
+            let base = r.u64()?;
+            let bytes = r.take(PAGE_SIZE as usize)?;
+            mem.write_bytes(base, bytes);
+        }
+        if frozen {
+            mem.freeze_flat();
+        }
+        Ok(mem)
+    }
 }
 
 #[cfg(test)]
@@ -745,6 +815,76 @@ mod tests {
         let base = m.cow_base.clone().unwrap();
         m.freeze_flat();
         assert!(Arc::ptr_eq(&base, m.cow_base.as_ref().unwrap()));
+    }
+
+    /// Reads every backed page of both memories and asserts bit equality.
+    fn assert_reads_identical(a: &Memory, b: &Memory) {
+        let collect = |m: &Memory| {
+            let mut v: Vec<(u64, Vec<u8>)> = m
+                .pages()
+                .filter(|(_, p)| p.iter().any(|&x| x != 0))
+                .map(|(base, p)| (base, p.to_vec()))
+                .collect();
+            v.sort_by_key(|(base, _)| *base);
+            v
+        };
+        assert_eq!(collect(a), collect(b), "non-zero page contents must match");
+        assert_eq!(a.flat_range(), b.flat_range());
+        assert_eq!(a.is_frozen(), b.is_frozen());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_owned_and_frozen() {
+        for freeze in [false, true] {
+            let mut m = seeded();
+            if freeze {
+                m.freeze_flat();
+            }
+            let mut w = ByteWriter::new();
+            m.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let d = Memory::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_reads_identical(&m, &d);
+            assert_eq!(d.read(0x1000, 8), 0xABCD, "overflow page restored");
+            assert_eq!(d.read(0x8000_0000, 8), 0x0102_0304_0506_0708);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_absurd_flat_and_page_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_bool(false);
+        w.put_bool(true);
+        w.put_u64(0x8000_0000);
+        w.put_u64(u64::MAX - 0x8000_0000); // overflows FLAT_MAX
+        let bytes = w.into_bytes();
+        assert!(Memory::decode(&mut ByteReader::new(&bytes)).is_err());
+
+        let mut w = ByteWriter::new();
+        w.put_bool(false);
+        w.put_bool(false);
+        w.put_u64(u64::MAX); // page count with no bytes behind it
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Memory::decode(&mut ByteReader::new(&bytes)).map(|_| ()),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn every_truncation_of_an_encoded_memory_errors() {
+        let mut m = seeded();
+        m.freeze_flat();
+        let mut w = ByteWriter::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let res = Memory::decode(&mut r).and_then(|_| r.finish());
+            assert!(res.is_err(), "cut at {cut} must not decode");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::bic::{bic, choose_k};
 use crate::kmeans::kmeans_best_of;
 use crate::projection::project;
 use rv_isa::bbv::BbvProfile;
+use rv_isa::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Tunable parameters of the SimPoint analysis.
 #[derive(Clone, Debug)]
@@ -115,6 +116,52 @@ impl SimPointAnalysis {
     pub fn speedup(&self) -> f64 {
         let detailed = self.selected.len() as u64 * self.interval_size;
         self.total_insts as f64 / detailed.max(1) as f64
+    }
+
+    /// Serializes the analysis for the disk artifact cache (weights by
+    /// exact bit pattern, so a round trip is bit-identical).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        fn put_points(w: &mut ByteWriter, points: &[SimPoint]) {
+            w.put_usize(points.len());
+            for p in points {
+                w.put_usize(p.interval);
+                w.put_f64(p.weight);
+                w.put_usize(p.cluster);
+            }
+        }
+        put_points(w, &self.points);
+        put_points(w, &self.selected);
+        w.put_usize(self.k);
+        w.put_u64(self.interval_size);
+        w.put_u64(self.total_insts);
+        w.put_f64(self.raw_coverage);
+    }
+
+    /// Decodes an analysis produced by [`SimPointAnalysis::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a length field the buffer cannot
+    /// hold — the cache layer quarantines such files and recomputes.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<SimPointAnalysis, CodecError> {
+        fn take_points(r: &mut ByteReader<'_>) -> Result<Vec<SimPoint>, CodecError> {
+            let n = r.seq_len(24)?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let interval = r.usize()?;
+                let weight = r.f64()?;
+                let cluster = r.usize()?;
+                points.push(SimPoint { interval, weight, cluster });
+            }
+            Ok(points)
+        }
+        let points = take_points(r)?;
+        let selected = take_points(r)?;
+        let k = r.usize()?;
+        let interval_size = r.u64()?;
+        let total_insts = r.u64()?;
+        let raw_coverage = r.f64()?;
+        Ok(SimPointAnalysis { points, selected, k, interval_size, total_insts, raw_coverage })
     }
 }
 
@@ -251,6 +298,32 @@ mod tests {
         let a = analyze(&p, &SimPointConfig::default());
         assert_eq!(a.k, 1);
         assert!((a.speedup() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_encode_decode_round_trips_bit_identically() {
+        let p = phased_profile(&[12, 8, 3]);
+        let a = analyze(&p, &SimPointConfig::default());
+        let mut w = ByteWriter::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let d = SimPointAnalysis::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(d.k, a.k);
+        assert_eq!(d.interval_size, a.interval_size);
+        assert_eq!(d.total_insts, a.total_insts);
+        assert_eq!(d.selected_coverage().to_bits(), a.selected_coverage().to_bits());
+        assert_eq!(d.points.len(), a.points.len());
+        for (x, y) in d.points.iter().zip(&a.points).chain(d.selected.iter().zip(&a.selected)) {
+            assert_eq!(x.interval, y.interval);
+            assert_eq!(x.cluster, y.cluster);
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(SimPointAnalysis::decode(&mut r).and_then(|_| r.finish()).is_err());
+        }
     }
 
     #[test]

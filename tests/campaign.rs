@@ -126,8 +126,13 @@ fn three_config_campaign_computes_front_half_once_per_workload() {
     let cfgs = BoomConfig::all_three();
     let workloads = test_workloads();
     let store = ArtifactStore::new();
-    let report =
-        supervise_campaign(&cfgs, &workloads, &quick_flow(), &store, &CampaignOptions { jobs: 2 });
+    let report = supervise_campaign(
+        &cfgs,
+        &workloads,
+        &quick_flow(),
+        &store,
+        &CampaignOptions { jobs: 2, ..CampaignOptions::default() },
+    );
     assert!(report.all_ok(), "{:?}", report.failure_log());
     assert_eq!(report.cells.len(), cfgs.len() * workloads.len());
 
@@ -150,8 +155,18 @@ fn parallel_campaign_report_matches_sequential() {
     let cfgs = BoomConfig::all_three();
     let workloads = test_workloads();
     let flow = quick_flow();
-    let sequential = supervise_matrix_with(&cfgs, &workloads, &flow, &CampaignOptions { jobs: 1 });
-    let parallel = supervise_matrix_with(&cfgs, &workloads, &flow, &CampaignOptions { jobs: 4 });
+    let sequential = supervise_matrix_with(
+        &cfgs,
+        &workloads,
+        &flow,
+        &CampaignOptions { jobs: 1, ..CampaignOptions::default() },
+    );
+    let parallel = supervise_matrix_with(
+        &cfgs,
+        &workloads,
+        &flow,
+        &CampaignOptions { jobs: 4, ..CampaignOptions::default() },
+    );
     assert!(sequential.all_ok());
     assert_reports_identical(&sequential, &parallel);
 
@@ -189,7 +204,7 @@ fn parallel_campaign_isolates_failing_workload_column() {
         &[broken, healthy],
         &quick_flow(),
         &store,
-        &CampaignOptions { jobs: 3 },
+        &CampaignOptions { jobs: 3, ..CampaignOptions::default() },
     );
     assert_eq!(report.cells.len(), 6);
     assert_eq!(report.failed().count(), 3, "the broken workload fails in every configuration");

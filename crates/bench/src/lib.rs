@@ -95,6 +95,10 @@ pub fn paper_mean_mw(c: Component) -> [f64; 3] {
         Component::DCache => [1.13, 2.24, 4.34],
         Component::ICache => [0.36, 1.06, 1.06],
         Component::RestOfTile => [3.57, 4.62, 6.06],
+        // The paper's tile stops at the L1s; the uncore components that
+        // appear under the hierarchy memory backend have no reference
+        // figure to calibrate or compare against.
+        Component::L2Cache | Component::DramInterface => [0.0, 0.0, 0.0],
     }
 }
 

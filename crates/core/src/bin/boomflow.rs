@@ -6,6 +6,9 @@
 //!          [--scale test|small|full] [--predictor tage|gshare]
 //!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
 //!          [--retries N] [--cycle-budget N] [--jobs N]
+//!          [--mem-backend fixed|hierarchy] [--l2 SETSxWAYSxLINE]
+//!          [--l2-mshrs N] [--l2-latency N] [--dram-latency N]
+//!          [--dram-burst N] [--dram-row-hit N] [--co-run A+B ...]
 //!          [--cache-dir DIR] [--journal FILE [--resume]] [--report-out FILE]
 //! ```
 //!
@@ -18,6 +21,15 @@
 //! reported — including the pipeline watchdog's diagnostic snapshot —
 //! and the remaining cells still run. The process exits non-zero only if
 //! some cell failed after per-point retries.
+//!
+//! With `--mem-backend hierarchy` (implied by any `--l2*`/`--dram*`
+//! knob) every configuration's L1 misses go to a shared L2 + DRAM model
+//! instead of the flat fixed-latency memory, and the power report gains
+//! the L2 Cache and DRAM Interface components. `--co-run A+B` adds a
+//! dual-core cell per configuration: workloads A and B co-run on two
+//! cores sharing one L2, reported with per-core IPC/power plus the
+//! interference counters (L2 contention stalls, DRAM bandwidth-wait
+//! cycles).
 //!
 //! With `--cache-dir` the configuration-independent artifacts are also
 //! persisted to a checksummed on-disk cache and reused by later runs.
@@ -36,11 +48,11 @@
 //!     --journal campaign.bfj --resume --report-out report.txt
 //! ```
 
-use boom_uarch::{BoomConfig, IssueQueueKind, PredictorKind};
+use boom_uarch::{BoomConfig, CacheParams, HierarchyParams, IssueQueueKind, PredictorKind};
 use boomflow::report::render_table;
 use boomflow::{
-    campaign_fingerprint, default_jobs, run_full, supervise_campaign, ArtifactStore, CacheStage,
-    CampaignJournal, CampaignOptions, DiskFaultInjection, FaultInjection, FlowConfig,
+    campaign_fingerprint_with, default_jobs, run_full, supervise_campaign, ArtifactStore,
+    CacheStage, CampaignJournal, CampaignOptions, DiskFaultInjection, FaultInjection, FlowConfig,
     JournalReplay, RetryPolicy, WorkloadResult,
 };
 use rtl_power::Component;
@@ -60,6 +72,14 @@ struct Args {
     retries: u32,
     cycle_budget: Option<u64>,
     jobs: usize,
+    hierarchy: bool,
+    l2: Option<String>,
+    l2_mshrs: Option<usize>,
+    l2_latency: Option<u64>,
+    dram_latency: Option<u64>,
+    dram_burst: Option<u64>,
+    dram_row_hit: Option<u64>,
+    co_run: Vec<String>,
     cache_dir: Option<PathBuf>,
     journal: Option<PathBuf>,
     resume: bool,
@@ -80,6 +100,9 @@ fn usage() -> ! {
          \x20               [--scale test|small|full] [--predictor tage|gshare]\n\
          \x20               [--iq collapsing|noncollapsing] [--full] [--warmup N]\n\
          \x20               [--retries N] [--cycle-budget N] [--jobs N]\n\
+         \x20               [--mem-backend fixed|hierarchy] [--l2 SETSxWAYSxLINE]\n\
+         \x20               [--l2-mshrs N] [--l2-latency N] [--dram-latency N]\n\
+         \x20               [--dram-burst N] [--dram-row-hit N] [--co-run A+B ...]\n\
          \x20               [--cache-dir DIR] [--journal FILE [--resume]]\n\
          \x20               [--report-out FILE]\n\
          workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
@@ -100,6 +123,14 @@ fn parse_args() -> Args {
         retries: RetryPolicy::default().max_attempts,
         cycle_budget: None,
         jobs: default_jobs(),
+        hierarchy: false,
+        l2: None,
+        l2_mshrs: None,
+        l2_latency: None,
+        dram_latency: None,
+        dram_burst: None,
+        dram_row_hit: None,
+        co_run: Vec::new(),
         cache_dir: None,
         journal: None,
         resume: false,
@@ -149,6 +180,24 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--mem-backend" => {
+                args.hierarchy = match value().to_lowercase().as_str() {
+                    "fixed" => false,
+                    "hierarchy" => true,
+                    _ => usage(),
+                }
+            }
+            "--l2" => args.l2 = Some(value()),
+            "--l2-mshrs" => args.l2_mshrs = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--l2-latency" => args.l2_latency = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--dram-latency" => {
+                args.dram_latency = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--dram-burst" => args.dram_burst = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--dram-row-hit" => {
+                args.dram_row_hit = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--co-run" => args.co_run.push(value().to_lowercase()),
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value())),
             "--journal" => args.journal = Some(PathBuf::from(value())),
             "--resume" => args.resume = true,
@@ -183,6 +232,43 @@ fn configs(sel: &str, predictor: PredictorKind, iq: IssueQueueKind) -> Vec<BoomC
         _ => usage(),
     };
     base.into_iter().map(|c| c.with_predictor(predictor).with_issue_queue(iq)).collect()
+}
+
+/// Parses `SETSxWAYSxLINE` (e.g. `512x8x64`) onto a base L2 geometry.
+fn parse_l2_geometry(spec: &str, base: CacheParams) -> CacheParams {
+    let parts: Vec<&str> = spec.split('x').collect();
+    let [sets, ways, line] = parts.as_slice() else { usage() };
+    CacheParams {
+        sets: sets.parse().unwrap_or_else(|_| usage()),
+        ways: ways.parse().unwrap_or_else(|_| usage()),
+        line_bytes: line.parse().unwrap_or_else(|_| usage()),
+        ..base
+    }
+}
+
+/// Builds the uncore parameter block from the CLI knobs, starting from
+/// the Table-I-style defaults.
+fn uncore_params(args: &Args) -> HierarchyParams {
+    let mut uncore = HierarchyParams::default_uncore();
+    if let Some(spec) = &args.l2 {
+        uncore.l2 = parse_l2_geometry(spec, uncore.l2);
+    }
+    if let Some(m) = args.l2_mshrs {
+        uncore.l2.mshrs = m;
+    }
+    if let Some(l) = args.l2_latency {
+        uncore.l2.hit_latency = l;
+    }
+    if let Some(l) = args.dram_latency {
+        uncore.dram_latency = l;
+    }
+    if let Some(b) = args.dram_burst {
+        uncore.dram_burst_cycles = b;
+    }
+    if let Some(r) = args.dram_row_hit {
+        uncore.dram_row_hit_latency = r;
+    }
+    uncore
 }
 
 fn workloads(sel: &str, scale: Scale) -> Vec<Workload> {
@@ -249,8 +335,46 @@ fn main() {
         },
         ..FlowConfig::default()
     };
-    let cfgs = configs(&args.config, args.predictor, args.iq);
+    let mut cfgs = configs(&args.config, args.predictor, args.iq);
     let ws = workloads(&args.workload, args.scale);
+
+    // Memory hierarchy: any L2/DRAM knob implies `--mem-backend
+    // hierarchy`. Validation is typed — a bad geometry is reported next
+    // to the offending knob instead of panicking mid-campaign.
+    let knobs_given = args.l2.is_some()
+        || args.l2_mshrs.is_some()
+        || args.l2_latency.is_some()
+        || args.dram_latency.is_some()
+        || args.dram_burst.is_some()
+        || args.dram_row_hit.is_some();
+    if args.hierarchy || knobs_given {
+        let uncore = uncore_params(&args);
+        cfgs = cfgs.into_iter().map(|c| c.with_hierarchy(uncore)).collect();
+    }
+    for cfg in &cfgs {
+        if let Err(e) = cfg.validate() {
+            eprintln!("boomflow: invalid configuration {}: {e}", cfg.name);
+            exit(2);
+        }
+    }
+
+    // Dual-core co-run cells: resolve `--co-run A+B` names against the
+    // selected workload set.
+    let mut co_runs: Vec<(usize, usize)> = Vec::new();
+    for spec in &args.co_run {
+        let Some((a, b)) = spec.split_once('+') else { usage() };
+        let idx = |n: &str| {
+            ws.iter().position(|w| w.name.eq_ignore_ascii_case(n)).unwrap_or_else(|| {
+                eprintln!("boomflow: co-run workload '{n}' is not in the selected workload set");
+                exit(2)
+            })
+        };
+        co_runs.push((idx(a), idx(b)));
+    }
+    if args.full && !co_runs.is_empty() {
+        eprintln!("boomflow: --co-run is a campaign cell type; it cannot combine with --full");
+        exit(2);
+    }
 
     if args.full {
         // Full detailed simulation: one run per cell, no SimPoint. A hang
@@ -305,7 +429,7 @@ fn main() {
     let mut journal: Option<Arc<CampaignJournal>> = None;
     let mut replay: Option<Arc<JournalReplay>> = None;
     if let Some(path) = &args.journal {
-        let fp = campaign_fingerprint(&cfgs, &ws, &flow);
+        let fp = campaign_fingerprint_with(&cfgs, &ws, &flow, &co_runs);
         if args.resume && path.exists() {
             match CampaignJournal::resume(path, fp) {
                 Ok((j, r)) => {
@@ -333,11 +457,32 @@ fn main() {
         }
     }
 
-    let opts = CampaignOptions { jobs: args.jobs, journal, replay };
+    let opts = CampaignOptions { jobs: args.jobs, journal, replay, co_runs };
     let report = supervise_campaign(&cfgs, &ws, &flow, &store, &opts);
     for cell in &report.cells {
         if let Ok(r) = &cell.outcome {
             print_result(r);
+        }
+    }
+    for cell in &report.co_cells {
+        if let Ok(cores) = &cell.outcome {
+            println!(
+                "\n### co-run {}+{} on {} (two cores, shared L2)",
+                cell.workloads[0], cell.workloads[1], cell.config
+            );
+            for (i, r) in cores.iter().enumerate() {
+                println!(
+                    "    core {i} {}: IPC {:.2} over {} insts / {} cycles, tile {:.2} mW, \
+                     L2 contention stalls {}, DRAM bandwidth-wait cycles {}",
+                    r.workload,
+                    r.ipc,
+                    r.stats.retired,
+                    r.stats.cycles,
+                    r.power.tile_total_mw(),
+                    r.l2_contention_stalls(),
+                    r.dram_bw_wait_cycles()
+                );
+            }
         }
     }
     print!("\n{}", report.stage_summary());

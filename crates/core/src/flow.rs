@@ -22,7 +22,9 @@ use crate::supervisor::{
     panic_message, renormalized, Degradation, FailureKind, FaultInjection, PointFailure,
     RetryPolicy,
 };
-use boom_uarch::{BoomConfig, Core, Stats, WatchdogSnapshot};
+use boom_uarch::{
+    BoomConfig, Core, Hierarchy, HierarchyParams, MemBackendKind, Stats, WatchdogSnapshot,
+};
 use rtl_power::{estimate_core, PowerReport};
 use rv_isa::bbv::{BbvCollector, BbvProfile};
 use rv_isa::cpu::{Cpu, SimError, StopReason};
@@ -577,6 +579,109 @@ pub fn run_full(cfg: &BoomConfig, workload: &Workload) -> Result<FullRunResult, 
         retired: core.stats().retired,
         cycles: core.stats().cycles,
     })
+}
+
+/// Cycles a co-run core may go without committing before it is declared
+/// hung — the same limit as the single-core pipeline watchdog, but
+/// tracked here because the co-run loop steps two cores itself instead
+/// of delegating to [`Core::run`].
+const CO_RUN_HANG_LIMIT: u64 = 100_000;
+
+/// Runs one dual-core co-run cell: two cores, one workload each, sharing
+/// one L2 + DRAM uncore through a [`Hierarchy::shared_pair`].
+///
+/// The cores are stepped in a strict cycle interleave (core 0 then
+/// core 1, every cycle) on the calling thread, so the shared uncore
+/// observes a single deterministic access order at any `--jobs` and
+/// across a kill/resume cycle. A configuration still on the flat
+/// [`MemBackendKind::FixedLatency`] backend is upgraded to the default
+/// hierarchy first — a co-run without a shared L2 has nothing to
+/// contend on.
+///
+/// Per-core successes are shaped as [`PointResult`]s (interval = core
+/// index, weight 1) so the campaign journal's existing outcome codec
+/// carries them unchanged; a hang or failed self-check on either core
+/// fails the whole cell — both slots receive the same quarantine
+/// record.
+pub(crate) fn run_co_cell(
+    cfg: &BoomConfig,
+    pair: [&Workload; 2],
+    inject: &FaultInjection,
+) -> [PointOutcome; 2] {
+    let cfg = match cfg.mem_backend {
+        MemBackendKind::Hierarchy(_) => cfg.clone(),
+        MemBackendKind::FixedLatency => {
+            cfg.clone().with_hierarchy(HierarchyParams::default_uncore())
+        }
+    };
+    let MemBackendKind::Hierarchy(params) = cfg.mem_backend else {
+        unreachable!("co-run configs always carry a hierarchy backend")
+    };
+    let (b0, b1) = Hierarchy::shared_pair(params);
+    let mut cores = [Core::new(cfg.clone(), &pair[0].program), Core::new(cfg, &pair[1].program)];
+    cores[0].set_mem_backend(Box::new(b0));
+    cores[1].set_mem_backend(Box::new(b1));
+    for (i, core) in cores.iter_mut().enumerate() {
+        if inject.hangs(i) {
+            core.inject_commit_stall();
+        }
+    }
+
+    let fail = |core_idx: usize, kind: FailureKind| -> [PointOutcome; 2] {
+        let f =
+            PointFailure { simpoint: core_idx, interval: core_idx, weight: 1.0, attempts: 1, kind };
+        [Err(f.clone()), Err(f)]
+    };
+
+    // (retired, cycle) at each core's last observed commit progress.
+    let mut progress = [(0u64, 0u64); 2];
+    loop {
+        let mut live = false;
+        for (i, core) in cores.iter_mut().enumerate() {
+            if core.exit_code().is_some() {
+                continue;
+            }
+            live = true;
+            core.step_cycle();
+            let retired = core.stats().retired;
+            if retired != progress[i].0 {
+                progress[i] = (retired, core.cycle());
+            } else if core.cycle() - progress[i].1 >= CO_RUN_HANG_LIMIT {
+                return fail(i, FailureKind::Hung { snapshot: Box::new(core.dump_state()) });
+            }
+        }
+        if !live {
+            break;
+        }
+    }
+    for (i, core) in cores.iter().enumerate() {
+        if let Some(code) = core.exit_code() {
+            if code != 0 {
+                return fail(
+                    i,
+                    FailureKind::Panicked {
+                        message: format!(
+                            "{} failed self-verification (exit code {code})",
+                            pair[i].name
+                        ),
+                    },
+                );
+            }
+        }
+    }
+    let done = |i: usize, core: &Core| -> PointOutcome {
+        Ok((
+            PointResult {
+                interval: i,
+                weight: 1.0,
+                ipc: core.stats().ipc(),
+                power: estimate_core(core),
+                stats: core.stats().clone(),
+            },
+            1,
+        ))
+    };
+    [done(0, &cores[0]), done(1, &cores[1])]
 }
 
 #[cfg(test)]

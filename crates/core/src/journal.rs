@@ -38,7 +38,9 @@ use crate::flow::{FlowConfig, PointOutcome, PointResult};
 use crate::supervisor::{FailureKind, PointFailure};
 use crate::sync::lock;
 use boom_uarch::rob::UopState;
-use boom_uarch::stats::{CacheStats, IssueQueueStats, PredictorStats, RenameStats, Stats};
+use boom_uarch::stats::{
+    CacheStats, IssueQueueStats, MemSysStats, PredictorStats, RenameStats, Stats,
+};
 use boom_uarch::watchdog::{
     IssueQueueView, LsuView, MshrView, OldestEntryView, RobHeadView, WatchdogSnapshot,
 };
@@ -54,7 +56,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 const MAGIC: &[u8; 4] = b"BFJL";
-const VERSION: u32 = 1;
+/// Version 2: stats records carry the memory-system (L2/DRAM) counters
+/// and watchdog snapshots carry L2 MSHRs. Version-1 journals are
+/// rejected on resume (the campaign restarts from scratch) rather than
+/// misdecoded.
+const VERSION: u32 = 2;
 /// magic + version + campaign fingerprint.
 const HEADER_LEN: usize = 4 + 4 + 8;
 
@@ -246,6 +252,19 @@ fn scan_record(bytes: &[u8], pos: usize, replay: &mut JournalReplay) -> Option<u
 /// deliberately excluded so a journal written under injection resumes
 /// into a clean run.
 pub fn campaign_fingerprint(cfgs: &[BoomConfig], workloads: &[Workload], flow: &FlowConfig) -> u64 {
+    campaign_fingerprint_with(cfgs, workloads, flow, &[])
+}
+
+/// [`campaign_fingerprint`] for campaigns that also schedule dual-core
+/// co-run cells (pairs of workload indices sharing an L2). The co-run
+/// schedule shifts cell indices, so it must be part of the identity a
+/// journal resumes against.
+pub fn campaign_fingerprint_with(
+    cfgs: &[BoomConfig],
+    workloads: &[Workload],
+    flow: &FlowConfig,
+    co_runs: &[(usize, usize)],
+) -> u64 {
     let mut w = ByteWriter::new();
     w.put_usize(cfgs.len());
     for cfg in cfgs {
@@ -268,6 +287,15 @@ pub fn campaign_fingerprint(cfgs: &[BoomConfig], workloads: &[Workload], flow: &
     put_opt_u64(&mut w, flow.inject.hang_point.map(|p| p as u64));
     w.put_bool(flow.inject.hang_every_point);
     put_opt_u64(&mut w, flow.inject.panic_point.map(|p| p as u64));
+    // Single-core campaigns hash exactly as before version 2: the co-run
+    // block is appended only when present.
+    if !co_runs.is_empty() {
+        w.put_usize(co_runs.len());
+        for &(a, b) in co_runs {
+            w.put_usize(a);
+            w.put_usize(b);
+        }
+    }
     fnv1a(&w.into_bytes())
 }
 
@@ -525,6 +553,12 @@ fn encode_stats(w: &mut ByteWriter, s: &Stats) {
     w.put_u64(s.fpu_ops);
     w.put_u64(s.fdiv_ops);
     w.put_u64(s.agu_ops);
+    encode_cache_stats(w, &s.mem.l2);
+    w.put_u64(s.mem.dram_reads);
+    w.put_u64(s.mem.dram_writes);
+    w.put_u64(s.mem.dram_row_hits);
+    w.put_u64(s.mem.dram_bw_wait_cycles);
+    w.put_u64(s.mem.l2_contention_stalls);
 }
 
 fn decode_stats(r: &mut ByteReader<'_>) -> Result<Stats, CodecError> {
@@ -564,6 +598,14 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<Stats, CodecError> {
         fpu_ops: r.u64()?,
         fdiv_ops: r.u64()?,
         agu_ops: r.u64()?,
+        mem: MemSysStats {
+            l2: decode_cache_stats(r)?,
+            dram_reads: r.u64()?,
+            dram_writes: r.u64()?,
+            dram_row_hits: r.u64()?,
+            dram_bw_wait_cycles: r.u64()?,
+            l2_contention_stalls: r.u64()?,
+        },
     })
 }
 
@@ -697,6 +739,7 @@ fn encode_snapshot(w: &mut ByteWriter, s: &WatchdogSnapshot) {
     }
     encode_mshrs(w, &s.icache_mshrs);
     encode_mshrs(w, &s.dcache_mshrs);
+    encode_mshrs(w, &s.l2_mshrs);
 }
 
 fn decode_snapshot(r: &mut ByteReader<'_>) -> Result<WatchdogSnapshot, CodecError> {
@@ -746,6 +789,7 @@ fn decode_snapshot(r: &mut ByteReader<'_>) -> Result<WatchdogSnapshot, CodecErro
     };
     let icache_mshrs = decode_mshrs(r)?;
     let dcache_mshrs = decode_mshrs(r)?;
+    let l2_mshrs = decode_mshrs(r)?;
     Ok(WatchdogSnapshot {
         cycle,
         cycles_since_commit,
@@ -761,6 +805,7 @@ fn decode_snapshot(r: &mut ByteReader<'_>) -> Result<WatchdogSnapshot, CodecErro
         lsu,
         icache_mshrs,
         dcache_mshrs,
+        l2_mshrs,
     })
 }
 
@@ -837,6 +882,14 @@ mod tests {
                 slot_writes: vec![1, 2],
                 ..IssueQueueStats::default()
             },
+            mem: MemSysStats {
+                l2: CacheStats { reads: 11, misses: 3, ..CacheStats::default() },
+                dram_reads: 3,
+                dram_row_hits: 1,
+                dram_bw_wait_cycles: 27,
+                l2_contention_stalls: 2,
+                ..MemSysStats::default()
+            },
             ..Stats::default()
         };
         Ok((
@@ -888,6 +941,7 @@ mod tests {
                     },
                     icache_mshrs: vec![],
                     dcache_mshrs: vec![MshrView { line_addr: 0x1000, done_at: 600 }],
+                    l2_mshrs: vec![MshrView { line_addr: 0x40, done_at: 650 }],
                 }),
             },
         })

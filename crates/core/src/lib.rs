@@ -61,9 +61,12 @@ pub use flow::{
     run_full, run_simpoint_flow, run_simpoint_flow_with_store, FlowConfig, FlowError,
     FullRunResult, WorkloadResult,
 };
-pub use journal::{campaign_fingerprint, CampaignJournal, JournalError, JournalReplay};
+pub use journal::{
+    campaign_fingerprint, campaign_fingerprint_with, CampaignJournal, JournalError, JournalReplay,
+};
 pub use scheduler::{default_jobs, CampaignOptions};
 pub use supervisor::{
     supervise_campaign, supervise_matrix, supervise_matrix_with, CampaignReport, CampaignStats,
-    CellFailure, CellResult, Degradation, FailureKind, FaultInjection, PointFailure, RetryPolicy,
+    CellFailure, CellResult, CoRunCellResult, CoreRunResult, Degradation, FailureKind,
+    FaultInjection, PointFailure, RetryPolicy,
 };

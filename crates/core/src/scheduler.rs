@@ -20,10 +20,14 @@
 
 use crate::artifacts::{ArtifactStore, CheckpointSet};
 use crate::flow::{
-    assemble_workload_result, escaped_panic, run_point_timed, FlowConfig, FlowError, PointOutcome,
+    assemble_workload_result, escaped_panic, run_co_cell, run_point_timed, FlowConfig, FlowError,
+    PointOutcome,
 };
 use crate::journal::{CampaignJournal, JournalReplay};
-use crate::supervisor::{panic_message, CampaignReport, CampaignStats, CellFailure, CellResult};
+use crate::supervisor::{
+    panic_message, CampaignReport, CampaignStats, CellFailure, CellResult, CoRunCellResult,
+    CoreRunResult, FailureKind, PointFailure,
+};
 use crate::sync::lock;
 use boom_uarch::BoomConfig;
 use rv_workloads::Workload;
@@ -45,11 +49,15 @@ pub struct CampaignOptions {
     /// Outcomes recovered from a previous run's journal; matching
     /// points are replayed instead of re-simulated.
     pub replay: Option<Arc<JournalReplay>>,
+    /// Dual-core co-run cells: pairs of workload indices that co-run on
+    /// two cores sharing one L2, scheduled once per configuration after
+    /// every single-core cell. The pair order is the core order.
+    pub co_runs: Vec<(usize, usize)>,
 }
 
 impl Default for CampaignOptions {
     fn default() -> CampaignOptions {
-        CampaignOptions { jobs: default_jobs(), journal: None, replay: None }
+        CampaignOptions { jobs: default_jobs(), journal: None, replay: None, co_runs: Vec::new() }
     }
 }
 
@@ -114,15 +122,37 @@ pub(crate) fn run_campaign(
         .map(|n| (0..n).map(|_| OnceLock::new()).collect())
         .collect();
 
+    // Dual-core co-run cells, configuration-major like the single-core
+    // cells and appended *after* all of them, so adding co-runs never
+    // shifts an existing cell's journal index. Each co cell owns two
+    // outcome slots (one per core) filled by a single co-run task.
+    let co_cells: Vec<(&BoomConfig, (usize, usize))> =
+        cfgs.iter().flat_map(|cfg| opts.co_runs.iter().map(move |&pair| (cfg, pair))).collect();
+    for &(_, (a, b)) in &co_cells {
+        assert!(
+            a < workloads.len() && b < workloads.len(),
+            "co-run workload index ({a}, {b}) out of range for {} workload(s)",
+            workloads.len()
+        );
+    }
+    let co_slots: Vec<[OnceLock<PointOutcome>; 2]> =
+        co_cells.iter().map(|_| [OnceLock::new(), OnceLock::new()]).collect();
+
     // Replay: points already journaled by an interrupted run fill their
     // slots up front (including quarantined failures, so weight
     // re-normalization matches the original run exactly) and never
-    // enter the work pool. Stale indices from a torn journal that
-    // somehow passed validation are simply out of range and ignored.
+    // enter the work pool. Co-run cells live past the single-core index
+    // range. Stale indices from a torn journal that somehow passed
+    // validation are simply out of range and ignored.
     let mut replayed: u64 = 0;
     if let Some(replay) = &opts.replay {
         for (&(c_idx, p_idx), outcome) in &replay.outcomes {
-            if let Some(slot) = slots.get(c_idx).and_then(|cell| cell.get(p_idx)) {
+            let slot = if c_idx < slots.len() {
+                slots[c_idx].get(p_idx)
+            } else {
+                co_slots.get(c_idx - slots.len()).and_then(|cell| cell.get(p_idx))
+            };
+            if let Some(slot) = slot {
                 if slot.set(outcome.clone()).is_ok() {
                     replayed += 1;
                 }
@@ -130,7 +160,7 @@ pub(crate) fn run_campaign(
         }
     }
 
-    let point_tasks: Vec<(usize, usize)> = sets
+    let mut point_tasks: Vec<(usize, usize)> = sets
         .iter()
         .enumerate()
         .flat_map(|(c_idx, set)| {
@@ -139,11 +169,73 @@ pub(crate) fn run_campaign(
         })
         .filter(|&(c_idx, p_idx)| slots[c_idx][p_idx].get().is_none())
         .collect();
+    // One task per co cell with any unfilled slot; task indices past the
+    // single-core cell count address `co_cells` (the point index is
+    // unused — one task simulates both cores).
+    point_tasks.extend(
+        co_cells
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| co_slots[k].iter().any(|s| s.get().is_none()))
+            .map(|(k, _)| (cells.len() + k, 0)),
+    );
     {
         let slots = &slots;
+        let co_slots = &co_slots;
+        let co_cells = &co_cells;
         let sets = &sets;
         let completed = &AtomicU64::new(0);
+        // Fault injection: die *after* journaling N fresh points, exactly
+        // as an OOM kill or power cut would — the journal holds the
+        // completed work, the process holds nothing.
+        let charge_and_maybe_kill = |fresh: u64| {
+            if let Some(kill_after) = flow.inject.kill_after_points {
+                if fresh > 0 && completed.fetch_add(fresh, Ordering::Relaxed) + fresh >= kill_after
+                {
+                    std::process::abort();
+                }
+            }
+        };
         run_tasks(jobs, point_tasks, |(c_idx, p_idx)| {
+            if c_idx >= cells.len() {
+                // Dual-core co-run cell: one task steps both cores to
+                // completion and fills both outcome slots.
+                let k = c_idx - cells.len();
+                let (cfg, (a, b)) = co_cells[k];
+                let outcomes = match catch_unwind(AssertUnwindSafe(|| {
+                    run_co_cell(cfg, [&workloads[a], &workloads[b]], &flow.inject)
+                })) {
+                    Ok(o) => o,
+                    Err(payload) => {
+                        let f = PointFailure {
+                            simpoint: 0,
+                            interval: 0,
+                            weight: 1.0,
+                            attempts: 1,
+                            kind: FailureKind::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            },
+                        };
+                        [Err(f.clone()), Err(f)]
+                    }
+                };
+                let mut fresh = 0u64;
+                for (p, outcome) in outcomes.into_iter().enumerate() {
+                    // A slot already filled by replay keeps the journaled
+                    // outcome (identical anyway — the co-run is
+                    // deterministic) and is not re-journaled.
+                    if co_slots[k][p].get().is_some() {
+                        continue;
+                    }
+                    if let Some(journal) = &opts.journal {
+                        journal.append(c_idx, p, &outcome);
+                    }
+                    let _ = co_slots[k][p].set(outcome);
+                    fresh += 1;
+                }
+                charge_and_maybe_kill(fresh);
+                return;
+            }
             let (cfg, _) = cells[c_idx];
             let Some(set) = &sets[c_idx] else { return };
             let point = &set.points[p_idx];
@@ -157,14 +249,7 @@ pub(crate) fn run_campaign(
                 journal.append(c_idx, p_idx, &outcome);
             }
             let _ = slots[c_idx][p_idx].set(outcome);
-            // Fault injection: die *after* journaling N fresh points,
-            // exactly as an OOM kill or power cut would — the journal
-            // holds the completed work, the process holds nothing.
-            if let Some(kill_after) = flow.inject.kill_after_points {
-                if completed.fetch_add(1, Ordering::Relaxed) + 1 >= kill_after {
-                    std::process::abort();
-                }
-            }
+            charge_and_maybe_kill(1);
         });
     }
 
@@ -200,13 +285,40 @@ pub(crate) fn run_campaign(
         results.push(CellResult { config: cfg.name.clone(), workload: workload.name, outcome });
     }
 
+    // Co-run cells assemble from their two per-core slots; a failure on
+    // either core (both slots carry the same record) fails the cell.
+    let mut co_results = Vec::with_capacity(co_cells.len());
+    for ((cfg, (a, b)), cell_slots) in co_cells.iter().zip(co_slots) {
+        let names = [workloads[*a].name, workloads[*b].name];
+        let [s0, s1] = cell_slots;
+        let take = |slot: OnceLock<PointOutcome>| {
+            slot.into_inner().unwrap_or_else(|| {
+                Err(PointFailure {
+                    simpoint: 0,
+                    interval: 0,
+                    weight: 1.0,
+                    attempts: 1,
+                    kind: FailureKind::Panicked { message: "co-run worker died".to_string() },
+                })
+            })
+        };
+        let outcome = match (take(s0), take(s1)) {
+            (Ok((p0, _)), Ok((p1, _))) => Ok(Box::new([
+                CoreRunResult { workload: names[0], ipc: p0.ipc, power: p0.power, stats: p0.stats },
+                CoreRunResult { workload: names[1], ipc: p1.ipc, power: p1.power, stats: p1.stats },
+            ])),
+            (Err(f), _) | (_, Err(f)) => Err(CellFailure::Flow(f.into_flow_error())),
+        };
+        co_results.push(CoRunCellResult { config: cfg.name.clone(), workloads: names, outcome });
+    }
+
     let stats = CampaignStats {
         jobs,
         wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
         cache: store.stats(),
         replayed_points: replayed,
     };
-    CampaignReport { cells: results, stats }
+    CampaignReport { cells: results, co_cells: co_results, stats }
 }
 
 /// Runs every task on a bounded work-stealing pool of `jobs` workers.

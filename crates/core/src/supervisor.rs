@@ -32,7 +32,8 @@ use crate::artifacts::{ArtifactStore, CacheStats};
 use crate::flow::{FlowConfig, FlowError, WorkloadResult};
 use crate::report::render_table;
 use crate::scheduler::{run_campaign, CampaignOptions};
-use boom_uarch::{BoomConfig, WatchdogSnapshot};
+use boom_uarch::{BoomConfig, Stats, WatchdogSnapshot};
+use rtl_power::PowerReport;
 use rv_workloads::Workload;
 use std::fmt;
 use std::time::Duration;
@@ -264,6 +265,53 @@ impl fmt::Display for CellFailure {
     }
 }
 
+/// One core's half of a dual-core co-run cell: the full-program
+/// measurement of the workload it ran while sharing the L2/DRAM uncore
+/// with the other core.
+#[derive(Clone, Debug)]
+pub struct CoreRunResult {
+    /// Workload this core ran.
+    pub workload: &'static str,
+    /// IPC over the core's entire execution.
+    pub ipc: f64,
+    /// Per-component power over the core's execution (includes the
+    /// `L2Cache` / `DramInterface` uncore components).
+    pub power: PowerReport,
+    /// Detailed-simulation activity, including the memory-system
+    /// interference counters.
+    pub stats: Stats,
+}
+
+impl CoreRunResult {
+    /// L1 misses this core could not even start in the shared L2 because
+    /// every L2 MSHR was held (mostly by the other core) — the cell's
+    /// primary interference metric.
+    pub fn l2_contention_stalls(&self) -> u64 {
+        self.stats.mem.l2_contention_stalls
+    }
+
+    /// Cycles this core's demand refills queued behind a busy DRAM
+    /// channel — the bandwidth-interference metric.
+    pub fn dram_bw_wait_cycles(&self) -> u64 {
+        self.stats.mem.dram_bw_wait_cycles
+    }
+}
+
+/// Outcome of one dual-core co-run cell: two workloads co-running on two
+/// cores behind one shared L2.
+#[derive(Debug)]
+pub struct CoRunCellResult {
+    /// Configuration name, as selected for the campaign (the in-cell
+    /// hierarchy upgrade does not rename the campaign cell).
+    pub config: String,
+    /// The two co-running workloads, in core order.
+    pub workloads: [&'static str; 2],
+    /// Per-core results, or why the cell failed. Either core hanging or
+    /// failing self-verification fails the whole cell — the survivor's
+    /// numbers would describe a half-idle uncore, not a co-run.
+    pub outcome: Result<Box<[CoreRunResult; 2]>, CellFailure>,
+}
+
 /// Per-stage accounting of one campaign: how many worker threads it ran
 /// with, how long it took end to end, and the artifact store's per-stage
 /// compute/hit counters and wall-clock totals — the observable form of
@@ -287,6 +335,10 @@ pub struct CampaignStats {
 pub struct CampaignReport {
     /// One entry per cell, in (configuration-major) run order.
     pub cells: Vec<CellResult>,
+    /// Dual-core co-run cells, scheduled after every single-core cell,
+    /// in (configuration-major) run order. Empty unless the campaign
+    /// requested co-runs ([`CampaignOptions::co_runs`]).
+    pub co_cells: Vec<CoRunCellResult>,
     /// Scheduler and artifact-reuse accounting for this campaign.
     pub stats: CampaignStats,
 }
@@ -295,6 +347,7 @@ impl CampaignReport {
     /// True when every cell produced a result (possibly degraded).
     pub fn all_ok(&self) -> bool {
         self.cells.iter().all(|c| c.outcome.is_ok())
+            && self.co_cells.iter().all(|c| c.outcome.is_ok())
     }
 
     /// Cells that failed outright.
@@ -316,7 +369,9 @@ impl CampaignReport {
     pub fn failure_log(&self) -> Option<String> {
         let failed: Vec<&CellResult> = self.failed().collect();
         let degraded: Vec<(&CellResult, &Degradation)> = self.degraded().collect();
-        if failed.is_empty() && degraded.is_empty() {
+        let co_failed: Vec<&CoRunCellResult> =
+            self.co_cells.iter().filter(|c| c.outcome.is_err()).collect();
+        if failed.is_empty() && degraded.is_empty() && co_failed.is_empty() {
             return None;
         }
         let mut out = String::new();
@@ -354,6 +409,17 @@ impl CampaignReport {
                 }
             }
         }
+        if !co_failed.is_empty() {
+            out.push_str("Failed co-run cells:\n");
+            for c in &co_failed {
+                if let Err(e) = &c.outcome {
+                    out.push_str(&format!(
+                        "  {}+{} on {}: {e}\n",
+                        c.workloads[0], c.workloads[1], c.config
+                    ))
+                }
+            }
+        }
         Some(out)
     }
 
@@ -383,7 +449,7 @@ impl CampaignReport {
         }
         let mut out = format!(
             "Campaign: {} cell(s), {} job(s), {:.0} ms wall\n{}",
-            self.cells.len(),
+            self.cells.len() + self.co_cells.len(),
             s.jobs,
             s.wall_ms,
             render_table(&header, &rows)
@@ -467,6 +533,48 @@ impl CampaignReport {
                 }
                 Err(e) => {
                     out.push_str(&format!("cell {} {} failed: {e}\n", c.config, c.workload));
+                }
+            }
+        }
+        // The co-run section is appended only when co-runs were scheduled,
+        // so reports from existing single-core campaigns stay
+        // byte-identical.
+        if !self.co_cells.is_empty() {
+            out.push_str(&format!("co-cells {}\n", self.co_cells.len()));
+            for c in &self.co_cells {
+                let names = format!("{}+{}", c.workloads[0], c.workloads[1]);
+                match &c.outcome {
+                    Ok(cores) => {
+                        out.push_str(&format!("co-cell {} {names} ok\n", c.config));
+                        for (i, r) in cores.iter().enumerate() {
+                            out.push_str(&format!(
+                                "  core {i} {} ipc {} cycles {} retired {} stats {:016x}\n",
+                                r.workload,
+                                fb(r.ipc),
+                                r.stats.cycles,
+                                r.stats.retired,
+                                r.stats.fingerprint()
+                            ));
+                            out.push_str(&format!(
+                                "  core {i} interference l2_contention_stalls {} \
+                                 dram_bw_wait_cycles {}\n",
+                                r.l2_contention_stalls(),
+                                r.dram_bw_wait_cycles()
+                            ));
+                            for (comp, b) in r.power.iter() {
+                                out.push_str(&format!(
+                                    "  core {i} power {:?} {} {} {}\n",
+                                    comp,
+                                    fb(b.leakage_mw),
+                                    fb(b.internal_mw),
+                                    fb(b.switching_mw)
+                                ));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        out.push_str(&format!("co-cell {} {names} failed: {e}\n", c.config));
+                    }
                 }
             }
         }

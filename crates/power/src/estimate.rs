@@ -60,6 +60,16 @@ pub fn estimate(cfg: &BoomConfig, stats: &Stats, geom: &PredictorGeometry) -> Po
     entries.push((Component::DCache, est.dcache()));
     entries.push((Component::ICache, est.icache()));
     entries.push((Component::RestOfTile, est.rest_of_tile()));
+    // Uncore components exist only under the hierarchy backend, so
+    // fixed-latency reports keep their original 14-entry shape (and
+    // their exact rendering) byte for byte.
+    if let boom_uarch::MemBackendKind::Hierarchy(h) = &cfg.mem_backend {
+        entries.push((
+            Component::L2Cache,
+            est.cache(&h.l2, &stats.mem.l2, (h.l2.line_bytes * 8) as u64, 1),
+        ));
+        entries.push((Component::DramInterface, est.dram(h)));
+    }
     // Apply the per-component calibration.
     for (c, pb) in &mut entries {
         let k = calibration(*c);
@@ -346,6 +356,30 @@ impl Estimator<'_> {
         self.cache(&self.cfg.icache, &self.stats.icache, 32 * self.cfg.fetch_width as u64, 1)
     }
 
+    /// DRAM interface: controller queues and pads leak; each transfer
+    /// moves a full line across the bus (internal), and each row
+    /// activation (a transfer that missed the open row) fires the
+    /// high-energy wordline/bitline path (switching).
+    fn dram(&self, h: &boom_uarch::HierarchyParams) -> PowerBreakdown {
+        let p = &self.p;
+        let m = &self.stats.mem;
+        let line_bits = (h.l2.line_bytes * 8) as f64;
+        // Controller: request/response queues plus bus pad drivers,
+        // modelled as flop storage for 64 line-sized entries.
+        let ctrl_bits = 64.0 * line_bits;
+        let leakage = ctrl_bits * p.leak_per_ff_bit_mw;
+        let transfers = self.epc(m.dram_reads) + self.epc(m.dram_writes);
+        let internal = transfers * line_bits * (p.sram_bit_access_pj + p.wire_bit_pj * 4.0);
+        let activations = self.epc((m.dram_reads + m.dram_writes).saturating_sub(m.dram_row_hits));
+        let row_bits = h.dram_row_bytes as f64 * 8.0;
+        let switching = activations * row_bits * p.sram_bit_access_pj * 0.5;
+        PowerBreakdown {
+            leakage_mw: leakage,
+            internal_mw: self.to_mw(internal),
+            switching_mw: self.to_mw(switching),
+        }
+    }
+
     fn rest_of_tile(&self) -> PowerBreakdown {
         let p = &self.p;
         let s = self.stats;
@@ -405,6 +439,23 @@ mod tests {
             assert!(pb.total_mw() > 0.0, "{c} total");
         }
         assert!(rep.analyzed_fraction() > 0.3 && rep.analyzed_fraction() < 1.0);
+    }
+
+    #[test]
+    fn hierarchy_config_reports_uncore_components() {
+        use boom_uarch::HierarchyParams;
+        // Fixed latency: the report keeps its original 14-entry shape.
+        let flat = estimate_core(&run_loop(BoomConfig::medium()));
+        assert_eq!(flat.iter().count(), 14);
+        assert_eq!(flat.component(Component::L2Cache).total_mw(), 0.0);
+        // Hierarchy: L2 and DRAM appear with nonzero power (cold-start
+        // icache/dcache misses always reach the uncore).
+        let cfg = BoomConfig::medium().with_hierarchy(HierarchyParams::default_uncore());
+        let rep = estimate_core(&run_loop(cfg));
+        assert_eq!(rep.iter().count(), 16);
+        assert!(rep.component(Component::L2Cache).total_mw() > 0.0);
+        assert!(rep.component(Component::DramInterface).total_mw() > 0.0);
+        assert!(rep.component(Component::DramInterface).switching_mw > 0.0, "row activations");
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum Component {
     /// Everything else in the tile (execution units, decode, fetch
     /// control) — needed to reproduce the paper's Fig. 9 contributions.
     RestOfTile,
+    /// Shared L2 SRAM (incl. its MSHRs); present only when a hierarchy
+    /// memory backend is configured.
+    L2Cache,
+    /// DRAM interface (controller queues, row activation, bus drivers);
+    /// present only when a hierarchy memory backend is configured.
+    DramInterface,
 }
 
 impl Component {
@@ -55,8 +61,10 @@ impl Component {
         Component::ICache,
     ];
 
-    /// All components including the tile remainder.
-    pub const ALL: [Component; 14] = [
+    /// All components: the tile remainder plus the uncore components
+    /// that appear under the hierarchy memory backend. New variants go
+    /// at the end — the journal codec tags components by position here.
+    pub const ALL: [Component; 16] = [
         Component::IntRegFile,
         Component::FpRegFile,
         Component::IntRename,
@@ -71,6 +79,8 @@ impl Component {
         Component::DCache,
         Component::ICache,
         Component::RestOfTile,
+        Component::L2Cache,
+        Component::DramInterface,
     ];
 
     /// Short display name matching the paper's figures.
@@ -90,6 +100,8 @@ impl Component {
             Component::DCache => "L1 DCache",
             Component::ICache => "L1 ICache",
             Component::RestOfTile => "Rest of Tile",
+            Component::L2Cache => "L2 Cache",
+            Component::DramInterface => "DRAM Interface",
         }
     }
 }

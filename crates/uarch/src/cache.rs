@@ -1,13 +1,30 @@
-//! Set-associative L1 caches with LRU replacement and MSHRs.
+//! Set-associative caches with LRU replacement and MSHRs.
 //!
 //! The cache is a *timing* model: data always comes from the shared
 //! [`rv_isa::mem::Memory`] image; the cache tracks tags, dirtiness and
 //! outstanding misses to decide hit/miss latency and to count the activity
 //! that drives cache power (Key Takeaway #8 keys on MSHR count and access
 //! concurrency).
+//!
+//! The same structure serves two roles:
+//!
+//! * an **L1** ([`Cache::access`]), where the refill time for a fresh miss
+//!   is supplied by the configured [`MemoryBackend`](crate::mem) — a fixed
+//!   latency, or a shared L2 + DRAM hierarchy;
+//! * the **L2 inside the hierarchy backend**, driven through the exposed
+//!   [`Cache::lookup`] / [`Cache::fill`] halves with DRAM-computed
+//!   completion times (and no per-cycle tick: completed refills are
+//!   reaped lazily with [`Cache::release_before`]).
+//!
+//! MSHRs live in a fixed-capacity slot array (a free slot is encoded as
+//! `done_at == 0`; real refills always complete at a later cycle) with a
+//! cached next-completion cycle, so the per-cycle [`Cache::tick`] is O(1)
+//! on every cycle in which no refill completes instead of an O(mshrs)
+//! `retain` scan.
 
-use crate::config::CacheParams;
-use crate::stats::CacheStats;
+use crate::config::{CacheParams, ConfigError};
+use crate::mem::MemoryBackend;
+use crate::stats::{CacheStats, MemSysStats};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Line {
@@ -16,6 +33,10 @@ struct Line {
     dirty: bool,
     lru: u64,
 }
+
+/// `done_at == FREE` marks an unused slot. Valid refills always complete
+/// at cycle ≥ 1 (all hit/miss latencies are validated nonzero).
+const FREE: u64 = 0;
 
 #[derive(Clone, Copy, Debug)]
 struct Mshr {
@@ -50,37 +71,70 @@ impl Access {
     }
 }
 
-/// One L1 cache (instruction or data).
+/// Result of the probe half of an access ([`Cache::lookup`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Hit; data available after the cache's hit latency.
+    Hit {
+        /// Cycle at which the data is available.
+        ready_at: u64,
+    },
+    /// The line is already being refilled: the access merged with the
+    /// outstanding MSHR (counted as a miss, no new allocation).
+    Merged {
+        /// Cycle at which the in-flight refill completes.
+        ready_at: u64,
+    },
+    /// Fresh miss and an MSHR slot is free: the caller must obtain a
+    /// completion time from the next level and [`Cache::fill`], or
+    /// [`Cache::unwind_miss`] if the next level refuses the request.
+    MissReady,
+    /// Fresh miss but every MSHR is busy; counters were rolled back.
+    Blocked,
+}
+
+/// One cache array (L1 instruction, L1 data, or the shared L2).
 #[derive(Clone, Debug)]
 pub struct Cache {
     params: CacheParams,
-    mem_latency: u64,
     lines: Vec<Line>,
-    mshrs: Vec<Mshr>,
+    mshrs: Box<[Mshr]>,
+    /// Occupied MSHR slots (`done_at != FREE`).
+    live_mshrs: usize,
+    /// Earliest `done_at` among occupied slots (`u64::MAX` when none):
+    /// lets `tick`/`release_before` skip the slot scan on cycles where
+    /// nothing can complete.
+    next_done: u64,
     lru_clock: u64,
     line_shift: u32,
     set_mask: u64,
 }
 
 impl Cache {
-    /// Creates an empty cache.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless sets and line size are powers of two.
-    pub fn new(params: CacheParams, mem_latency: u64) -> Cache {
-        assert!(params.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(params.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(params.ways >= 1 && params.mshrs >= 1);
-        Cache {
+    /// Creates an empty cache, validating the geometry.
+    pub fn try_new(params: CacheParams) -> Result<Cache, ConfigError> {
+        params.validate("cache")?;
+        Ok(Cache {
             lines: vec![Line::default(); params.sets * params.ways],
-            mshrs: Vec::with_capacity(params.mshrs),
+            mshrs: vec![Mshr { line_addr: 0, done_at: FREE }; params.mshrs].into_boxed_slice(),
+            live_mshrs: 0,
+            next_done: u64::MAX,
             lru_clock: 0,
             line_shift: params.line_bytes.trailing_zeros(),
             set_mask: (params.sets - 1) as u64,
             params,
-            mem_latency,
-        }
+        })
+    }
+
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry; construction from user input should go
+    /// through [`BoomConfig::validate`](crate::BoomConfig::validate) (or
+    /// [`Cache::try_new`]) first so the error stays typed.
+    pub fn new(params: CacheParams) -> Cache {
+        Cache::try_new(params).unwrap_or_else(|e| panic!("invalid cache geometry: {e}"))
     }
 
     /// The cache's configuration.
@@ -94,31 +148,78 @@ impl Cache {
         &mut self.lines[set * w..(set + 1) * w]
     }
 
-    /// Performs one access at `addr` on cycle `cycle`, updating `stats`.
+    #[inline]
+    fn split_addr(&self, addr: u64) -> (u64, usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.params.sets.trailing_zeros();
+        (line_addr, set, tag)
+    }
+
+    /// Performs one L1 access at `addr` on cycle `cycle`, updating
+    /// `stats`; a fresh miss asks `backend` for the refill completion
+    /// time (charging backend activity to `mem`). A backend that cannot
+    /// accept the refill this cycle blocks the access exactly like MSHR
+    /// exhaustion.
     pub fn access(
         &mut self,
         addr: u64,
         is_write: bool,
         cycle: u64,
         stats: &mut CacheStats,
+        backend: &mut dyn MemoryBackend,
+        mem: &mut MemSysStats,
     ) -> Access {
+        match self.lookup(addr, is_write, cycle, stats) {
+            Lookup::Hit { ready_at } => Access::Hit { ready_at },
+            Lookup::Merged { ready_at } => Access::Miss { ready_at },
+            Lookup::Blocked => Access::Blocked,
+            Lookup::MissReady => match backend.refill(addr, cycle, mem) {
+                None => {
+                    self.unwind_miss(is_write, stats);
+                    Access::Blocked
+                }
+                Some(done_at) => {
+                    if let Some(victim_addr) = self.fill(addr, is_write, cycle, done_at, stats) {
+                        backend.writeback(victim_addr, cycle, mem);
+                    }
+                    Access::Miss { ready_at: done_at }
+                }
+            },
+        }
+    }
+
+    /// The probe half of an access: counts the access, merges with an
+    /// in-flight refill, detects a hit, or reports a fresh miss
+    /// (`MissReady` when an MSHR is free, `Blocked` with counters rolled
+    /// back when not). A `MissReady` must be completed with
+    /// [`Cache::fill`] or abandoned with [`Cache::unwind_miss`].
+    pub fn lookup(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        cycle: u64,
+        stats: &mut CacheStats,
+    ) -> Lookup {
         if is_write {
             stats.writes += 1;
         } else {
             stats.reads += 1;
         }
-        let line_addr = addr >> self.line_shift;
-        let set = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.params.sets.trailing_zeros();
+        let (line_addr, set, tag) = self.split_addr(addr);
         self.lru_clock += 1;
         let clock = self.lru_clock;
         let hit_latency = self.params.hit_latency;
 
         // A line with a refill in flight is not yet usable: merge with the
         // outstanding miss (tags were updated at allocation).
-        if let Some(m) = self.mshrs.iter().find(|m| m.line_addr == line_addr && m.done_at > cycle) {
-            stats.misses += 1;
-            return Access::Miss { ready_at: m.done_at.max(cycle + hit_latency) };
+        if self.live_mshrs > 0 {
+            if let Some(m) =
+                self.mshrs.iter().find(|m| m.line_addr == line_addr && m.done_at > cycle)
+            {
+                stats.misses += 1;
+                return Lookup::Merged { ready_at: m.done_at.max(cycle + hit_latency) };
+            }
         }
 
         // Tag lookup.
@@ -127,53 +228,141 @@ impl Cache {
             if is_write {
                 line.dirty = true;
             }
-            return Access::Hit { ready_at: cycle + hit_latency };
+            return Lookup::Hit { ready_at: cycle + hit_latency };
         }
 
         stats.misses += 1;
 
         // Need a fresh MSHR.
-        if self.mshrs.len() >= self.params.mshrs {
-            if is_write {
-                stats.writes -= 1;
-            } else {
-                stats.reads -= 1;
-            }
-            stats.misses -= 1;
-            return Access::Blocked;
+        if self.live_mshrs >= self.params.mshrs {
+            self.unwind_miss(is_write, stats);
+            return Lookup::Blocked;
         }
-        let done_at = cycle + self.mem_latency;
-        self.mshrs.push(Mshr { line_addr, done_at });
+        Lookup::MissReady
+    }
+
+    /// Rolls back the counters of a `MissReady` probe whose refill was
+    /// refused downstream, so a blocked-and-retried access counts once.
+    pub fn unwind_miss(&mut self, is_write: bool, stats: &mut CacheStats) {
+        if is_write {
+            stats.writes -= 1;
+        } else {
+            stats.reads -= 1;
+        }
+        stats.misses -= 1;
+    }
+
+    /// The allocation half of a fresh miss: claims an MSHR completing at
+    /// `done_at` and fills the line (timing is carried by the MSHR, so
+    /// the array updates immediately). Returns the byte address of an
+    /// evicted dirty line, which the caller must hand to the next level.
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        cycle: u64,
+        done_at: u64,
+        stats: &mut CacheStats,
+    ) -> Option<u64> {
+        debug_assert!(done_at > cycle, "refill must complete in the future");
+        let (line_addr, set, tag) = self.split_addr(addr);
+        let slot =
+            self.mshrs.iter_mut().find(|m| m.done_at == FREE).expect("lookup checked capacity");
+        *slot = Mshr { line_addr, done_at };
+        self.live_mshrs += 1;
+        self.next_done = self.next_done.min(done_at);
         stats.mshr_allocs += 1;
 
-        // Fill now (timing handled by done_at): evict LRU way.
+        // Evict the LRU way.
+        let clock = self.lru_clock;
+        let sets_shift = self.params.sets.trailing_zeros();
+        let set_bits = self.set_mask;
+        let line_shift = self.line_shift;
         let victim = self
             .set_ways(set)
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("at least one way");
+        let mut evicted = None;
         if victim.valid && victim.dirty {
             stats.writebacks += 1;
+            let victim_line = (victim.tag << sets_shift) | (set as u64 & set_bits);
+            evicted = Some(victim_line << line_shift);
         }
         *victim = Line { tag, valid: true, dirty: is_write, lru: clock };
-        Access::Miss { ready_at: done_at }
+        evicted
+    }
+
+    /// Writes `addr` if the line is present (marking it dirty) without
+    /// allocating on a miss — the L2's write-no-allocate policy for
+    /// posted L1 victim writebacks. Counts the write, and the miss when
+    /// absent; returns whether the line was present.
+    pub fn write_no_allocate(&mut self, addr: u64, stats: &mut CacheStats) -> bool {
+        stats.writes += 1;
+        let (_, set, tag) = self.split_addr(addr);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        if let Some(line) = self.set_ways(set).iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            line.dirty = true;
+            return true;
+        }
+        stats.misses += 1;
+        false
     }
 
     /// Advances time: releases completed MSHRs and accumulates occupancy.
+    /// O(1) on cycles where no refill completes.
     pub fn tick(&mut self, cycle: u64, stats: &mut CacheStats) {
-        self.mshrs.retain(|m| m.done_at > cycle);
-        stats.mshr_occupancy_sum += self.mshrs.len() as u64;
+        if self.next_done <= cycle {
+            self.reap(|done_at| done_at <= cycle);
+        }
+        stats.mshr_occupancy_sum += self.live_mshrs as u64;
+    }
+
+    /// Lazily releases MSHRs whose refill completed before `cycle` — the
+    /// tickless path used for the L2, where accesses arrive sparsely.
+    /// Matches the L1 rule (`tick(n)` frees `done_at ≤ n`, visible from
+    /// cycle `n + 1`): a slot is free to reuse once `done_at < cycle`.
+    pub fn release_before(&mut self, cycle: u64) {
+        if self.next_done < cycle {
+            self.reap(|done_at| done_at < cycle);
+        }
+    }
+
+    fn reap(&mut self, completed: impl Fn(u64) -> bool) {
+        let mut live = 0;
+        let mut next = u64::MAX;
+        for m in self.mshrs.iter_mut() {
+            if m.done_at == FREE {
+                continue;
+            }
+            if completed(m.done_at) {
+                m.done_at = FREE;
+            } else {
+                live += 1;
+                next = next.min(m.done_at);
+            }
+        }
+        self.live_mshrs = live;
+        self.next_done = next;
     }
 
     /// Number of MSHRs currently in flight.
     pub fn mshrs_in_flight(&self) -> usize {
-        self.mshrs.len()
+        self.live_mshrs
+    }
+
+    /// log2 of the line size — the shift between byte and line addresses
+    /// (as reported by [`Cache::mshr_states`]).
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
     }
 
     /// Outstanding refills as `(line_addr, done_at)` pairs (for the
-    /// pipeline watchdog's diagnostic snapshot).
+    /// pipeline watchdog's diagnostic snapshot), in slot order.
     pub fn mshr_states(&self) -> Vec<(u64, u64)> {
-        self.mshrs.iter().map(|m| (m.line_addr, m.done_at)).collect()
+        self.mshrs.iter().filter(|m| m.done_at != FREE).map(|m| (m.line_addr, m.done_at)).collect()
     }
 
     /// Invalidates everything (used between unrelated runs).
@@ -181,63 +370,74 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
-        self.mshrs.clear();
+        for m in self.mshrs.iter_mut() {
+            m.done_at = FREE;
+        }
+        self.live_mshrs = 0;
+        self.next_done = u64::MAX;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::FixedLatency;
 
-    fn small_cache(mshrs: usize) -> (Cache, CacheStats) {
+    fn small_cache(mshrs: usize) -> (Cache, CacheStats, FixedLatency, MemSysStats) {
         let params = CacheParams { sets: 4, ways: 2, line_bytes: 64, mshrs, hit_latency: 2 };
-        (Cache::new(params, 50), CacheStats::default())
+        (Cache::new(params), CacheStats::default(), FixedLatency::new(50), MemSysStats::default())
     }
 
     #[test]
     fn first_access_misses_then_hits() {
-        let (mut c, mut s) = small_cache(2);
-        assert!(matches!(c.access(0x1000, false, 0, &mut s), Access::Miss { ready_at: 50 }));
-        assert!(matches!(c.access(0x1008, false, 60, &mut s), Access::Hit { ready_at: 62 }));
+        let (mut c, mut s, mut b, mut m) = small_cache(2);
+        assert!(matches!(
+            c.access(0x1000, false, 0, &mut s, &mut b, &mut m),
+            Access::Miss { ready_at: 50 }
+        ));
+        assert!(matches!(
+            c.access(0x1008, false, 60, &mut s, &mut b, &mut m),
+            Access::Hit { ready_at: 62 }
+        ));
         assert_eq!(s.misses, 1);
         assert_eq!(s.reads, 2);
     }
 
     #[test]
     fn lru_evicts_least_recent() {
-        let (mut c, mut s) = small_cache(4);
+        let (mut c, mut s, mut b, mut m) = small_cache(4);
         // Three distinct lines mapping to the same set (sets=4, line=64
         // bytes => same set every 256 bytes).
         let a = 0x0000;
-        let b = 0x0100;
+        let bb = 0x0100;
         let d = 0x0200;
         // Space accesses past the miss latency so refills have completed.
-        c.access(a, false, 0, &mut s);
-        c.access(b, false, 100, &mut s);
-        c.access(a, false, 200, &mut s); // touch a: b becomes LRU
-        c.access(d, false, 300, &mut s); // evicts b
-        assert!(matches!(c.access(a, false, 400, &mut s), Access::Hit { .. }));
-        assert!(matches!(c.access(b, false, 401, &mut s), Access::Miss { .. }));
+        c.access(a, false, 0, &mut s, &mut b, &mut m);
+        c.access(bb, false, 100, &mut s, &mut b, &mut m);
+        c.access(a, false, 200, &mut s, &mut b, &mut m); // touch a: bb becomes LRU
+        c.access(d, false, 300, &mut s, &mut b, &mut m); // evicts bb
+        assert!(matches!(c.access(a, false, 400, &mut s, &mut b, &mut m), Access::Hit { .. }));
+        assert!(matches!(c.access(bb, false, 401, &mut s, &mut b, &mut m), Access::Miss { .. }));
     }
 
     #[test]
     fn mshr_limit_blocks() {
-        let (mut c, mut s) = small_cache(1);
-        assert!(matches!(c.access(0x0000, false, 0, &mut s), Access::Miss { .. }));
-        assert_eq!(c.access(0x1000, false, 0, &mut s), Access::Blocked);
+        let (mut c, mut s, mut b, mut m) = small_cache(1);
+        assert!(matches!(c.access(0x0000, false, 0, &mut s, &mut b, &mut m), Access::Miss { .. }));
+        assert_eq!(c.access(0x1000, false, 0, &mut s, &mut b, &mut m), Access::Blocked);
         // Blocked access must not perturb counters.
         assert_eq!(s.reads, 1);
         assert_eq!(s.misses, 1);
         // After the miss completes, a new miss can allocate.
         c.tick(50, &mut s);
-        assert!(matches!(c.access(0x1000, false, 51, &mut s), Access::Miss { .. }));
+        assert!(matches!(c.access(0x1000, false, 51, &mut s, &mut b, &mut m), Access::Miss { .. }));
     }
 
     #[test]
     fn same_line_misses_merge() {
-        let (mut c, mut s) = small_cache(1);
-        let r1 = c.access(0x2000, false, 0, &mut s);
-        let r2 = c.access(0x2010, false, 1, &mut s); // same 64B line
+        let (mut c, mut s, mut b, mut m) = small_cache(1);
+        let r1 = c.access(0x2000, false, 0, &mut s, &mut b, &mut m);
+        let r2 = c.access(0x2010, false, 1, &mut s, &mut b, &mut m); // same 64B line
         assert_eq!(r1.ready_at(), Some(50));
         assert_eq!(r2.ready_at(), Some(50));
         assert_eq!(s.mshr_allocs, 1);
@@ -245,18 +445,126 @@ mod tests {
 
     #[test]
     fn dirty_eviction_counts_writeback() {
-        let (mut c, mut s) = small_cache(4);
-        c.access(0x0000, true, 0, &mut s); // dirty line in set 0
-        c.access(0x0100, false, 1, &mut s);
-        c.access(0x0200, false, 2, &mut s); // evicts dirty 0x0000
+        let (mut c, mut s, mut b, mut m) = small_cache(4);
+        c.access(0x0000, true, 0, &mut s, &mut b, &mut m); // dirty line in set 0
+        c.access(0x0100, false, 1, &mut s, &mut b, &mut m);
+        c.access(0x0200, false, 2, &mut s, &mut b, &mut m); // evicts dirty 0x0000
+        assert_eq!(s.writebacks, 1);
+    }
+
+    /// Satellite coverage: eviction/writeback ordering — the dirty
+    /// victim's byte address reaches the backend exactly when its line is
+    /// replaced, not sooner, and clean victims produce no writeback.
+    #[test]
+    fn eviction_hands_dirty_victim_address_to_backend() {
+        let (mut c, mut s, _, _) = small_cache(4);
+        // Fill set 0 with a dirty line (0x0000) and a clean one (0x0100)
+        // using the split lookup/fill API so the victim address is
+        // observable.
+        assert_eq!(c.lookup(0x0000, true, 0, &mut s), Lookup::MissReady);
+        assert_eq!(c.fill(0x0000, true, 0, 50, &mut s), None, "cold fill evicts nothing");
+        assert_eq!(c.lookup(0x0100, false, 100, &mut s), Lookup::MissReady);
+        assert_eq!(c.fill(0x0100, false, 100, 150, &mut s), None);
+        // Third line in the same set: LRU victim is the *dirty* 0x0000.
+        assert_eq!(c.lookup(0x0200, false, 200, &mut s), Lookup::MissReady);
+        assert_eq!(c.fill(0x0200, false, 200, 250, &mut s), Some(0x0000));
+        assert_eq!(s.writebacks, 1);
+        // Fourth line: victim is the clean 0x0100 — no writeback address.
+        assert_eq!(c.lookup(0x0300, false, 300, &mut s), Lookup::MissReady);
+        assert_eq!(c.fill(0x0300, false, 300, 350, &mut s), None);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    /// Satellite coverage: a secondary miss to an in-flight line merges
+    /// with the MSHR (one allocation, shared completion time) while a
+    /// secondary miss to a *different* line allocates its own slot.
+    #[test]
+    fn mshr_merge_on_secondary_miss() {
+        let (mut c, mut s, mut b, mut m) = small_cache(2);
+        let r1 = c.access(0x2000, false, 0, &mut s, &mut b, &mut m);
+        assert_eq!(r1, Access::Miss { ready_at: 50 });
+        // Secondary miss, same line: merged (counted as a miss, no alloc),
+        // ready no earlier than the primary and no earlier than its own
+        // hit latency.
+        let r2 = c.access(0x2008, false, 47, &mut s, &mut b, &mut m);
+        assert_eq!(r2, Access::Miss { ready_at: 50 });
+        let r3 = c.access(0x2038, false, 49, &mut s, &mut b, &mut m);
+        assert_eq!(r3, Access::Miss { ready_at: 51 }, "merge respects the hit latency");
+        assert_eq!((s.misses, s.mshr_allocs), (3, 1));
+        // A different line takes the second slot.
+        let r4 = c.access(0x4000, false, 10, &mut s, &mut b, &mut m);
+        assert_eq!(r4, Access::Miss { ready_at: 60 });
+        assert_eq!(s.mshr_allocs, 2);
+    }
+
+    #[test]
+    fn slot_array_recycles_after_tick() {
+        // Exercise the fixed-capacity slot array across many
+        // allocate/complete generations with interleaved merges.
+        let (mut c, mut s, mut b, mut m) = small_cache(2);
+        let mut cycle = 0;
+        for gen in 0..100u64 {
+            let addr = 0x1_0000 + gen * 0x400; // distinct lines, rotating sets
+            let r = c.access(addr, false, cycle, &mut s, &mut b, &mut m);
+            assert_eq!(r, Access::Miss { ready_at: cycle + 50 });
+            assert_eq!(c.mshrs_in_flight(), 1);
+            for t in cycle..=cycle + 50 {
+                c.tick(t, &mut s);
+            }
+            assert_eq!(c.mshrs_in_flight(), 0, "slot must be reclaimed");
+            cycle += 51;
+        }
+        assert_eq!(s.mshr_allocs, 100);
+        assert_eq!(c.mshr_states(), vec![]);
+    }
+
+    #[test]
+    fn occupancy_accounting_matches_live_refills() {
+        let (mut c, mut s, mut b, mut m) = small_cache(2);
+        c.access(0x0000, false, 0, &mut s, &mut b, &mut m); // done_at 50
+        c.access(0x1000, false, 10, &mut s, &mut b, &mut m); // done_at 60
+        let mut sum = 0;
+        for t in 0..=70 {
+            c.tick(t, &mut s);
+        }
+        // Occupancy: 2 slots live while both refills are outstanding,
+        // then 1, then 0 — mirroring the old per-cycle retain() exactly:
+        // tick(t) counts refills with done_at > t.
+        sum += 50; // cycles 0..=49: first refill live (done_at 50 > t)
+        sum += 60; // cycles 0..=59: second refill live
+        assert_eq!(s.mshr_occupancy_sum, sum);
+    }
+
+    #[test]
+    fn write_no_allocate_marks_dirty_without_filling() {
+        let (mut c, mut s, mut b, mut m) = small_cache(4);
+        // Miss: not allocated.
+        assert!(!c.write_no_allocate(0x0000, &mut s));
+        assert_eq!((s.writes, s.misses, s.mshr_allocs), (1, 1, 0));
+        assert!(matches!(c.access(0x0000, false, 10, &mut s, &mut b, &mut m), Access::Miss { .. }));
+        // Present line: marked dirty, so its eviction writes back.
+        assert!(c.write_no_allocate(0x0008, &mut s));
+        c.access(0x0100, false, 100, &mut s, &mut b, &mut m);
+        c.access(0x0200, false, 200, &mut s, &mut b, &mut m); // evicts dirty 0x0000
         assert_eq!(s.writebacks, 1);
     }
 
     #[test]
+    fn try_new_reports_typed_errors() {
+        let bad = CacheParams { sets: 3, ways: 2, line_bytes: 64, mshrs: 2, hit_latency: 1 };
+        assert!(matches!(Cache::try_new(bad), Err(ConfigError::NotPowerOfTwo { .. })));
+        let bad = CacheParams { sets: 4, ways: 2, line_bytes: 64, mshrs: 0, hit_latency: 1 };
+        assert!(matches!(Cache::try_new(bad), Err(ConfigError::Zero { .. })));
+    }
+
+    #[test]
     fn flush_invalidates() {
-        let (mut c, mut s) = small_cache(2);
-        c.access(0x3000, false, 0, &mut s);
+        let (mut c, mut s, mut b, mut m) = small_cache(2);
+        c.access(0x3000, false, 0, &mut s, &mut b, &mut m);
         c.flush();
-        assert!(matches!(c.access(0x3000, false, 100, &mut s), Access::Miss { .. }));
+        assert!(matches!(
+            c.access(0x3000, false, 100, &mut s, &mut b, &mut m),
+            Access::Miss { .. }
+        ));
     }
 }

@@ -6,6 +6,67 @@
 //! capacities, load/store queues, MSHRs, and cache geometry.
 
 use crate::issue::IssueQueueKind;
+use std::fmt;
+
+/// A configuration parameter that cannot describe buildable hardware.
+///
+/// Returned by [`BoomConfig::validate`] (and the `Cache::try_new`
+/// constructor) instead of panicking, so the CLI can report a bad
+/// `--l2`/`--dram` knob as a usage error rather than a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A count that must be a power of two (cache sets, line bytes, DRAM
+    /// row bytes) is not.
+    NotPowerOfTwo {
+        /// Which parameter.
+        what: String,
+        /// The offending value.
+        got: u64,
+    },
+    /// A parameter that must be nonzero (ways, MSHRs, latencies, DRAM
+    /// burst cycles) is zero.
+    Zero {
+        /// Which parameter.
+        what: String,
+    },
+    /// The L2 line is smaller than an L1 line, so one L1 refill would
+    /// need several L2 transactions (not modelled).
+    L2LineSmallerThanL1 {
+        /// L2 line size in bytes.
+        l2_line: usize,
+        /// The larger L1 line size in bytes.
+        l1_line: usize,
+    },
+    /// The DRAM open-row hit latency exceeds the closed-row latency.
+    RowHitSlowerThanMiss {
+        /// Configured open-row hit latency.
+        row_hit: u64,
+        /// Configured closed-row latency.
+        latency: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, got } => {
+                write!(f, "{what} must be a power of two (got {got})")
+            }
+            ConfigError::Zero { what } => write!(f, "{what} must be nonzero"),
+            ConfigError::L2LineSmallerThanL1 { l2_line, l1_line } => write!(
+                f,
+                "L2 line size ({l2_line} B) must be at least the L1 line size ({l1_line} B)"
+            ),
+            ConfigError::RowHitSlowerThanMiss { row_hit, latency } => write!(
+                f,
+                "DRAM row-hit latency ({row_hit}) must not exceed the closed-row latency \
+                 ({latency})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Geometry and timing of one L1 cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +88,107 @@ impl CacheParams {
     pub fn capacity_bytes(&self) -> usize {
         self.sets * self.ways * self.line_bytes
     }
+
+    /// Checks the geometry is buildable; `what` names the cache in error
+    /// messages (`"dcache"`, `"l2"`).
+    pub fn validate(&self, what: &str) -> Result<(), ConfigError> {
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: format!("{what} sets"),
+                got: self.sets as u64,
+            });
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: format!("{what} line bytes"),
+                got: self.line_bytes as u64,
+            });
+        }
+        for (field, v) in
+            [("ways", self.ways), ("mshrs", self.mshrs), ("hit latency", self.hit_latency as usize)]
+        {
+            if v == 0 {
+                return Err(ConfigError::Zero { what: format!("{what} {field}") });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Uncore knobs of the [`MemBackendKind::Hierarchy`] backend: a shared
+/// MSHR-tracked L2 backed by a bandwidth-bounded DRAM channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyParams {
+    /// Shared L2 geometry and timing.
+    pub l2: CacheParams,
+    /// Closed-row DRAM access latency in cycles (core clock).
+    pub dram_latency: u64,
+    /// Cycles the DRAM channel is busy per line transfer — the bandwidth
+    /// bound: a second request issued while the channel is busy waits.
+    pub dram_burst_cycles: u64,
+    /// Open-row hit latency in cycles; set equal to `dram_latency` to
+    /// disable the open-row bonus.
+    pub dram_row_hit_latency: u64,
+    /// DRAM row-buffer size in bytes (power of two, ≥ the L2 line).
+    pub dram_row_bytes: u64,
+}
+
+impl HierarchyParams {
+    /// Table-I-style default uncore: a 256 KiB 8-way shared L2 with
+    /// 8 MSHRs and 12-cycle hits, over an 80-cycle DRAM with a 4-cycle
+    /// line-transfer slot and a 2 KiB open row at 48 cycles.
+    pub fn default_uncore() -> HierarchyParams {
+        HierarchyParams {
+            l2: CacheParams { sets: 512, ways: 8, line_bytes: 64, mshrs: 8, hit_latency: 12 },
+            dram_latency: 80,
+            dram_burst_cycles: 4,
+            dram_row_hit_latency: 48,
+            dram_row_bytes: 2048,
+        }
+    }
+
+    /// Checks the uncore against the core's L1 geometry.
+    pub fn validate(&self, l1_line_bytes: usize) -> Result<(), ConfigError> {
+        self.l2.validate("l2")?;
+        if self.l2.line_bytes < l1_line_bytes {
+            return Err(ConfigError::L2LineSmallerThanL1 {
+                l2_line: self.l2.line_bytes,
+                l1_line: l1_line_bytes,
+            });
+        }
+        if !self.dram_row_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "dram row bytes".to_string(),
+                got: self.dram_row_bytes,
+            });
+        }
+        for (field, v) in [
+            ("dram latency", self.dram_latency),
+            ("dram burst cycles", self.dram_burst_cycles),
+            ("dram row-hit latency", self.dram_row_hit_latency),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::Zero { what: field.to_string() });
+            }
+        }
+        if self.dram_row_hit_latency > self.dram_latency {
+            return Err(ConfigError::RowHitSlowerThanMiss {
+                row_hit: self.dram_row_hit_latency,
+                latency: self.dram_latency,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What services an L1 miss — the swappable memory-system backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemBackendKind {
+    /// A flat backing memory with a fixed refill latency
+    /// ([`BoomConfig::mem_latency`]) — the paper's model.
+    FixedLatency,
+    /// A shared L2 + DRAM hierarchy with the given uncore knobs.
+    Hierarchy(HierarchyParams),
 }
 
 /// Which conditional branch predictor the front end uses.
@@ -101,8 +263,11 @@ pub struct BoomConfig {
     pub icache: CacheParams,
     /// L1 data cache.
     pub dcache: CacheParams,
-    /// Backing-memory latency in cycles (L1 miss penalty).
+    /// Backing-memory latency in cycles (L1 miss penalty under the
+    /// [`MemBackendKind::FixedLatency`] backend).
     pub mem_latency: u64,
+    /// Memory-system backend serving L1 misses.
+    pub mem_backend: MemBackendKind,
     /// Additional front-end redirect penalty on a mispredict, beyond the
     /// natural pipeline refill (models BOOM's deeper fetch pipeline).
     pub redirect_penalty: u64,
@@ -152,6 +317,7 @@ impl BoomConfig {
             icache: CacheParams { sets: 64, ways: 4, line_bytes: 64, mshrs: 2, hit_latency: 1 },
             dcache: CacheParams { sets: 64, ways: 4, line_bytes: 64, mshrs: 4, hit_latency: 3 },
             mem_latency: 40,
+            mem_backend: MemBackendKind::FixedLatency,
             redirect_penalty: 3,
             mul_latency: 3,
             div_latency: 16,
@@ -193,6 +359,7 @@ impl BoomConfig {
             icache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1 },
             dcache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 4, hit_latency: 3 },
             mem_latency: 40,
+            mem_backend: MemBackendKind::FixedLatency,
             redirect_penalty: 3,
             mul_latency: 3,
             div_latency: 16,
@@ -234,6 +401,7 @@ impl BoomConfig {
             icache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1 },
             dcache: CacheParams { sets: 64, ways: 8, line_bytes: 64, mshrs: 8, hit_latency: 3 },
             mem_latency: 40,
+            mem_backend: MemBackendKind::FixedLatency,
             redirect_penalty: 3,
             mul_latency: 3,
             div_latency: 16,
@@ -261,6 +429,29 @@ impl BoomConfig {
     pub fn with_issue_queue(mut self, kind: IssueQueueKind) -> BoomConfig {
         self.iq_kind = kind;
         self
+    }
+
+    /// Returns a copy served by the L2 + DRAM [`MemBackendKind::Hierarchy`]
+    /// backend, with `+L2` appended to the name so campaign cells and
+    /// fingerprints distinguish it from the flat-memory configuration.
+    pub fn with_hierarchy(mut self, uncore: HierarchyParams) -> BoomConfig {
+        self.name.push_str("+L2");
+        self.mem_backend = MemBackendKind::Hierarchy(uncore);
+        self
+    }
+
+    /// Validates every memory-system parameter, typed instead of panicking
+    /// — the CLI surfaces the error next to the offending flag.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.icache.validate("icache")?;
+        self.dcache.validate("dcache")?;
+        if self.mem_latency == 0 {
+            return Err(ConfigError::Zero { what: "mem_latency".to_string() });
+        }
+        if let MemBackendKind::Hierarchy(h) = &self.mem_backend {
+            h.validate(self.icache.line_bytes.max(self.dcache.line_bytes))?;
+        }
+        Ok(())
     }
 }
 
@@ -306,5 +497,43 @@ mod tests {
         for c in [&m, &l, &g] {
             assert_eq!(c.clock_hz, 500e6);
         }
+    }
+
+    #[test]
+    fn presets_validate_with_and_without_hierarchy() {
+        for cfg in BoomConfig::all_three() {
+            cfg.validate().expect("preset must validate");
+            let l2 = cfg.with_hierarchy(HierarchyParams::default_uncore());
+            assert!(l2.name.ends_with("+L2"));
+            l2.validate().expect("hierarchy preset must validate");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_hierarchy_knobs() {
+        let mut h = HierarchyParams::default_uncore();
+        h.l2.sets = 12;
+        let e = BoomConfig::medium().with_hierarchy(h).validate().unwrap_err();
+        assert!(matches!(e, ConfigError::NotPowerOfTwo { .. }), "{e}");
+
+        let mut h = HierarchyParams::default_uncore();
+        h.l2.line_bytes = 32; // smaller than the 64 B L1 line
+        let e = BoomConfig::medium().with_hierarchy(h).validate().unwrap_err();
+        assert!(matches!(e, ConfigError::L2LineSmallerThanL1 { .. }), "{e}");
+
+        let mut h = HierarchyParams::default_uncore();
+        h.l2.mshrs = 0;
+        let e = BoomConfig::medium().with_hierarchy(h).validate().unwrap_err();
+        assert!(matches!(e, ConfigError::Zero { .. }), "{e}");
+
+        let mut h = HierarchyParams::default_uncore();
+        h.dram_burst_cycles = 0;
+        let e = BoomConfig::medium().with_hierarchy(h).validate().unwrap_err();
+        assert!(e.to_string().contains("burst"), "{e}");
+
+        let mut h = HierarchyParams::default_uncore();
+        h.dram_row_hit_latency = h.dram_latency + 1;
+        let e = BoomConfig::medium().with_hierarchy(h).validate().unwrap_err();
+        assert!(matches!(e, ConfigError::RowHitSlowerThanMiss { .. }), "{e}");
     }
 }

@@ -8,6 +8,7 @@ use crate::cache::{Access, Cache};
 use crate::config::BoomConfig;
 use crate::issue::IssueQueue;
 use crate::lsu::{LoadAction, Lsu};
+use crate::mem::{self, MemoryBackend};
 use crate::predictor::{BranchKind, Btb, CondPredictor, PredMeta, Ras};
 use crate::regfile::{PhysRegFile, Rat};
 use crate::rob::{BranchInfo, DestPhys, Rob, RobEntry, SquashedUop, SrcPhys, UopState};
@@ -103,6 +104,7 @@ pub struct Core {
 
     icache: Cache,
     dcache: Cache,
+    mem_backend: Box<dyn MemoryBackend>,
 
     div_free_at: u64,
     fdiv_free_at: u64,
@@ -235,8 +237,9 @@ impl Core {
             pred: CondPredictor::new(cfg.predictor, cfg.bp_table_shift),
             btb: Btb::new(cfg.btb_sets, cfg.btb_ways),
             ras: Ras::new(cfg.ras_entries),
-            icache: Cache::new(cfg.icache, cfg.mem_latency),
-            dcache: Cache::new(cfg.dcache, cfg.mem_latency),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            mem_backend: mem::backend_for(&cfg),
             div_free_at: 0,
             fdiv_free_at: 0,
             wb_ring: vec![Vec::new(); WB_RING],
@@ -488,7 +491,21 @@ impl Core {
                 .into_iter()
                 .map(|(line_addr, done_at)| MshrView { line_addr, done_at })
                 .collect(),
+            l2_mshrs: self
+                .mem_backend
+                .inflight()
+                .into_iter()
+                .map(|(line_addr, done_at)| MshrView { line_addr, done_at })
+                .collect(),
         }
+    }
+
+    /// Replaces the memory backend — how a dual-core co-run installs two
+    /// handles onto one shared L2/DRAM uncore. Install before any cycle
+    /// executes (and after checkpoint restore, which rebuilds the
+    /// config's default backend).
+    pub fn set_mem_backend(&mut self, backend: Box<dyn MemoryBackend>) {
+        self.mem_backend = backend;
     }
 
     /// Advances the pipeline by one cycle.
@@ -544,7 +561,14 @@ impl Core {
                 let Some(Outcome::Store { addr, size, data }) = head.outcome else {
                     unreachable!("store committed without a resolved outcome");
                 };
-                match self.dcache.access(addr, true, self.cycle, &mut self.stats.dcache) {
+                match self.dcache.access(
+                    addr,
+                    true,
+                    self.cycle,
+                    &mut self.stats.dcache,
+                    self.mem_backend.as_mut(),
+                    &mut self.stats.mem,
+                ) {
                     Access::Blocked => break, // retry next cycle (MSHRs full)
                     _ => {
                         self.mem.write(addr, size, data);
@@ -998,6 +1022,8 @@ impl Core {
                                     false,
                                     self.cycle,
                                     &mut self.stats.dcache,
+                                    self.mem_backend.as_mut(),
+                                    &mut self.stats.mem,
                                 ) {
                                     Access::Blocked => Start::Replay,
                                     acc => {
@@ -1207,7 +1233,14 @@ impl Core {
         }
         match self.fetch_pending {
             None => {
-                match self.icache.access(self.fetch_pc, false, self.cycle, &mut self.stats.icache) {
+                match self.icache.access(
+                    self.fetch_pc,
+                    false,
+                    self.cycle,
+                    &mut self.stats.icache,
+                    self.mem_backend.as_mut(),
+                    &mut self.stats.mem,
+                ) {
                     Access::Blocked => {}
                     acc => self.fetch_pending = acc.ready_at(),
                 }

@@ -21,8 +21,10 @@
 //!   and floating-point **collapsing** issue queues;
 //! * a load-store unit with load/store queues, store-to-load forwarding,
 //!   and conservative memory ordering;
-//! * L1 instruction and data caches with MSHRs and a fixed-latency
-//!   backing memory;
+//! * L1 instruction and data caches with MSHRs, in front of a swappable
+//!   [`MemoryBackend`]: the paper's fixed-latency backing memory, or a
+//!   shared MSHR-tracked L2 plus a bandwidth-bounded DRAM model (which
+//!   two co-running cores can share for interference studies);
 //! * a reorder buffer with width-limited commit and walk-based
 //!   misprediction recovery.
 //!
@@ -60,6 +62,7 @@ pub mod config;
 pub mod core;
 pub mod issue;
 pub mod lsu;
+pub mod mem;
 pub mod predictor;
 pub mod regfile;
 pub mod rob;
@@ -68,9 +71,12 @@ pub mod trace;
 pub mod uop;
 pub mod watchdog;
 
-pub use config::{BoomConfig, CacheParams, PredictorKind};
+pub use config::{
+    BoomConfig, CacheParams, ConfigError, HierarchyParams, MemBackendKind, PredictorKind,
+};
 pub use core::{Core, RunResult};
 pub use issue::IssueQueueKind;
-pub use stats::Stats;
+pub use mem::{FixedLatency, Hierarchy, MemoryBackend};
+pub use stats::{MemSysStats, Stats};
 pub use trace::PipeTracer;
 pub use watchdog::WatchdogSnapshot;

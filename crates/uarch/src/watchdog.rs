@@ -117,6 +117,9 @@ pub struct WatchdogSnapshot {
     pub icache_mshrs: Vec<MshrView>,
     /// Outstanding L1D refills.
     pub dcache_mshrs: Vec<MshrView>,
+    /// Outstanding refills in the memory backend (the shared L2's MSHRs
+    /// under the hierarchy backend; always empty under fixed latency).
+    pub l2_mshrs: Vec<MshrView>,
 }
 
 impl WatchdogSnapshot {
@@ -213,9 +216,16 @@ impl fmt::Display for WatchdogSnapshot {
             Some((seq, None)) => writeln!(f, "seq {seq} addr unresolved)")?,
             None => writeln!(f, "-)")?,
         }
-        for (name, mshrs) in [("icache", &self.icache_mshrs), ("dcache", &self.dcache_mshrs)] {
+        for (name, mshrs) in
+            [("icache", &self.icache_mshrs), ("dcache", &self.dcache_mshrs), ("l2", &self.l2_mshrs)]
+        {
             if mshrs.is_empty() {
-                writeln!(f, "  {name}: no outstanding refills")?;
+                // The L2 line only appears when a hierarchy backend has
+                // refills in flight, keeping fixed-latency reports as
+                // before.
+                if name != "l2" {
+                    writeln!(f, "  {name}: no outstanding refills")?;
+                }
             } else {
                 write!(f, "  {name}: {} refill(s) in flight:", mshrs.len())?;
                 for m in mshrs {
@@ -264,6 +274,7 @@ mod tests {
             lsu: LsuView { ldq_len: 0, ldq_head_seq: None, stq_len: 1, stq_head: Some((18, None)) },
             icache_mshrs: vec![],
             dcache_mshrs: vec![MshrView { line_addr: 0x100, done_at: 150 }],
+            l2_mshrs: vec![],
         }
     }
 

@@ -6,8 +6,8 @@ use boom_uarch::cache::{Access, Cache};
 use boom_uarch::config::CacheParams;
 use boom_uarch::issue::{IssueQueue, IssueQueueKind};
 use boom_uarch::predictor::{BranchKind, Btb, CondPredictor, Ras};
-use boom_uarch::stats::{IssueQueueStats, PredictorStats};
-use boom_uarch::PredictorKind;
+use boom_uarch::stats::{IssueQueueStats, MemSysStats, PredictorStats};
+use boom_uarch::{FixedLatency, PredictorKind};
 use proptest::prelude::*;
 
 proptest! {
@@ -90,12 +90,14 @@ proptest! {
     #[test]
     fn cache_hit_after_refill(addrs in proptest::collection::vec(0u64..1 << 30, 1..100)) {
         let params = CacheParams { sets: 16, ways: 2, line_bytes: 64, mshrs: 4, hit_latency: 2 };
-        let mut cache = Cache::new(params, 40);
+        let mut cache = Cache::new(params);
+        let mut backend = FixedLatency::new(40);
+        let mut mem = MemSysStats::default();
         let mut stats = boom_uarch::stats::CacheStats::default();
         let mut cycle = 0u64;
         for &addr in &addrs {
             loop {
-                match cache.access(addr, false, cycle, &mut stats) {
+                match cache.access(addr, false, cycle, &mut stats, &mut backend, &mut mem) {
                     Access::Blocked => {
                         cycle += 1;
                         cache.tick(cycle, &mut stats);
@@ -108,7 +110,7 @@ proptest! {
                 }
             }
             // Immediately re-access: must be a hit now.
-            match cache.access(addr, false, cycle, &mut stats) {
+            match cache.access(addr, false, cycle, &mut stats, &mut backend, &mut mem) {
                 Access::Hit { .. } => {}
                 other => prop_assert!(false, "expected hit, got {other:?}"),
             }

@@ -13,18 +13,22 @@
 //! To re-capture goldens after an *intentional* model change, run with
 //! `--nocapture` and copy the printed table into `GOLDEN`.
 
-use boom_uarch::{BoomConfig, Core};
+use boom_uarch::{BoomConfig, Core, HierarchyParams};
 use rv_workloads::{by_name, Scale};
 
 /// (config name, workload, golden fingerprint) — captured on the seed
-/// poll-based core, Scale::Test, full run to exit.
-const GOLDEN: [(&str, &str, u64); 6] = [
+/// poll-based core, Scale::Test, full run to exit. The `medium+l2` row
+/// pins the hierarchy memory backend (shared L2 + DRAM model): its
+/// fingerprint includes the `MemSysStats` counters, so any change to L2
+/// MSHR handling, DRAM bandwidth accounting, or the refill path moves it.
+const GOLDEN: [(&str, &str, u64); 7] = [
     ("medium", "bitcount", 0x828e_42cf_8749_bf2a),
     ("medium", "dijkstra", 0x5b5e_dc63_0790_cf44),
     ("large", "bitcount", 0x58c5_fc8e_5344_4bb4),
     ("large", "dijkstra", 0x393f_9d45_61f9_00d0),
     ("mega", "bitcount", 0x3bea_1766_f4d7_73aa),
     ("mega", "dijkstra", 0x8b6c_b37d_163c_a301),
+    ("medium+l2", "dijkstra", 0x54cd_4c01_ed7e_74cf),
 ];
 
 fn config(name: &str) -> BoomConfig {
@@ -32,6 +36,7 @@ fn config(name: &str) -> BoomConfig {
         "medium" => BoomConfig::medium(),
         "large" => BoomConfig::large(),
         "mega" => BoomConfig::mega(),
+        "medium+l2" => BoomConfig::medium().with_hierarchy(HierarchyParams::default_uncore()),
         other => panic!("unknown config {other}"),
     }
 }

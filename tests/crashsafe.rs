@@ -7,9 +7,9 @@
 
 use boom_uarch::BoomConfig;
 use boomflow::{
-    campaign_fingerprint, run_simpoint_flow_with_store, supervise_campaign, supervise_matrix_with,
-    ArtifactStore, CacheStage, CampaignJournal, CampaignOptions, DiskFaultInjection, FlowConfig,
-    JournalError, WorkloadResult,
+    campaign_fingerprint, campaign_fingerprint_with, run_simpoint_flow_with_store,
+    supervise_campaign, supervise_matrix_with, ArtifactStore, CacheStage, CampaignJournal,
+    CampaignOptions, DiskFaultInjection, FlowConfig, JournalError, WorkloadResult,
 };
 use proptest::prelude::*;
 use rv_workloads::{by_name, Scale, Workload};
@@ -208,7 +208,11 @@ fn resumed_campaign_report_is_bit_identical_to_uninterrupted() {
         &workloads,
         &flow,
         &ArtifactStore::new(),
-        &CampaignOptions { jobs: 1, journal: Some(Arc::new(journal)), replay: None },
+        &CampaignOptions {
+            jobs: 1,
+            journal: Some(Arc::new(journal)),
+            ..CampaignOptions::default()
+        },
     );
     assert_eq!(journaled.render_deterministic(), reference, "journaling must not perturb");
     let full = std::fs::read(&path).unwrap();
@@ -229,6 +233,7 @@ fn resumed_campaign_report_is_bit_identical_to_uninterrupted() {
                 jobs,
                 journal: Some(Arc::new(journal)),
                 replay: Some(Arc::new(replay)),
+                co_runs: Vec::new(),
             },
         );
         assert_eq!(resumed.stats.replayed_points, keep as u64, "jobs {jobs}");
@@ -284,7 +289,11 @@ fn degraded_campaign_resumes_bit_identically() {
         &workloads,
         &flow,
         &ArtifactStore::new(),
-        &CampaignOptions { jobs: 1, journal: Some(Arc::new(journal)), replay: None },
+        &CampaignOptions {
+            jobs: 1,
+            journal: Some(Arc::new(journal)),
+            ..CampaignOptions::default()
+        },
     );
     assert_eq!(journaled.render_deterministic(), reference.render_deterministic());
     assert!(
@@ -305,10 +314,84 @@ fn degraded_campaign_resumes_bit_identically() {
             jobs: 1,
             journal: Some(Arc::new(journal)),
             replay: Some(Arc::new(replay)),
+            co_runs: Vec::new(),
         },
     );
     assert_eq!(resumed.stats.replayed_points, n);
     assert_eq!(resumed.render_deterministic(), reference.render_deterministic());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A dual-core campaign journals its co-run outcomes too: a run killed
+/// partway — whether it lost one co-run core, or the whole co cell plus
+/// some single-core points — resumes at any job count into a report
+/// bit-identical to the uninterrupted run.
+#[test]
+fn dual_core_campaign_resumes_bit_identically() {
+    let cfgs = vec![BoomConfig::medium()];
+    let workloads =
+        vec![by_name("bitcount", Scale::Test).unwrap(), by_name("dijkstra", Scale::Test).unwrap()];
+    let flow = quick_flow();
+    let co_runs = vec![(0usize, 1usize)];
+    let fp = campaign_fingerprint_with(&cfgs, &workloads, &flow, &co_runs);
+    let path = scratch("dualcore");
+    let opts =
+        |jobs, journal, replay| CampaignOptions { jobs, journal, replay, co_runs: co_runs.clone() };
+
+    // Adding a co-run changes the campaign identity: a journal written
+    // without it must be refused, not partially replayed.
+    assert_ne!(fp, campaign_fingerprint(&cfgs, &workloads, &flow));
+
+    let reference = supervise_matrix_with(&cfgs, &workloads, &flow, &opts(1, None, None));
+    assert!(reference.all_ok(), "{:?}", reference.failure_log());
+    assert_eq!(reference.co_cells.len(), 1);
+    let reference = reference.render_deterministic();
+
+    let journal = CampaignJournal::create(&path, fp).unwrap();
+    let journaled = supervise_campaign(
+        &cfgs,
+        &workloads,
+        &flow,
+        &ArtifactStore::new(),
+        &opts(1, Some(Arc::new(journal)), None),
+    );
+    assert_eq!(journaled.render_deterministic(), reference, "journaling must not perturb");
+    let full = std::fs::read(&path).unwrap();
+    let ends = journal_record_ends(&full);
+    assert!(ends.len() >= 4, "single-core points plus two co-run cores, got {}", ends.len());
+
+    // Cut 1 drops only the last co-run core; cut 2 drops the whole co
+    // cell and part of the single-core matrix.
+    for (keep, jobs) in [(ends.len() - 1, 1usize), (ends.len() / 2, 4)] {
+        std::fs::write(&path, &full[..ends[keep - 1]]).unwrap();
+        let (journal, replay) = CampaignJournal::resume(&path, fp).unwrap();
+        assert_eq!(replay.len(), keep);
+        let resumed = supervise_campaign(
+            &cfgs,
+            &workloads,
+            &flow,
+            &ArtifactStore::new(),
+            &opts(jobs, Some(Arc::new(journal)), Some(Arc::new(replay))),
+        );
+        assert_eq!(resumed.stats.replayed_points, keep as u64, "keep {keep} jobs {jobs}");
+        assert_eq!(
+            resumed.render_deterministic(),
+            reference,
+            "resumed dual-core report (keep {keep}, jobs {jobs}) must be bit-identical"
+        );
+        assert_eq!(
+            journal_record_ends(&std::fs::read(&path).unwrap()).len(),
+            ends.len(),
+            "keep {keep} jobs {jobs}: resume must re-journal the recomputed points"
+        );
+    }
+
+    // The pre-co-run fingerprint is refused outright.
+    std::fs::write(&path, &full).unwrap();
+    assert!(matches!(
+        CampaignJournal::resume(&path, campaign_fingerprint(&cfgs, &workloads, &flow)),
+        Err(JournalError::FingerprintMismatch { .. })
+    ));
     let _ = std::fs::remove_file(&path);
 }
 

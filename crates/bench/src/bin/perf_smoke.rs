@@ -130,6 +130,31 @@ fn extract_rows(json: &str) -> Vec<PerfRow> {
         .unwrap_or_default()
 }
 
+/// Pulls the batched-lane rows (multi-config batches with idle skipping)
+/// out of a `BENCH_throughput.json` body. Empty for files from before the
+/// `batched` array existed, which `regressions` then skips cell-by-cell.
+///
+/// Configs are prefixed `batched:` so a batched MediumBOOM cell can never
+/// pair with the solo MediumBOOM cell of the same workload — the two
+/// measure different things (a lane sharing the host with two siblings vs
+/// the whole machine).
+fn extract_batched(json: &str) -> Vec<PerfRow> {
+    find_array(json, "batched")
+        .map(|body| {
+            objects(body)
+                .iter()
+                .filter_map(|o| {
+                    Some(PerfRow {
+                        config: format!("batched:{}", str_field(o, "config")?),
+                        workload: str_field(o, "workload")?,
+                        kcycles_per_sec: num_field(o, "detailed_kcycles_per_sec")?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// Compares fresh rows against the committed baseline; returns the list of
 /// human-readable failures. Cells present on only one side are skipped (the
 /// bench matrix may grow or shrink across commits without breaking CI).
@@ -176,8 +201,12 @@ fn main() -> ExitCode {
     };
 
     let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
-    let committed = extract_rows(&read(committed_path));
-    let fresh = extract_rows(&read(fresh_path));
+    let committed_json = read(committed_path);
+    let fresh_json = read(fresh_path);
+    let mut committed = extract_rows(&committed_json);
+    let mut fresh = extract_rows(&fresh_json);
+    committed.extend(extract_batched(&committed_json));
+    fresh.extend(extract_batched(&fresh_json));
     if committed.is_empty() || fresh.is_empty() {
         eprintln!(
             "perf_smoke: no comparable rows (committed: {}, fresh: {})",
@@ -217,6 +246,10 @@ mod tests {
       "detailed": [
         {"config": "MediumBOOM", "workload": "Bitcount", "detailed_kcycles_per_sec": 5736.8, "detailed_kinsts_per_sec": 8803.0},
         {"config": "LargeBOOM", "workload": "Qsort", "detailed_kcycles_per_sec": 3570.3, "detailed_kinsts_per_sec": 3822.3}
+      ],
+      "batched": [
+        {"config": "MediumBOOM", "workload": "Bitcount", "detailed_kcycles_per_sec": 1912.3},
+        {"config": "Aggregate", "workload": "Bitcount", "detailed_kcycles_per_sec": 4890.1, "batch_speedup": 1.02}
       ]
     }"#;
 
@@ -274,6 +307,34 @@ mod tests {
             kcycles_per_sec: 1.0,
         }];
         assert!(regressions(&base, &fresh, 30.0).is_empty());
+    }
+
+    #[test]
+    fn batched_rows_are_extracted_with_prefixed_configs() {
+        let rows = extract_batched(CURRENT);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].config, "batched:MediumBOOM");
+        assert_eq!(rows[0].workload, "Bitcount");
+        assert!((rows[0].kcycles_per_sec - 1912.3).abs() < 1e-9);
+        assert_eq!(rows[1].config, "batched:Aggregate");
+        // The prefix keeps batched cells from pairing with solo cells of
+        // the same config — the solo extractor must not see them at all.
+        let solo = extract_rows(CURRENT);
+        assert!(solo.iter().all(|r| !r.config.starts_with("batched:")));
+        assert_eq!(solo.len(), 2);
+    }
+
+    #[test]
+    fn files_without_batched_array_yield_no_batched_rows() {
+        assert!(extract_batched(LEGACY).is_empty());
+        // And a batched regression is still caught when both sides have it.
+        let base = vec![PerfRow {
+            config: "batched:Aggregate".into(),
+            workload: "Bitcount".into(),
+            kcycles_per_sec: 4890.1,
+        }];
+        let bad = vec![PerfRow { kcycles_per_sec: 3000.0, ..base[0].clone() }];
+        assert_eq!(regressions(&base, &bad, 30.0).len(), 1);
     }
 
     #[test]

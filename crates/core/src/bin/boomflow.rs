@@ -9,6 +9,7 @@
 //!          [--mem-backend fixed|hierarchy] [--l2 SETSxWAYSxLINE]
 //!          [--l2-mshrs N] [--l2-latency N] [--dram-latency N]
 //!          [--dram-burst N] [--dram-row-hit N] [--co-run A+B ...]
+//!          [--batch-lanes N] [--idle-skip]
 //!          [--cache-dir DIR] [--journal FILE [--resume]] [--report-out FILE]
 //! ```
 //!
@@ -31,6 +32,18 @@
 //! interference counters (L2 contention stalls, DRAM bandwidth-wait
 //! cycles).
 //!
+//! `--batch-lanes N` groups up to `N` configurations' detailed
+//! simulations of the same SimPoint into one batched work item that
+//! shares the predecoded image and the (configuration-independent)
+//! micro-op table across the per-config lanes. `--idle-skip` turns on
+//! event-driven idle-cycle skipping in the detailed core: provably idle
+//! stretches are fast-forwarded in one step and charged analytically.
+//! Both are pure wall-clock optimizations — every counter, journal
+//! record, and report byte is identical to an unbatched, skip-off run.
+//! Idle skipping requires the flat fixed-latency memory backend (the
+//! shared-uncore hierarchy is never idle) and cannot combine with
+//! `--co-run`.
+//!
 //! With `--cache-dir` the configuration-independent artifacts are also
 //! persisted to a checksummed on-disk cache and reused by later runs.
 //! With `--journal` every completed point is appended to a write-ahead
@@ -48,7 +61,9 @@
 //!     --journal campaign.bfj --resume --report-out report.txt
 //! ```
 
-use boom_uarch::{BoomConfig, CacheParams, HierarchyParams, IssueQueueKind, PredictorKind};
+use boom_uarch::{
+    BoomConfig, CacheParams, ConfigError, HierarchyParams, IssueQueueKind, PredictorKind,
+};
 use boomflow::report::render_table;
 use boomflow::{
     campaign_fingerprint_with, default_jobs, run_full, supervise_campaign, ArtifactStore,
@@ -80,6 +95,8 @@ struct Args {
     dram_burst: Option<u64>,
     dram_row_hit: Option<u64>,
     co_run: Vec<String>,
+    batch_lanes: usize,
+    idle_skip: bool,
     cache_dir: Option<PathBuf>,
     journal: Option<PathBuf>,
     resume: bool,
@@ -103,6 +120,7 @@ fn usage() -> ! {
          \x20               [--mem-backend fixed|hierarchy] [--l2 SETSxWAYSxLINE]\n\
          \x20               [--l2-mshrs N] [--l2-latency N] [--dram-latency N]\n\
          \x20               [--dram-burst N] [--dram-row-hit N] [--co-run A+B ...]\n\
+         \x20               [--batch-lanes N] [--idle-skip]\n\
          \x20               [--cache-dir DIR] [--journal FILE [--resume]]\n\
          \x20               [--report-out FILE]\n\
          workloads: basicmath stringsearch fft ifft bitcount qsort dijkstra\n\
@@ -131,6 +149,8 @@ fn parse_args() -> Args {
         dram_burst: None,
         dram_row_hit: None,
         co_run: Vec::new(),
+        batch_lanes: 1,
+        idle_skip: false,
         cache_dir: None,
         journal: None,
         resume: false,
@@ -198,6 +218,13 @@ fn parse_args() -> Args {
                 args.dram_row_hit = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--co-run" => args.co_run.push(value().to_lowercase()),
+            "--batch-lanes" => {
+                args.batch_lanes = value().parse().unwrap_or_else(|_| usage());
+                if args.batch_lanes == 0 {
+                    usage()
+                }
+            }
+            "--idle-skip" => args.idle_skip = true,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value())),
             "--journal" => args.journal = Some(PathBuf::from(value())),
             "--resume" => args.resume = true,
@@ -323,6 +350,7 @@ fn main() {
     let args = parse_args();
     let flow = FlowConfig {
         warmup_insts: args.warmup,
+        idle_skip: args.idle_skip,
         retry: RetryPolicy {
             max_attempts: args.retries,
             cycle_budget: args.cycle_budget,
@@ -373,6 +401,14 @@ fn main() {
     }
     if args.full && !co_runs.is_empty() {
         eprintln!("boomflow: --co-run is a campaign cell type; it cannot combine with --full");
+        exit(2);
+    }
+    // Idle skipping is rejected — not silently dropped — for co-run
+    // cells: the strict cycle interleave over a shared uncore must
+    // observe every cycle of both cores.
+    if args.idle_skip && !co_runs.is_empty() {
+        let e = ConfigError::IdleSkipUnsupported { what: "--co-run dual-core cells".to_string() };
+        eprintln!("boomflow: {e}");
         exit(2);
     }
 
@@ -457,7 +493,13 @@ fn main() {
         }
     }
 
-    let opts = CampaignOptions { jobs: args.jobs, journal, replay, co_runs };
+    let opts = CampaignOptions {
+        jobs: args.jobs,
+        journal,
+        replay,
+        co_runs,
+        batch_lanes: args.batch_lanes,
+    };
     let report = supervise_campaign(&cfgs, &ws, &flow, &store, &opts);
     for cell in &report.cells {
         if let Ok(r) = &cell.outcome {

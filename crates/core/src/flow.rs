@@ -23,7 +23,7 @@ use crate::supervisor::{
     RetryPolicy,
 };
 use boom_uarch::{
-    BoomConfig, Core, Hierarchy, HierarchyParams, MemBackendKind, Stats, WatchdogSnapshot,
+    BoomConfig, Core, Hierarchy, HierarchyParams, MemBackendKind, Stats, UopTable, WatchdogSnapshot,
 };
 use rtl_power::{estimate_core, PowerReport};
 use rv_isa::bbv::{BbvCollector, BbvProfile};
@@ -32,6 +32,7 @@ use rv_workloads::Workload;
 use simpoint::SimPointConfig;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Flow parameters (SimPoint settings, warm-up length, and supervision).
@@ -49,6 +50,13 @@ pub struct FlowConfig {
     pub retry: RetryPolicy,
     /// Test-only fault injection (defaults to "inject nothing").
     pub inject: FaultInjection,
+    /// Event-driven idle-cycle skipping in the detailed core
+    /// ([`Core::set_idle_skip`]): provably idle stretches are
+    /// fast-forwarded and charged analytically, producing bit-identical
+    /// stats and reports. Only honored on idle-skip-safe memory backends
+    /// (the flat fixed-latency one); deliberately *not* part of the
+    /// campaign fingerprint, so a journal resumes across skip modes.
+    pub idle_skip: bool,
 }
 
 impl Default for FlowConfig {
@@ -59,6 +67,7 @@ impl Default for FlowConfig {
             max_profile_insts: 2_000_000_000,
             retry: RetryPolicy::default(),
             inject: FaultInjection::default(),
+            idle_skip: false,
         }
     }
 }
@@ -286,7 +295,7 @@ pub fn run_simpoint_flow_with_store(
         let handles: Vec<_> = set
             .points
             .iter()
-            .map(|p| s.spawn(move || run_point_timed(cfg, p, &flow.retry, &flow.inject, store)))
+            .map(|p| s.spawn(move || run_point_timed(cfg, p, flow, None, store)))
             .collect();
         set.points
             .iter()
@@ -324,17 +333,53 @@ pub(crate) fn escaped_panic(
 
 /// [`run_point_supervised`] plus stage accounting: the attempt span is
 /// charged to the store's detailed-simulation wall-clock total.
+///
+/// `uops` is the point's pre-classified micro-op table when this lane is
+/// part of a multi-config batch (classification is configuration-
+/// independent, so the batch computes it once and every lane shares it);
+/// `None` classifies privately, exactly as a solo run always has.
 pub(crate) fn run_point_timed(
     cfg: &BoomConfig,
     point: &PlannedPoint,
-    retry: &RetryPolicy,
-    inject: &FaultInjection,
+    flow: &FlowConfig,
+    uops: Option<&Arc<UopTable>>,
     store: &ArtifactStore,
 ) -> PointOutcome {
     let t0 = Instant::now();
-    let r = run_point_supervised(cfg, point, retry, inject);
+    let r = run_point_supervised(cfg, point, flow, uops);
     store.charge_detailed_us(t0.elapsed().as_micros() as u64);
     r
+}
+
+/// Runs one SimPoint for several configurations in one batched pass: the
+/// predecoded image travels with the shared checkpoint already, and the
+/// per-text-word micro-op table — configuration-independent — is
+/// classified once here and shared by every lane. The lanes run on
+/// scoped threads (they are read-only over the shared artifacts), so a
+/// batch's aggregate throughput scales with free cores on top of the
+/// classification sharing. Each lane is still an independent
+/// [`run_point_timed`] under full per-point supervision (retry, budget,
+/// quarantine, `catch_unwind`), so lane `i`'s outcome — returned in
+/// `cfgs` order regardless of thread timing — is bit-identical to a solo
+/// run of `cfgs[i]` on the same point.
+pub(crate) fn run_point_batch(
+    cfgs: &[&BoomConfig],
+    point: &PlannedPoint,
+    flow: &FlowConfig,
+    store: &ArtifactStore,
+) -> Vec<PointOutcome> {
+    let uops = point.checkpoint.image.as_ref().map(Core::shared_uop_table);
+    let uops = uops.as_ref();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = cfgs
+            .iter()
+            .map(|cfg| s.spawn(move || run_point_timed(cfg, point, flow, uops, store)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| Err(escaped_panic(point, payload.as_ref()))))
+            .collect()
+    })
 }
 
 /// Quarantines failed points, re-normalizes the survivors' weights, and
@@ -419,16 +464,17 @@ pub(crate) fn assemble_workload_result(
 fn run_point_supervised(
     cfg: &BoomConfig,
     task: &PlannedPoint,
-    retry: &RetryPolicy,
-    inject: &FaultInjection,
+    flow: &FlowConfig,
+    uops: Option<&Arc<UopTable>>,
 ) -> Result<(PointResult, u32), PointFailure> {
+    let retry = &flow.retry;
     let max_attempts = retry.max_attempts.max(1);
     let mut warmup = task.warmup;
     let mut cycle_budget = retry.cycle_budget;
     let mut last: Option<FailureKind> = None;
     for attempt in 1..=max_attempts {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            simulate_point(cfg, warmup, task, cycle_budget, retry.wall_clock, inject)
+            simulate_point(cfg, warmup, task, cycle_budget, retry.wall_clock, flow, uops)
         }));
         match result {
             Ok(Ok(p)) => return Ok((p, attempt)),
@@ -517,9 +563,15 @@ fn simulate_point(
     task: &PlannedPoint,
     cycle_budget: Option<u64>,
     wall_budget: Option<Duration>,
-    inject: &FaultInjection,
+    flow: &FlowConfig,
+    uops: Option<&Arc<UopTable>>,
 ) -> Result<PointResult, FailureKind> {
-    let mut core = Core::from_checkpoint(cfg.clone(), &task.checkpoint);
+    let inject = &flow.inject;
+    let mut core = match uops {
+        Some(uops) => Core::from_checkpoint_with_uops(cfg.clone(), &task.checkpoint, uops),
+        None => Core::from_checkpoint(cfg.clone(), &task.checkpoint),
+    };
+    core.set_idle_skip(flow.idle_skip);
     if inject.hangs(task.sel_idx) {
         core.inject_commit_stall();
     }

@@ -598,6 +598,9 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<Stats, CodecError> {
         fpu_ops: r.u64()?,
         fdiv_ops: r.u64()?,
         agu_ops: r.u64()?,
+        // Deliberately not journaled: a replayed point skipped nothing in
+        // this process, and the counter is excluded from fingerprints.
+        idle_cycles_skipped: 0,
         mem: MemSysStats {
             l2: decode_cache_stats(r)?,
             dram_reads: r.u64()?,

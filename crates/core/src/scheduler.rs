@@ -20,8 +20,8 @@
 
 use crate::artifacts::{ArtifactStore, CheckpointSet};
 use crate::flow::{
-    assemble_workload_result, escaped_panic, run_co_cell, run_point_timed, FlowConfig, FlowError,
-    PointOutcome,
+    assemble_workload_result, escaped_panic, run_co_cell, run_point_batch, run_point_timed,
+    FlowConfig, FlowError, PointOutcome,
 };
 use crate::journal::{CampaignJournal, JournalReplay};
 use crate::supervisor::{
@@ -53,11 +53,24 @@ pub struct CampaignOptions {
     /// two cores sharing one L2, scheduled once per configuration after
     /// every single-core cell. The pair order is the core order.
     pub co_runs: Vec<(usize, usize)>,
+    /// Configurations simulated per batched work item (≥ 1). With `N >
+    /// 1`, up to `N` configurations' detailed simulations of the *same*
+    /// SimPoint are grouped into one task that classifies the point's
+    /// micro-op table once and shares it (plus the predecoded image)
+    /// across the per-config lanes. Each lane's outcome, journal record,
+    /// and report cell are bit-identical to an unbatched run.
+    pub batch_lanes: usize,
 }
 
 impl Default for CampaignOptions {
     fn default() -> CampaignOptions {
-        CampaignOptions { jobs: default_jobs(), journal: None, replay: None, co_runs: Vec::new() }
+        CampaignOptions {
+            jobs: default_jobs(),
+            journal: None,
+            replay: None,
+            co_runs: Vec::new(),
+            batch_lanes: 1,
+        }
     }
 }
 
@@ -73,6 +86,22 @@ pub fn default_jobs() -> usize {
 enum PrepError {
     Flow(FlowError),
     Panicked(String),
+}
+
+/// One unit of work in the detailed-simulation pool.
+enum PointTask {
+    /// One SimPoint simulated for one or more configurations — the lanes
+    /// of a batch ([`CampaignOptions::batch_lanes`]). All lanes share the
+    /// workload and point index; a solo lane takes the exact unbatched
+    /// code path.
+    Lanes {
+        /// Cell indices of the lanes, in configuration-major order.
+        c_idxs: Vec<usize>,
+        /// Point index within the workload's checkpoint set.
+        p_idx: usize,
+    },
+    /// A dual-core co-run cell (index into the co-cell list).
+    CoRun(usize),
 }
 
 /// Runs the supervised campaign over every (configuration, workload)
@@ -160,24 +189,42 @@ pub(crate) fn run_campaign(
         }
     }
 
-    let mut point_tasks: Vec<(usize, usize)> = sets
-        .iter()
-        .enumerate()
-        .flat_map(|(c_idx, set)| {
-            let n = set.as_ref().map_or(0, |s| s.points.len());
-            (0..n).map(move |p_idx| (c_idx, p_idx))
-        })
-        .filter(|&(c_idx, p_idx)| slots[c_idx][p_idx].get().is_none())
-        .collect();
-    // One task per co cell with any unfilled slot; task indices past the
-    // single-core cell count address `co_cells` (the point index is
-    // unused — one task simulates both cores).
+    // Batching: the unfilled (cell, point) pairs are grouped by
+    // (workload, point) — the axis along which the checkpoint image and
+    // micro-op table are shared — and chunked into `batch_lanes`-wide
+    // tasks, configuration-major within each chunk. With `batch_lanes ==
+    // 1` this degenerates to one task per (cell, point). Replay-filled
+    // slots never enter a batch, so a resumed campaign only batches what
+    // it actually simulates.
+    let batch_lanes = opts.batch_lanes.max(1);
+    let mut batched_points: u64 = 0;
+    let mut point_tasks: Vec<PointTask> = Vec::new();
+    for w_idx in 0..workloads.len() {
+        let cell_of = |cfg_i: usize| cfg_i * workloads.len() + w_idx;
+        let n_points = (0..cfgs.len())
+            .find_map(|cfg_i| sets[cell_of(cfg_i)].as_ref().map(|s| s.points.len()))
+            .unwrap_or(0);
+        for p_idx in 0..n_points {
+            let lanes: Vec<usize> = (0..cfgs.len())
+                .map(cell_of)
+                .filter(|&c_idx| slots[c_idx].get(p_idx).is_some_and(|s| s.get().is_none()))
+                .collect();
+            for chunk in lanes.chunks(batch_lanes) {
+                if chunk.len() >= 2 {
+                    batched_points += chunk.len() as u64;
+                }
+                point_tasks.push(PointTask::Lanes { c_idxs: chunk.to_vec(), p_idx });
+            }
+        }
+    }
+    // One task per co cell with any unfilled slot; one task simulates
+    // both cores.
     point_tasks.extend(
         co_cells
             .iter()
             .enumerate()
             .filter(|&(k, _)| co_slots[k].iter().any(|s| s.get().is_none()))
-            .map(|(k, _)| (cells.len() + k, 0)),
+            .map(|(k, _)| PointTask::CoRun(k)),
     );
     {
         let slots = &slots;
@@ -196,60 +243,73 @@ pub(crate) fn run_campaign(
                 }
             }
         };
-        run_tasks(jobs, point_tasks, |(c_idx, p_idx)| {
-            if c_idx >= cells.len() {
-                // Dual-core co-run cell: one task steps both cores to
-                // completion and fills both outcome slots.
-                let k = c_idx - cells.len();
-                let (cfg, (a, b)) = co_cells[k];
-                let outcomes = match catch_unwind(AssertUnwindSafe(|| {
-                    run_co_cell(cfg, [&workloads[a], &workloads[b]], &flow.inject)
+        run_tasks(jobs, point_tasks, |task| {
+            let (c_idxs, p_idx) = match task {
+                PointTask::CoRun(k) => {
+                    // Dual-core co-run cell: one task steps both cores to
+                    // completion and fills both outcome slots.
+                    let c_idx = cells.len() + k;
+                    let (cfg, (a, b)) = co_cells[k];
+                    let outcomes = match catch_unwind(AssertUnwindSafe(|| {
+                        run_co_cell(cfg, [&workloads[a], &workloads[b]], &flow.inject)
+                    })) {
+                        Ok(o) => o,
+                        Err(payload) => {
+                            let f = PointFailure {
+                                simpoint: 0,
+                                interval: 0,
+                                weight: 1.0,
+                                attempts: 1,
+                                kind: FailureKind::Panicked {
+                                    message: panic_message(payload.as_ref()),
+                                },
+                            };
+                            [Err(f.clone()), Err(f)]
+                        }
+                    };
+                    let mut fresh = 0u64;
+                    for (p, outcome) in outcomes.into_iter().enumerate() {
+                        // A slot already filled by replay keeps the
+                        // journaled outcome (identical anyway — the
+                        // co-run is deterministic) and is not
+                        // re-journaled.
+                        if co_slots[k][p].get().is_some() {
+                            continue;
+                        }
+                        if let Some(journal) = &opts.journal {
+                            journal.append(c_idx, p, &outcome);
+                        }
+                        let _ = co_slots[k][p].set(outcome);
+                        fresh += 1;
+                    }
+                    charge_and_maybe_kill(fresh);
+                    return;
+                }
+                PointTask::Lanes { c_idxs, p_idx } => (c_idxs, p_idx),
+            };
+            let Some(set) = &sets[c_idxs[0]] else { return };
+            let point = &set.points[p_idx];
+            let outcomes: Vec<PointOutcome> = if let [c_idx] = c_idxs[..] {
+                // Solo lane: the exact unbatched code path (private
+                // micro-op classification).
+                let (cfg, _) = cells[c_idx];
+                vec![match catch_unwind(AssertUnwindSafe(|| {
+                    run_point_timed(cfg, point, flow, None, store)
                 })) {
                     Ok(o) => o,
-                    Err(payload) => {
-                        let f = PointFailure {
-                            simpoint: 0,
-                            interval: 0,
-                            weight: 1.0,
-                            attempts: 1,
-                            kind: FailureKind::Panicked {
-                                message: panic_message(payload.as_ref()),
-                            },
-                        };
-                        [Err(f.clone()), Err(f)]
-                    }
-                };
-                let mut fresh = 0u64;
-                for (p, outcome) in outcomes.into_iter().enumerate() {
-                    // A slot already filled by replay keeps the journaled
-                    // outcome (identical anyway — the co-run is
-                    // deterministic) and is not re-journaled.
-                    if co_slots[k][p].get().is_some() {
-                        continue;
-                    }
-                    if let Some(journal) = &opts.journal {
-                        journal.append(c_idx, p, &outcome);
-                    }
-                    let _ = co_slots[k][p].set(outcome);
-                    fresh += 1;
-                }
-                charge_and_maybe_kill(fresh);
-                return;
-            }
-            let (cfg, _) = cells[c_idx];
-            let Some(set) = &sets[c_idx] else { return };
-            let point = &set.points[p_idx];
-            let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                run_point_timed(cfg, point, &flow.retry, &flow.inject, store)
-            })) {
-                Ok(o) => o,
-                Err(payload) => Err(escaped_panic(point, payload.as_ref())),
+                    Err(payload) => Err(escaped_panic(point, payload.as_ref())),
+                }]
+            } else {
+                let lane_cfgs: Vec<&BoomConfig> = c_idxs.iter().map(|&c| cells[c].0).collect();
+                run_point_batch(&lane_cfgs, point, flow, store)
             };
-            if let Some(journal) = &opts.journal {
-                journal.append(c_idx, p_idx, &outcome);
+            for (&c_idx, outcome) in c_idxs.iter().zip(outcomes) {
+                if let Some(journal) = &opts.journal {
+                    journal.append(c_idx, p_idx, &outcome);
+                }
+                let _ = slots[c_idx][p_idx].set(outcome);
+                charge_and_maybe_kill(1);
             }
-            let _ = slots[c_idx][p_idx].set(outcome);
-            charge_and_maybe_kill(1);
         });
     }
 
@@ -312,11 +372,22 @@ pub(crate) fn run_campaign(
         co_results.push(CoRunCellResult { config: cfg.name.clone(), workloads: names, outcome });
     }
 
+    // Skip accounting is summed from the assembled results rather than
+    // tracked live: replayed points correctly contribute 0 (a replay
+    // skipped nothing in this process) and the sum is deterministic.
+    let idle_cycles_skipped: u64 = results
+        .iter()
+        .filter_map(|c| c.outcome.as_ref().ok())
+        .flat_map(|r| r.points.iter())
+        .map(|p| p.stats.idle_cycles_skipped)
+        .sum();
     let stats = CampaignStats {
         jobs,
         wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
         cache: store.stats(),
         replayed_points: replayed,
+        batched_points,
+        idle_cycles_skipped,
     };
     CampaignReport { cells: results, co_cells: co_results, stats }
 }

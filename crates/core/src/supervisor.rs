@@ -327,6 +327,14 @@ pub struct CampaignStats {
     pub cache: CacheStats,
     /// Points replayed from a resume journal instead of re-simulated.
     pub replayed_points: u64,
+    /// Per-config point simulations (lanes) that ran inside a multi-
+    /// config batch ([`CampaignOptions::batch_lanes`] ≥ 2); solo tasks
+    /// and replayed points do not count.
+    pub batched_points: u64,
+    /// Total detailed-core cycles fast-forwarded by event-driven idle
+    /// skipping across all surviving points (0 unless the campaign ran
+    /// with idle skipping enabled).
+    pub idle_cycles_skipped: u64,
 }
 
 /// Aggregate of a supervised campaign over a configuration × workload
@@ -465,6 +473,22 @@ impl CampaignReport {
         }
         if s.replayed_points > 0 {
             out.push_str(&format!("Journal: {} point(s) replayed\n", s.replayed_points));
+        }
+        // Batching and idle skipping are wall-clock optimizations with
+        // bit-identical outcomes, so they surface here — in the stage
+        // summary — and deliberately never in `render_deterministic`,
+        // which must compare byte-for-byte across modes.
+        if s.batched_points > 0 {
+            out.push_str(&format!(
+                "Batched lanes: {} point simulation(s) ran in multi-config batches\n",
+                s.batched_points
+            ));
+        }
+        if s.idle_cycles_skipped > 0 {
+            out.push_str(&format!(
+                "Idle skip: {} cycle(s) fast-forwarded\n",
+                s.idle_cycles_skipped
+            ));
         }
         out
     }

@@ -353,6 +353,14 @@ impl Cache {
         self.live_mshrs
     }
 
+    /// Earliest outstanding refill completion, `u64::MAX` when no MSHR
+    /// is live. The idle skip may not fast-forward past this cycle: up
+    /// to (and excluding) it, [`Cache::tick`] provably reaps nothing and
+    /// charges a constant `mshrs_in_flight` per cycle.
+    pub fn next_mshr_done(&self) -> u64 {
+        self.next_done
+    }
+
     /// log2 of the line size — the shift between byte and line addresses
     /// (as reported by [`Cache::mshr_states`]).
     pub fn line_shift(&self) -> u32 {

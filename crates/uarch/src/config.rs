@@ -44,6 +44,15 @@ pub enum ConfigError {
         /// Configured closed-row latency.
         latency: u64,
     },
+    /// Event-driven idle-cycle skipping was requested in a mode that
+    /// cannot honor it (a dual-core co-run's strict cycle interleave
+    /// must observe every cycle of both cores, and a shared uncore is
+    /// not idle-skip-safe). Rejected up front rather than silently
+    /// desynchronizing or silently ignoring the flag.
+    IdleSkipUnsupported {
+        /// The incompatible mode, e.g. `"--co-run dual-core cells"`.
+        what: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +71,9 @@ impl fmt::Display for ConfigError {
                 "DRAM row-hit latency ({row_hit}) must not exceed the closed-row latency \
                  ({latency})"
             ),
+            ConfigError::IdleSkipUnsupported { what } => {
+                write!(f, "event-driven idle-cycle skipping is not supported with {what}")
+            }
         }
     }
 }

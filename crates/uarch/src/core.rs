@@ -14,7 +14,7 @@ use crate::regfile::{PhysRegFile, Rat};
 use crate::rob::{BranchInfo, DestPhys, Rob, RobEntry, SquashedUop, SrcPhys, UopState};
 use crate::stats::Stats;
 use crate::trace::PipeTracer;
-use crate::uop::{classify, DestReg, ExecUnit, IqKind, SrcReg, UopInfo};
+use crate::uop::{classify, classify_image, DestReg, ExecUnit, IqKind, SrcReg, UopInfo, UopTable};
 use crate::watchdog::{
     IssueQueueView, LsuView, MshrView, OldestEntryView, RobHeadView, WatchdogSnapshot,
 };
@@ -153,20 +153,38 @@ pub struct Core {
     /// Micro-op metadata classified once per text word at image install,
     /// so dispatch reads a table instead of re-classifying each dynamic
     /// instruction. `None` slots (illegal words, SMC invalidations) fall
-    /// back to [`classify`] on the freshly fetched instruction.
-    uop_table: Vec<Option<UopInfo>>,
+    /// back to [`classify`] on the freshly fetched instruction. Behind
+    /// `Arc` because the table depends only on the image, not the config:
+    /// batched multi-config lanes share one table
+    /// ([`Core::from_checkpoint_with_uops`]), with copy-on-write SMC
+    /// invalidation keeping sharers independent.
+    uop_table: Arc<UopTable>,
+    /// Event-skip idle cycles during [`Core::run`] (see
+    /// [`Core::set_idle_skip`]).
+    idle_skip: bool,
 }
 
 impl Core {
     /// Creates a core with `program` loaded, `sp` initialized, and cold
     /// microarchitectural state.
     pub fn new(cfg: BoomConfig, program: &Program) -> Core {
+        let image = program.decoded_image();
+        let uops = Core::shared_uop_table(&image);
+        Core::new_with_uops(cfg, program, &uops)
+    }
+
+    /// [`Core::new`] with a pre-classified uop table for `program`'s
+    /// decoded image. Batched multi-config lanes classify the (config-
+    /// independent) table once via [`Core::shared_uop_table`] and share
+    /// it; behavior is identical to [`Core::new`], only the per-lane
+    /// construction cost changes.
+    pub fn new_with_uops(cfg: BoomConfig, program: &Program, uops: &Arc<UopTable>) -> Core {
         let mut mem = Memory::new();
         program.load(&mut mem);
         let mut core = Core::from_raw(cfg, mem, program.entry());
         let sp_phys = core.rat_int.get(Reg::Sp.index());
         core.prf_int.poke(sp_phys, program.stack_top());
-        core.set_image(program.decoded_image());
+        core.set_image(program.decoded_image(), uops.clone());
         core
     }
 
@@ -174,24 +192,56 @@ impl Core {
     /// detailed-simulation entry path; caches and predictors start cold —
     /// run a warm-up interval and then [`Core::reset_stats`]).
     pub fn from_checkpoint(cfg: BoomConfig, ck: &Checkpoint) -> Core {
+        match &ck.image {
+            Some(image) => {
+                let uops = Core::shared_uop_table(image);
+                Core::from_checkpoint_with_uops(cfg, ck, &uops)
+            }
+            None => Core::from_checkpoint_restore(cfg, ck),
+        }
+    }
+
+    /// [`Core::from_checkpoint`] with a pre-classified uop table for the
+    /// checkpoint's image — the batched-lane entry path: N configs
+    /// restored from one checkpoint share one classification pass.
+    pub fn from_checkpoint_with_uops(
+        cfg: BoomConfig,
+        ck: &Checkpoint,
+        uops: &Arc<UopTable>,
+    ) -> Core {
+        let mut core = Core::from_checkpoint_restore(cfg, ck);
+        if let Some(image) = &ck.image {
+            core.set_image(image.clone(), uops.clone());
+        }
+        core
+    }
+
+    fn from_checkpoint_restore(cfg: BoomConfig, ck: &Checkpoint) -> Core {
         let mut core = Core::from_raw(cfg, ck.mem.clone(), ck.pc);
         for i in 0..32 {
             core.prf_int.poke(core.rat_int.get(i), ck.x[i]);
             core.prf_fp.poke(core.rat_fp.get(i), ck.f[i]);
         }
-        if let Some(image) = &ck.image {
-            core.set_image(image.clone());
-        }
         core
     }
 
+    /// Classifies every slot of `image` into the uop table cores built
+    /// from it will read at dispatch. The table is config-independent,
+    /// so batched lanes compute it once and pass it to
+    /// [`Core::from_checkpoint_with_uops`] / [`Core::new_with_uops`].
+    pub fn shared_uop_table(image: &SharedImage) -> Arc<UopTable> {
+        Arc::new(classify_image(image))
+    }
+
     /// Installs a predecoded text image, enabling the fast fetch path.
-    /// The image must agree with architectural memory over its range;
-    /// cycle-by-cycle behavior is identical with or without it.
-    fn set_image(&mut self, image: SharedImage) {
+    /// The image must agree with architectural memory over its range
+    /// (and `uops` with the image's slots); cycle-by-cycle behavior is
+    /// identical with or without it.
+    fn set_image(&mut self, image: SharedImage, uops: Arc<UopTable>) {
+        debug_assert_eq!(uops.len(), image.slots().len(), "uop table built for another image");
         self.text_base = image.base();
         self.text_end = image.end();
-        self.uop_table = image.slots().iter().map(|s| s.as_ref().map(classify)).collect();
+        self.uop_table = uops;
         self.image = Some(image);
     }
 
@@ -202,12 +252,15 @@ impl Core {
         if let Some(image) = &mut self.image {
             Arc::make_mut(image).invalidate(addr, size);
             // Keep the uop table in lockstep with the image: stale slots
-            // must route through the fallback classify path too.
+            // must route through the fallback classify path too. Also
+            // copy-on-write, so batched lanes sharing one table keep
+            // their pristine copies.
             let end = addr.saturating_add(size.max(1));
-            let n = self.uop_table.len();
+            let table = Arc::make_mut(&mut self.uop_table);
+            let n = table.len();
             let first = ((addr.saturating_sub(self.text_base) / 4) as usize).min(n);
             let last = ((end.saturating_sub(self.text_base)).div_ceil(4) as usize).min(n);
-            for slot in &mut self.uop_table[first..last] {
+            for slot in &mut table[first..last] {
                 *slot = None;
             }
         }
@@ -268,7 +321,8 @@ impl Core {
             image: None,
             text_base: 0,
             text_end: 0,
-            uop_table: Vec::new(),
+            uop_table: Arc::default(),
+            idle_skip: false,
             mem,
             cfg,
         }
@@ -426,12 +480,162 @@ impl Core {
     }
 
     fn run_loop<const TRACED: bool>(&mut self, start_retired: u64, max_insts: u64) {
+        // Idle skipping is resolved once per run: it needs a backend with
+        // no time-dependent uncore state, and tracer/cosim runs always
+        // step every cycle (a trace of skipped cycles would be ambiguous,
+        // and lockstep stays maximally conservative).
+        let idle_skip =
+            !TRACED && self.idle_skip && self.golden.is_none() && self.mem_backend.idle_skip_safe();
         while self.exited.is_none()
             && self.stats.retired - start_retired < max_insts
             && self.cycle - self.last_commit_cycle < HANG_LIMIT
         {
             self.step_cycle_impl::<TRACED>();
+            if idle_skip && self.exited.is_none() {
+                self.try_idle_skip();
+            }
         }
+    }
+
+    /// Requests event-driven idle-cycle skipping for subsequent
+    /// [`Core::run`] calls: when every stage is provably stalled, the
+    /// clock jumps to the cycle before the next pending event (calendar-
+    /// ring or overflow completion, frontend refill arrival, redirect
+    /// delivery, MSHR release, watchdog deadline), charging the skipped
+    /// cycles' occupancy sums analytically. All [`Stats`] counters are
+    /// bit-identical to a skip-off run — only
+    /// [`Stats::idle_cycles_skipped`] (excluded from the fingerprint)
+    /// records that the fast-forward happened.
+    ///
+    /// Only honored with an idle-skip-safe memory backend (the default
+    /// fixed-latency model; see
+    /// [`MemoryBackend::idle_skip_safe`](crate::mem::MemoryBackend::idle_skip_safe))
+    /// and without an attached tracer or golden model. Dual-core co-runs
+    /// drive [`Core::step_cycle`] directly and never skip — their strict
+    /// cycle interleave must observe every cycle of both cores.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
+    }
+
+    /// Fast-forwards over cycles in which no pipeline stage can make
+    /// progress. Called after a completed step; every condition below
+    /// proves the *next* cycles are stage-by-stage no-ops until the
+    /// earliest pending event, so jumping to just before that event and
+    /// charging the per-cycle occupancy sums analytically is
+    /// bit-identical to stepping each cycle.
+    fn try_idle_skip(&mut self) {
+        // Commit must be stalled: an empty ROB retires nothing, and a
+        // non-Done head can only become Done through a writeback event
+        // (which bounds the skip below). A Done head would commit — even
+        // a Done store blocked on full MSHRs retries (and charges) a
+        // dcache access every cycle — so it forbids skipping.
+        if !self.halt_commit {
+            if let Some(h) = self.rob.head() {
+                if h.state == UopState::Done {
+                    return;
+                }
+            }
+        }
+        // No issue queue may hold a ready entry: readiness only changes
+        // via wakeup broadcasts (writeback events) or dispatch inserts,
+        // both ruled out in the window. Ready-but-blocked entries
+        // (replaying loads, a busy divider) keep `has_ready` true and
+        // conservatively forbid skipping.
+        if self.iq_int.has_ready() || self.iq_mem.has_ready() || self.iq_fp.has_ready() {
+            return;
+        }
+        // Dispatch must be blocked before it pops anything. The pre-pop
+        // resource checks read no stats and depend only on state frozen
+        // while commit/writeback/issue are no-ops, so "blocked now"
+        // means "blocked for the whole window".
+        if let Some(f) = self.fetch_buffer.front() {
+            let uop = self.uop_for(f.pc, &f.inst);
+            let q_full = match uop.iq {
+                IqKind::Int => self.iq_int.is_full(),
+                IqKind::Mem => self.iq_mem.is_full(),
+                IqKind::Fp => self.iq_fp.is_full(),
+            };
+            let blocked = self.rob.is_full()
+                || q_full
+                || (f.inst.is_load() && self.lsu.ldq_full())
+                || (f.inst.is_store() && self.lsu.stq_full())
+                || (needs_snapshot(&f.inst) && self.br_inflight >= self.cfg.max_br_count)
+                || (matches!(uop.dest, Some(DestReg::Int(_))) && self.prf_int.free_count() == 0)
+                || (matches!(uop.dest, Some(DestReg::Fp(_))) && self.prf_fp.free_count() == 0);
+            if !blocked {
+                return;
+            }
+        }
+        // The watchdog deadline caps every skip so a hang is detected at
+        // exactly the same cycle (and with the same charged stats) as in
+        // a skip-off run.
+        let mut wake = self.last_commit_cycle + HANG_LIMIT;
+        // Fetch must be idle; if it is waiting on a timed event, that
+        // event bounds the skip.
+        match self.redirect {
+            Some((_, at)) => {
+                debug_assert!(at > self.cycle, "due redirects are consumed by fetch");
+                wake = wake.min(at);
+            }
+            None if self.fetch_wedged => {}
+            None if self.fetch_buffer.len() >= self.cfg.fetch_buffer_entries => {
+                // Buffer-full fetch returns before even looking at the
+                // pending refill; it wakes only via dispatch draining the
+                // buffer, which the window rules out.
+            }
+            None => match self.fetch_pending {
+                // No refill in flight: fetch probes the icache every
+                // cycle. Not idle.
+                None => return,
+                Some(ready) => {
+                    debug_assert!(ready > self.cycle, "due refills are consumed by fetch");
+                    wake = wake.min(ready);
+                }
+            },
+        }
+        // Pending completion events bound the skip — including stale
+        // events for squashed uops: both modes drain those at the same
+        // cycle (to no effect), so skipping over one would diverge the
+        // bucket state. The ring holds every event within the horizon;
+        // anything further out sits in the overflow heap.
+        if let Some(&Reverse((done_at, _))) = self.wb_overflow.peek() {
+            wake = wake.min(done_at);
+        }
+        for d in 1..WB_RING as u64 {
+            let t = self.cycle + d;
+            if t >= wake {
+                break;
+            }
+            if !self.wb_ring[(t as usize) & (WB_RING - 1)].is_empty() {
+                wake = t;
+                break;
+            }
+        }
+        // MSHR releases bound the skip so the per-cycle `Cache::tick`
+        // occupancy charge below stays exact: up to (excluding) the
+        // earliest completion, `mshrs_in_flight` is constant.
+        wake = wake.min(self.icache.next_mshr_done());
+        wake = wake.min(self.dcache.next_mshr_done());
+
+        // Jump to the cycle *before* the wake event; the event cycle
+        // itself is simulated normally by the next step.
+        let skipped = (wake - 1).saturating_sub(self.cycle);
+        if skipped == 0 {
+            return;
+        }
+        self.cycle += skipped;
+        self.stats.cycles += skipped;
+        self.stats.idle_cycles_skipped += skipped;
+        // Exactly what `tick()` would have accumulated over `skipped`
+        // cycles of frozen state.
+        self.iq_int.charge_idle(skipped, &mut self.stats.int_iq);
+        self.iq_mem.charge_idle(skipped, &mut self.stats.mem_iq);
+        self.iq_fp.charge_idle(skipped, &mut self.stats.fp_iq);
+        self.lsu.charge_idle(skipped, &mut self.stats);
+        self.stats.rob_occupancy_sum += skipped * self.rob.len() as u64;
+        self.stats.fetch_buffer_occupancy_sum += skipped * self.fetch_buffer.len() as u64;
+        self.stats.icache.mshr_occupancy_sum += skipped * self.icache.mshrs_in_flight() as u64;
+        self.stats.dcache.mshr_occupancy_sum += skipped * self.dcache.mshrs_in_flight() as u64;
     }
 
     /// Captures a structured diagnostic snapshot of the pipeline — the

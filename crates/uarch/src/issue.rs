@@ -361,6 +361,29 @@ impl IssueQueue {
         }
     }
 
+    /// Charges `cycles` consecutive idle ticks at once — exactly what
+    /// [`IssueQueue::tick`] would accumulate over `cycles` calls with the
+    /// queue untouched in between. Used by the core's event-driven idle
+    /// skip, which proves no insert/issue/wakeup can occur in the window
+    /// before fast-forwarding the clock.
+    pub fn charge_idle(&self, cycles: u64, stats: &mut IssueQueueStats) {
+        stats.occupancy_sum += cycles * self.occupied as u64;
+        match self.kind {
+            IssueQueueKind::Collapsing => {
+                for slot in &mut stats.slot_occupancy[..self.occupied] {
+                    *slot += cycles;
+                }
+            }
+            IssueQueueKind::NonCollapsing => {
+                for i in 0..self.capacity {
+                    if self.valid[i] {
+                        stats.slot_occupancy[i] += cycles;
+                    }
+                }
+            }
+        }
+    }
+
     /// Records a wakeup broadcast: every waiting entry compares its source
     /// tags against the completing destination (CAM match energy), and
     /// matching entries clear the corresponding pending bit — the

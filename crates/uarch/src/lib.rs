@@ -79,4 +79,5 @@ pub use issue::IssueQueueKind;
 pub use mem::{FixedLatency, Hierarchy, MemoryBackend};
 pub use stats::{MemSysStats, Stats};
 pub use trace::PipeTracer;
+pub use uop::UopTable;
 pub use watchdog::WatchdogSnapshot;

@@ -217,6 +217,13 @@ impl Lsu {
     pub fn tick(&self, stats: &mut Stats) {
         stats.lsu_occupancy_sum += (self.ldq.len() + self.stq.len()) as u64;
     }
+
+    /// Charges `cycles` consecutive idle ticks at once (see
+    /// [`Lsu::tick`]); used by the core's event-driven idle skip, which
+    /// guarantees the queues cannot change in the skipped window.
+    pub fn charge_idle(&self, cycles: u64, stats: &mut Stats) {
+        stats.lsu_occupancy_sum += cycles * (self.ldq.len() + self.stq.len()) as u64;
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,15 @@ pub trait MemoryBackend: std::fmt::Debug + Send {
     fn inflight(&self) -> Vec<(u64, u64)>;
     /// Clones the backend. A [`Hierarchy`] clone shares its uncore.
     fn box_clone(&self) -> Box<dyn MemoryBackend>;
+    /// Whether the core may event-skip idle cycles while this backend is
+    /// installed. Defaults to `false`: a backend with time-dependent
+    /// uncore state (L2 MSHR release, DRAM channel busy-until, open-row
+    /// tracking) or one shared between cores cannot guarantee that a
+    /// stretch of core-idle cycles is also backend-inert. `FixedLatency`
+    /// opts in — it is stateless between accesses.
+    fn idle_skip_safe(&self) -> bool {
+        false
+    }
 }
 
 impl Clone for Box<dyn MemoryBackend> {
@@ -78,6 +87,9 @@ impl MemoryBackend for FixedLatency {
     }
     fn box_clone(&self) -> Box<dyn MemoryBackend> {
         Box::new(*self)
+    }
+    fn idle_skip_safe(&self) -> bool {
+        true
     }
 }
 

@@ -239,6 +239,14 @@ pub struct Stats {
     pub fdiv_ops: u64,
     /// Address-generation operations executed.
     pub agu_ops: u64,
+
+    /// Cycles fast-forwarded by event-driven idle skipping rather than
+    /// simulated stage-by-stage. These cycles are *included* in `cycles`
+    /// and in every occupancy sum (the skip charges them analytically),
+    /// so this is a pure diagnostic of how much work the skip saved.
+    /// Excluded from [`Stats::fingerprint`]: a skip-on run must hash
+    /// identically to the skip-off run it is provably equivalent to.
+    pub idle_cycles_skipped: u64,
 }
 
 impl Stats {
@@ -347,6 +355,9 @@ impl Stats {
         put(self.fpu_ops);
         put(self.fdiv_ops);
         put(self.agu_ops);
+        // `idle_cycles_skipped` is deliberately absent: it records *how*
+        // the run was simulated, not what the simulated machine did, and
+        // skip-on runs must fingerprint identically to skip-off runs.
         // Memory-system counters join the hash only when the hierarchy
         // backend produced activity: fixed-latency runs keep the exact
         // fingerprints pinned by the pre-hierarchy golden suite.
@@ -450,6 +461,7 @@ impl Stats {
         self.fpu_ops += other.fpu_ops;
         self.fdiv_ops += other.fdiv_ops;
         self.agu_ops += other.agu_ops;
+        self.idle_cycles_skipped += other.idle_cycles_skipped;
     }
 }
 
@@ -493,6 +505,21 @@ mod tests {
         b.mem.dram_reads = 1;
         assert!(b.mem.is_active());
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_idle_cycles_skipped() {
+        // The skip counter is simulation-mode metadata: two runs of the
+        // same program with skip on and off differ only in it, and must
+        // hash identically. It still merges like every other counter.
+        let a = Stats::new(4, 4, 4);
+        let mut b = Stats::new(4, 4, 4);
+        b.idle_cycles_skipped = 12_345;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = Stats::new(4, 4, 4);
+        c.idle_cycles_skipped = 5;
+        c.merge(&b);
+        assert_eq!(c.idle_cycles_skipped, 12_350);
     }
 
     #[test]

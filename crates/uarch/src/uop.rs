@@ -1,6 +1,7 @@
 //! Micro-op classification: which issue queue, execution unit, and register
 //! operands each instruction uses.
 
+use rv_isa::image::SharedImage;
 use rv_isa::inst::Inst;
 use rv_isa::reg::{FReg, Reg};
 
@@ -68,6 +69,19 @@ impl UopInfo {
     pub fn src_count(&self) -> usize {
         self.srcs.iter().filter(|s| s.is_some()).count()
     }
+}
+
+/// Per-text-word micro-op metadata, indexed by `(pc - text_base) / 4`.
+/// `None` slots (illegal words, SMC invalidations) fall back to
+/// [`classify`] on the freshly fetched instruction.
+pub type UopTable = Vec<Option<UopInfo>>;
+
+/// Classifies every predecoded slot of `image` — the table the core
+/// reads at dispatch. Classification depends only on the instruction
+/// encoding, never on the core configuration, so batched multi-config
+/// lanes compute this once per SimPoint and share it behind an `Arc`.
+pub fn classify_image(image: &SharedImage) -> UopTable {
+    image.slots().iter().map(|s| s.as_ref().map(classify)).collect()
 }
 
 /// Classifies an instruction into its micro-op metadata.

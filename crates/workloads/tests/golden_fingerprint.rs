@@ -79,3 +79,84 @@ fn fingerprint_is_deterministic() {
     let b = run_fingerprint("medium", "bitcount");
     assert_eq!(a, b);
 }
+
+/// Event-driven idle-cycle skipping is a pure wall-clock optimization:
+/// a skip-on run of every fixed-latency golden row must hash to the
+/// committed skip-off golden, and across the suite it must actually
+/// skip something (otherwise the mode is silently disabled and this
+/// test proves nothing).
+#[test]
+fn idle_skip_runs_match_skip_off_goldens() {
+    let mut failures = Vec::new();
+    let mut total_skipped = 0u64;
+    for (cfg, workload, golden) in GOLDEN {
+        if cfg == "medium+l2" {
+            continue; // hierarchy backend: covered below as a no-op
+        }
+        let w = by_name(workload, Scale::Test).expect("known workload");
+        let mut core = Core::new(config(cfg), &w.program);
+        core.set_idle_skip(true);
+        let r = core.run(500_000_000);
+        assert!(r.exited && !r.hung, "{cfg}/{workload}: {r:?}");
+        let got = core.stats().fingerprint();
+        if got != golden {
+            failures.push(format!(
+                "{cfg}/{workload}: skip-on fingerprint {got:#018x} != golden {golden:#018x}"
+            ));
+        }
+        total_skipped += core.stats().idle_cycles_skipped;
+    }
+    assert!(
+        failures.is_empty(),
+        "idle skipping changed observable stats:\n{}",
+        failures.join("\n")
+    );
+    assert!(total_skipped > 0, "idle skipping never fired across the golden suite");
+}
+
+/// On the shared-L2 hierarchy backend the skip gate must refuse to
+/// engage (the uncore has time-dependent state), leaving the run — and
+/// its fingerprint — untouched.
+#[test]
+fn idle_skip_is_inert_on_hierarchy_backend() {
+    let w = by_name("dijkstra", Scale::Test).expect("known workload");
+    let mut core = Core::new(config("medium+l2"), &w.program);
+    core.set_idle_skip(true);
+    let r = core.run(500_000_000);
+    assert!(r.exited && !r.hung, "{r:?}");
+    assert_eq!(core.stats().idle_cycles_skipped, 0);
+    let golden = GOLDEN.iter().find(|g| g.0 == "medium+l2").expect("l2 golden").2;
+    assert_eq!(core.stats().fingerprint(), golden);
+}
+
+/// Batched multi-config lanes share one micro-op table (classification
+/// is configuration-independent); every lane, with idle skipping on top,
+/// must still hash to its solo skip-off golden.
+#[test]
+fn batched_lanes_with_idle_skip_match_goldens() {
+    let mut failures = Vec::new();
+    for workload in ["bitcount", "dijkstra"] {
+        let w = by_name(workload, Scale::Test).expect("known workload");
+        let uops = Core::shared_uop_table(&w.program.decoded_image());
+        for cfg in ["medium", "large", "mega"] {
+            let golden =
+                GOLDEN.iter().find(|g| g.0 == cfg && g.1 == workload).expect("golden row exists").2;
+            let mut core = Core::new_with_uops(config(cfg), &w.program, &uops);
+            core.set_idle_skip(true);
+            let r = core.run(500_000_000);
+            assert!(r.exited && !r.hung, "{cfg}/{workload}: {r:?}");
+            let got = core.stats().fingerprint();
+            if got != golden {
+                failures.push(format!(
+                    "{cfg}/{workload}: batched lane fingerprint {got:#018x} != golden \
+                     {golden:#018x}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "batched lanes diverged from solo goldens:\n{}",
+        failures.join("\n")
+    );
+}

@@ -236,6 +236,65 @@ fn dual_core_campaign_is_deterministic_across_job_counts() {
     assert_reports_identical(&sequential, &parallel);
 }
 
+/// Tentpole acceptance: batched multi-config lanes and idle-cycle
+/// skipping are pure wall-clock optimizations. A campaign run with both
+/// enabled — at any job count — must match the solo skip-off campaign in
+/// every cell, every counter, and every byte of the deterministic
+/// render; the new `batched_points` counter surfaces only in the stage
+/// summary.
+#[test]
+fn batched_idle_skip_campaign_is_bit_identical_to_solo() {
+    let cfgs = BoomConfig::all_three();
+    let workloads = test_workloads();
+    let solo_flow = quick_flow();
+    let baseline = supervise_matrix_with(
+        &cfgs,
+        &workloads,
+        &solo_flow,
+        &CampaignOptions { jobs: 1, ..CampaignOptions::default() },
+    );
+    assert!(baseline.all_ok(), "{:?}", baseline.failure_log());
+    let reference = baseline.render_deterministic();
+    assert_eq!(baseline.stats.batched_points, 0, "no batching was requested");
+
+    let skip_flow = FlowConfig { idle_skip: true, ..quick_flow() };
+    for jobs in [1usize, 4] {
+        let batched = supervise_matrix_with(
+            &cfgs,
+            &workloads,
+            &skip_flow,
+            &CampaignOptions { jobs, batch_lanes: 3, ..CampaignOptions::default() },
+        );
+        assert!(batched.all_ok(), "jobs {jobs}: {:?}", batched.failure_log());
+        assert_reports_identical(&baseline, &batched);
+        assert_eq!(
+            batched.render_deterministic(),
+            reference,
+            "jobs {jobs}: batched+skip report must be byte-identical to solo skip-off"
+        );
+        assert!(
+            batched.stats.batched_points > 0,
+            "jobs {jobs}: a 3-config campaign with batch_lanes 3 must batch"
+        );
+        assert!(
+            batched.stage_summary().contains("Batched lanes"),
+            "jobs {jobs}: batching must surface in the stage summary:\n{}",
+            batched.stage_summary()
+        );
+    }
+
+    // Idle skipping alone (no batching) is equally invisible.
+    let skip_only = supervise_matrix_with(
+        &cfgs,
+        &workloads,
+        &skip_flow,
+        &CampaignOptions { jobs: 2, ..CampaignOptions::default() },
+    );
+    assert_reports_identical(&baseline, &skip_only);
+    assert_eq!(skip_only.render_deterministic(), reference);
+    assert_eq!(skip_only.stats.batched_points, 0, "batch_lanes 1 must not batch");
+}
+
 /// A broken workload fails its whole column — once per workload, not once
 /// per cell — while every other cell still runs, under any job count.
 #[test]

@@ -233,7 +233,7 @@ fn resumed_campaign_report_is_bit_identical_to_uninterrupted() {
                 jobs,
                 journal: Some(Arc::new(journal)),
                 replay: Some(Arc::new(replay)),
-                co_runs: Vec::new(),
+                ..CampaignOptions::default()
             },
         );
         assert_eq!(resumed.stats.replayed_points, keep as u64, "jobs {jobs}");
@@ -258,6 +258,94 @@ fn resumed_campaign_report_is_bit_identical_to_uninterrupted() {
         CampaignJournal::resume(&path, other_fp),
         Err(JournalError::FingerprintMismatch { .. })
     ));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A batched + idle-skip campaign journals per-(cell, point) records
+/// exactly like a solo one — the campaign fingerprint deliberately
+/// excludes both knobs — so a run killed partway resumes into a
+/// bit-identical report in *either* mode: batched resuming batched, and
+/// an unbatched skip-off process picking up a batched run's journal.
+#[test]
+fn batched_campaign_resumes_bit_identically_across_modes() {
+    let cfgs = vec![BoomConfig::medium(), BoomConfig::large(), BoomConfig::mega()];
+    let workloads =
+        vec![by_name("bitcount", Scale::Test).unwrap(), by_name("dijkstra", Scale::Test).unwrap()];
+    let solo_flow = quick_flow();
+    let skip_flow = FlowConfig { idle_skip: true, ..quick_flow() };
+    assert_eq!(
+        campaign_fingerprint(&cfgs, &workloads, &solo_flow),
+        campaign_fingerprint(&cfgs, &workloads, &skip_flow),
+        "idle_skip must not enter the campaign fingerprint (journals resume across modes)"
+    );
+    let fp = campaign_fingerprint(&cfgs, &workloads, &solo_flow);
+    let path = scratch("batched");
+
+    let reference = supervise_matrix_with(
+        &cfgs,
+        &workloads,
+        &solo_flow,
+        &CampaignOptions { jobs: 1, ..CampaignOptions::default() },
+    );
+    assert!(reference.all_ok());
+    let reference = reference.render_deterministic();
+
+    // Journal a full batched + idle-skip run, then cut it back to the
+    // on-disk prefix of a killed process.
+    let journal = CampaignJournal::create(&path, fp).unwrap();
+    let journaled = supervise_campaign(
+        &cfgs,
+        &workloads,
+        &skip_flow,
+        &ArtifactStore::new(),
+        &CampaignOptions {
+            jobs: 2,
+            batch_lanes: 3,
+            journal: Some(Arc::new(journal)),
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(journaled.stats.batched_points > 0, "the journaled run must actually batch");
+    assert_eq!(journaled.render_deterministic(), reference, "batched journaling must not perturb");
+    let full = std::fs::read(&path).unwrap();
+    let ends = journal_record_ends(&full);
+    assert!(ends.len() >= 4, "matrix must yield at least 4 points, got {}", ends.len());
+    let keep = ends.len() / 2;
+
+    // Resume in batched mode and in solo skip-off mode; both must land on
+    // the reference bytes. (Batching only groups the *unfilled* lanes, so
+    // a half-replayed matrix still batches whatever is left.)
+    let modes: [(&str, &FlowConfig, usize); 2] =
+        [("batched", &skip_flow, 3), ("solo", &solo_flow, 1)];
+    for (name, flow, batch_lanes) in modes {
+        std::fs::write(&path, &full[..ends[keep - 1]]).unwrap();
+        let (journal, replay) = CampaignJournal::resume(&path, fp).unwrap();
+        assert_eq!(replay.len(), keep, "{name}: every surviving record must replay");
+        let resumed = supervise_campaign(
+            &cfgs,
+            &workloads,
+            flow,
+            &ArtifactStore::new(),
+            &CampaignOptions {
+                jobs: 2,
+                batch_lanes,
+                journal: Some(Arc::new(journal)),
+                replay: Some(Arc::new(replay)),
+                ..CampaignOptions::default()
+            },
+        );
+        assert_eq!(resumed.stats.replayed_points, keep as u64, "{name}");
+        assert_eq!(
+            resumed.render_deterministic(),
+            reference,
+            "{name}: resumed report must be bit-identical to the uninterrupted solo run"
+        );
+        assert_eq!(
+            journal_record_ends(&std::fs::read(&path).unwrap()).len(),
+            ends.len(),
+            "{name}: resume must re-journal the recomputed points"
+        );
+    }
     let _ = std::fs::remove_file(&path);
 }
 
@@ -314,7 +402,7 @@ fn degraded_campaign_resumes_bit_identically() {
             jobs: 1,
             journal: Some(Arc::new(journal)),
             replay: Some(Arc::new(replay)),
-            co_runs: Vec::new(),
+            ..CampaignOptions::default()
         },
     );
     assert_eq!(resumed.stats.replayed_points, n);
@@ -335,8 +423,13 @@ fn dual_core_campaign_resumes_bit_identically() {
     let co_runs = vec![(0usize, 1usize)];
     let fp = campaign_fingerprint_with(&cfgs, &workloads, &flow, &co_runs);
     let path = scratch("dualcore");
-    let opts =
-        |jobs, journal, replay| CampaignOptions { jobs, journal, replay, co_runs: co_runs.clone() };
+    let opts = |jobs, journal, replay| CampaignOptions {
+        jobs,
+        journal,
+        replay,
+        co_runs: co_runs.clone(),
+        ..CampaignOptions::default()
+    };
 
     // Adding a co-run changes the campaign identity: a journal written
     // without it must be refused, not partially replayed.

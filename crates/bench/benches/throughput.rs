@@ -11,6 +11,7 @@
 //! the full config × workload matrix the paper's campaign sweeps.
 
 use boom_uarch::{BoomConfig, Core};
+use boomflow::{default_jobs, run_sweep, ArtifactStore, FlowConfig, SweepOptions, SweepSpec};
 use boomflow_bench::banner;
 use rv_isa::bbv::BbvCollector;
 use rv_isa::cpu::Cpu;
@@ -134,6 +135,68 @@ fn measure_batched(w: &Workload, solo_kcps: &[f64; 3]) -> BatchedRow {
     }
 }
 
+/// The adaptive-sweep study: the reference 64-config grid, exhaustive
+/// full-budget baseline vs successive halving, on the two most
+/// phase-diverse timed workloads.
+struct SweepStudyRow {
+    grid: &'static str,
+    workloads: String,
+    configs: usize,
+    /// Total detailed-sim cycles of the single-rung exhaustive run.
+    exhaustive_kcycles: f64,
+    /// Total detailed-sim cycles of the adaptive run (all rungs).
+    adaptive_kcycles: f64,
+    /// Exhaustive / adaptive — the quantity successive halving buys.
+    reduction_factor: f64,
+    /// Whether the adaptive Pareto frontier was byte-identical to the
+    /// exhaustive one (asserted, so always true in a written file).
+    frontier_identical: bool,
+}
+
+/// Runs the reference sweep both ways and checks the frontier contract.
+/// Detailed-sim cycle counts are deterministic (not wall-clock), so this
+/// study is immune to runner noise — the reduction factor only moves if
+/// the schedule or the elimination rule changes.
+fn measure_sweep() -> SweepStudyRow {
+    let grid = "ref64";
+    let spec = SweepSpec::preset(grid).expect("known preset");
+    let cfgs = spec.generate().expect("reference grid generates");
+    let wls: Vec<Workload> =
+        ["sha", "qsort"].iter().map(|n| by_name(n, Scale::Test).expect("known workload")).collect();
+    let flow = FlowConfig { warmup_insts: 5_000, idle_skip: true, ..FlowConfig::default() };
+    let jobs = default_jobs();
+    let exhaustive = run_sweep(
+        &cfgs,
+        &wls,
+        &flow,
+        &ArtifactStore::new(),
+        &SweepOptions { jobs, exhaustive: true, ..SweepOptions::default() },
+    )
+    .expect("exhaustive sweep");
+    let adaptive = run_sweep(
+        &cfgs,
+        &wls,
+        &flow,
+        &ArtifactStore::new(),
+        &SweepOptions { jobs, ..SweepOptions::default() },
+    )
+    .expect("adaptive sweep");
+    assert!(exhaustive.all_ok() && adaptive.all_ok(), "sweep cells must all succeed");
+    let identical = adaptive.render_frontier() == exhaustive.render_frontier();
+    assert!(identical, "adaptive frontier must be byte-identical to the exhaustive frontier");
+    let exh = exhaustive.stats.detailed_cycles as f64;
+    let ada = adaptive.stats.detailed_cycles as f64;
+    SweepStudyRow {
+        grid,
+        workloads: wls.iter().map(|w| w.name).collect::<Vec<_>>().join("+"),
+        configs: exhaustive.configs.len(),
+        exhaustive_kcycles: exh / 1e3,
+        adaptive_kcycles: ada / 1e3,
+        reduction_factor: exh / ada,
+        frontier_identical: identical,
+    }
+}
+
 /// Times detailed simulation of `w` under `cfg`, returning
 /// (kcycles/sec, kinsts/sec) from one accumulating measurement so the
 /// two rates describe the same repetitions.
@@ -245,6 +308,28 @@ fn main() {
         );
     }
 
+    let sweep = measure_sweep();
+    println!(
+        "\n{:<8} {:<12} {:>8} {:>19} {:>17} {:>10} {:>9}",
+        "Sweep",
+        "Workloads",
+        "Configs",
+        "Exhaustive kcyc",
+        "Adaptive kcyc",
+        "Reduction",
+        "Frontier"
+    );
+    println!(
+        "{:<8} {:<12} {:>8} {:>19.0} {:>17.0} {:>9.2}x {:>9}",
+        sweep.grid,
+        sweep.workloads,
+        sweep.configs,
+        sweep.exhaustive_kcycles,
+        sweep.adaptive_kcycles,
+        sweep.reduction_factor,
+        if sweep.frontier_identical { "identical" } else { "DIFFERS" }
+    );
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -291,12 +376,30 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
+    // The `sweep` array records deterministic cycle totals, not rates:
+    // the reduction factor is the guarded metric (perf-smoke fails if a
+    // schedule or elimination-rule change erodes it), and
+    // `frontier_identical` is asserted above before anything is written.
+    let json_sweep = format!(
+        "    {{\"grid\": \"{}\", \"workloads\": \"{}\", \"configs\": {}, \
+         \"exhaustive_kcycles\": {:.1}, \"adaptive_kcycles\": {:.1}, \
+         \"reduction_factor\": {:.2}, \"frontier_identical\": {}}}",
+        sweep.grid,
+        sweep.workloads,
+        sweep.configs,
+        sweep.exhaustive_kcycles,
+        sweep.adaptive_kcycles,
+        sweep.reduction_factor,
+        sweep.frontier_identical
+    );
     let json = format!(
         "{{\n  \"scale\": \"small\",\n  \"detailed_config\": \"MediumBOOM\",\n  \
-         \"rows\": [\n{}\n  ],\n  \"detailed\": [\n{}\n  ],\n  \"batched\": [\n{}\n  ]\n}}\n",
+         \"rows\": [\n{}\n  ],\n  \"detailed\": [\n{}\n  ],\n  \"batched\": [\n{}\n  ],\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         json_detailed.join(",\n"),
-        json_batched.join(",\n")
+        json_batched.join(",\n"),
+        json_sweep
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

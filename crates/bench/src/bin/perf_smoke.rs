@@ -155,6 +155,32 @@ fn extract_batched(json: &str) -> Vec<PerfRow> {
         .unwrap_or_default()
 }
 
+/// Pulls the adaptive-sweep study rows out of a `BENCH_throughput.json`
+/// body, with the deterministic cycle-reduction factor standing in for
+/// the guarded rate: like a throughput, a *drop* means the successive
+/// halving got more expensive (schedule or elimination-rule erosion), so
+/// the same lower-is-worse threshold machinery applies. Empty for files
+/// from before the `sweep` array existed.
+///
+/// Configs are prefixed `sweep:` so a study row can never pair with a
+/// detailed or batched cell.
+fn extract_sweep(json: &str) -> Vec<PerfRow> {
+    find_array(json, "sweep")
+        .map(|body| {
+            objects(body)
+                .iter()
+                .filter_map(|o| {
+                    Some(PerfRow {
+                        config: format!("sweep:{}", str_field(o, "grid")?),
+                        workload: str_field(o, "workloads")?,
+                        kcycles_per_sec: num_field(o, "reduction_factor")?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// Compares fresh rows against the committed baseline; returns the list of
 /// human-readable failures. Cells present on only one side are skipped (the
 /// bench matrix may grow or shrink across commits without breaking CI).
@@ -207,6 +233,8 @@ fn main() -> ExitCode {
     let mut fresh = extract_rows(&fresh_json);
     committed.extend(extract_batched(&committed_json));
     fresh.extend(extract_batched(&fresh_json));
+    committed.extend(extract_sweep(&committed_json));
+    fresh.extend(extract_sweep(&fresh_json));
     if committed.is_empty() || fresh.is_empty() {
         eprintln!(
             "perf_smoke: no comparable rows (committed: {}, fresh: {})",
@@ -250,6 +278,9 @@ mod tests {
       "batched": [
         {"config": "MediumBOOM", "workload": "Bitcount", "detailed_kcycles_per_sec": 1912.3},
         {"config": "Aggregate", "workload": "Bitcount", "detailed_kcycles_per_sec": 4890.1, "batch_speedup": 1.02}
+      ],
+      "sweep": [
+        {"grid": "ref64", "workloads": "Sha+Qsort", "configs": 64, "exhaustive_kcycles": 1591.4, "adaptive_kcycles": 274.6, "reduction_factor": 5.79, "frontier_identical": true}
       ]
     }"#;
 
@@ -335,6 +366,24 @@ mod tests {
         }];
         let bad = vec![PerfRow { kcycles_per_sec: 3000.0, ..base[0].clone() }];
         assert_eq!(regressions(&base, &bad, 30.0).len(), 1);
+    }
+
+    #[test]
+    fn sweep_rows_guard_the_reduction_factor() {
+        let rows = extract_sweep(CURRENT);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].config, "sweep:ref64");
+        assert_eq!(rows[0].workload, "Sha+Qsort");
+        assert!((rows[0].kcycles_per_sec - 5.79).abs() < 1e-9);
+        // The prefix keeps the study row from pairing with detailed or
+        // batched cells, and legacy files simply contribute nothing.
+        assert!(extract_rows(CURRENT).iter().all(|r| !r.config.starts_with("sweep:")));
+        assert!(extract_sweep(LEGACY).is_empty());
+        // A reduction-factor erosion beyond the threshold fails the gate.
+        let bad = vec![PerfRow { kcycles_per_sec: 3.9, ..rows[0].clone() }];
+        assert_eq!(regressions(&rows, &bad, 30.0).len(), 1);
+        let ok = vec![PerfRow { kcycles_per_sec: 4.3, ..rows[0].clone() }];
+        assert!(regressions(&rows, &ok, 30.0).is_empty());
     }
 
     #[test]

@@ -55,6 +55,13 @@ type CheckpointKey = (AnalysisKey, u64);
 /// Cache key of a full-run baseline.
 type FullRunKey = (u64, u64);
 
+/// Cache key of one memoized detailed-sim point outcome in a sweep:
+/// (config fingerprint, program fingerprint, interval size, warm-up,
+/// interval truncation shift, point index). Budget parameters are part of
+/// the key so a truncated rung-0 measurement never masquerades as the
+/// full-length result a later rung needs.
+pub(crate) type PointKey = (u64, u64, u64, u64, u32, u32);
+
 /// A compute-exactly-once slot: concurrent callers of the same key block
 /// on the first computation and then share its result.
 type Slot<T> = Arc<OnceLock<Result<T, FlowError>>>;
@@ -142,6 +149,11 @@ pub struct CacheStats {
     /// Cached stage *errors* replayed to later callers — the failure
     /// context is the original compute's, not the replaying cell's.
     pub error_replays: u64,
+    /// Sweep point lookups served from the point-outcome memo (a
+    /// promoted config re-reading a lower-rung measurement).
+    pub sweep_point_hits: u64,
+    /// Sweep point outcomes recorded into the point-outcome memo.
+    pub sweep_point_stored: u64,
 }
 
 #[derive(Default)]
@@ -164,6 +176,8 @@ struct Counters {
     disk_writes: AtomicU64,
     disk_quarantined: AtomicU64,
     error_replays: AtomicU64,
+    sweep_point_hits: AtomicU64,
+    sweep_point_stored: AtomicU64,
 }
 
 /// Thread-safe memoization of the flow's configuration-independent
@@ -178,6 +192,10 @@ pub struct ArtifactStore {
     analyses: Mutex<HashMap<AnalysisKey, Slot<Arc<SimPointAnalysis>>>>,
     checkpoints: Mutex<HashMap<CheckpointKey, Slot<Arc<CheckpointSet>>>>,
     full_runs: Mutex<HashMap<FullRunKey, Slot<Arc<FullRunResult>>>>,
+    /// Sweep point-outcome memo: completed detailed-sim measurements
+    /// keyed by (config, program, budget) so successive-halving rungs
+    /// and resumed sweeps never resimulate a finished point.
+    points: Mutex<HashMap<PointKey, crate::flow::PointOutcome>>,
     counters: Counters,
     /// Optional crash-safe disk tier behind the in-memory memo maps.
     disk: Option<DiskCache>,
@@ -535,6 +553,25 @@ impl ArtifactStore {
         self.counters.detailed_us.fetch_add(us, Ordering::Relaxed);
     }
 
+    /// Looks up a completed sweep point outcome; a hit means a promoted
+    /// (or resumed) config re-reads its earlier measurement instead of
+    /// resimulating it.
+    pub(crate) fn cached_point(&self, key: &PointKey) -> Option<crate::flow::PointOutcome> {
+        let hit = lock(&self.points).get(key).cloned();
+        if hit.is_some() {
+            self.counters.sweep_point_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a sweep point outcome (fresh simulation or journal
+    /// replay) into the point-outcome memo.
+    pub(crate) fn record_point(&self, key: PointKey, outcome: &crate::flow::PointOutcome) {
+        if lock(&self.points).insert(key, outcome.clone()).is_none() {
+            self.counters.sweep_point_stored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the per-stage counters and wall-clock totals.
     pub fn stats(&self) -> CacheStats {
         let c = &self.counters;
@@ -558,6 +595,8 @@ impl ArtifactStore {
             disk_writes: c.disk_writes.load(Ordering::Relaxed),
             disk_quarantined: c.disk_quarantined.load(Ordering::Relaxed),
             error_replays: c.error_replays.load(Ordering::Relaxed),
+            sweep_point_hits: c.sweep_point_hits.load(Ordering::Relaxed),
+            sweep_point_stored: c.sweep_point_stored.load(Ordering::Relaxed),
         }
     }
 }

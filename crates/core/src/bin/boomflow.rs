@@ -2,6 +2,14 @@
 //! analysis flow.
 //!
 //! ```text
+//! boomflow sweep [--grid-preset ref64|smoke16] [--grid KNOB=V1,V2,...]
+//!          [--base medium|large|mega] [--random N --seed S]
+//!          [--workload NAME[,NAME...]|all] [--scale test|small|full]
+//!          [--warmup N] [--jobs N] [--batch-lanes N]
+//!          [--idle-skip|--no-idle-skip] [--rungs N] [--rung0-points N]
+//!          [--rung0-shift N] [--epsilon F] [--epsilon-decay F] [--exhaustive]
+//!          [--cache-dir DIR] [--journal FILE [--resume]]
+//!          [--report-out FILE] [--frontier-out FILE]
 //! boomflow [--workload NAME[,NAME...]|all] [--config medium|large|mega|all]
 //!          [--scale test|small|full] [--predictor tage|gshare]
 //!          [--iq collapsing|noncollapsing] [--full] [--warmup N]
@@ -66,9 +74,10 @@ use boom_uarch::{
 };
 use boomflow::report::render_table;
 use boomflow::{
-    campaign_fingerprint_with, default_jobs, run_full, supervise_campaign, ArtifactStore,
-    CacheStage, CampaignJournal, CampaignOptions, DiskFaultInjection, FaultInjection, FlowConfig,
-    JournalReplay, RetryPolicy, WorkloadResult,
+    all_fixed_latency, campaign_fingerprint_with, default_jobs, run_full, run_sweep,
+    supervise_campaign, ArtifactStore, CacheStage, CampaignJournal, CampaignOptions,
+    DiskFaultInjection, FaultInjection, FlowConfig, JournalReplay, RetryPolicy, SweepKnob,
+    SweepOptions, SweepSpec, WorkloadResult,
 };
 use rtl_power::Component;
 use rv_workloads::{all, by_name, Scale, Workload};
@@ -346,7 +355,272 @@ fn print_result(r: &WorkloadResult) {
     print!("{}", render_table(&header, &rows));
 }
 
+/// Arguments of the `boomflow sweep` subcommand.
+struct SweepArgs {
+    preset: Option<String>,
+    grid: Vec<String>,
+    base: Option<String>,
+    random: Option<usize>,
+    seed: u64,
+    workload: String,
+    scale: Scale,
+    warmup: u64,
+    jobs: usize,
+    batch_lanes: usize,
+    /// `None` = auto-arm idle skipping when every config allows it.
+    idle_skip: Option<bool>,
+    rungs: Option<usize>,
+    rung0_points: usize,
+    rung0_shift: u32,
+    epsilon: f64,
+    epsilon_decay: f64,
+    exhaustive: bool,
+    cache_dir: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    report_out: Option<PathBuf>,
+    frontier_out: Option<PathBuf>,
+    /// Hidden: abort the process after journaling N fresh points.
+    inject_kill_after: Option<u64>,
+}
+
+fn sweep_usage() -> ! {
+    eprintln!(
+        "usage: boomflow sweep [--grid-preset ref64|smoke16] [--grid KNOB=V1,V2,...]\n\
+         \x20               [--base medium|large|mega] [--random N --seed S]\n\
+         \x20               [--workload NAME[,NAME...]|all] [--scale test|small|full]\n\
+         \x20               [--warmup N] [--jobs N] [--batch-lanes N]\n\
+         \x20               [--idle-skip|--no-idle-skip] [--rungs N] [--rung0-points N]\n\
+         \x20               [--rung0-shift N] [--epsilon F] [--epsilon-decay F] [--exhaustive]\n\
+         \x20               [--cache-dir DIR] [--journal FILE [--resume]]\n\
+         \x20               [--report-out FILE] [--frontier-out FILE]\n\
+         knobs: {}",
+        SweepKnob::ALL.map(|k| k.key()).join(" ")
+    );
+    exit(2)
+}
+
+fn parse_sweep_args(argv: &[String]) -> SweepArgs {
+    let mut args = SweepArgs {
+        preset: None,
+        grid: Vec::new(),
+        base: None,
+        random: None,
+        seed: 0,
+        workload: "all".to_string(),
+        scale: Scale::Small,
+        warmup: 5_000,
+        jobs: default_jobs(),
+        batch_lanes: 4,
+        idle_skip: None,
+        rungs: None,
+        rung0_points: 1,
+        rung0_shift: 3,
+        epsilon: 0.05,
+        epsilon_decay: 0.5,
+        exhaustive: false,
+        cache_dir: None,
+        journal: None,
+        resume: false,
+        report_out: None,
+        frontier_out: None,
+        inject_kill_after: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| sweep_usage());
+        match flag.as_str() {
+            "--grid-preset" => args.preset = Some(value().to_lowercase()),
+            "--grid" => args.grid.push(value().to_lowercase()),
+            "--base" => args.base = Some(value().to_lowercase()),
+            "--random" => args.random = Some(value().parse().unwrap_or_else(|_| sweep_usage())),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| sweep_usage()),
+            "--workload" | "-w" => args.workload = value().to_lowercase(),
+            "--scale" | "-s" => {
+                args.scale = match value().to_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => sweep_usage(),
+                }
+            }
+            "--warmup" => args.warmup = value().parse().unwrap_or_else(|_| sweep_usage()),
+            "--jobs" | "-j" => {
+                args.jobs = value().parse().unwrap_or_else(|_| sweep_usage());
+                if args.jobs == 0 {
+                    sweep_usage()
+                }
+            }
+            "--batch-lanes" => {
+                args.batch_lanes = value().parse().unwrap_or_else(|_| sweep_usage());
+                if args.batch_lanes == 0 {
+                    sweep_usage()
+                }
+            }
+            "--idle-skip" => args.idle_skip = Some(true),
+            "--no-idle-skip" => args.idle_skip = Some(false),
+            "--rungs" => args.rungs = Some(value().parse().unwrap_or_else(|_| sweep_usage())),
+            "--rung0-points" => {
+                args.rung0_points = value().parse().unwrap_or_else(|_| sweep_usage())
+            }
+            "--rung0-shift" => args.rung0_shift = value().parse().unwrap_or_else(|_| sweep_usage()),
+            "--epsilon" => args.epsilon = value().parse().unwrap_or_else(|_| sweep_usage()),
+            "--epsilon-decay" => {
+                args.epsilon_decay = value().parse().unwrap_or_else(|_| sweep_usage())
+            }
+            "--exhaustive" => args.exhaustive = true,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value())),
+            "--journal" => args.journal = Some(PathBuf::from(value())),
+            "--resume" => args.resume = true,
+            "--report-out" => args.report_out = Some(PathBuf::from(value())),
+            "--frontier-out" => args.frontier_out = Some(PathBuf::from(value())),
+            "--inject-kill-after" => {
+                args.inject_kill_after = Some(value().parse().unwrap_or_else(|_| sweep_usage()))
+            }
+            "--help" | "-h" => sweep_usage(),
+            _ => sweep_usage(),
+        }
+    }
+    args
+}
+
+/// Parses one `--grid KNOB=V1,V2,...` axis.
+fn parse_grid_axis(spec: &str) -> (SweepKnob, Vec<u64>) {
+    let Some((name, values)) = spec.split_once('=') else { sweep_usage() };
+    let Some(knob) = SweepKnob::parse(name) else {
+        eprintln!("boomflow sweep: unknown knob '{name}'");
+        sweep_usage()
+    };
+    let values: Vec<u64> = values
+        .split(',')
+        .filter(|v| !v.is_empty())
+        .map(|v| v.parse().unwrap_or_else(|_| sweep_usage()))
+        .collect();
+    (knob, values)
+}
+
+fn sweep_main(argv: &[String]) {
+    let args = parse_sweep_args(argv);
+
+    // Assemble the design-space specification: preset axes first, then
+    // any explicit `--grid` axes appended in flag order.
+    let mut spec = match &args.preset {
+        Some(name) => SweepSpec::preset(name).unwrap_or_else(|| {
+            eprintln!("boomflow sweep: unknown grid preset '{name}'");
+            sweep_usage()
+        }),
+        None => SweepSpec { base: BoomConfig::medium(), axes: Vec::new(), random: None },
+    };
+    if let Some(base) = &args.base {
+        spec.base = match base.as_str() {
+            "medium" => BoomConfig::medium(),
+            "large" => BoomConfig::large(),
+            "mega" => BoomConfig::mega(),
+            _ => sweep_usage(),
+        };
+    }
+    for axis in &args.grid {
+        spec.axes.push(parse_grid_axis(axis));
+    }
+    if let Some(n) = args.random {
+        spec.random = Some((n, args.seed));
+    }
+    let cfgs = spec.generate().unwrap_or_else(|e| {
+        eprintln!("boomflow sweep: invalid sweep specification: {e}");
+        exit(2)
+    });
+    let ws = workloads(&args.workload, args.scale);
+
+    // Idle-cycle skipping: auto-armed when every configuration sits on
+    // the flat fixed-latency backend; an *explicit* `--idle-skip` over a
+    // hierarchy config is a typed rejection, never a silent drop.
+    let idle_skip = match args.idle_skip {
+        Some(true) => {
+            if !all_fixed_latency(&cfgs) {
+                let e = ConfigError::IdleSkipUnsupported {
+                    what: "sweep over memory-hierarchy configurations".to_string(),
+                };
+                eprintln!("boomflow sweep: {e}");
+                exit(2);
+            }
+            true
+        }
+        Some(false) => false,
+        None => all_fixed_latency(&cfgs),
+    };
+
+    let flow = FlowConfig {
+        warmup_insts: args.warmup,
+        idle_skip,
+        inject: FaultInjection {
+            kill_after_points: args.inject_kill_after,
+            ..FaultInjection::default()
+        },
+        ..FlowConfig::default()
+    };
+    let store = match &args.cache_dir {
+        None => ArtifactStore::new(),
+        Some(dir) => ArtifactStore::with_disk_cache(dir).unwrap_or_else(|e| {
+            eprintln!("boomflow sweep: cannot open cache dir {}: {e}", dir.display());
+            exit(2);
+        }),
+    };
+    if args.resume && args.journal.is_none() {
+        eprintln!("boomflow sweep: --resume requires --journal");
+        exit(2);
+    }
+    let resume = args.resume && args.journal.as_ref().is_some_and(|p| p.exists());
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        batch_lanes: args.batch_lanes,
+        epsilon: args.epsilon,
+        epsilon_decay: args.epsilon_decay,
+        rung0_points: args.rung0_points,
+        rung0_shift: args.rung0_shift,
+        max_rungs: args.rungs,
+        exhaustive: args.exhaustive,
+        journal_path: args.journal.clone(),
+        resume,
+    };
+
+    let report = match run_sweep(&cfgs, &ws, &flow, &store, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("boomflow sweep: {e}");
+            exit(2);
+        }
+    };
+    if resume {
+        eprintln!(
+            "boomflow sweep: resumed, {} completed point(s) replayed",
+            report.stats.replayed_points
+        );
+    }
+    print!("{}", report.render_frontier());
+    print!("\n{}", report.stage_summary());
+    if let Some(path) = &args.report_out {
+        if let Err(e) = std::fs::write(path, report.render_deterministic()) {
+            eprintln!("boomflow sweep: cannot write report {}: {e}", path.display());
+            exit(1);
+        }
+    }
+    if let Some(path) = &args.frontier_out {
+        if let Err(e) = std::fs::write(path, report.render_frontier()) {
+            eprintln!("boomflow sweep: cannot write frontier {}: {e}", path.display());
+            exit(1);
+        }
+    }
+    if !report.all_ok() {
+        exit(1);
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&argv[1..]);
+        return;
+    }
     let args = parse_args();
     let flow = FlowConfig {
         warmup_insts: args.warmup,

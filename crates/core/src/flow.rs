@@ -457,6 +457,36 @@ pub(crate) fn assemble_workload_result(
     })
 }
 
+/// Weighted (CPI, tile mW) estimate over a *partial* set of point
+/// outcomes — the successive-halving rungs rank configurations on
+/// whatever subset of points their budget simulated, with the cluster
+/// weights renormalized over the surviving subset exactly as
+/// [`assemble_workload_result`] renormalizes after quarantine. Returns
+/// `None` when no point succeeded (the config cannot be ranked and the
+/// sweep treats it as eliminated-by-failure).
+///
+/// Every configuration in a rung is estimated at the same (point budget,
+/// truncation shift), so the subset bias is common mode and cancels in
+/// the rung's relative ordering.
+pub(crate) fn weighted_estimate(outcomes: &[&PointOutcome]) -> Option<(f64, f64)> {
+    let mut wsum = 0.0;
+    let mut ipc = 0.0;
+    let mut mw = 0.0;
+    for (p, _) in outcomes.iter().filter_map(|o| o.as_ref().ok()) {
+        wsum += p.weight;
+        ipc += p.weight * p.ipc;
+        mw += p.weight * p.power.tile_total_mw();
+    }
+    if wsum <= 0.0 {
+        return None;
+    }
+    let ipc = ipc / wsum;
+    if ipc <= 0.0 {
+        return None;
+    }
+    Some((1.0 / ipc, mw / wsum))
+}
+
 /// Runs one point under supervision: panics caught, budget enforced,
 /// bounded retries with a perturbed (shortened) warm-up and a backed-off
 /// budget. Returns the measurement and the attempts it took, or the

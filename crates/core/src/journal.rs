@@ -299,6 +299,38 @@ pub fn campaign_fingerprint_with(
     fnv1a(&w.into_bytes())
 }
 
+/// Fingerprint of everything that determines *sweep* point outcomes and
+/// record indices: the admitted (deduplicated) configurations, the
+/// workloads, the flow parameters, the rung schedule (point budget and
+/// interval-truncation shift per rung), and the ε-band with its per-rung
+/// decay. A sweep journal
+/// hashes differently from a campaign journal over the same matrix —
+/// their record index spaces differ — so neither can replay the other.
+///
+/// Like [`campaign_fingerprint`], scheduling and fault-injection knobs
+/// (`--jobs`, `--batch-lanes`, kill-after, disk faults) are excluded:
+/// they never change outcomes, only wall-clock.
+pub fn sweep_fingerprint(
+    cfgs: &[BoomConfig],
+    workloads: &[Workload],
+    flow: &FlowConfig,
+    rungs: &[(usize, u32)],
+    epsilon: f64,
+    epsilon_decay: f64,
+) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_str("sweep");
+    w.put_u64(campaign_fingerprint(cfgs, workloads, flow));
+    w.put_usize(rungs.len());
+    for &(points, shift) in rungs {
+        w.put_usize(points);
+        w.put_u32(shift);
+    }
+    w.put_f64(epsilon);
+    w.put_f64(epsilon_decay);
+    fnv1a(&w.into_bytes())
+}
+
 // ---------------------------------------------------------------------
 // Record payload codec.
 // ---------------------------------------------------------------------

@@ -53,6 +53,7 @@ pub mod journal;
 pub mod report;
 pub mod scheduler;
 pub mod supervisor;
+pub mod sweep;
 pub(crate) mod sync;
 
 pub use artifacts::{ArtifactStore, CacheStats, CheckpointSet, PlannedPoint};
@@ -62,11 +63,16 @@ pub use flow::{
     FullRunResult, WorkloadResult,
 };
 pub use journal::{
-    campaign_fingerprint, campaign_fingerprint_with, CampaignJournal, JournalError, JournalReplay,
+    campaign_fingerprint, campaign_fingerprint_with, sweep_fingerprint, CampaignJournal,
+    JournalError, JournalReplay,
 };
 pub use scheduler::{default_jobs, CampaignOptions};
 pub use supervisor::{
     supervise_campaign, supervise_matrix, supervise_matrix_with, CampaignReport, CampaignStats,
     CellFailure, CellResult, CoRunCellResult, CoreRunResult, Degradation, FailureKind,
     FaultInjection, PointFailure, RetryPolicy,
+};
+pub use sweep::{
+    admit, all_fixed_latency, finalize_config, run_sweep, rung_schedule, FrontierPoint, RungSpec,
+    RungSummary, SweepKnob, SweepOptions, SweepReport, SweepSpec, SweepStats,
 };

@@ -83,7 +83,7 @@ pub fn default_jobs() -> usize {
 /// of that workload, exactly as each cell would fail when preparing the
 /// same artifacts itself).
 #[derive(Clone)]
-enum PrepError {
+pub(crate) enum PrepError {
     Flow(FlowError),
     Panicked(String),
 }
@@ -399,7 +399,7 @@ pub(crate) fn run_campaign(
 /// of a victim's. No tasks are added after seeding, so an empty sweep
 /// means the pool is drained. With `jobs == 1` the tasks run strictly
 /// sequentially on the calling thread in seed order.
-fn run_tasks<T: Send>(jobs: usize, tasks: Vec<T>, run: impl Fn(T) + Sync) {
+pub(crate) fn run_tasks<T: Send>(jobs: usize, tasks: Vec<T>, run: impl Fn(T) + Sync) {
     if tasks.is_empty() {
         return;
     }

@@ -452,6 +452,24 @@ impl BoomConfig {
         self
     }
 
+    /// Re-derives the register-file port counts and the fetch buffer from
+    /// the issue and fetch widths, for generated (swept) configurations
+    /// whose widths departed from a preset.
+    ///
+    /// The rule matches the presets' scaling: each integer or memory unit
+    /// needs two read ports and one write port (Medium 6/3, Large 8/4,
+    /// Mega 12/6), each FPU three read and two write ports (Medium 3/2,
+    /// Mega 6/4; Large's fourth FP read port is a preset quirk the
+    /// uniform rule does not reproduce), and the fetch buffer holds four
+    /// fetch groups.
+    pub fn derive_ports(&mut self) {
+        self.irf_read_ports = 2 * (self.int_issue_width + self.mem_issue_width);
+        self.irf_write_ports = self.int_issue_width + self.mem_issue_width;
+        self.frf_read_ports = 3 * self.fp_issue_width;
+        self.frf_write_ports = 2 * self.fp_issue_width;
+        self.fetch_buffer_entries = 4 * self.fetch_width;
+    }
+
     /// Validates every memory-system parameter, typed instead of panicking
     /// — the CLI surfaces the error next to the offending flag.
     pub fn validate(&self) -> Result<(), ConfigError> {

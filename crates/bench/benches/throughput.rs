@@ -11,7 +11,11 @@
 //! the full config × workload matrix the paper's campaign sweeps.
 
 use boom_uarch::{BoomConfig, Core};
-use boomflow::{default_jobs, run_sweep, ArtifactStore, FlowConfig, SweepOptions, SweepSpec};
+use boomflow::{
+    default_jobs, realize_campaign, request_events, run_sweep, supervise_matrix_with,
+    ArtifactStore, CampaignOptions, CampaignRequest, ClientMsg, FlowConfig, Request, ServeAddr,
+    ServeOptions, Server, ServerMsg, SweepOptions, SweepSpec, WorkPool,
+};
 use boomflow_bench::banner;
 use rv_isa::bbv::BbvCollector;
 use rv_isa::cpu::Cpu;
@@ -90,30 +94,23 @@ struct BatchedRow {
 /// Times batched simulation of `w` across all three configs.
 /// `solo_kcps` are the per-config solo rates from the detailed matrix,
 /// used to price the equivalent sequential solo wall for the speedup.
-fn measure_batched(w: &Workload, solo_kcps: &[f64; 3]) -> BatchedRow {
+/// The lanes run on `pool` — the persistent-thread setup the flow's
+/// batched path uses (submitter helping) — so the measurement prices
+/// lane scheduling, not thread spawning.
+fn measure_batched(w: &Workload, solo_kcps: &[f64; 3], pool: &WorkPool) -> BatchedRow {
     let cfgs: Vec<BoomConfig> = CONFIGS.iter().map(|c| config_by_name(c)).collect();
     let uops = Core::shared_uop_table(&w.program.decoded_image());
     let run_batch = || -> [u64; 3] {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = cfgs
-                .iter()
-                .map(|cfg| {
-                    let uops = &uops;
-                    s.spawn(move || {
-                        let mut core = Core::new_with_uops(cfg.clone(), &w.program, uops);
-                        core.set_idle_skip(true);
-                        let r = core.run(u64::MAX);
-                        assert!(r.exited, "batched lane must exit");
-                        r.cycles
-                    })
-                })
-                .collect();
-            let mut out = [0u64; 3];
-            for (i, h) in handles.into_iter().enumerate() {
-                out[i] = h.join().expect("batched lane panicked");
-            }
-            out
-        })
+        let out: [std::sync::OnceLock<u64>; 3] =
+            std::array::from_fn(|_| std::sync::OnceLock::new());
+        pool.run_scoped_helping((0..cfgs.len()).collect(), |i: usize| {
+            let mut core = Core::new_with_uops(cfgs[i].clone(), &w.program, &uops);
+            core.set_idle_skip(true);
+            let r = core.run(u64::MAX);
+            assert!(r.exited, "batched lane must exit");
+            let _ = out[i].set(r.cycles);
+        });
+        std::array::from_fn(|i| *out[i].get().expect("batched lane must complete"))
     };
     run_batch(); // warm-up
     let mut cycles = [0u64; 3];
@@ -194,6 +191,123 @@ fn measure_sweep() -> SweepStudyRow {
         adaptive_kcycles: ada / 1e3,
         reduction_factor: exh / ada,
         frontier_identical: identical,
+    }
+}
+
+/// The campaign-service study: N overlapping campaign requests through
+/// one warm `boomflow serve` process vs the same N campaigns run
+/// sequentially as solo processes would run them (fresh store each).
+struct ServeStudyRow {
+    study: &'static str,
+    /// Concurrent client requests submitted.
+    requests: usize,
+    /// Scheduler-pool width of the server (and jobs of each solo run).
+    jobs: usize,
+    /// Wall-clock of the N sequential solo campaigns.
+    solo_secs: f64,
+    /// Wall-clock of the N concurrent requests through one server.
+    serve_secs: f64,
+    /// solo / serve — what cross-request artifact sharing buys.
+    serve_speedup: f64,
+}
+
+/// Three pairwise-overlapping campaign requests: every workload appears
+/// in exactly two requests, so the server computes each front half and
+/// each point once where the solo baseline computes them twice.
+fn serve_requests() -> Vec<CampaignRequest> {
+    ["bitcount,sha", "sha,qsort", "qsort,bitcount"]
+        .into_iter()
+        .map(|workloads| CampaignRequest {
+            workloads: workloads.to_string(),
+            config: "medium".to_string(),
+            scale: Scale::Test,
+            warmup: 5_000,
+            retries: 3,
+            batch_lanes: 1,
+            idle_skip: false,
+        })
+        .collect()
+}
+
+/// Runs the serve study: solo baseline first (deterministic reference
+/// bytes kept), then the served pass, asserting every served report is
+/// byte-identical to its solo run before any rate is reported.
+fn measure_serve() -> ServeStudyRow {
+    let jobs = default_jobs();
+    let requests = serve_requests();
+
+    let t0 = Instant::now();
+    let solo_reports: Vec<String> = requests
+        .iter()
+        .map(|req| {
+            let (cfgs, ws, flow) = realize_campaign(req).expect("bench request realizes");
+            let report = supervise_matrix_with(
+                &cfgs,
+                &ws,
+                &flow,
+                &CampaignOptions { jobs, ..CampaignOptions::default() },
+            );
+            assert!(report.all_ok(), "solo campaign must succeed");
+            report.render_deterministic()
+        })
+        .collect();
+    let solo_secs = t0.elapsed().as_secs_f64();
+
+    let state_dir =
+        std::env::temp_dir().join(format!("boomflow-bench-serve-{}", std::process::id()));
+    let sock = state_dir.join("serve.sock");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let opts = ServeOptions {
+        jobs,
+        max_active: requests.len(),
+        cache_dir: None,
+        state_dir: state_dir.clone(),
+        kill_after_points: None,
+    };
+    let server = Server::bind(&ServeAddr::Unix(sock), opts).expect("bench server binds");
+    let addr = server.addr().clone();
+    let server = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    let served: Vec<ServerMsg> = std::thread::scope(|s| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                let addr = addr.clone();
+                let msg = ClientMsg::Submit(Request::Campaign(req.clone()));
+                s.spawn(move || {
+                    request_events(&addr, &msg, |_| {})
+                        .expect("bench client stream")
+                        .expect("bench server must finish the request")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench client panicked")).collect()
+    });
+    let serve_secs = t0.elapsed().as_secs_f64();
+
+    for (done, solo) in served.iter().zip(&solo_reports) {
+        let ServerMsg::Done { ok: true, report, .. } = done else {
+            panic!("served campaign failed: {done:?}");
+        };
+        assert_eq!(
+            std::str::from_utf8(report).expect("utf8 report"),
+            solo,
+            "served report must be byte-identical to the solo run"
+        );
+    }
+    let bye = request_events(&addr, &ClientMsg::Shutdown, |_| {}).expect("shutdown stream");
+    assert!(matches!(bye, Some(ServerMsg::Bye { .. })), "expected Bye, got {bye:?}");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    ServeStudyRow {
+        study: "overlapping_campaigns",
+        requests: requests.len(),
+        jobs,
+        solo_secs,
+        serve_secs,
+        serve_speedup: solo_secs / serve_secs,
     }
 }
 
@@ -279,6 +393,7 @@ fn main() {
         }
     }
 
+    let lane_pool = WorkPool::new(default_jobs());
     let batched: Vec<BatchedRow> = workloads
         .iter()
         .map(|w| {
@@ -289,7 +404,7 @@ fn main() {
                     .expect("detailed matrix covers every (config, workload)")
                     .detailed_kcps
             });
-            measure_batched(w, &solo)
+            measure_batched(w, &solo, &lane_pool)
         })
         .collect();
     println!(
@@ -328,6 +443,21 @@ fn main() {
         sweep.adaptive_kcycles,
         sweep.reduction_factor,
         if sweep.frontier_identical { "identical" } else { "DIFFERS" }
+    );
+
+    let serve = measure_serve();
+    println!(
+        "\n{:<22} {:>9} {:>6} {:>11} {:>12} {:>9}",
+        "Serve", "Requests", "Jobs", "Solo s", "Served s", "Speedup"
+    );
+    println!(
+        "{:<22} {:>9} {:>6} {:>11.2} {:>12.2} {:>8.2}x",
+        serve.study,
+        serve.requests,
+        serve.jobs,
+        serve.solo_secs,
+        serve.serve_secs,
+        serve.serve_speedup
     );
 
     let json_rows: Vec<String> = rows
@@ -392,14 +522,29 @@ fn main() {
         sweep.reduction_factor,
         sweep.frontier_identical
     );
+    // The `serve` array is wall-clock (like `rows`/`detailed`): the
+    // speedup is the guarded metric — it collapses toward 1 if requests
+    // stop sharing the warm store. Reports were byte-compared to solo
+    // runs before this row exists.
+    let json_serve = format!(
+        "    {{\"study\": \"{}\", \"requests\": {}, \"jobs\": {}, \"solo_secs\": {:.2}, \
+         \"serve_secs\": {:.2}, \"serve_speedup\": {:.2}}}",
+        serve.study,
+        serve.requests,
+        serve.jobs,
+        serve.solo_secs,
+        serve.serve_secs,
+        serve.serve_speedup
+    );
     let json = format!(
         "{{\n  \"scale\": \"small\",\n  \"detailed_config\": \"MediumBOOM\",\n  \
          \"rows\": [\n{}\n  ],\n  \"detailed\": [\n{}\n  ],\n  \"batched\": [\n{}\n  ],\n  \
-         \"sweep\": [\n{}\n  ]\n}}\n",
+         \"sweep\": [\n{}\n  ],\n  \"serve\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n"),
         json_detailed.join(",\n"),
         json_batched.join(",\n"),
-        json_sweep
+        json_sweep,
+        json_serve
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

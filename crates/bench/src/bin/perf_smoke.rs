@@ -181,6 +181,92 @@ fn extract_sweep(json: &str) -> Vec<PerfRow> {
         .unwrap_or_default()
 }
 
+/// Pulls the campaign-service study rows out of a `BENCH_throughput.json`
+/// body, with the solo-vs-served wall-clock speedup as the guarded rate:
+/// it collapses toward 1.0 if requests stop sharing the warm store, and
+/// the same lower-is-worse threshold machinery applies. Empty for files
+/// from before the `serve` array existed.
+///
+/// Configs are prefixed `serve:` so a study row can never pair with a
+/// detailed, batched, or sweep cell.
+fn extract_serve(json: &str) -> Vec<PerfRow> {
+    find_array(json, "serve")
+        .map(|body| {
+            objects(body)
+                .iter()
+                .filter_map(|o| {
+                    Some(PerfRow {
+                        config: format!("serve:{}", str_field(o, "study")?),
+                        workload: format!("{} requests", num_field(o, "requests")? as u64),
+                        kcycles_per_sec: num_field(o, "serve_speedup")?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The top-level arrays the gate understands. Anything else in the file
+/// is probably a new study whose extractor was forgotten — surfaced as a
+/// warning so it cannot be silently ignored.
+const KNOWN_ARRAYS: [&str; 5] = ["rows", "detailed", "batched", "sweep", "serve"];
+
+/// Names every top-level `"key": [...]` array in the JSON object.
+fn top_level_arrays(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    let mut key = String::new();
+    let mut after_colon = false;
+    for c in json.chars() {
+        if in_str {
+            if c == '"' {
+                in_str = false;
+            } else {
+                cur.push(c);
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.clear();
+                continue;
+            }
+            ':' if depth == 1 => {
+                key = cur.clone();
+                after_colon = true;
+                continue;
+            }
+            '[' => {
+                if depth == 1 && after_colon {
+                    out.push(key.clone());
+                }
+                depth += 1;
+            }
+            '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            c if c.is_whitespace() => continue,
+            _ => {}
+        }
+        after_colon = false;
+    }
+    out
+}
+
+/// Warns about top-level arrays the gate has no extractor for.
+fn warn_unknown_arrays(what: &str, json: &str) {
+    for key in top_level_arrays(json) {
+        if !KNOWN_ARRAYS.contains(&key.as_str()) {
+            eprintln!(
+                "perf_smoke: WARNING {what} has a top-level array \"{key}\" this gate does \
+                 not understand — its rows are NOT guarded (add an extractor?)"
+            );
+        }
+    }
+}
+
 /// Compares fresh rows against the committed baseline; returns the list of
 /// human-readable failures. Cells present on only one side are skipped (the
 /// bench matrix may grow or shrink across commits without breaking CI).
@@ -235,6 +321,10 @@ fn main() -> ExitCode {
     fresh.extend(extract_batched(&fresh_json));
     committed.extend(extract_sweep(&committed_json));
     fresh.extend(extract_sweep(&fresh_json));
+    committed.extend(extract_serve(&committed_json));
+    fresh.extend(extract_serve(&fresh_json));
+    warn_unknown_arrays("committed file", &committed_json);
+    warn_unknown_arrays("fresh file", &fresh_json);
     if committed.is_empty() || fresh.is_empty() {
         eprintln!(
             "perf_smoke: no comparable rows (committed: {}, fresh: {})",
@@ -281,6 +371,9 @@ mod tests {
       ],
       "sweep": [
         {"grid": "ref64", "workloads": "Sha+Qsort", "configs": 64, "exhaustive_kcycles": 1591.4, "adaptive_kcycles": 274.6, "reduction_factor": 5.79, "frontier_identical": true}
+      ],
+      "serve": [
+        {"study": "overlapping_campaigns", "requests": 3, "jobs": 1, "solo_secs": 4.10, "serve_secs": 2.30, "serve_speedup": 1.78}
       ]
     }"#;
 
@@ -384,6 +477,37 @@ mod tests {
         assert_eq!(regressions(&rows, &bad, 30.0).len(), 1);
         let ok = vec![PerfRow { kcycles_per_sec: 4.3, ..rows[0].clone() }];
         assert!(regressions(&rows, &ok, 30.0).is_empty());
+    }
+
+    #[test]
+    fn serve_rows_guard_the_speedup() {
+        let rows = extract_serve(CURRENT);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].config, "serve:overlapping_campaigns");
+        assert_eq!(rows[0].workload, "3 requests");
+        assert!((rows[0].kcycles_per_sec - 1.78).abs() < 1e-9);
+        // The prefix keeps the study row from pairing with any other
+        // cell, and legacy files simply contribute nothing.
+        assert!(extract_rows(CURRENT).iter().all(|r| !r.config.starts_with("serve:")));
+        assert!(extract_serve(LEGACY).is_empty());
+        // A warm-server speedup collapse beyond the threshold fails.
+        let bad = vec![PerfRow { kcycles_per_sec: 1.1, ..rows[0].clone() }];
+        assert_eq!(regressions(&rows, &bad, 30.0).len(), 1);
+        let ok = vec![PerfRow { kcycles_per_sec: 1.3, ..rows[0].clone() }];
+        assert!(regressions(&rows, &ok, 30.0).is_empty());
+    }
+
+    #[test]
+    fn top_level_arrays_are_named_and_unknowns_detectable() {
+        let keys = top_level_arrays(CURRENT);
+        assert_eq!(keys, ["rows", "detailed", "batched", "sweep", "serve"]);
+        assert!(keys.iter().all(|k| KNOWN_ARRAYS.contains(&k.as_str())));
+        // Nested arrays are not top-level; unknown top-level ones are.
+        let json = r#"{"mystery": [ {"x": [1, 2]} ], "rows": []}"#;
+        assert_eq!(top_level_arrays(json), ["mystery", "rows"]);
+        assert!(top_level_arrays(json).iter().any(|k| !KNOWN_ARRAYS.contains(&k.as_str())));
+        // A top-level scalar or string is not an array.
+        assert_eq!(top_level_arrays(r#"{"scale": "small", "n": 3}"#), Vec::<String>::new());
     }
 
     #[test]

@@ -62,6 +62,13 @@ type FullRunKey = (u64, u64);
 /// full-length result a later rung needs.
 pub(crate) type PointKey = (u64, u64, u64, u64, u32, u32);
 
+/// Cache key of a cross-request shared point outcome: the sweep
+/// [`PointKey`] plus the supervision fingerprint (retry policy, fault
+/// injection, idle-skip) — supervision knobs change *outcomes* (attempt
+/// counts, skipped-cycle stats), so requests that differ in them must not
+/// share results.
+pub(crate) type SharedPointKey = (PointKey, u64);
+
 /// A compute-exactly-once slot: concurrent callers of the same key block
 /// on the first computation and then share its result.
 type Slot<T> = Arc<OnceLock<Result<T, FlowError>>>;
@@ -154,6 +161,15 @@ pub struct CacheStats {
     pub sweep_point_hits: u64,
     /// Sweep point outcomes recorded into the point-outcome memo.
     pub sweep_point_stored: u64,
+    /// Lookups (stage or shared point) that found the key *in flight* —
+    /// another caller was already computing it — and blocked on that
+    /// computation instead of duplicating it. Nonzero means single-flight
+    /// deduplication actually coalesced concurrent work.
+    pub inflight_dedup_hits: u64,
+    /// Shared point lookups served from an already-*completed* slot of
+    /// the cross-request point map — warm reuse of work another request
+    /// (or an earlier pass) finished.
+    pub warm_store_hits: u64,
 }
 
 #[derive(Default)]
@@ -178,6 +194,8 @@ struct Counters {
     error_replays: AtomicU64,
     sweep_point_hits: AtomicU64,
     sweep_point_stored: AtomicU64,
+    inflight_dedup_hits: AtomicU64,
+    warm_store_hits: AtomicU64,
 }
 
 /// Thread-safe memoization of the flow's configuration-independent
@@ -196,6 +214,13 @@ pub struct ArtifactStore {
     /// keyed by (config, program, budget) so successive-halving rungs
     /// and resumed sweeps never resimulate a finished point.
     points: Mutex<HashMap<PointKey, crate::flow::PointOutcome>>,
+    /// Cross-request single-flight map of *supervised* point outcomes,
+    /// keyed by ([`PointKey`], supervision fingerprint): concurrent
+    /// requests for the same point share one computation (the second
+    /// blocks on the first), and later requests reuse the completed
+    /// result warm. Only point-sharing schedulers (the campaign service)
+    /// populate it.
+    flights: Mutex<HashMap<SharedPointKey, Arc<OnceLock<crate::flow::PointOutcome>>>>,
     counters: Counters,
     /// Optional crash-safe disk tier behind the in-memory memo maps.
     disk: Option<DiskCache>,
@@ -210,13 +235,23 @@ pub struct ArtifactStore {
 /// computations; in-memory replays of a cached *error* are tallied in
 /// `error_replays` — the failure context stays attributed to the
 /// original compute.
+struct MemoMeters<'a> {
+    /// Fresh (non-disk) computations of this stage.
+    computed: &'a AtomicU64,
+    /// Completed-slot cache hits.
+    hits: &'a AtomicU64,
+    /// Hits that replayed a cached *error*.
+    error_replays: &'a AtomicU64,
+    /// Hits that blocked on another caller's in-flight computation.
+    inflight: &'a AtomicU64,
+    /// Wall-clock microseconds spent computing.
+    spent_us: &'a AtomicU64,
+}
+
 fn memoize<K, T>(
     map: &Mutex<HashMap<K, Slot<T>>>,
     key: K,
-    computed: &AtomicU64,
-    hits: &AtomicU64,
-    error_replays: &AtomicU64,
-    spent_us: &AtomicU64,
+    meters: MemoMeters<'_>,
     compute: impl FnOnce() -> (Result<T, FlowError>, bool),
 ) -> Result<T, FlowError>
 where
@@ -224,6 +259,10 @@ where
     T: Clone,
 {
     let slot = lock(map).entry(key).or_default().clone();
+    // Whether the slot was already complete *before* this lookup: a hit
+    // on an incomplete slot means we blocked on another caller's
+    // in-flight computation — single-flight dedup, not a plain cache hit.
+    let pre_done = slot.get().is_some();
     let mut ran = false;
     let mut from_disk = false;
     let result = slot.get_or_init(|| {
@@ -231,17 +270,20 @@ where
         let t0 = Instant::now();
         let (r, disk) = compute();
         from_disk = disk;
-        spent_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        meters.spent_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         r
     });
     if ran {
         if !from_disk {
-            computed.fetch_add(1, Ordering::Relaxed);
+            meters.computed.fetch_add(1, Ordering::Relaxed);
         }
     } else {
-        hits.fetch_add(1, Ordering::Relaxed);
+        meters.hits.fetch_add(1, Ordering::Relaxed);
+        if !pre_done {
+            meters.inflight.fetch_add(1, Ordering::Relaxed);
+        }
         if result.is_err() {
-            error_replays.fetch_add(1, Ordering::Relaxed);
+            meters.error_replays.fetch_add(1, Ordering::Relaxed);
         }
     }
     result.clone()
@@ -357,10 +399,13 @@ impl ArtifactStore {
         memoize(
             &self.profiles,
             key,
-            &c.profile_computed,
-            &c.profile_hits,
-            &c.error_replays,
-            &c.profile_us,
+            MemoMeters {
+                computed: &c.profile_computed,
+                hits: &c.profile_hits,
+                error_replays: &c.error_replays,
+                inflight: &c.inflight_dedup_hits,
+                spent_us: &c.profile_us,
+            },
             || {
                 self.with_disk(
                     CacheStage::Profile,
@@ -399,10 +444,13 @@ impl ArtifactStore {
         memoize(
             &self.analyses,
             key,
-            &c.cluster_computed,
-            &c.cluster_hits,
-            &c.error_replays,
-            &c.cluster_us,
+            MemoMeters {
+                computed: &c.cluster_computed,
+                hits: &c.cluster_hits,
+                error_replays: &c.error_replays,
+                inflight: &c.inflight_dedup_hits,
+                spent_us: &c.cluster_us,
+            },
             || {
                 self.with_disk(
                     CacheStage::Analysis,
@@ -446,10 +494,13 @@ impl ArtifactStore {
         memoize(
             &self.checkpoints,
             key,
-            &c.checkpoint_computed,
-            &c.checkpoint_hits,
-            &c.error_replays,
-            &c.checkpoint_us,
+            MemoMeters {
+                computed: &c.checkpoint_computed,
+                hits: &c.checkpoint_hits,
+                error_replays: &c.error_replays,
+                inflight: &c.inflight_dedup_hits,
+                spent_us: &c.checkpoint_us,
+            },
             || {
                 // Both the disk-decode and the compute path need the
                 // (cached) front stages: the set embeds them, and the
@@ -539,10 +590,13 @@ impl ArtifactStore {
         memoize(
             &self.full_runs,
             key,
-            &c.full_run_computed,
-            &c.full_run_hits,
-            &c.error_replays,
-            &c.full_run_us,
+            MemoMeters {
+                computed: &c.full_run_computed,
+                hits: &c.full_run_hits,
+                error_replays: &c.error_replays,
+                inflight: &c.inflight_dedup_hits,
+                spent_us: &c.full_run_us,
+            },
             || (run_full(cfg, workload).map(Arc::new), false),
         )
     }
@@ -572,6 +626,40 @@ impl ArtifactStore {
         }
     }
 
+    /// Runs one supervised point through the cross-request single-flight
+    /// map: the first caller of `key` computes, concurrent callers of an
+    /// in-flight key block and share the result (`inflight_dedup_hits`),
+    /// and later callers reuse the completed slot (`warm_store_hits`).
+    pub(crate) fn singleflight_point(
+        &self,
+        key: SharedPointKey,
+        compute: impl FnOnce() -> crate::flow::PointOutcome,
+    ) -> crate::flow::PointOutcome {
+        // The completion check happens under the map lock so "found it in
+        // flight" is decided atomically with the slot lookup (observable
+        // and testable without timing races).
+        let (slot, pre_done) = {
+            let mut g = lock(&self.flights);
+            let slot = g.entry(key).or_default().clone();
+            let pre_done = slot.get().is_some();
+            (slot, pre_done)
+        };
+        let mut ran = false;
+        let result = slot.get_or_init(|| {
+            ran = true;
+            compute()
+        });
+        if !ran {
+            let c = &self.counters;
+            if pre_done {
+                c.warm_store_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                c.inflight_dedup_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result.clone()
+    }
+
     /// Snapshot of the per-stage counters and wall-clock totals.
     pub fn stats(&self) -> CacheStats {
         let c = &self.counters;
@@ -597,6 +685,8 @@ impl ArtifactStore {
             error_replays: c.error_replays.load(Ordering::Relaxed),
             sweep_point_hits: c.sweep_point_hits.load(Ordering::Relaxed),
             sweep_point_stored: c.sweep_point_stored.load(Ordering::Relaxed),
+            inflight_dedup_hits: c.inflight_dedup_hits.load(Ordering::Relaxed),
+            warm_store_hits: c.warm_store_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -720,6 +810,73 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.profile_computed, 1, "the failing profile must not be re-run");
         assert_eq!(s.profile_hits, 1);
+    }
+
+    #[test]
+    fn singleflight_point_counts_inflight_and_warm_hits() {
+        use crate::supervisor::{FailureKind, PointFailure};
+        let store = Arc::new(ArtifactStore::new());
+        let key: super::SharedPointKey = ((1, 2, 3, 4, 0, 0), 42);
+        let outcome = |tag: &str| {
+            Err(PointFailure {
+                simpoint: 0,
+                interval: 0,
+                weight: 0.0,
+                attempts: 1,
+                kind: FailureKind::Panicked { message: tag.to_string() },
+            })
+        };
+        // First caller holds the computation open until the second caller
+        // has provably entered the lookup, so the second is guaranteed to
+        // find the key in flight (not completed).
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let first = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.singleflight_point(key, || {
+                    entered_tx.send(()).expect("signal entry");
+                    release_rx.recv().expect("await release");
+                    outcome("first")
+                })
+            })
+        };
+        entered_rx.recv().expect("first caller entered compute");
+        let second = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.singleflight_point(key, || outcome("second")))
+        };
+        // The second caller has looked up the slot (and decided "in
+        // flight", since the first has not completed) exactly when the
+        // slot's refcount reaches 3: map + first caller + second caller.
+        // Only then is the first computation released.
+        loop {
+            let entered =
+                lock(&store.flights).get(&key).is_some_and(|slot| Arc::strong_count(slot) >= 3);
+            if entered {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        release_tx.send(()).expect("release first");
+        let a = first.join().expect("first caller");
+        let b = second.join().expect("second caller");
+        // Single computation: both see the first caller's outcome.
+        for r in [&a, &b] {
+            match r {
+                Err(f) => assert!(matches!(
+                    &f.kind,
+                    FailureKind::Panicked { message } if message == "first"
+                )),
+                Ok(_) => panic!("synthetic outcome must be a failure"),
+            }
+        }
+        // Third lookup after completion: a warm-store hit.
+        let c = store.singleflight_point(key, || outcome("third"));
+        assert!(c.is_err());
+        let s = store.stats();
+        assert_eq!(s.inflight_dedup_hits, 1, "second caller blocked on the in-flight slot");
+        assert_eq!(s.warm_store_hits, 1, "third caller reused the completed slot");
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //! analysis flow.
 //!
 //! ```text
+//! boomflow serve (--socket PATH|--tcp ADDR) [--jobs N] [--max-active N]
+//!          [--cache-dir DIR] [--state-dir DIR]
+//! boomflow submit (--socket PATH|--tcp ADDR) [campaign flags...]
+//!          [--sweep-preset ref64|smoke16 [sweep flags...]] [--report-out FILE]
+//! boomflow attach (--socket PATH|--tcp ADDR) --id HEX [--report-out FILE]
+//! boomflow shutdown (--socket PATH|--tcp ADDR)
 //! boomflow sweep [--grid-preset ref64|smoke16] [--grid KNOB=V1,V2,...]
 //!          [--base medium|large|mega] [--random N --seed S]
 //!          [--workload NAME[,NAME...]|all] [--scale test|small|full]
@@ -59,6 +65,15 @@
 //! finished points and only simulates the rest, producing a report
 //! byte-identical (`--report-out`) to an uninterrupted run.
 //!
+//! `boomflow serve` runs the same campaigns as a persistent service: one
+//! process-wide artifact store stays warm across requests, overlapping
+//! requests deduplicate their points through it in flight, and all
+//! admitted requests share one `--jobs`-bounded scheduler pool served
+//! round-robin. `submit` sends a request (and streams its progress),
+//! `attach` re-joins a request by id — including after a server crash,
+//! when it resumes the request from its journal — and `shutdown` drains
+//! the service gracefully. See `boomflow::server`.
+//!
 //! Examples:
 //!
 //! ```sh
@@ -74,10 +89,11 @@ use boom_uarch::{
 };
 use boomflow::report::render_table;
 use boomflow::{
-    all_fixed_latency, campaign_fingerprint_with, default_jobs, run_full, run_sweep,
-    supervise_campaign, ArtifactStore, CacheStage, CampaignJournal, CampaignOptions,
-    DiskFaultInjection, FaultInjection, FlowConfig, JournalReplay, RetryPolicy, SweepKnob,
-    SweepOptions, SweepSpec, WorkloadResult,
+    all_fixed_latency, campaign_fingerprint_with, default_jobs, request_events, request_id,
+    run_full, run_sweep, supervise_campaign, ArtifactStore, CacheStage, CampaignJournal,
+    CampaignOptions, CampaignRequest, ClientMsg, DiskFaultInjection, FaultInjection, FlowConfig,
+    JournalReplay, Request, RetryPolicy, ServeAddr, ServeOptions, Server, ServerMsg, SweepKnob,
+    SweepOptions, SweepRequest, SweepSpec, WorkloadResult,
 };
 use rtl_power::Component;
 use rv_workloads::{all, by_name, Scale, Workload};
@@ -581,6 +597,7 @@ fn sweep_main(argv: &[String]) {
         exhaustive: args.exhaustive,
         journal_path: args.journal.clone(),
         resume,
+        pool: None,
     };
 
     let report = match run_sweep(&cfgs, &ws, &flow, &store, &opts) {
@@ -615,11 +632,280 @@ fn sweep_main(argv: &[String]) {
     }
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: boomflow serve (--socket PATH|--tcp ADDR) [--jobs N] [--max-active N]\n\
+         \x20               [--cache-dir DIR] [--state-dir DIR]\n\
+         \x20      boomflow submit (--socket PATH|--tcp ADDR)\n\
+         \x20               [--workload NAME[,NAME...]|all] [--config medium|large|mega|all]\n\
+         \x20               [--scale test|small|full] [--warmup N] [--retries N]\n\
+         \x20               [--batch-lanes N] [--idle-skip] [--report-out FILE]\n\
+         \x20               [--sweep-preset ref64|smoke16 [--base medium|large|mega]\n\
+         \x20                [--rungs N] [--rung0-points N] [--rung0-shift N]\n\
+         \x20                [--epsilon F] [--epsilon-decay F] [--exhaustive]]\n\
+         \x20      boomflow attach (--socket PATH|--tcp ADDR) --id HEX [--report-out FILE]\n\
+         \x20      boomflow shutdown (--socket PATH|--tcp ADDR)"
+    );
+    exit(2)
+}
+
+/// Collects the shared `--socket`/`--tcp` address flag, returning the
+/// unconsumed flags.
+fn parse_addr(argv: &[String]) -> (ServeAddr, Vec<String>) {
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => {
+                addr = Some(ServeAddr::Unix(PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| serve_usage()),
+                )))
+            }
+            "--tcp" => {
+                addr = Some(ServeAddr::Tcp(it.next().cloned().unwrap_or_else(|| serve_usage())))
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    match addr {
+        Some(addr) => (addr, rest),
+        None => serve_usage(),
+    }
+}
+
+fn serve_main(argv: &[String]) {
+    let (addr, rest) = parse_addr(argv);
+    let mut opts = ServeOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| serve_usage());
+        match flag.as_str() {
+            "--jobs" | "-j" => {
+                opts.jobs = value().parse().unwrap_or_else(|_| serve_usage());
+                if opts.jobs == 0 {
+                    serve_usage()
+                }
+            }
+            "--max-active" => {
+                opts.max_active = value().parse().unwrap_or_else(|_| serve_usage());
+                if opts.max_active == 0 {
+                    serve_usage()
+                }
+            }
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value())),
+            "--state-dir" => opts.state_dir = PathBuf::from(value()),
+            "--inject-kill-after" => {
+                opts.kill_after_points = Some(value().parse().unwrap_or_else(|_| serve_usage()))
+            }
+            _ => serve_usage(),
+        }
+    }
+    let server = Server::bind(&addr, opts).unwrap_or_else(|e| {
+        eprintln!("boomflow serve: cannot bind {addr}: {e}");
+        exit(2);
+    });
+    eprintln!("boomflow serve: listening on {}", server.addr());
+    if let Err(e) = server.run() {
+        eprintln!("boomflow serve: {e}");
+        exit(1);
+    }
+}
+
+/// Runs one client request against the service and exits with the
+/// request's status: progress to stderr, the result summary to stdout,
+/// the deterministic report bytes to `report_out`.
+fn client_main(addr: &ServeAddr, msg: &ClientMsg, report_out: Option<&PathBuf>) -> ! {
+    let sub = match msg {
+        ClientMsg::Shutdown => "shutdown",
+        ClientMsg::Attach(_) => "attach",
+        ClientMsg::Submit(_) => "submit",
+    };
+    let terminal = request_events(addr, msg, |event| match event {
+        ServerMsg::Admitted { id, replayed, active } => {
+            eprintln!(
+                "boomflow {sub}: request {id:016x} admitted ({replayed} point(s) replayed, \
+                 {active} active)"
+            );
+        }
+        ServerMsg::Progress { done, total, .. } => eprintln!("boomflow {sub}: {done}/{total}"),
+        _ => {}
+    });
+    match terminal {
+        Ok(Some(ServerMsg::Done { ok, report, summary, extra, .. })) => {
+            if !extra.is_empty() {
+                println!("{extra}");
+            }
+            print!("{summary}");
+            if let Some(path) = report_out {
+                if let Err(e) = std::fs::write(path, &report) {
+                    eprintln!("boomflow {sub}: cannot write report {}: {e}", path.display());
+                    exit(1);
+                }
+            }
+            exit(if ok { 0 } else { 1 })
+        }
+        Ok(Some(ServerMsg::Rejected { reason })) => {
+            eprintln!("boomflow {sub}: rejected: {reason}");
+            exit(2)
+        }
+        Ok(Some(ServerMsg::Bye { active })) => {
+            eprintln!("boomflow {sub}: server shutting down ({active} request(s) draining)");
+            exit(0)
+        }
+        Ok(_) => {
+            eprintln!("boomflow {sub}: server closed the stream before finishing (killed?)");
+            exit(1)
+        }
+        Err(e) => {
+            eprintln!("boomflow {sub}: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn submit_main(argv: &[String]) {
+    let (addr, rest) = parse_addr(argv);
+    let mut campaign = CampaignRequest {
+        workloads: "all".to_string(),
+        config: "all".to_string(),
+        scale: Scale::Small,
+        warmup: 5_000,
+        retries: RetryPolicy::default().max_attempts,
+        batch_lanes: 1,
+        idle_skip: false,
+    };
+    let mut sweep: Option<SweepRequest> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| serve_usage());
+        match flag.as_str() {
+            "--workload" | "-w" => campaign.workloads = value().to_lowercase(),
+            "--config" | "-c" => campaign.config = value().to_lowercase(),
+            "--scale" | "-s" => {
+                campaign.scale = match value().to_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => serve_usage(),
+                }
+            }
+            "--warmup" => campaign.warmup = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--retries" => campaign.retries = value().parse().unwrap_or_else(|_| serve_usage()),
+            "--batch-lanes" => {
+                campaign.batch_lanes = value().parse().unwrap_or_else(|_| serve_usage());
+                if campaign.batch_lanes == 0 {
+                    serve_usage()
+                }
+            }
+            "--idle-skip" => campaign.idle_skip = true,
+            "--report-out" => report_out = Some(PathBuf::from(value())),
+            "--sweep-preset" => {
+                sweep = Some(SweepRequest {
+                    preset: value().to_lowercase(),
+                    base: String::new(),
+                    workloads: String::new(),
+                    scale: Scale::Small,
+                    warmup: 5_000,
+                    max_rungs: 0,
+                    rung0_points: 1,
+                    rung0_shift: 3,
+                    epsilon: 0.05,
+                    epsilon_decay: 0.5,
+                    exhaustive: false,
+                    batch_lanes: 1,
+                })
+            }
+            "--base" => match &mut sweep {
+                Some(s) => s.base = value().to_lowercase(),
+                None => serve_usage(),
+            },
+            "--rungs" => match &mut sweep {
+                Some(s) => s.max_rungs = value().parse().unwrap_or_else(|_| serve_usage()),
+                None => serve_usage(),
+            },
+            "--rung0-points" => match &mut sweep {
+                Some(s) => s.rung0_points = value().parse().unwrap_or_else(|_| serve_usage()),
+                None => serve_usage(),
+            },
+            "--rung0-shift" => match &mut sweep {
+                Some(s) => s.rung0_shift = value().parse().unwrap_or_else(|_| serve_usage()),
+                None => serve_usage(),
+            },
+            "--epsilon" => match &mut sweep {
+                Some(s) => s.epsilon = value().parse().unwrap_or_else(|_| serve_usage()),
+                None => serve_usage(),
+            },
+            "--epsilon-decay" => match &mut sweep {
+                Some(s) => s.epsilon_decay = value().parse().unwrap_or_else(|_| serve_usage()),
+                None => serve_usage(),
+            },
+            "--exhaustive" => match &mut sweep {
+                Some(s) => s.exhaustive = true,
+                None => serve_usage(),
+            },
+            _ => serve_usage(),
+        }
+    }
+    let request = match sweep {
+        Some(mut s) => {
+            // The sweep rides the shared workload/scale/warmup/batching
+            // flags; they were parsed into the campaign skeleton.
+            s.workloads = campaign.workloads.clone();
+            s.scale = campaign.scale;
+            s.warmup = campaign.warmup;
+            s.batch_lanes = campaign.batch_lanes;
+            Request::Sweep(s)
+        }
+        None => Request::Campaign(campaign),
+    };
+    eprintln!("boomflow submit: request id {:016x}", request_id(&request));
+    client_main(&addr, &ClientMsg::Submit(request), report_out.as_ref())
+}
+
+fn attach_main(argv: &[String]) {
+    let (addr, rest) = parse_addr(argv);
+    let mut id: Option<u64> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| serve_usage());
+        match flag.as_str() {
+            "--id" => {
+                let raw = value();
+                let raw = raw.trim_start_matches("0x");
+                id = Some(u64::from_str_radix(raw, 16).unwrap_or_else(|_| serve_usage()));
+            }
+            "--report-out" => report_out = Some(PathBuf::from(value())),
+            _ => serve_usage(),
+        }
+    }
+    let Some(id) = id else { serve_usage() };
+    client_main(&addr, &ClientMsg::Attach(id), report_out.as_ref())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("sweep") {
-        sweep_main(&argv[1..]);
-        return;
+    match argv.first().map(String::as_str) {
+        Some("sweep") => {
+            sweep_main(&argv[1..]);
+            return;
+        }
+        Some("serve") => {
+            serve_main(&argv[1..]);
+            return;
+        }
+        Some("submit") => submit_main(&argv[1..]),
+        Some("attach") => attach_main(&argv[1..]),
+        Some("shutdown") => {
+            let (addr, rest) = parse_addr(&argv[1..]);
+            if !rest.is_empty() {
+                serve_usage()
+            }
+            client_main(&addr, &ClientMsg::Shutdown, None)
+        }
+        _ => {}
     }
     let args = parse_args();
     let flow = FlowConfig {
@@ -773,6 +1059,9 @@ fn main() {
         replay,
         co_runs,
         batch_lanes: args.batch_lanes,
+        pool: None,
+        share_points: false,
+        progress: None,
     };
     let report = supervise_campaign(&cfgs, &ws, &flow, &store, &opts);
     for cell in &report.cells {

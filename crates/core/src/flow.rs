@@ -354,10 +354,12 @@ pub(crate) fn run_point_timed(
 /// Runs one SimPoint for several configurations in one batched pass: the
 /// predecoded image travels with the shared checkpoint already, and the
 /// per-text-word micro-op table — configuration-independent — is
-/// classified once here and shared by every lane. The lanes run on
-/// scoped threads (they are read-only over the shared artifacts), so a
-/// batch's aggregate throughput scales with free cores on top of the
-/// classification sharing. Each lane is still an independent
+/// classified once here and shared by every lane. The lanes run on the
+/// process-wide persistent [`lane_pool`](crate::pool) (they are
+/// read-only over the shared artifacts) with the submitting worker
+/// helping drain its own batch, so a batch's aggregate throughput scales
+/// with free cores on top of the classification sharing and no threads
+/// are created per work item. Each lane is still an independent
 /// [`run_point_timed`] under full per-point supervision (retry, budget,
 /// quarantine, `catch_unwind`), so lane `i`'s outcome — returned in
 /// `cfgs` order regardless of thread timing — is bit-identical to a solo
@@ -370,16 +372,45 @@ pub(crate) fn run_point_batch(
 ) -> Vec<PointOutcome> {
     let uops = point.checkpoint.image.as_ref().map(Core::shared_uop_table);
     let uops = uops.as_ref();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = cfgs
-            .iter()
-            .map(|cfg| s.spawn(move || run_point_timed(cfg, point, flow, uops, store)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|payload| Err(escaped_panic(point, payload.as_ref()))))
-            .collect()
-    })
+    let outcomes: Vec<std::sync::OnceLock<PointOutcome>> =
+        cfgs.iter().map(|_| std::sync::OnceLock::new()).collect();
+    crate::pool::lane_pool().run_scoped_helping((0..cfgs.len()).collect(), |i| {
+        // Catch the panic here (not only in the pool's generic guard) so
+        // the payload is preserved in the quarantine record, exactly as
+        // the scoped-thread join used to.
+        let r =
+            catch_unwind(AssertUnwindSafe(|| run_point_timed(cfgs[i], point, flow, uops, store)))
+                .unwrap_or_else(|payload| Err(escaped_panic(point, payload.as_ref())));
+        let _ = outcomes[i].set(r);
+    });
+    outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(|| {
+                Err(escaped_panic(point, &"batched lane worker died".to_string()))
+            })
+        })
+        .collect()
+}
+
+/// Stable fingerprint of the supervision knobs that change point
+/// *outcomes*: retry policy (attempt counts, perturbed warm-ups,
+/// budgets), outcome-altering fault injection (hang/panic points), and
+/// idle-skip (skipped-cycle stats ride in the outcome). Part of the
+/// cross-request shared-point key — requests that differ in any of these
+/// must not share outcomes, while `kill_after_points` (which only
+/// decides *when the process dies*, never what a completed point
+/// contains) deliberately stays out.
+pub(crate) fn supervision_fingerprint(flow: &FlowConfig) -> u64 {
+    let tag = format!(
+        "{:?}|{:?}|{:?}|{:?}|{}",
+        flow.retry,
+        flow.inject.hang_point,
+        flow.inject.hang_every_point,
+        flow.inject.panic_point,
+        flow.idle_skip
+    );
+    rv_isa::codec::fnv1a(tag.as_bytes())
 }
 
 /// Quarantines failed points, re-normalizes the survivors' weights, and

@@ -50,8 +50,11 @@ pub mod artifacts;
 pub mod diskcache;
 pub mod flow;
 pub mod journal;
+pub mod pool;
+pub mod protocol;
 pub mod report;
 pub mod scheduler;
+pub mod server;
 pub mod supervisor;
 pub mod sweep;
 pub(crate) mod sync;
@@ -66,7 +69,16 @@ pub use journal::{
     campaign_fingerprint, campaign_fingerprint_with, sweep_fingerprint, CampaignJournal,
     JournalError, JournalReplay,
 };
-pub use scheduler::{default_jobs, CampaignOptions};
+pub use pool::WorkPool;
+pub use protocol::{
+    decode_client, decode_server, encode_client, encode_server, read_frame, request_id,
+    write_frame, CampaignRequest, ClientMsg, ProtocolError, Request, ServerMsg, SweepRequest,
+    PROTOCOL_VERSION,
+};
+pub use scheduler::{default_jobs, CampaignOptions, ProgressHook};
+pub use server::{
+    connect, realize_campaign, request_events, ServeAddr, ServeOptions, ServeStream, Server,
+};
 pub use supervisor::{
     supervise_campaign, supervise_matrix, supervise_matrix_with, CampaignReport, CampaignStats,
     CellFailure, CellResult, CoRunCellResult, CoreRunResult, Degradation, FailureKind,

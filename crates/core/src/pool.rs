@@ -1,0 +1,382 @@
+//! Persistent worker pool with per-submission queues and round-robin
+//! fairness.
+//!
+//! Two consumers share this machinery:
+//!
+//! * **Batched lanes** ([`run_point_batch`](crate::flow)) — one global
+//!   [`lane_pool`] replaces the scoped thread spawned per lane per
+//!   batched work item: threads are created once per process, not once
+//!   per (point × config), and the submitting worker helps drain its own
+//!   batch so a saturated pool can never stall a batch behind another.
+//! * **The campaign service** (`boomflow serve`) — one [`WorkPool`]
+//!   bounded by `--jobs` drains point tasks from *all* admitted requests.
+//!   Each submission gets its own queue and the workers take one job
+//!   from each non-empty queue in turn, so a small campaign never
+//!   starves behind a big one that was admitted first.
+//!
+//! Submissions are *scoped*: [`WorkPool::run_scoped`] accepts closures
+//! borrowing the caller's stack and blocks until every task of the
+//! submission has run (or been cancelled), which is what makes the
+//! lifetime erasure inside sound. Task panics are caught and contained
+//! to the task; the submission still completes.
+
+use crate::sync::lock;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased task. Safety: see [`WorkPool::run_scoped`].
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Completion tracker of one submission: queued-plus-running task count
+/// and the condvar the submitter blocks on.
+struct Done {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Done {
+    /// Marks one task finished (run, skipped, or dropped) and wakes the
+    /// submitter when the submission is drained.
+    fn complete_one(&self) {
+        let mut g = lock(&self.remaining);
+        *g -= 1;
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// One submission's pending jobs plus its completion tracker.
+struct BatchSlot {
+    jobs: VecDeque<Job>,
+    done: Arc<Done>,
+}
+
+/// The pool's shared queue state: submissions in round-robin order.
+struct Inner {
+    batches: VecDeque<BatchSlot>,
+    shutdown: bool,
+}
+
+/// Persistent worker pool. See the module docs for the two use cases.
+pub struct WorkPool {
+    inner: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+struct PoolShared {
+    state: Mutex<Inner>,
+    work_cv: Condvar,
+    /// When set, queued-but-unstarted jobs are dropped (their
+    /// submissions still complete) — the graceful-shutdown drain.
+    cancelled: AtomicBool,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool").field("workers", &lock(&self.workers).len()).finish()
+    }
+}
+
+impl WorkPool {
+    /// Spawns a pool of `workers` persistent threads (at least 1).
+    pub fn new(workers: usize) -> WorkPool {
+        let inner = Arc::new(PoolShared {
+            state: Mutex::new(Inner { batches: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        });
+        let workers = (1..=workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        WorkPool { inner, workers: Mutex::new(workers) }
+    }
+
+    /// Drops every queued-but-unstarted job across all submissions:
+    /// running jobs finish, skipped jobs count as complete, and every
+    /// blocked submitter returns. Used by the server's graceful
+    /// shutdown — completed points are already journaled, so the
+    /// skipped remainder is exactly what a resume re-simulates.
+    pub fn cancel_pending(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+        let mut g = lock(&self.inner.state);
+        for batch in &mut g.batches {
+            while let Some(job) = batch.jobs.pop_front() {
+                drop(job);
+                batch.done.complete_one();
+            }
+        }
+        g.batches.clear();
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Whether [`WorkPool::cancel_pending`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Runs every task on the pool and blocks until all of them have
+    /// finished. Tasks may borrow from the caller's stack: the pool
+    /// erases the closure lifetimes internally, which is sound because
+    /// this call does not return until every erased closure has been
+    /// consumed (run, or dropped by [`WorkPool::cancel_pending`]) — a
+    /// task panic is caught per task and still counts as consumed.
+    pub fn run_scoped<T: Send>(&self, tasks: Vec<T>, run: impl Fn(T) + Sync) {
+        self.submit(tasks, &run, false);
+    }
+
+    /// [`WorkPool::run_scoped`], with the submitting thread also
+    /// draining jobs from its own submission while it waits. Used by
+    /// the batched-lane path: the submitter is a scheduler worker that
+    /// would otherwise idle, and its participation guarantees the batch
+    /// makes progress even when every pool worker is busy elsewhere.
+    pub fn run_scoped_helping<T: Send>(&self, tasks: Vec<T>, run: impl Fn(T) + Sync) {
+        self.submit(tasks, &run, true);
+    }
+
+    fn submit<T: Send>(&self, tasks: Vec<T>, run: &(dyn Fn(T) + Sync), help: bool) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.is_cancelled() {
+            // Late submission during shutdown: consume without running.
+            return;
+        }
+        let done = Arc::new(Done { remaining: Mutex::new(tasks.len()), cv: Condvar::new() });
+        let jobs: VecDeque<Job> = tasks
+            .into_iter()
+            .map(|t| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || run(t));
+                // SAFETY: `submit` blocks below until `done.remaining`
+                // reaches 0, and the count only reaches 0 once every job
+                // has been consumed (executed or dropped). The borrows
+                // captured by `job` — `run` and the task values — are
+                // therefore live for as long as any erased closure
+                // exists. The transmute only erases the lifetime; the
+                // vtable and layout are unchanged.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+            .collect();
+        {
+            let mut g = lock(&self.inner.state);
+            g.batches.push_back(BatchSlot { jobs, done: Arc::clone(&done) });
+        }
+        self.inner.work_cv.notify_all();
+
+        if help {
+            // Drain jobs from *this* submission (identified by its
+            // tracker) alongside the pool workers.
+            loop {
+                let job = {
+                    let mut g = lock(&self.inner.state);
+                    let Some(batch) = g.batches.iter_mut().find(|b| Arc::ptr_eq(&b.done, &done))
+                    else {
+                        break;
+                    };
+                    match batch.jobs.pop_front() {
+                        Some(job) => job,
+                        None => break,
+                    }
+                };
+                run_job(job, &done);
+            }
+        }
+
+        let mut g = lock(&done.remaining);
+        while *g > 0 {
+            g = match done.cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        drop(g);
+        // Empty batch slots are garbage-collected by the workers; a slot
+        // whose submission completed while the pool was idle is removed
+        // here so it cannot accumulate.
+        lock(&self.inner.state).batches.retain(|b| !b.jobs.is_empty());
+    }
+}
+
+/// Runs one job under `catch_unwind` and marks it complete even when it
+/// panics — a panicking task must never strand its submitter.
+fn run_job(job: Job, done: &Arc<Done>) {
+    let _ = catch_unwind(AssertUnwindSafe(job));
+    done.complete_one();
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let mut g = lock(&shared.state);
+        let (job, done) = 'find: loop {
+            // Round-robin: take one job from the front batch, then
+            // rotate that batch to the back so the next take serves the
+            // next submission. Drained slots are dropped in passing.
+            while let Some(mut batch) = g.batches.pop_front() {
+                if let Some(job) = batch.jobs.pop_front() {
+                    let done = Arc::clone(&batch.done);
+                    if !batch.jobs.is_empty() {
+                        g.batches.push_back(batch);
+                    }
+                    break 'find (job, done);
+                }
+            }
+            if g.shutdown {
+                return;
+            }
+            g = match shared.work_cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        };
+        drop(g);
+        run_job(job, &done);
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.work_cv.notify_all();
+        for h in lock(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The process-wide lane pool used by batched point simulation, sized to
+/// the machine's parallelism and created on first use.
+pub(crate) fn lane_pool() -> &'static WorkPool {
+    static POOL: OnceLock<WorkPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkPool::new(crate::scheduler::default_jobs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scoped_tasks_all_run_exactly_once() {
+        let pool = WorkPool::new(3);
+        for n in [1usize, 2, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_scoped((0..n).collect(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn helping_submitter_participates() {
+        // Saturate a 1-worker pool with a long job from another
+        // submission, then verify a helping submission still completes
+        // promptly via the submitter itself.
+        let pool = Arc::new(WorkPool::new(1));
+        let blocker = Arc::clone(&pool);
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate2 = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            blocker.run_scoped(vec![()], |()| {
+                while !gate2.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // The single worker is (about to be) blocked on the gate; the
+        // helping submission must drain on the submitting thread.
+        let ran = AtomicUsize::new(0);
+        pool.run_scoped_helping((0..8).collect::<Vec<usize>>(), |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        gate.store(true, Ordering::Release);
+        t.join().expect("blocker thread");
+    }
+
+    #[test]
+    fn panicking_task_does_not_strand_submission() {
+        let pool = WorkPool::new(2);
+        let ok = AtomicUsize::new(0);
+        pool.run_scoped((0..6).collect::<Vec<usize>>(), |i| {
+            if i % 2 == 0 {
+                panic!("task {i} dies");
+            }
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn round_robin_interleaves_submissions() {
+        // Two submissions of slow tasks on one worker: the completion
+        // order must alternate between them rather than finishing all of
+        // one first.
+        let pool = Arc::new(WorkPool::new(1));
+        let order = Arc::new(Mutex::new(Vec::<(u8, usize)>::new()));
+        let mut handles = Vec::new();
+        for tag in 0u8..2 {
+            let pool = Arc::clone(&pool);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                // Stagger the second submission so both are queued while
+                // the worker drains.
+                if tag == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                pool.run_scoped((0..4).collect::<Vec<usize>>(), |i| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    lock(&order).push((tag, i));
+                });
+            }));
+        }
+        for h in handles {
+            h.join().expect("submitter");
+        }
+        let order = lock(&order).clone();
+        assert_eq!(order.len(), 8);
+        // Fairness: within the first half of completions, both
+        // submissions must appear (a FIFO pool would finish all of tag 0
+        // first).
+        let first_half: Vec<u8> = order.iter().take(4).map(|&(t, _)| t).collect();
+        assert!(
+            first_half.contains(&0) && first_half.contains(&1),
+            "round-robin must interleave submissions, got order {order:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_pending_unblocks_submitters() {
+        let pool = Arc::new(WorkPool::new(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let (p2, g2) = (Arc::clone(&pool), Arc::clone(&gate));
+        let slow = std::thread::spawn(move || {
+            p2.run_scoped(vec![()], |()| {
+                while !g2.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Queue a second submission behind the blocked worker, then
+        // cancel: it must return without running its task.
+        let (p3, ran) = (Arc::clone(&pool), Arc::new(AtomicUsize::new(0)));
+        let ran2 = Arc::clone(&ran);
+        let waiter = std::thread::spawn(move || {
+            p3.run_scoped(vec![()], |()| {
+                ran2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.cancel_pending();
+        waiter.join().expect("cancelled submitter returns");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "cancelled job must not run");
+        gate.store(true, Ordering::Release);
+        slow.join().expect("blocked submitter returns");
+    }
+}

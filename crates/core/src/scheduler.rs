@@ -18,12 +18,13 @@
 //! order — a `--jobs 1` and a `--jobs N` campaign produce
 //! [`CampaignReport`]s with identical cells.
 
-use crate::artifacts::{ArtifactStore, CheckpointSet};
+use crate::artifacts::{config_fingerprint, ArtifactStore, CheckpointSet};
 use crate::flow::{
     assemble_workload_result, escaped_panic, run_co_cell, run_point_batch, run_point_timed,
-    FlowConfig, FlowError, PointOutcome,
+    supervision_fingerprint, FlowConfig, FlowError, PointOutcome,
 };
 use crate::journal::{CampaignJournal, JournalReplay};
+use crate::pool::WorkPool;
 use crate::supervisor::{
     panic_message, CampaignReport, CampaignStats, CellFailure, CellResult, CoRunCellResult,
     CoreRunResult, FailureKind, PointFailure,
@@ -58,8 +59,36 @@ pub struct CampaignOptions {
     /// SimPoint are grouped into one task that classifies the point's
     /// micro-op table once and shares it (plus the predecoded image)
     /// across the per-config lanes. Each lane's outcome, journal record,
-    /// and report cell are bit-identical to an unbatched run.
+    /// and report cell are bit-identical to an unbatched run. Chunks of
+    /// ≤ 2 lanes auto-fall-back to the solo path — at that width the
+    /// batching machinery costs more than the shared classification
+    /// saves.
     pub batch_lanes: usize,
+    /// Externally owned worker pool to drain this campaign's tasks
+    /// instead of a private scoped pool — the campaign service points
+    /// every admitted request at one process-wide [`WorkPool`] so its
+    /// `--jobs` bound and round-robin fairness span requests. `None`
+    /// (solo runs) keeps the private work-stealing pool.
+    pub pool: Option<Arc<WorkPool>>,
+    /// Route each solo-lane point through the store's cross-request
+    /// single-flight map, so concurrent campaigns sharing the store
+    /// coalesce overlapping points (one computation, both reports) and
+    /// later campaigns reuse completed ones warm. Only the service
+    /// enables it; outcomes are still journaled per request.
+    pub share_points: bool,
+    /// Progress callback invoked as `(done, total)` over the campaign's
+    /// point outcomes (replayed points count as already done).
+    pub progress: Option<ProgressHook>,
+}
+
+/// A cloneable `(done, total)` progress callback ([`CampaignOptions::progress`]).
+#[derive(Clone)]
+pub struct ProgressHook(pub Arc<dyn Fn(u64, u64) + Send + Sync>);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook")
+    }
 }
 
 impl Default for CampaignOptions {
@@ -70,6 +99,9 @@ impl Default for CampaignOptions {
             replay: None,
             co_runs: Vec::new(),
             batch_lanes: 1,
+            pool: None,
+            share_points: false,
+            progress: None,
         }
     }
 }
@@ -121,7 +153,7 @@ pub(crate) fn run_campaign(
     // duplicate workloads and later phases all share one computation.
     let prep: Vec<OnceLock<Result<Arc<CheckpointSet>, PrepError>>> =
         workloads.iter().map(|_| OnceLock::new()).collect();
-    run_tasks(jobs, (0..workloads.len()).collect(), |w_idx| {
+    exec_tasks(jobs, opts.pool.as_deref(), (0..workloads.len()).collect(), |w_idx| {
         let r = match catch_unwind(AssertUnwindSafe(|| store.checkpoints(&workloads[w_idx], flow)))
         {
             Ok(Ok(set)) => Ok(set),
@@ -210,10 +242,16 @@ pub(crate) fn run_campaign(
                 .filter(|&c_idx| slots[c_idx].get(p_idx).is_some_and(|s| s.get().is_none()))
                 .collect();
             for chunk in lanes.chunks(batch_lanes) {
-                if chunk.len() >= 2 {
+                if chunk.len() >= 3 {
                     batched_points += chunk.len() as u64;
+                    point_tasks.push(PointTask::Lanes { c_idxs: chunk.to_vec(), p_idx });
+                } else {
+                    // ≤ 2 lanes: the batch set-up doesn't amortize, so
+                    // each lane takes the (cheaper) solo path.
+                    for &c_idx in chunk {
+                        point_tasks.push(PointTask::Lanes { c_idxs: vec![c_idx], p_idx });
+                    }
                 }
-                point_tasks.push(PointTask::Lanes { c_idxs: chunk.to_vec(), p_idx });
             }
         }
     }
@@ -232,6 +270,19 @@ pub(crate) fn run_campaign(
         let co_cells = &co_cells;
         let sets = &sets;
         let completed = &AtomicU64::new(0);
+        // Progress: every point slot of the campaign, replays pre-counted.
+        let total_points: u64 =
+            slots.iter().map(|v| v.len() as u64).sum::<u64>() + 2 * co_slots.len() as u64;
+        let done_points = &AtomicU64::new(replayed);
+        let report_progress = |fresh: u64| {
+            if let Some(hook) = &opts.progress {
+                let done = done_points.fetch_add(fresh, Ordering::Relaxed) + fresh;
+                (hook.0)(done, total_points);
+            }
+        };
+        if let Some(hook) = &opts.progress {
+            (hook.0)(replayed, total_points);
+        }
         // Fault injection: die *after* journaling N fresh points, exactly
         // as an OOM kill or power cut would — the journal holds the
         // completed work, the process holds nothing.
@@ -243,7 +294,7 @@ pub(crate) fn run_campaign(
                 }
             }
         };
-        run_tasks(jobs, point_tasks, |task| {
+        exec_tasks(jobs, opts.pool.as_deref(), point_tasks, |task| {
             let (c_idxs, p_idx) = match task {
                 PointTask::CoRun(k) => {
                     // Dual-core co-run cell: one task steps both cores to
@@ -282,6 +333,7 @@ pub(crate) fn run_campaign(
                         let _ = co_slots[k][p].set(outcome);
                         fresh += 1;
                     }
+                    report_progress(fresh);
                     charge_and_maybe_kill(fresh);
                     return;
                 }
@@ -292,12 +344,32 @@ pub(crate) fn run_campaign(
             let outcomes: Vec<PointOutcome> = if let [c_idx] = c_idxs[..] {
                 // Solo lane: the exact unbatched code path (private
                 // micro-op classification).
-                let (cfg, _) = cells[c_idx];
-                vec![match catch_unwind(AssertUnwindSafe(|| {
+                let (cfg, w_idx) = cells[c_idx];
+                let compute = || match catch_unwind(AssertUnwindSafe(|| {
                     run_point_timed(cfg, point, flow, None, store)
                 })) {
                     Ok(o) => o,
                     Err(payload) => Err(escaped_panic(point, payload.as_ref())),
+                };
+                vec![if opts.share_points {
+                    // Cross-request single flight: concurrent campaigns
+                    // sharing this store compute each (config, workload,
+                    // point, supervision) exactly once; the outcome is
+                    // deterministic, so every sharer's report is
+                    // bit-identical to a private computation.
+                    let key = (
+                        crate::sweep::point_key(
+                            config_fingerprint(cfg),
+                            &workloads[w_idx],
+                            flow,
+                            0,
+                            p_idx,
+                        ),
+                        supervision_fingerprint(flow),
+                    );
+                    store.singleflight_point(key, compute)
+                } else {
+                    compute()
                 }]
             } else {
                 let lane_cfgs: Vec<&BoomConfig> = c_idxs.iter().map(|&c| cells[c].0).collect();
@@ -308,6 +380,7 @@ pub(crate) fn run_campaign(
                     journal.append(c_idx, p_idx, &outcome);
                 }
                 let _ = slots[c_idx][p_idx].set(outcome);
+                report_progress(1);
                 charge_and_maybe_kill(1);
             }
         });
@@ -390,6 +463,24 @@ pub(crate) fn run_campaign(
         idle_cycles_skipped,
     };
     CampaignReport { cells: results, co_cells: co_results, stats }
+}
+
+/// Drains `tasks` either on the caller-supplied shared [`WorkPool`]
+/// (campaign-service mode: one process-wide `--jobs` bound, round-robin
+/// across concurrent requests) or on a private [`run_tasks`] pool sized
+/// by `jobs` (solo mode). On a cancelled shared pool the unstarted tasks
+/// are dropped — their outcome slots stay unset and downstream assembly
+/// degrades them, it never blocks.
+pub(crate) fn exec_tasks<T: Send>(
+    jobs: usize,
+    pool: Option<&WorkPool>,
+    tasks: Vec<T>,
+    run: impl Fn(T) + Sync,
+) {
+    match pool {
+        Some(pool) => pool.run_scoped(tasks, run),
+        None => run_tasks(jobs, tasks, run),
+    }
 }
 
 /// Runs every task on a bounded work-stealing pool of `jobs` workers.

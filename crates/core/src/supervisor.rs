@@ -471,6 +471,12 @@ impl CampaignReport {
         if c.error_replays > 0 {
             out.push_str(&format!("Cached errors replayed: {}\n", c.error_replays));
         }
+        if c.inflight_dedup_hits + c.warm_store_hits > 0 {
+            out.push_str(&format!(
+                "Single-flight: {} in-flight dedup hit(s), {} warm-store hit(s)\n",
+                c.inflight_dedup_hits, c.warm_store_hits
+            ));
+        }
         if s.replayed_points > 0 {
             out.push_str(&format!("Journal: {} point(s) replayed\n", s.replayed_points));
         }

@@ -43,7 +43,7 @@ use crate::flow::{
 };
 use crate::journal::{sweep_fingerprint, CampaignJournal, JournalError};
 use crate::report::render_table;
-use crate::scheduler::{run_tasks, PrepError};
+use crate::scheduler::{exec_tasks, PrepError};
 use crate::supervisor::{
     fb, panic_message, render_cell_body, CellFailure, CellResult, FailureKind, PointFailure,
 };
@@ -524,6 +524,11 @@ pub struct SweepOptions {
     /// Resume from an existing journal at [`SweepOptions::journal_path`]
     /// instead of creating a fresh one.
     pub resume: bool,
+    /// Externally owned worker pool (the campaign service's shared,
+    /// request-fair pool) instead of a private per-sweep pool; `None`
+    /// keeps the private pool. See
+    /// [`CampaignOptions::pool`](crate::CampaignOptions::pool).
+    pub pool: Option<Arc<crate::pool::WorkPool>>,
 }
 
 impl Default for SweepOptions {
@@ -539,6 +544,7 @@ impl Default for SweepOptions {
             exhaustive: false,
             journal_path: None,
             resume: false,
+            pool: None,
         }
     }
 }
@@ -748,7 +754,9 @@ impl SweepReport {
 }
 
 /// The point-memo key for (configuration, workload, budget, point).
-fn point_key(
+/// Also the first half of the campaign service's cross-request
+/// shared-point key (shift 0 there — campaigns never truncate).
+pub(crate) fn point_key(
     cfg_fp: u64,
     workload: &Workload,
     flow: &FlowConfig,
@@ -834,7 +842,7 @@ pub fn run_sweep(
     // checkpoints), shared by every rung through the store.
     let prep: Vec<OnceLock<Result<Arc<CheckpointSet>, PrepError>>> =
         workloads.iter().map(|_| OnceLock::new()).collect();
-    run_tasks(jobs, (0..w).collect(), |w_idx| {
+    exec_tasks(jobs, opts.pool.as_deref(), (0..w).collect(), |w_idx| {
         let r = match catch_unwind(AssertUnwindSafe(|| store.checkpoints(&workloads[w_idx], flow)))
         {
             Ok(Ok(set)) => Ok(set),
@@ -960,35 +968,40 @@ pub fn run_sweep(
         let batched_this = AtomicU64::new(0);
         let slots_ref = &slots;
         let alive_ref = &alive;
-        run_tasks(jobs, tasks, |(w_idx, p_idx, a_positions): (usize, usize, Vec<usize>)| {
-            let Some(set) = sets[w_idx].as_ref() else {
-                return;
-            };
-            let point = truncated(&set.points[p_idx], rung.shift);
-            let outcomes: Vec<PointOutcome> = if a_positions.len() == 1 {
-                let cfg = &cfgs[alive_ref[a_positions[0]]];
-                vec![catch_unwind(AssertUnwindSafe(|| {
-                    run_point_timed(cfg, &point, flow, None, store)
-                }))
-                .unwrap_or_else(|payload| Err(escaped_panic(&point, payload.as_ref())))]
-            } else {
-                batched_this.fetch_add(a_positions.len() as u64, Ordering::Relaxed);
-                let lane_cfgs: Vec<&BoomConfig> =
-                    a_positions.iter().map(|&a| &cfgs[alive_ref[a]]).collect();
-                run_point_batch(&lane_cfgs, &point, flow, store)
-            };
-            for (&a_pos, outcome) in a_positions.iter().zip(&outcomes) {
-                let cfg_idx = alive_ref[a_pos];
-                if let Some(j) = &journal {
-                    let enc_p = ((rung.shift as usize) << 24) | p_idx;
-                    j.append(cfg_idx * w + w_idx, enc_p, outcome);
+        exec_tasks(
+            jobs,
+            opts.pool.as_deref(),
+            tasks,
+            |(w_idx, p_idx, a_positions): (usize, usize, Vec<usize>)| {
+                let Some(set) = sets[w_idx].as_ref() else {
+                    return;
+                };
+                let point = truncated(&set.points[p_idx], rung.shift);
+                let outcomes: Vec<PointOutcome> = if a_positions.len() == 1 {
+                    let cfg = &cfgs[alive_ref[a_positions[0]]];
+                    vec![catch_unwind(AssertUnwindSafe(|| {
+                        run_point_timed(cfg, &point, flow, None, store)
+                    }))
+                    .unwrap_or_else(|payload| Err(escaped_panic(&point, payload.as_ref())))]
+                } else {
+                    batched_this.fetch_add(a_positions.len() as u64, Ordering::Relaxed);
+                    let lane_cfgs: Vec<&BoomConfig> =
+                        a_positions.iter().map(|&a| &cfgs[alive_ref[a]]).collect();
+                    run_point_batch(&lane_cfgs, &point, flow, store)
+                };
+                for (&a_pos, outcome) in a_positions.iter().zip(&outcomes) {
+                    let cfg_idx = alive_ref[a_pos];
+                    if let Some(j) = &journal {
+                        let enc_p = ((rung.shift as usize) << 24) | p_idx;
+                        j.append(cfg_idx * w + w_idx, enc_p, outcome);
+                    }
+                    let key = point_key(fps[cfg_idx], &workloads[w_idx], flow, rung.shift, p_idx);
+                    store.record_point(key, outcome);
+                    let _ = slots_ref[slot_of(a_pos, w_idx, p_idx)].set(outcome.clone());
+                    charge_and_maybe_kill(1);
                 }
-                let key = point_key(fps[cfg_idx], &workloads[w_idx], flow, rung.shift, p_idx);
-                store.record_point(key, outcome);
-                let _ = slots_ref[slot_of(a_pos, w_idx, p_idx)].set(outcome.clone());
-                charge_and_maybe_kill(1);
-            }
-        });
+            },
+        );
 
         // Fresh-point accounting, iterated in deterministic order on the
         // coordinator thread.

@@ -1,0 +1,330 @@
+//! Campaign-service tests: concurrent clients through one `boomflow
+//! serve` process get reports byte-identical to solo runs while sharing
+//! work through the warm store, and a killed server resumes a request
+//! from its journal on restart + re-attach.
+
+// Test helpers unwrap freely: a failed unwrap is exactly a test failure.
+#![allow(clippy::unwrap_used)]
+
+use boomflow::{
+    all_fixed_latency, realize_campaign, request_events, request_id, run_sweep,
+    supervise_matrix_with, ArtifactStore, CampaignOptions, CampaignRequest, ClientMsg, FlowConfig,
+    Request, ServeAddr, ServeOptions, Server, ServerMsg, SweepOptions, SweepRequest, SweepSpec,
+};
+use rv_workloads::Scale;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("boomflow-serve-{tag}-{}-{n}", std::process::id()))
+}
+
+/// A Test-scale campaign request over `workloads` (CSV), small enough
+/// for CI but with real points to share.
+fn campaign_request(workloads: &str) -> CampaignRequest {
+    CampaignRequest {
+        workloads: workloads.to_string(),
+        config: "medium".to_string(),
+        scale: Scale::Test,
+        warmup: 1_000,
+        retries: 3,
+        batch_lanes: 1,
+        idle_skip: false,
+    }
+}
+
+/// The reference bytes a solo, fresh-store run of the same request
+/// produces.
+fn solo_report(req: &CampaignRequest) -> String {
+    let (cfgs, ws, flow) = realize_campaign(req).unwrap();
+    supervise_matrix_with(&cfgs, &ws, &flow, &CampaignOptions::default()).render_deterministic()
+}
+
+/// Binds an in-process server on a scratch Unix socket and runs it on a
+/// background thread until `Shutdown`.
+fn start_server(
+    tag: &str,
+    opts: ServeOptions,
+) -> (ServeAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServeAddr::Unix(scratch(tag)), opts).unwrap();
+    let addr = server.addr().clone();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Submits `msg` and returns the terminal message (panicking on a
+/// transport error or a server that died mid-stream).
+fn roundtrip(addr: &ServeAddr, msg: &ClientMsg) -> ServerMsg {
+    request_events(addr, msg, |_| {}).unwrap().expect("server closed the stream mid-request")
+}
+
+fn shutdown(addr: &ServeAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let bye = roundtrip(addr, &ClientMsg::Shutdown);
+    assert!(matches!(bye, ServerMsg::Bye { .. }), "expected Bye, got {bye:?}");
+    handle.join().unwrap().unwrap();
+}
+
+/// The acceptance scenario: two clients concurrently submit overlapping
+/// matrices; each report is byte-identical to its solo run, and the
+/// overlap is actually shared — the stage summaries surface single-flight
+/// or warm-store hits. Exercised at both ends of the pool-width range.
+#[test]
+fn concurrent_overlapping_clients_match_solo_reports() {
+    for jobs in [1usize, 4] {
+        let opts = ServeOptions {
+            jobs,
+            max_active: 4,
+            cache_dir: None,
+            state_dir: scratch(&format!("state-{jobs}")),
+            kill_after_points: None,
+        };
+        let (addr, handle) = start_server(&format!("sock-{jobs}"), opts);
+
+        // Overlap on sha: request A computes it first (or concurrently),
+        // request B must coalesce onto those very points.
+        let req_a = campaign_request("bitcount,sha");
+        let req_b = campaign_request("sha,qsort");
+        let results: Vec<ServerMsg> = std::thread::scope(|s| {
+            let handles: Vec<_> = [&req_a, &req_b]
+                .into_iter()
+                .map(|req| {
+                    let addr = addr.clone();
+                    let msg = ClientMsg::Submit(Request::Campaign(req.clone()));
+                    s.spawn(move || roundtrip(&addr, &msg))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut shared = false;
+        for (req, result) in [&req_a, &req_b].into_iter().zip(&results) {
+            let ServerMsg::Done { ok, report, summary, .. } = result else {
+                panic!("jobs {jobs}: expected Done, got {result:?}");
+            };
+            assert!(ok, "jobs {jobs}: served campaign failed:\n{summary}");
+            assert_eq!(
+                String::from_utf8(report.clone()).unwrap(),
+                solo_report(req),
+                "jobs {jobs}: served report must be byte-identical to the solo run"
+            );
+            shared |= summary.contains("Single-flight:");
+        }
+        assert!(
+            shared,
+            "jobs {jobs}: the overlapping sha points must surface as single-flight \
+             dedup or warm-store hits in a stage summary"
+        );
+        shutdown(&addr, handle);
+    }
+}
+
+/// Identical submissions coalesce onto one run: both clients are told
+/// the same request id and receive the same bytes, and a later attach by
+/// id replays the terminal result without re-running anything.
+#[test]
+fn identical_submissions_coalesce_and_attach_replays() {
+    let opts = ServeOptions {
+        jobs: 2,
+        max_active: 4,
+        cache_dir: None,
+        state_dir: scratch("state-coalesce"),
+        kill_after_points: None,
+    };
+    let (addr, handle) = start_server("sock-coalesce", opts);
+
+    let req = campaign_request("bitcount");
+    let id = request_id(&Request::Campaign(req.clone()));
+    let msg = ClientMsg::Submit(Request::Campaign(req.clone()));
+    let results: Vec<(u64, ServerMsg)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let msg = msg.clone();
+                s.spawn(move || {
+                    let mut admitted_id = 0;
+                    let done = request_events(&addr, &msg, |event| {
+                        if let ServerMsg::Admitted { id, .. } = event {
+                            admitted_id = *id;
+                        }
+                    })
+                    .unwrap()
+                    .expect("server closed the stream mid-request");
+                    (admitted_id, done)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let reports: Vec<&Vec<u8>> = results
+        .iter()
+        .map(|(admitted_id, done)| {
+            assert_eq!(*admitted_id, id, "admitted id must be the content-addressed request id");
+            match done {
+                ServerMsg::Done { ok: true, report, .. } => report,
+                other => panic!("expected successful Done, got {other:?}"),
+            }
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "coalesced clients must read the same bytes");
+    assert_eq!(String::from_utf8(reports[0].clone()).unwrap(), solo_report(&req));
+
+    // Attach after completion replays the stored terminal message.
+    match roundtrip(&addr, &ClientMsg::Attach(id)) {
+        ServerMsg::Done { ok: true, report, .. } => assert_eq!(&report, reports[0]),
+        other => panic!("attach after completion: expected Done, got {other:?}"),
+    }
+    // Attaching an id the server never saw is a typed rejection.
+    match roundtrip(&addr, &ClientMsg::Attach(id ^ 0xdead_beef)) {
+        ServerMsg::Rejected { reason } => {
+            assert!(reason.contains("unknown request id"), "got: {reason}")
+        }
+        other => panic!("unknown attach: expected Rejected, got {other:?}"),
+    }
+    shutdown(&addr, handle);
+}
+
+/// A sweep request through the service matches the bytes of a solo
+/// `run_sweep` with the same realized spec.
+#[test]
+fn served_sweep_matches_solo_run() {
+    let opts = ServeOptions {
+        jobs: 2,
+        max_active: 4,
+        cache_dir: None,
+        state_dir: scratch("state-sweep"),
+        kill_after_points: None,
+    };
+    let (addr, handle) = start_server("sock-sweep", opts);
+
+    let req = SweepRequest {
+        preset: "smoke16".to_string(),
+        base: String::new(),
+        workloads: "bitcount".to_string(),
+        scale: Scale::Test,
+        warmup: 1_000,
+        max_rungs: 0,
+        rung0_points: 1,
+        rung0_shift: 3,
+        epsilon: 0.05,
+        epsilon_decay: 0.5,
+        exhaustive: false,
+        batch_lanes: 1,
+    };
+    let done = roundtrip(&addr, &ClientMsg::Submit(Request::Sweep(req.clone())));
+    let ServerMsg::Done { ok, report, summary, extra, .. } = done else {
+        panic!("expected Done, got {done:?}");
+    };
+    assert!(ok, "served sweep failed:\n{summary}");
+    assert!(!extra.is_empty(), "a sweep's Done must carry the frontier rendering");
+
+    let cfgs = SweepSpec::preset("smoke16").unwrap().generate().unwrap();
+    let ws = vec![rv_workloads::by_name("bitcount", Scale::Test).unwrap()];
+    let flow = FlowConfig {
+        warmup_insts: req.warmup,
+        idle_skip: all_fixed_latency(&cfgs),
+        ..FlowConfig::default()
+    };
+    let solo = run_sweep(
+        &cfgs,
+        &ws,
+        &flow,
+        &ArtifactStore::new(),
+        &SweepOptions { jobs: 1, batch_lanes: 1, ..SweepOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(
+        String::from_utf8(report).unwrap(),
+        solo.render_deterministic(),
+        "served sweep report must be byte-identical to the solo run"
+    );
+    shutdown(&addr, handle);
+}
+
+/// The crash drill: a real server process killed mid-campaign
+/// (`--inject-kill-after`) leaves a journal + persisted spec behind; a
+/// restarted server on the same state directory resumes the request on
+/// `attach` and finishes it byte-identical to an uninterrupted solo run.
+#[test]
+fn killed_server_resumes_on_restart_and_attach() {
+    let state_dir = scratch("state-kill");
+    let sock = scratch("sock-kill");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_boomflow"))
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--inject-kill-after",
+            "1",
+        ])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "server never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let req = campaign_request("bitcount,sha");
+    let id = request_id(&Request::Campaign(req.clone()));
+    // The server aborts after journaling its first fresh point, so the
+    // submission must NOT complete successfully — the stream dies (EOF /
+    // reset) or, in a tight race, the connection itself fails.
+    let submit = request_events(
+        &sock_addr(&sock),
+        &ClientMsg::Submit(Request::Campaign(req.clone())),
+        |_| {},
+    );
+    assert!(
+        !matches!(submit, Ok(Some(ServerMsg::Done { ok: true, .. }))),
+        "killed server cannot have completed the campaign: {submit:?}"
+    );
+    let status = child.wait().unwrap();
+    assert!(!status.success(), "--inject-kill-after must abort the server");
+    assert!(
+        state_dir.join(format!("{id:016x}.req")).exists(),
+        "the request spec must be persisted before any simulation"
+    );
+    assert!(
+        state_dir.join(format!("{id:016x}.bfj")).exists(),
+        "the killed server must leave the request's journal behind"
+    );
+
+    // Restart (in-process this time) on the same state directory and
+    // re-attach: the journal replays and the campaign completes.
+    let opts = ServeOptions {
+        jobs: 1,
+        max_active: 4,
+        cache_dir: None,
+        state_dir,
+        kill_after_points: None,
+    };
+    let (addr, handle) = start_server("sock-kill2", opts);
+    match roundtrip(&addr, &ClientMsg::Attach(id)) {
+        ServerMsg::Done { ok, report, summary, .. } => {
+            assert!(ok, "resumed campaign failed:\n{summary}");
+            assert!(
+                summary.contains("Journal:") && summary.contains("point(s) replayed"),
+                "the resumed run must replay journaled points:\n{summary}"
+            );
+            assert_eq!(
+                String::from_utf8(report).unwrap(),
+                solo_report(&req),
+                "resumed report must be byte-identical to an uninterrupted solo run"
+            );
+        }
+        other => panic!("attach after restart: expected Done, got {other:?}"),
+    }
+    shutdown(&addr, handle);
+}
+
+fn sock_addr(path: &std::path::Path) -> ServeAddr {
+    ServeAddr::Unix(path.to_path_buf())
+}
